@@ -1,0 +1,558 @@
+//! PODEM test generation over the 5-valued D-algebra.
+//!
+//! Lines carry a pair of 3-valued signals (good machine, faulty machine);
+//! the composite values are the classical `0, 1, X, D, D̄`. Decisions are
+//! made only at primary inputs (the defining property of PODEM), objectives
+//! are chosen to first activate the fault and then advance the D-frontier,
+//! and an X-path check prunes assignments that can no longer propagate the
+//! fault to an output.
+
+use sft_netlist::{Circuit, GateKind, NodeId};
+use sft_sim::{Fault, FaultSite};
+
+/// Three-valued signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum V3 {
+    Zero,
+    One,
+    X,
+}
+
+impl V3 {
+    fn from_bool(b: bool) -> V3 {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    fn invert(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+}
+
+fn eval3(kind: GateKind, fanins: &[V3]) -> V3 {
+    match kind {
+        GateKind::Input => unreachable!("inputs are assigned, not evaluated"),
+        GateKind::Const0 => V3::Zero,
+        GateKind::Const1 => V3::One,
+        GateKind::Buf => fanins[0],
+        GateKind::Not => fanins[0].invert(),
+        GateKind::And | GateKind::Nand => {
+            let mut out = V3::One;
+            for &f in fanins {
+                out = match (out, f) {
+                    (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+                    (V3::X, _) | (_, V3::X) => V3::X,
+                    _ => V3::One,
+                };
+                if out == V3::Zero {
+                    break;
+                }
+            }
+            if kind == GateKind::Nand {
+                out.invert()
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut out = V3::Zero;
+            for &f in fanins {
+                out = match (out, f) {
+                    (V3::One, _) | (_, V3::One) => V3::One,
+                    (V3::X, _) | (_, V3::X) => V3::X,
+                    _ => V3::Zero,
+                };
+                if out == V3::One {
+                    break;
+                }
+            }
+            if kind == GateKind::Nor {
+                out.invert()
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut out = V3::Zero;
+            for &f in fanins {
+                out = match (out, f) {
+                    (V3::X, _) | (_, V3::X) => return V3::X,
+                    (a, b) => V3::from_bool((a == V3::One) != (b == V3::One)),
+                };
+            }
+            if kind == GateKind::Xnor {
+                out.invert()
+            } else {
+                out
+            }
+        }
+    }
+}
+
+/// Outcome of PODEM on one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestResult {
+    /// A test was found; one value per primary input (unassigned inputs are
+    /// filled with `false`).
+    Test(Vec<bool>),
+    /// The complete search space was exhausted: the fault is untestable
+    /// (redundant).
+    Untestable,
+    /// The backtrack limit was hit before the search completed.
+    Aborted,
+}
+
+impl TestResult {
+    /// Whether a test was found.
+    pub fn is_test(&self) -> bool {
+        matches!(self, TestResult::Test(_))
+    }
+}
+
+struct Podem<'c> {
+    circuit: &'c Circuit,
+    order: Vec<NodeId>,
+    fault: Fault,
+    /// The line whose good value must be the complement of the stuck value.
+    activation_line: NodeId,
+    /// PI assignment (by input position).
+    pi_values: Vec<V3>,
+    input_pos: Vec<usize>,
+    good: Vec<V3>,
+    bad: Vec<V3>,
+    fanouts: Vec<Vec<NodeId>>,
+    backtracks: u64,
+    limit: u64,
+}
+
+impl<'c> Podem<'c> {
+    fn new(circuit: &'c Circuit, fault: Fault) -> Self {
+        let order = circuit.topo_order().expect("combinational circuit");
+        let mut input_pos = vec![usize::MAX; circuit.len()];
+        for (i, &id) in circuit.inputs().iter().enumerate() {
+            input_pos[id.index()] = i;
+        }
+        let activation_line = match fault.site {
+            FaultSite::Stem(n) => n,
+            FaultSite::Branch { gate, pin } => circuit.node(gate).fanins()[pin as usize],
+        };
+        let fanouts = circuit
+            .fanout_table()
+            .into_iter()
+            .map(|v| {
+                let mut g: Vec<NodeId> = v.into_iter().map(|(g, _)| g).collect();
+                g.dedup();
+                g
+            })
+            .collect();
+        Podem {
+            circuit,
+            order,
+            fault,
+            activation_line,
+            pi_values: vec![V3::X; circuit.inputs().len()],
+            input_pos,
+            good: vec![V3::X; circuit.len()],
+            bad: vec![V3::X; circuit.len()],
+            fanouts,
+            backtracks: 0,
+            limit: 0,
+        }
+    }
+
+    /// Full 3-valued resimulation of both machines under the current PI
+    /// assignment.
+    fn imply(&mut self) {
+        let mut gbuf: Vec<V3> = Vec::with_capacity(8);
+        let mut bbuf: Vec<V3> = Vec::with_capacity(8);
+        for &id in &self.order {
+            let node = self.circuit.node(id);
+            let (g, mut b) = match node.kind() {
+                GateKind::Input => {
+                    let v = self.pi_values[self.input_pos[id.index()]];
+                    (v, v)
+                }
+                kind => {
+                    gbuf.clear();
+                    bbuf.clear();
+                    for (pin, f) in node.fanins().iter().enumerate() {
+                        gbuf.push(self.good[f.index()]);
+                        let bv = if self.fault.site
+                            == (FaultSite::Branch { gate: id, pin: pin as u8 })
+                        {
+                            V3::from_bool(self.fault.stuck)
+                        } else {
+                            self.bad[f.index()]
+                        };
+                        bbuf.push(bv);
+                    }
+                    (eval3(kind, &gbuf), eval3(kind, &bbuf))
+                }
+            };
+            if self.fault.site == FaultSite::Stem(id) {
+                b = V3::from_bool(self.fault.stuck);
+            }
+            self.good[id.index()] = g;
+            self.bad[id.index()] = b;
+        }
+    }
+
+    fn composite_is_x(&self, id: NodeId) -> bool {
+        self.good[id.index()] == V3::X || self.bad[id.index()] == V3::X
+    }
+
+    fn has_d(&self, id: NodeId) -> bool {
+        let g = self.good[id.index()];
+        let b = self.bad[id.index()];
+        g != V3::X && b != V3::X && g != b
+    }
+
+    fn fault_at_output(&self) -> bool {
+        self.circuit.outputs().iter().any(|&o| self.has_d(o))
+    }
+
+    /// D-frontier: gates whose output is X in either machine and which have
+    /// at least one D/D̄ input. For a branch fault, the faulty branch itself
+    /// carries a D once activated (its stem value is not faulty, so the
+    /// deviation is visible only at the consuming gate's pin).
+    fn d_frontier(&self) -> Vec<NodeId> {
+        let mut v = Vec::new();
+        for (id, node) in self.circuit.iter() {
+            if !node.kind().is_gate() || !self.composite_is_x(id) {
+                continue;
+            }
+            let mut has_d_input = node.fanins().iter().any(|&f| self.has_d(f));
+            if !has_d_input {
+                if let FaultSite::Branch { gate, pin } = self.fault.site {
+                    if gate == id {
+                        let driver = self.circuit.node(gate).fanins()[pin as usize];
+                        let g = self.good[driver.index()];
+                        has_d_input =
+                            g != V3::X && g != V3::from_bool(self.fault.stuck);
+                    }
+                }
+            }
+            if has_d_input {
+                v.push(id);
+            }
+        }
+        v
+    }
+
+    /// X-path check: can a D on some frontier line still reach an output
+    /// through composite-X lines?
+    fn x_path_exists(&self, frontier: &[NodeId]) -> bool {
+        let mut seen = vec![false; self.circuit.len()];
+        let mut stack: Vec<NodeId> = frontier.to_vec();
+        let output_mask = {
+            let mut m = vec![false; self.circuit.len()];
+            for &o in self.circuit.outputs() {
+                m[o.index()] = true;
+            }
+            m
+        };
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n.index()], true) {
+                continue;
+            }
+            if !self.composite_is_x(n) {
+                continue;
+            }
+            if output_mask[n.index()] {
+                return true;
+            }
+            stack.extend_from_slice(&self.fanouts[n.index()]);
+        }
+        false
+    }
+
+    /// The next objective `(line, value)`, or `None` when no useful
+    /// objective exists under the current assignment (a dead end).
+    fn objective(&self) -> Option<(NodeId, bool)> {
+        // 1. Activate the fault.
+        let act = self.activation_line;
+        match self.good[act.index()] {
+            V3::X => return Some((act, !self.fault.stuck)),
+            v if v == V3::from_bool(self.fault.stuck) => return None, // can't activate
+            _ => {}
+        }
+        // For a stem fault the activation line *is* the fault site; for a
+        // branch fault activation is already reflected through imply().
+        if self.fault_at_output() {
+            return None; // already done; caller checks first
+        }
+        // 2. Advance the D-frontier.
+        let frontier = self.d_frontier();
+        if frontier.is_empty() || !self.x_path_exists(&frontier) {
+            return None;
+        }
+        let gate = frontier[0];
+        let node = self.circuit.node(gate);
+        let x_input = node.fanins().iter().copied().find(|&f| self.composite_is_x(f))?;
+        let value = match node.kind().controlling_value() {
+            Some(c) => !c,
+            None => false, // parity gates: either value advances the frontier
+        };
+        Some((x_input, value))
+    }
+
+    /// Backtrace an objective to an unassigned primary input.
+    fn backtrace(&self, mut line: NodeId, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            let node = self.circuit.node(line);
+            match node.kind() {
+                GateKind::Input => {
+                    let pos = self.input_pos[line.index()];
+                    return if self.pi_values[pos] == V3::X { Some((pos, value)) } else { None };
+                }
+                GateKind::Const0 | GateKind::Const1 => return None,
+                kind => {
+                    if kind.inverts() {
+                        value = !value;
+                    }
+                    // Choose an X input to pursue. For parity gates the
+                    // value handed down is heuristic only.
+                    let next = node
+                        .fanins()
+                        .iter()
+                        .copied()
+                        .find(|&f| self.good[f.index()] == V3::X)?;
+                    line = next;
+                }
+            }
+        }
+    }
+
+    fn run(&mut self, limit: u64) -> TestResult {
+        self.limit = limit;
+        self.imply();
+        // Decision stack: (pi position, value currently tried, flipped yet?).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        loop {
+            if self.fault_at_output() {
+                let test = self
+                    .pi_values
+                    .iter()
+                    .map(|v| matches!(v, V3::One))
+                    .collect();
+                return TestResult::Test(test);
+            }
+            match self.objective() {
+                Some((line, value)) => {
+                    match self.backtrace(line, value) {
+                        Some((pos, v)) => {
+                            stack.push((pos, v, false));
+                            self.pi_values[pos] = V3::from_bool(v);
+                            self.imply();
+                        }
+                        None => {
+                            // No X input reachable: dead end, backtrack.
+                            if !self.backtrack(&mut stack) {
+                                return TestResult::Untestable;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if !self.backtrack(&mut stack) {
+                        return TestResult::Untestable;
+                    }
+                }
+            }
+            if self.backtracks > self.limit {
+                return TestResult::Aborted;
+            }
+        }
+    }
+
+    fn backtrack(&mut self, stack: &mut Vec<(usize, bool, bool)>) -> bool {
+        self.backtracks += 1;
+        loop {
+            match stack.pop() {
+                None => return false,
+                Some((pos, v, flipped)) => {
+                    if flipped {
+                        self.pi_values[pos] = V3::X;
+                    } else {
+                        stack.push((pos, !v, true));
+                        self.pi_values[pos] = V3::from_bool(!v);
+                        self.imply();
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs PODEM for `fault` on `circuit` with the given backtrack limit.
+///
+/// Returns [`TestResult::Test`] with a detecting input vector,
+/// [`TestResult::Untestable`] when the search space is provably exhausted
+/// (the fault is redundant), or [`TestResult::Aborted`] when the backtrack
+/// limit is reached first.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic or the fault references nodes outside it.
+pub fn generate_test(circuit: &Circuit, fault: Fault, backtrack_limit: u64) -> TestResult {
+    let mut engine = Podem::new(circuit, fault);
+    let result = engine.run(backtrack_limit);
+    if let TestResult::Test(test) = &result {
+        debug_assert!(
+            test_detects(circuit, fault, test),
+            "PODEM returned a non-detecting test for {fault}"
+        );
+    }
+    result
+}
+
+/// Checks (by explicit two-machine simulation) whether `test` detects
+/// `fault`.
+pub(crate) fn test_detects(circuit: &Circuit, fault: Fault, test: &[bool]) -> bool {
+    let order = circuit.topo_order().expect("combinational circuit");
+    let mut input_pos = vec![usize::MAX; circuit.len()];
+    for (i, &id) in circuit.inputs().iter().enumerate() {
+        input_pos[id.index()] = i;
+    }
+    let mut good = vec![false; circuit.len()];
+    let mut bad = vec![false; circuit.len()];
+    for &id in &order {
+        let node = circuit.node(id);
+        let (g, mut b) = match node.kind() {
+            GateKind::Input => {
+                let v = test[input_pos[id.index()]];
+                (v, v)
+            }
+            kind => {
+                let gv: Vec<bool> = node.fanins().iter().map(|f| good[f.index()]).collect();
+                let bv: Vec<bool> = node
+                    .fanins()
+                    .iter()
+                    .enumerate()
+                    .map(|(pin, f)| {
+                        if fault.site == (FaultSite::Branch { gate: id, pin: pin as u8 }) {
+                            fault.stuck
+                        } else {
+                            bad[f.index()]
+                        }
+                    })
+                    .collect();
+                (kind.eval(&gv), kind.eval(&bv))
+            }
+        };
+        if fault.site == FaultSite::Stem(id) {
+            b = fault.stuck;
+        }
+        good[id.index()] = g;
+        bad[id.index()] = b;
+    }
+    circuit.outputs().iter().any(|&o| good[o.index()] != bad[o.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+    use sft_sim::fault_list;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn c17_all_faults_testable_with_valid_tests() {
+        let c = parse(C17, "c17").unwrap();
+        for fault in fault_list(&c) {
+            match generate_test(&c, fault, 10_000) {
+                TestResult::Test(t) => {
+                    assert!(test_detects(&c, fault, &t), "bad test for {fault}")
+                }
+                other => panic!("fault {fault} should be testable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absorption_redundancy_proven() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
+        let c = parse(src, "abs").unwrap();
+        let t = c.iter().find(|(_, n)| n.name() == Some("t")).map(|(id, _)| id).unwrap();
+        assert_eq!(generate_test(&c, Fault::stem(t, false), 10_000), TestResult::Untestable);
+        // t s-a-1 is testable: a=0, b arbitrary -> y flips 0 -> 1.
+        assert!(generate_test(&c, Fault::stem(t, true), 10_000).is_test());
+    }
+
+    #[test]
+    fn branch_fault_tests() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n";
+        let c = parse(src, "t").unwrap();
+        let y = c.iter().find(|(_, n)| n.name() == Some("y")).map(|(id, _)| id).unwrap();
+        let f = Fault::branch(y, 0, true);
+        match generate_test(&c, f, 10_000) {
+            TestResult::Test(t) => assert!(test_detects(&c, f, &t)),
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_propagation() {
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = XOR(t, c)\n";
+        let c = parse(src, "x").unwrap();
+        for fault in fault_list(&c) {
+            match generate_test(&c, fault, 10_000) {
+                TestResult::Test(t) => assert!(test_detects(&c, fault, &t)),
+                other => panic!("fault {fault}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_search_on_random_circuits() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use sft_netlist::{Circuit, GateKind};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let mut c = Circuit::new(format!("r{trial}"));
+            let ins: Vec<_> = (0..5).map(|i| c.add_input(format!("i{i}"))).collect();
+            let mut pool = ins.clone();
+            for _ in 0..12 {
+                let kinds =
+                    [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor, GateKind::Xor];
+                let kind = kinds[rng.gen_range(0..kinds.len())];
+                let x = pool[rng.gen_range(0..pool.len())];
+                let y = pool[rng.gen_range(0..pool.len())];
+                if x == y {
+                    continue;
+                }
+                let g = c.add_gate(kind, vec![x, y]).unwrap();
+                pool.push(g);
+            }
+            let out = *pool.last().unwrap();
+            c.add_output(out, "y");
+            for fault in fault_list(&c) {
+                let exhaustive = (0..32u32).any(|m| {
+                    let t: Vec<bool> = (0..5).map(|i| m >> i & 1 == 1).collect();
+                    test_detects(&c, fault, &t)
+                });
+                let podem = generate_test(&c, fault, 100_000);
+                match (&podem, exhaustive) {
+                    (TestResult::Test(t), true) => assert!(test_detects(&c, fault, t)),
+                    (TestResult::Untestable, false) => {}
+                    other => {
+                        panic!("trial {trial} fault {fault}: podem={other:?} vs exhaustive={exhaustive}")
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Redundancy identification and removal (the role of [15] in the paper).
+//!
+//! A stuck-at fault proven untestable means the faulty and fault-free
+//! circuits are equivalent, so the faulty value can be wired in
+//! permanently: a redundant `line s-a-v` stem fault lets the line be
+//! replaced by the constant `v`; a redundant branch fault lets that single
+//! gate input be replaced by the constant. Constant propagation and
+//! dead-logic sweeping then shrink the circuit. Because one removal can
+//! change the status of other faults, the procedure iterates to a fixpoint.
+
+use crate::podem::{generate_test, TestResult};
+use sft_netlist::{simplify, Circuit, GateKind, NodeId};
+use sft_sim::{fault_list, Fault, FaultSite};
+
+/// Summary of a [`remove_redundancies`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RedundancyReport {
+    /// Number of redundant faults removed (one constant insertion each).
+    pub removed: usize,
+    /// Number of faults whose PODEM search aborted (left untouched).
+    pub aborted: usize,
+    /// Number of full passes over the fault list.
+    pub passes: usize,
+    /// Equivalent 2-input gate count before and after.
+    pub gates_before: u64,
+    /// Equivalent 2-input gate count after removal.
+    pub gates_after: u64,
+}
+
+impl RedundancyReport {
+    /// Whether the circuit was already irredundant (nothing removed, nothing
+    /// aborted).
+    pub fn is_irredundant(&self) -> bool {
+        self.removed == 0 && self.aborted == 0
+    }
+}
+
+fn apply_removal(circuit: &mut Circuit, fault: Fault) {
+    match fault.site {
+        FaultSite::Stem(n) => {
+            if circuit.node(n).kind() == GateKind::Input {
+                // A redundant PI stem fault means no output depends on the
+                // input; nothing to rewire (the input stays as a port).
+                return;
+            }
+            let kind = if fault.stuck { GateKind::Const1 } else { GateKind::Const0 };
+            circuit.rewire(n, kind, Vec::new()).expect("constant rewire cannot cycle");
+        }
+        FaultSite::Branch { gate, pin } => {
+            let konst = circuit.add_const(fault.stuck);
+            let mut fanins: Vec<NodeId> = circuit.node(gate).fanins().to_vec();
+            fanins[pin as usize] = konst;
+            let kind = circuit.node(gate).kind();
+            circuit.rewire(gate, kind, fanins).expect("constant fanin cannot cycle");
+        }
+    }
+}
+
+/// Repeatedly proves faults redundant with PODEM and wires in the implied
+/// constants until the circuit is irredundant (or only aborted faults
+/// remain). The circuit function is preserved exactly.
+///
+/// `backtrack_limit` bounds each individual PODEM search; faults whose
+/// search aborts are counted in the report and left in place.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn remove_redundancies(circuit: &mut Circuit, backtrack_limit: u64) -> RedundancyReport {
+    let mut report = RedundancyReport {
+        gates_before: circuit.two_input_gate_count(),
+        ..RedundancyReport::default()
+    };
+    loop {
+        report.passes += 1;
+        let faults = fault_list(circuit);
+        let mut removed_this_pass = 0;
+        let mut aborted_this_pass = 0;
+        for fault in faults {
+            // Fault sites can disappear under earlier removals this pass:
+            // guard against dangling references by re-deriving liveness.
+            let site_node = match fault.site {
+                FaultSite::Stem(n) => n,
+                FaultSite::Branch { gate, .. } => gate,
+            };
+            if site_node.index() >= circuit.len() {
+                continue;
+            }
+            if let FaultSite::Branch { gate, pin } = fault.site {
+                if pin as usize >= circuit.node(gate).fanins().len() {
+                    continue;
+                }
+            }
+            match generate_test(circuit, fault, backtrack_limit) {
+                TestResult::Untestable => {
+                    apply_removal(circuit, fault);
+                    simplify::propagate_constants(circuit);
+                    removed_this_pass += 1;
+                }
+                TestResult::Aborted => aborted_this_pass += 1,
+                TestResult::Test(_) => {}
+            }
+        }
+        report.removed += removed_this_pass;
+        if removed_this_pass == 0 {
+            report.aborted = aborted_this_pass;
+            break;
+        }
+        simplify::normalize(circuit);
+    }
+    simplify::normalize(circuit);
+    report.gates_after = circuit.two_input_gate_count();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_bdd::equivalent;
+    use sft_netlist::bench_format::parse;
+
+    #[test]
+    fn absorption_removed_and_equivalent() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
+        let original = parse(src, "abs").unwrap();
+        let mut c = original.clone();
+        let report = remove_redundancies(&mut c, 10_000);
+        assert!(report.removed >= 1);
+        assert_eq!(report.aborted, 0);
+        assert!(report.gates_after < report.gates_before);
+        assert!(equivalent(&original, &c).unwrap().is_equivalent());
+        // y should reduce to BUF(a) (0 equivalent 2-input gates).
+        assert_eq!(c.two_input_gate_count(), 0);
+    }
+
+    #[test]
+    fn irredundant_circuit_untouched() {
+        let src = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+        let mut c = parse(src, "c17").unwrap();
+        let before = c.two_input_gate_count();
+        let report = remove_redundancies(&mut c, 10_000);
+        assert!(report.is_irredundant());
+        assert_eq!(report.passes, 1);
+        assert_eq!(c.two_input_gate_count(), before);
+    }
+
+    #[test]
+    fn consensus_redundancy_removed() {
+        // y = ab + !a c + bc : the consensus term bc is redundant.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nna = NOT(a)\n\
+t1 = AND(a, b)\nt2 = AND(na, c)\nt3 = AND(b, c)\ny = OR(t1, t2, t3)\n";
+        let original = parse(src, "cons").unwrap();
+        let mut c = original.clone();
+        let report = remove_redundancies(&mut c, 100_000);
+        assert!(report.removed >= 1);
+        assert!(equivalent(&original, &c).unwrap().is_equivalent());
+        assert!(c.two_input_gate_count() < original.two_input_gate_count());
+    }
+
+    #[test]
+    fn result_is_fully_testable() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nna = NOT(a)\n\
+t1 = AND(a, b)\nt2 = AND(na, c)\nt3 = AND(b, c)\ny = OR(t1, t2, t3)\n";
+        let mut c = parse(src, "cons").unwrap();
+        remove_redundancies(&mut c, 100_000);
+        for fault in fault_list(&c) {
+            assert!(
+                generate_test(&c, fault, 100_000).is_test(),
+                "{fault} should be testable after redundancy removal"
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) and combinational
+//! equivalence checking.
+//!
+//! The resynthesis procedures of the paper replace subcircuits by comparison
+//! units; this crate is the exactness net around those edits. Every
+//! transformation in the workspace can be (and, in the test suites, is)
+//! verified by building BDDs for the original and modified circuits in a
+//! shared manager and comparing node references.
+//!
+//! The manager is hash-consed without complement edges; a configurable node
+//! cap turns pathological blowups into an error instead of memory
+//! exhaustion.
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let a = m.var(0);
+//! let b = m.var(1);
+//! let ab = m.and(a, b)?;
+//! let ba = m.and(b, a)?;
+//! assert_eq!(ab, ba); // hash-consing makes equivalence a pointer check
+//! # Ok::<(), sft_bdd::BddError>(())
+//! ```
+
+mod bridge;
+mod manager;
+
+pub use bridge::{circuit_bdds, equivalent, equivalent_with_manager, CheckResult};
+pub use manager::{BddError, BddRef, Manager};

@@ -1,0 +1,125 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! - identification method: the paper's capped permutation search vs. the
+//!   exact recursive decomposition, across cone widths;
+//! - objective: Procedure 2 (gates) vs Procedure 3 (paths) vs the combined
+//!   measure of Section 4.3, reporting the quality trade-off as bench
+//!   labels (throughput measured, results printed once).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sft_circuits::random::{random_circuit, RandomCircuitConfig};
+use sft_core::{identify, resynthesize, IdentifyMethod, IdentifyOptions, Objective, ResynthOptions};
+use sft_truth::TruthTable;
+use std::hint::black_box;
+
+fn bench_identify_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/identify");
+    for n in [4usize, 5, 6] {
+        // A hit (interval function) and a miss (majority-like) per width.
+        let max = (1u64 << n) - 1;
+        let hit = sft_core::ComparisonSpec::new((0..n).collect(), max / 3, 2 * max / 3)
+            .expect("valid interval")
+            .to_table();
+        let miss = TruthTable::from_fn(n, |m| m.count_ones() as usize * 2 > n);
+        for (label, table) in [("hit", hit), ("miss", miss)] {
+            for (mname, method) in [
+                ("exact", IdentifyMethod::Exact),
+                ("perm200", IdentifyMethod::Permutations),
+            ] {
+                let opts = IdentifyOptions {
+                    method,
+                    max_permutations: 200,
+                    try_complement: true,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{mname}/{label}"), n),
+                    &table,
+                    |b, t| b.iter(|| black_box(identify(t, &opts))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Ablation of the two search-space extensions (polarity identification
+/// and multi-unit covers) against the paper's plain procedure.
+fn bench_extensions(c: &mut Criterion) {
+    let circuit = random_circuit(&RandomCircuitConfig {
+        inputs: 16,
+        outputs: 8,
+        gates: 120,
+        window: 8,
+        seed: 0xD,
+    });
+    let mut group = c.benchmark_group("ablation/extensions");
+    group.sample_size(10);
+    for (name, negation, cover_units) in [
+        ("paper", false, 1usize),
+        ("polarities", true, 1),
+        ("covers2", false, 2),
+        ("both", true, 2),
+    ] {
+        let opts = ResynthOptions {
+            allow_input_negation: negation,
+            max_cover_units: cover_units,
+            max_candidates_per_gate: 60,
+            ..ResynthOptions::default()
+        };
+        let mut probe = circuit.clone();
+        let report = resynthesize(&mut probe, &opts).expect("verified");
+        println!(
+            "ablation/extensions/{name}: gates {} -> {}, paths {} -> {}",
+            report.gates_before, report.gates_after, report.paths_before, report.paths_after
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut work = circuit.clone();
+                black_box(resynthesize(&mut work, &opts).expect("verified"));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_objectives(c: &mut Criterion) {
+    let circuit = random_circuit(&RandomCircuitConfig {
+        inputs: 16,
+        outputs: 8,
+        gates: 120,
+        window: 8,
+        seed: 0xC,
+    });
+    let mut group = c.benchmark_group("ablation/objective");
+    group.sample_size(10);
+    for (name, objective) in [
+        ("gates", Objective::Gates),
+        ("paths", Objective::Paths),
+        ("combined_1_1", Objective::Combined { gate_weight: 1, path_weight: 1 }),
+        ("combined_100_1", Objective::Combined { gate_weight: 100, path_weight: 1 }),
+    ] {
+        let opts = ResynthOptions {
+            objective,
+            max_candidates_per_gate: 60,
+            ..ResynthOptions::default()
+        };
+        // Print the quality point once so the ablation is visible in the
+        // bench log, then measure throughput.
+        let mut probe = circuit.clone();
+        let report = resynthesize(&mut probe, &opts).expect("verified");
+        println!(
+            "ablation/objective/{name}: gates {} -> {}, paths {} -> {}",
+            report.gates_before, report.gates_after, report.paths_before, report.paths_after
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut work = circuit.clone();
+                black_box(resynthesize(&mut work, &opts).expect("verified"));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation, bench_identify_methods, bench_objectives, bench_extensions);
+criterion_main!(ablation);

@@ -1,0 +1,139 @@
+//! Criterion benchmarks — one group per paper table's computational kernel.
+//!
+//! - `path_count`     — Procedure 1 labelling (Tables 2/3/5 bookkeeping)
+//! - `identify`       — comparison-function identification (Sec. 3.4)
+//! - `procedure2`     — Table 2 kernel
+//! - `procedure3`     — Table 5 kernel
+//! - `techmap`        — Table 4 kernel
+//! - `fault_sim`      — Table 6 kernel (one 64-pattern block)
+//! - `robust_pdf`     — Table 7 kernel (one 64-pair block)
+//! - `bdd_equiv`      — the verification net under Tables 2/3/5
+//! - `rar_baseline`   — Table 3 baseline optimizer
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sft_circuits::builders;
+use sft_circuits::random::{random_circuit, RandomCircuitConfig};
+use sft_core::{identify, procedure2, procedure3, IdentifyMethod, IdentifyOptions, ResynthOptions};
+use sft_delay::{enumerate_paths, pdf_campaign_on, PdfCampaignConfig};
+use sft_netlist::Circuit;
+use sft_rambo::{optimize, RamboOptions};
+use sft_sim::{fault_list, FaultSim};
+use sft_truth::TruthTable;
+use std::hint::black_box;
+
+fn medium_circuit() -> Circuit {
+    random_circuit(&RandomCircuitConfig {
+        inputs: 20,
+        outputs: 10,
+        gates: 180,
+        window: 10,
+        seed: 0xA,
+    })
+}
+
+fn bench_path_count(c: &mut Criterion) {
+    let circuit = builders::array_multiplier(6);
+    c.bench_function("path_count/mul6", |b| {
+        b.iter(|| black_box(circuit.path_count()));
+    });
+}
+
+fn bench_identify(c: &mut Criterion) {
+    let f2 = TruthTable::from_minterms(4, &[1, 5, 6, 9, 10, 14]).expect("in range");
+    let maj = TruthTable::from_minterms(5, &[7, 11, 13, 14, 15, 19, 21, 22, 25, 26, 28, 31])
+        .expect("in range");
+    let exact = IdentifyOptions { method: IdentifyMethod::Exact, ..IdentifyOptions::default() };
+    let perms = IdentifyOptions::paper();
+    c.bench_function("identify/exact_hit", |b| {
+        b.iter(|| black_box(identify(&f2, &exact)));
+    });
+    c.bench_function("identify/exact_miss", |b| {
+        b.iter(|| black_box(identify(&maj, &exact)));
+    });
+    c.bench_function("identify/permutations_hit", |b| {
+        b.iter(|| black_box(identify(&f2, &perms)));
+    });
+}
+
+fn bench_procedures(c: &mut Criterion) {
+    let circuit = medium_circuit();
+    let opts = ResynthOptions { max_candidates_per_gate: 60, ..ResynthOptions::default() };
+    let mut group = c.benchmark_group("resynthesis");
+    group.sample_size(10);
+    group.bench_function("procedure2/irs_a", |b| {
+        b.iter(|| {
+            let mut work = circuit.clone();
+            black_box(procedure2(&mut work, &opts).expect("verified"));
+        });
+    });
+    group.bench_function("procedure3/irs_a", |b| {
+        b.iter(|| {
+            let mut work = circuit.clone();
+            black_box(procedure3(&mut work, &opts).expect("verified"));
+        });
+    });
+    group.finish();
+}
+
+fn bench_techmap(c: &mut Criterion) {
+    let circuit = builders::array_multiplier(6);
+    let lib = sft_techmap::Library::standard();
+    c.bench_function("techmap/mul6", |b| {
+        b.iter(|| black_box(sft_techmap::map_circuit(&circuit, &lib)));
+    });
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let circuit = builders::array_multiplier(6);
+    let faults = fault_list(&circuit);
+    let words: Vec<u64> = (0..circuit.inputs().len() as u64)
+        .map(|i| 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1))
+        .collect();
+    c.bench_function("fault_sim/mul6_block", |b| {
+        let mut fsim = FaultSim::new(&circuit);
+        b.iter(|| black_box(fsim.detect_block(&faults, &words)));
+    });
+}
+
+fn bench_robust_pdf(c: &mut Criterion) {
+    let circuit = builders::comparator(10);
+    let paths = enumerate_paths(&circuit, 1 << 22).expect("enumerable");
+    let cfg = PdfCampaignConfig { max_pairs: 64, plateau: 0, seed: 3, path_limit: 1 << 22 };
+    c.bench_function("robust_pdf/cmp10_block", |b| {
+        b.iter(|| black_box(pdf_campaign_on(&circuit, &paths, &cfg)));
+    });
+}
+
+fn bench_bdd_equiv(c: &mut Criterion) {
+    let circuit = medium_circuit();
+    c.bench_function("bdd_equiv/irs_a_self", |b| {
+        b.iter(|| black_box(sft_bdd::equivalent(&circuit, &circuit).expect("fits")));
+    });
+}
+
+fn bench_rar(c: &mut Criterion) {
+    let circuit = builders::comparator(6);
+    let opts = RamboOptions { candidate_attempts: 20, max_accepted: 2, ..RamboOptions::default() };
+    let mut group = c.benchmark_group("rar");
+    group.sample_size(10);
+    group.bench_function("rar/cmp6", |b| {
+        b.iter(|| {
+            let mut work = circuit.clone();
+            black_box(optimize(&mut work, &opts).expect("verified"));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_path_count,
+    bench_identify,
+    bench_procedures,
+    bench_techmap,
+    bench_fault_sim,
+    bench_robust_pdf,
+    bench_bdd_equiv,
+    bench_rar
+);
+criterion_main!(kernels);

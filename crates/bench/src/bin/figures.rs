@@ -1,0 +1,32 @@
+//! Regenerates the structures of Figures 1-5: comparison blocks and units.
+
+use sft_core::{build_standalone_unit, ComparisonSpec};
+use sft_netlist::bench_format;
+
+fn show(title: &str, spec: &ComparisonSpec) {
+    let c = build_standalone_unit(spec).expect("valid spec");
+    let stats = c.stats();
+    println!("== {title}: {spec} ==");
+    println!("{}", bench_format::write(&c).trim_end());
+    println!("-- {stats}");
+    println!();
+}
+
+fn main() {
+    // Figure 1: the unit for f2 (Sec. 3.1): L=5, U=10 under input reversal.
+    show("Figure 1 (f2 unit)", &ComparisonSpec::new(vec![3, 2, 1, 0], 5, 10).expect("valid"));
+    // Figure 3(a): the >=3 block over 4 inputs.
+    show("Figure 3a (>=3)", &ComparisonSpec::new(vec![0, 1, 2, 3], 3, 15).expect("valid"));
+    // Figure 3(b): >=12 — trailing gates omitted.
+    show("Figure 3b (>=12)", &ComparisonSpec::new(vec![0, 1, 2, 3], 12, 15).expect("valid"));
+    // Figure 3(c): <=12.
+    show("Figure 3c (<=12)", &ComparisonSpec::new(vec![0, 1, 2, 3], 0, 12).expect("valid"));
+    // Figure 3(d): <=3 — trailing gates omitted.
+    show("Figure 3d (<=3)", &ComparisonSpec::new(vec![0, 1, 2, 3], 0, 3).expect("valid"));
+    // Figure 4: >=7 with the AND chain merged into a 3-input gate.
+    show("Figure 4 (>=7, merged)", &ComparisonSpec::new(vec![0, 1, 2, 3], 7, 15).expect("valid"));
+    // Figure 5: free variables (L=5, U=7: x1, x2 free).
+    show("Figure 5 (free vars, L=5 U=7)", &ComparisonSpec::new(vec![0, 1, 2, 3], 5, 7).expect("valid"));
+    // Figure 6: the L=11, U=12 unit used by Table 1.
+    show("Figure 6 (L=11 U=12)", &ComparisonSpec::new(vec![0, 1, 2, 3], 11, 12).expect("valid"));
+}

@@ -1,0 +1,50 @@
+//! Prints the substitute benchmark suite: per-circuit statistics and the
+//! preparation (redundancy-removal) record. With `--dump <dir>` also
+//! writes each circuit as a `.bench` file.
+
+use sft_bench::format::{grouped, header, row};
+use sft_netlist::bench_format;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dump_dir = args
+        .iter()
+        .position(|a| a == "--dump")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let quick = args.iter().any(|a| a == "--quick");
+    let entries = if quick { sft_circuits::suite_small() } else { sft_circuits::suite() };
+    println!("substitute benchmark suite ({} circuits)", entries.len());
+    println!();
+    header(&[
+        ("circuit", 8),
+        ("inputs", 7),
+        ("outputs", 7),
+        ("gates", 7),
+        ("eq2", 7),
+        ("paths", 14),
+        ("depth", 6),
+        ("red.removed", 11),
+    ]);
+    for e in &entries {
+        let s = e.circuit.stats();
+        row(&[
+            (e.name.to_string(), 8),
+            (s.inputs.to_string(), 7),
+            (s.outputs.to_string(), 7),
+            (s.gates.to_string(), 7),
+            (s.two_input_gates.to_string(), 7),
+            (grouped(s.paths), 14),
+            (s.depth.to_string(), 6),
+            (e.redundancies_removed.to_string(), 11),
+        ]);
+    }
+    if let Some(dir) = dump_dir {
+        std::fs::create_dir_all(&dir).expect("create dump dir");
+        for e in &entries {
+            let path = format!("{dir}/{}.bench", e.name);
+            std::fs::write(&path, bench_format::write(&e.circuit)).expect("write bench file");
+            println!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Minimal fixed-width table printing for the experiment binaries.
+
+/// Prints a header row followed by a separator.
+pub fn header(columns: &[(&str, usize)]) {
+    let mut line = String::new();
+    let mut rule = String::new();
+    for (name, width) in columns {
+        line.push_str(&format!("{name:>width$}  "));
+        rule.push_str(&"-".repeat(*width));
+        rule.push_str("  ");
+    }
+    println!("{}", line.trim_end());
+    println!("{}", rule.trim_end());
+}
+
+/// Prints one row of right-aligned cells with the same widths.
+pub fn row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (cell, width) in cells {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Formats a `u128` with thousands separators, like the paper's tables.
+pub fn grouped(n: u128) -> String {
+    let digits = n.to_string();
+    let bytes = digits.as_bytes();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping() {
+        assert_eq!(grouped(0), "0");
+        assert_eq!(grouped(999), "999");
+        assert_eq!(grouped(1000), "1,000");
+        assert_eq!(grouped(23_003_369), "23,003,369");
+    }
+}

@@ -1,0 +1,381 @@
+//! Deterministic structural circuit generators.
+//!
+//! These are classical combinational workloads with known input/output
+//! semantics; every builder's function is validated in the test suite
+//! against an arithmetic reference.
+
+use sft_netlist::{Circuit, GateKind, NodeId};
+
+fn full_adder(
+    c: &mut Circuit,
+    a: NodeId,
+    b: NodeId,
+    cin: NodeId,
+) -> (NodeId, NodeId) {
+    let axb = c.add_gate(GateKind::Xor, vec![a, b]).expect("valid gate");
+    let sum = c.add_gate(GateKind::Xor, vec![axb, cin]).expect("valid gate");
+    let t1 = c.add_gate(GateKind::And, vec![a, b]).expect("valid gate");
+    let t2 = c.add_gate(GateKind::And, vec![axb, cin]).expect("valid gate");
+    let cout = c.add_gate(GateKind::Or, vec![t1, t2]).expect("valid gate");
+    (sum, cout)
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..a{n-1}`, `b0..`, `cin`
+/// (bit 0 = LSB); outputs `s0..s{n-1}`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut c = Circuit::new(format!("rca{n}"));
+    let a: Vec<_> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect();
+    let mut carry = c.add_input("cin");
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, co) = full_adder(&mut c, a[i], b[i], carry);
+        sums.push(s);
+        carry = co;
+    }
+    for (i, s) in sums.into_iter().enumerate() {
+        c.add_output(s, format!("s{i}"));
+    }
+    c.add_output(carry, "cout");
+    c
+}
+
+/// An `n`-bit magnitude comparator: outputs `lt`, `eq`, `gt` for operands
+/// `a` and `b` (bit 0 = LSB).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn comparator(n: usize) -> Circuit {
+    assert!(n > 0, "comparator width must be positive");
+    let mut c = Circuit::new(format!("cmp{n}"));
+    let a: Vec<_> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect();
+    // Bitwise equality, then prefix chains from the MSB.
+    let eqs: Vec<NodeId> = (0..n)
+        .map(|i| c.add_gate(GateKind::Xnor, vec![a[i], b[i]]).expect("valid gate"))
+        .collect();
+    let mut eq_prefix: Option<NodeId> = None; // MSB-down running equality
+    let mut lt_terms = Vec::new();
+    let mut gt_terms = Vec::new();
+    for i in (0..n).rev() {
+        let nb = c.add_gate(GateKind::Not, vec![b[i]]).expect("valid gate");
+        let na = c.add_gate(GateKind::Not, vec![a[i]]).expect("valid gate");
+        let a_gt = c.add_gate(GateKind::And, vec![a[i], nb]).expect("valid gate");
+        let a_lt = c.add_gate(GateKind::And, vec![na, b[i]]).expect("valid gate");
+        let (gt_t, lt_t) = match eq_prefix {
+            None => (a_gt, a_lt),
+            Some(p) => (
+                c.add_gate(GateKind::And, vec![p, a_gt]).expect("valid gate"),
+                c.add_gate(GateKind::And, vec![p, a_lt]).expect("valid gate"),
+            ),
+        };
+        gt_terms.push(gt_t);
+        lt_terms.push(lt_t);
+        eq_prefix = Some(match eq_prefix {
+            None => eqs[i],
+            Some(p) => c.add_gate(GateKind::And, vec![p, eqs[i]]).expect("valid gate"),
+        });
+    }
+    let gt = if gt_terms.len() == 1 {
+        gt_terms[0]
+    } else {
+        c.add_gate(GateKind::Or, gt_terms).expect("valid gate")
+    };
+    let lt = if lt_terms.len() == 1 {
+        lt_terms[0]
+    } else {
+        c.add_gate(GateKind::Or, lt_terms).expect("valid gate")
+    };
+    let eq = eq_prefix.expect("n > 0");
+    c.add_output(lt, "lt");
+    c.add_output(eq, "eq");
+    c.add_output(gt, "gt");
+    c
+}
+
+/// A `2^k`-to-1 multiplexer tree: `2^k` data inputs `d*`, `k` select
+/// inputs `s*` (s0 = LSB), one output.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 6`.
+pub fn mux_tree(k: usize) -> Circuit {
+    assert!(k > 0 && k <= 6, "select width out of range");
+    let mut c = Circuit::new(format!("mux{}", 1 << k));
+    let d: Vec<_> = (0..1usize << k).map(|i| c.add_input(format!("d{i}"))).collect();
+    let s: Vec<_> = (0..k).map(|i| c.add_input(format!("s{i}"))).collect();
+    let mut layer = d;
+    for (bit, &sel) in s.iter().enumerate() {
+        let nsel = c.add_gate(GateKind::Not, vec![sel]).expect("valid gate");
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            let t0 = c.add_gate(GateKind::And, vec![nsel, pair[0]]).expect("valid gate");
+            let t1 = c.add_gate(GateKind::And, vec![sel, pair[1]]).expect("valid gate");
+            next.push(c.add_gate(GateKind::Or, vec![t0, t1]).expect("valid gate"));
+        }
+        debug_assert!(!next.is_empty(), "layer {bit} empty");
+        layer = next;
+    }
+    c.add_output(layer[0], "y");
+    c
+}
+
+/// A `k`-to-`2^k` decoder with enable: inputs `x0..x{k-1}` (LSB first) and
+/// `en`; outputs `o0..`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 6`.
+pub fn decoder(k: usize) -> Circuit {
+    assert!(k > 0 && k <= 6, "decoder width out of range");
+    let mut c = Circuit::new(format!("dec{k}"));
+    let x: Vec<_> = (0..k).map(|i| c.add_input(format!("x{i}"))).collect();
+    let en = c.add_input("en");
+    let nx: Vec<_> = x
+        .iter()
+        .map(|&xi| c.add_gate(GateKind::Not, vec![xi]).expect("valid gate"))
+        .collect();
+    for m in 0..1usize << k {
+        let mut fanins = vec![en];
+        for i in 0..k {
+            fanins.push(if m >> i & 1 == 1 { x[i] } else { nx[i] });
+        }
+        let o = c.add_gate(GateKind::And, fanins).expect("valid gate");
+        c.add_output(o, format!("o{m}"));
+    }
+    c
+}
+
+/// An `n`-input parity tree (XOR2 tree), output `p`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn parity_tree(n: usize) -> Circuit {
+    assert!(n >= 2, "parity needs at least two inputs");
+    let mut c = Circuit::new(format!("par{n}"));
+    let mut layer: Vec<_> = (0..n).map(|i| c.add_input(format!("x{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(c.add_gate(GateKind::Xor, vec![pair[0], pair[1]]).expect("valid gate"));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    c.add_output(layer[0], "p");
+    c
+}
+
+/// A 1-bit ALU slice with 2 opcode bits: computes AND, OR, XOR or full-add
+/// of `a`, `b` with carry `cin`; outputs `r` and `cout`.
+pub fn alu_slice() -> Circuit {
+    let mut c = Circuit::new("alu1");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let cin = c.add_input("cin");
+    let op0 = c.add_input("op0");
+    let op1 = c.add_input("op1");
+    let and_ab = c.add_gate(GateKind::And, vec![a, b]).expect("valid gate");
+    let or_ab = c.add_gate(GateKind::Or, vec![a, b]).expect("valid gate");
+    let xor_ab = c.add_gate(GateKind::Xor, vec![a, b]).expect("valid gate");
+    let (sum, cout) = full_adder(&mut c, a, b, cin);
+    // 4-to-1 select by (op1, op0): 00=AND, 01=OR, 10=XOR, 11=ADD.
+    let n0 = c.add_gate(GateKind::Not, vec![op0]).expect("valid gate");
+    let n1 = c.add_gate(GateKind::Not, vec![op1]).expect("valid gate");
+    let s00 = c.add_gate(GateKind::And, vec![n1, n0, and_ab]).expect("valid gate");
+    let s01 = c.add_gate(GateKind::And, vec![n1, op0, or_ab]).expect("valid gate");
+    let s10 = c.add_gate(GateKind::And, vec![op1, n0, xor_ab]).expect("valid gate");
+    let s11 = c.add_gate(GateKind::And, vec![op1, op0, sum]).expect("valid gate");
+    let r = c.add_gate(GateKind::Or, vec![s00, s01, s10, s11]).expect("valid gate");
+    let cout_gated = c.add_gate(GateKind::And, vec![op1, op0, cout]).expect("valid gate");
+    c.add_output(r, "r");
+    c.add_output(cout_gated, "cout");
+    c
+}
+
+/// An `n`×`n` array multiplier (bit 0 = LSB); outputs `p0..p{2n-1}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > 8`.
+pub fn array_multiplier(n: usize) -> Circuit {
+    assert!(n > 0 && n <= 8, "multiplier width out of range");
+    let mut c = Circuit::new(format!("mul{n}"));
+    let a: Vec<_> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect();
+    // Partial products.
+    // One spare column: the reduction may structurally generate a carry
+    // out of the top column even though it is numerically always 0.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); 2 * n + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = c.add_gate(GateKind::And, vec![ai, bj]).expect("valid gate");
+            columns[i + j].push(pp);
+        }
+    }
+    // Carry-save reduction with full/half adders.
+    let mut outputs = Vec::with_capacity(2 * n);
+    for col in 0..2 * n {
+        while columns[col].len() > 1 {
+            if columns[col].len() >= 3 {
+                let z = columns[col].pop().expect("len >= 3");
+                let y = columns[col].pop().expect("len >= 2");
+                let x = columns[col].pop().expect("len >= 1");
+                let (s, co) = full_adder(&mut c, x, y, z);
+                columns[col].push(s);
+                columns[col + 1].push(co);
+            } else {
+                let y = columns[col].pop().expect("len == 2");
+                let x = columns[col].pop().expect("len == 1");
+                let s = c.add_gate(GateKind::Xor, vec![x, y]).expect("valid gate");
+                let co = c.add_gate(GateKind::And, vec![x, y]).expect("valid gate");
+                columns[col].push(s);
+                columns[col + 1].push(co);
+            }
+        }
+        let bit = columns[col].first().copied().unwrap_or_else(|| c.add_const(false));
+        outputs.push(bit);
+    }
+    // The spare column is numerically constant 0 and intentionally dropped.
+    for (i, o) in outputs.into_iter().enumerate() {
+        c.add_output(o, format!("p{i}"));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_num(c: &Circuit, inputs: &[(usize, u64)]) -> u64 {
+        // inputs: (width, value) groups in input order; returns outputs as
+        // a number (output 0 = LSB).
+        let mut assignment = Vec::new();
+        for &(width, value) in inputs {
+            for i in 0..width {
+                assignment.push(value >> i & 1 == 1);
+            }
+        }
+        let out = c.eval_assignment(&assignment);
+        out.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    #[test]
+    fn adder_adds() {
+        let c = ripple_carry_adder(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in 0..2u64 {
+                    let r = eval_num(&c, &[(4, a), (4, b), (1, cin)]);
+                    assert_eq!(r, a + b + cin, "{a}+{b}+{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let c = comparator(3);
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let out = eval_num(&c, &[(3, a), (3, b)]);
+                let lt = out & 1 == 1;
+                let eq = out >> 1 & 1 == 1;
+                let gt = out >> 2 & 1 == 1;
+                assert_eq!(lt, a < b, "{a} < {b}");
+                assert_eq!(eq, a == b, "{a} == {b}");
+                assert_eq!(gt, a > b, "{a} > {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let c = mux_tree(3);
+        for data in [0u64, 0b10110100, 0xff, 0x55] {
+            for sel in 0..8u64 {
+                let out = eval_num(&c, &[(8, data), (3, sel)]);
+                assert_eq!(out, data >> sel & 1, "data {data:#x} sel {sel}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_decodes() {
+        let c = decoder(3);
+        for x in 0..8u64 {
+            for en in 0..2u64 {
+                let out = eval_num(&c, &[(3, x), (1, en)]);
+                assert_eq!(out, if en == 1 { 1 << x } else { 0 });
+            }
+        }
+    }
+
+    #[test]
+    fn parity_is_parity() {
+        let c = parity_tree(7);
+        for x in 0..128u64 {
+            let out = eval_num(&c, &[(7, x)]);
+            assert_eq!(out, u64::from(x.count_ones() % 2 == 1));
+        }
+    }
+
+    #[test]
+    fn alu_slice_ops() {
+        let c = alu_slice();
+        for bits in 0..32u64 {
+            let a = bits & 1;
+            let b = bits >> 1 & 1;
+            let cin = bits >> 2 & 1;
+            let op0 = bits >> 3 & 1;
+            let op1 = bits >> 4 & 1;
+            let out = eval_num(&c, &[(1, a), (1, b), (1, cin), (1, op0), (1, op1)]);
+            let r = out & 1;
+            let cout = out >> 1 & 1;
+            let (er, ec) = match (op1, op0) {
+                (0, 0) => (a & b, 0),
+                (0, 1) => (a | b, 0),
+                (1, 0) => (a ^ b, 0),
+                _ => ((a + b + cin) & 1, (a + b + cin) >> 1),
+            };
+            assert_eq!((r, cout), (er, ec), "a={a} b={b} cin={cin} op={op1}{op0}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let c = array_multiplier(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let out = eval_num(&c, &[(4, a), (4, b)]);
+                assert_eq!(out, a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn builders_validate() {
+        for c in [
+            ripple_carry_adder(8),
+            comparator(8),
+            mux_tree(4),
+            decoder(4),
+            parity_tree(16),
+            alu_slice(),
+            array_multiplier(5),
+        ] {
+            c.validate().unwrap();
+            assert!(c.path_count() > 0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Benchmark circuits: structural generators and the `irs*` substitute
+//! suite.
+//!
+//! The paper evaluates on irredundant, fully-scanned ISCAS89 circuits. The
+//! original benchmark files are not redistributable here, so this crate
+//! provides (see DESIGN.md, "Substitutions"):
+//!
+//! - [`builders`] — deterministic structural workloads: ripple-carry
+//!   adders, magnitude comparators, multiplexer trees, decoders, parity
+//!   trees, ALU slices and array multipliers;
+//! - [`random`] — a seeded random reconvergent-DAG generator with tunable
+//!   size and shape;
+//! - [`suite`] — the substitute benchmark suite used by every table
+//!   experiment: a fixed set of seeded circuits, each made **irredundant**
+//!   with the workspace's own redundancy-removal pass, mirroring the
+//!   paper's preparation of its benchmarks with the procedure of [15].
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_circuits::builders::ripple_carry_adder;
+//!
+//! let adder = ripple_carry_adder(4);
+//! // 4-bit adder: 9 inputs (a, b, carry-in), 5 outputs (sum, carry-out).
+//! assert_eq!(adder.inputs().len(), 9);
+//! assert_eq!(adder.outputs().len(), 5);
+//! ```
+
+pub mod builders;
+pub mod random;
+pub mod suite;
+
+pub use suite::{suite, suite_small, SuiteEntry};

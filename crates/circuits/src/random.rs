@@ -1,0 +1,150 @@
+//! Seeded random reconvergent-DAG circuit generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sft_netlist::{simplify, Circuit, GateKind, NodeId};
+
+/// Shape parameters for [`random_circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomCircuitConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of gates to generate (before simplification).
+    pub gates: usize,
+    /// Locality window: fanins are drawn from the most recent `window`
+    /// signals, which controls reconvergence and depth (small window =
+    /// deep, highly reconvergent circuits with large path counts).
+    pub window: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig { inputs: 16, outputs: 8, gates: 150, window: 24, seed: 1 }
+    }
+}
+
+/// Generates a seeded random combinational circuit.
+///
+/// Gates are 2–3 input AND/OR/NAND/NOR (with occasional inverters), drawn
+/// over a sliding window of recent signals to create the reconvergent
+/// fanout structure that gives multi-level benchmarks their path counts.
+/// The result is normalized (constants folded, duplicates shared) and every
+/// primary output is a distinct recent signal.
+///
+/// The generator is deterministic in the config: equal configs produce
+/// identical circuits.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `outputs == 0` or `gates == 0`.
+pub fn random_circuit(config: &RandomCircuitConfig) -> Circuit {
+    assert!(config.inputs > 0 && config.outputs > 0 && config.gates > 0, "empty config");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut c = Circuit::new(format!("rand_{}", config.seed));
+    let mut pool: Vec<NodeId> = (0..config.inputs).map(|i| c.add_input(format!("i{i}"))).collect();
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::And,
+        GateKind::Or,
+    ];
+    for gi in 0..config.gates {
+        let window = config.window.min(pool.len());
+        let pick = |rng: &mut StdRng, pool: &[NodeId]| {
+            let lo = pool.len() - window;
+            pool[rng.gen_range(lo..pool.len())]
+        };
+        let kind = if rng.gen_ratio(1, 12) {
+            GateKind::Not
+        } else {
+            kinds[rng.gen_range(0..kinds.len())]
+        };
+        let arity = if kind == GateKind::Not {
+            1
+        } else if rng.gen_ratio(1, 4) {
+            3
+        } else {
+            2
+        };
+        let mut fanins = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            fanins.push(pick(&mut rng, &pool));
+        }
+        fanins.dedup();
+        if fanins.is_empty() {
+            continue;
+        }
+        let kind = if fanins.len() == 1 && kind != GateKind::Not {
+            GateKind::Buf
+        } else {
+            kind
+        };
+        let g = c.add_gate(kind, fanins).expect("valid fanins");
+        pool.push(g);
+        let _ = gi;
+    }
+    // Outputs: the most recent distinct signals (they dominate the DAG).
+    let take = config.outputs.min(pool.len());
+    for (i, &o) in pool.iter().rev().take(take).enumerate() {
+        c.add_output(o, format!("o{i}"));
+    }
+    simplify::normalize(&mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = RandomCircuitConfig::default();
+        let a = random_circuit(&cfg);
+        let b = random_circuit(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_circuit(&RandomCircuitConfig { seed: 1, ..Default::default() });
+        let b = random_circuit(&RandomCircuitConfig { seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn valid_and_nonempty() {
+        for seed in 0..10 {
+            let c = random_circuit(&RandomCircuitConfig { seed, ..Default::default() });
+            c.validate().unwrap();
+            assert!(c.two_input_gate_count() > 0, "seed {seed}");
+            assert!(c.path_count() > 0, "seed {seed}");
+            assert_eq!(c.outputs().len(), 8);
+        }
+    }
+
+    #[test]
+    fn small_window_gives_more_paths() {
+        let wide = random_circuit(&RandomCircuitConfig {
+            window: 64,
+            gates: 300,
+            ..Default::default()
+        });
+        let narrow = random_circuit(&RandomCircuitConfig {
+            window: 6,
+            gates: 300,
+            ..Default::default()
+        });
+        assert!(
+            narrow.path_count() > wide.path_count(),
+            "narrow {} vs wide {}",
+            narrow.path_count(),
+            wide.path_count()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The `irs*` substitute benchmark suite.
+//!
+//! The paper evaluates on irredundant, fully-scanned ISCAS89 circuits with
+//! more than 10,000 paths. This suite substitutes deterministic, seeded
+//! circuits with the same *preparation*: every entry is passed through the
+//! workspace's redundancy-removal procedure (the role of [15] in the
+//! paper) so the starting points are irredundant, and entries span
+//! structural arithmetic (adders, comparators, multipliers, multiplexers)
+//! and random reconvergent logic with path counts from thousands to
+//! millions. See DESIGN.md ("Substitutions") for the rationale.
+
+use crate::builders;
+use crate::random::{random_circuit, RandomCircuitConfig};
+use sft_atpg::remove_redundancies;
+use sft_netlist::Circuit;
+
+/// One suite circuit.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Suite name (stable across runs).
+    pub name: &'static str,
+    /// The irredundant circuit.
+    pub circuit: Circuit,
+    /// Number of redundancies removed during preparation.
+    pub redundancies_removed: usize,
+}
+
+fn prepare(name: &'static str, mut circuit: Circuit) -> SuiteEntry {
+    circuit.set_name(name);
+    let report = remove_redundancies(&mut circuit, 20_000);
+    SuiteEntry { name, circuit, redundancies_removed: report.removed }
+}
+
+/// The full substitute suite (8 circuits, mirroring Table 2's row count).
+///
+/// Deterministic: repeated calls build identical circuits. Preparation
+/// (redundancy removal) runs on every call; expect a few seconds.
+pub fn suite() -> Vec<SuiteEntry> {
+    vec![
+        prepare(
+            "irs_a",
+            random_circuit(&RandomCircuitConfig {
+                inputs: 20,
+                outputs: 10,
+                gates: 180,
+                window: 10,
+                seed: 0xA,
+            }),
+        ),
+        prepare(
+            "irs_b",
+            random_circuit(&RandomCircuitConfig {
+                inputs: 32,
+                outputs: 16,
+                gates: 420,
+                window: 22,
+                seed: 0xB,
+            }),
+        ),
+        prepare("irs_c", builders::ripple_carry_adder(16)),
+        prepare("irs_d", builders::comparator(12)),
+        prepare("irs_e", builders::array_multiplier(6)),
+        prepare("irs_f", builders::mux_tree(5)),
+        prepare(
+            "irs_g",
+            random_circuit(&RandomCircuitConfig {
+                inputs: 14,
+                outputs: 6,
+                gates: 240,
+                window: 6,
+                seed: 0xE,
+            }),
+        ),
+        prepare(
+            "irs_h",
+            random_circuit(&RandomCircuitConfig {
+                inputs: 40,
+                outputs: 20,
+                gates: 700,
+                window: 30,
+                seed: 0xF,
+            }),
+        ),
+    ]
+}
+
+/// A small subset for quick runs and CI-grade tests: the three smallest
+/// suite circuits.
+pub fn suite_small() -> Vec<SuiteEntry> {
+    vec![
+        prepare(
+            "irs_a",
+            random_circuit(&RandomCircuitConfig {
+                inputs: 20,
+                outputs: 10,
+                gates: 180,
+                window: 10,
+                seed: 0xA,
+            }),
+        ),
+        prepare("irs_d", builders::comparator(12)),
+        prepare("irs_f", builders::mux_tree(5)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_atpg::generate_test;
+    use sft_sim::fault_list;
+
+    #[test]
+    fn suite_small_is_irredundant_and_valid() {
+        for entry in suite_small() {
+            entry.circuit.validate().unwrap();
+            assert!(entry.circuit.path_count() > 100, "{} too small", entry.name);
+            // Spot-check irredundancy on a sample of faults.
+            let faults = fault_list(&entry.circuit);
+            for fault in faults.iter().step_by(7) {
+                assert!(
+                    generate_test(&entry.circuit, *fault, 50_000).is_test(),
+                    "{}: {fault} should be testable after preparation",
+                    entry.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn suite_small_deterministic() {
+        let a = suite_small();
+        let b = suite_small();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.circuit, y.circuit, "{}", x.name);
+        }
+    }
+}

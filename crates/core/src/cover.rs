@@ -1,0 +1,267 @@
+//! Expressing arbitrary functions as ORs of comparison units.
+//!
+//! Section 3.1 of the paper notes that any function `f` can be written as
+//! `f = f_1 + f_2 + ... + f_k` with every `f_i` a comparison function, by
+//! partitioning the on-set into intervals; `f` is then an OR of `k`
+//! comparison units. The paper restricts its experiments to `k = 1`; this
+//! module implements the general construction as the extension the paper
+//! sketches.
+//!
+//! The partition is found greedily: for each candidate permutation (up to a
+//! budget), the on-set is split into maximal runs of consecutive values;
+//! the permutation minimizing the number of runs wins. One run = one
+//! comparison unit.
+
+use crate::{ComparisonSpec, IdentifyOptions};
+use sft_netlist::{Circuit, GateKind, NodeId};
+use sft_truth::TruthTable;
+
+/// Partitions the on-set of `f` into comparison functions (one spec per
+/// interval). The specs OR together to exactly `f`. Constant-0 yields an
+/// empty cover.
+///
+/// The permutation budget of `options` bounds the search; the identity
+/// permutation is always tried, so a cover always exists (worst case: one
+/// interval per isolated run of on-minterms).
+///
+/// # Examples
+///
+/// ```
+/// use sft_core::cover::comparison_cover;
+/// use sft_core::IdentifyOptions;
+/// use sft_truth::TruthTable;
+///
+/// // Majority needs more than one unit...
+/// let maj = TruthTable::from_minterms(3, &[3, 5, 6, 7])?;
+/// let cover = comparison_cover(&maj, &IdentifyOptions::default());
+/// assert!(cover.len() >= 2);
+/// // ...and the cover reproduces it exactly.
+/// let mut acc = TruthTable::zero(3);
+/// for spec in &cover {
+///     acc = acc.or(&spec.to_table());
+/// }
+/// assert_eq!(acc, maj);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn comparison_cover(f: &TruthTable, options: &IdentifyOptions) -> Vec<ComparisonSpec> {
+    if f.is_zero() {
+        return Vec::new();
+    }
+    let n = f.inputs();
+    let mut best: Option<Vec<ComparisonSpec>> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut tried = 0usize;
+    loop {
+        let g = f.permute(&perm).expect("valid permutation");
+        let runs = runs_of(&g);
+        let candidate: Vec<ComparisonSpec> = runs
+            .into_iter()
+            .map(|(l, u)| {
+                ComparisonSpec::new(perm.clone(), l, u).expect("runs are valid intervals")
+            })
+            .collect();
+        if best.as_ref().map_or(true, |b| candidate.len() < b.len()) {
+            best = Some(candidate);
+        }
+        if let Some(b) = &best {
+            if b.len() == 1 {
+                break;
+            }
+        }
+        tried += 1;
+        if tried >= options.max_permutations.max(1) || !next_perm(&mut perm) {
+            break;
+        }
+    }
+    best.expect("identity permutation always tried")
+}
+
+fn runs_of(g: &TruthTable) -> Vec<(u64, u64)> {
+    let mut runs = Vec::new();
+    let mut current: Option<(u64, u64)> = None;
+    for m in g.on_set() {
+        current = match current {
+            Some((l, u)) if m == u + 1 => Some((l, m)),
+            Some(run) => {
+                runs.push(run);
+                Some((m, m))
+            }
+            None => Some((m, m)),
+        };
+    }
+    if let Some(run) = current {
+        runs.push(run);
+    }
+    runs
+}
+
+fn next_perm(p: &mut [usize]) -> bool {
+    if p.len() < 2 {
+        return false;
+    }
+    let mut i = p.len() - 1;
+    while i > 0 && p[i - 1] >= p[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    let mut j = p.len() - 1;
+    while p[j] <= p[i - 1] {
+        j -= 1;
+    }
+    p.swap(i - 1, j);
+    p[i..].reverse();
+    true
+}
+
+/// Builds `f` as `k` comparison units driving an OR gate, inside `circuit`,
+/// over the given input lines. Returns the output node.
+///
+/// # Errors
+///
+/// Returns an error if unit construction fails.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != f.inputs()`.
+pub fn build_cover_in(
+    circuit: &mut Circuit,
+    inputs: &[NodeId],
+    f: &TruthTable,
+    options: &IdentifyOptions,
+) -> Result<NodeId, sft_netlist::NetlistError> {
+    assert_eq!(inputs.len(), f.inputs(), "input line count mismatch");
+    let cover = comparison_cover(f, options);
+    if cover.is_empty() {
+        return Ok(circuit.add_const(false));
+    }
+    build_units_or(circuit, inputs, &cover)
+}
+
+/// Builds the units for `specs` over `inputs` and ORs their outputs;
+/// returns the output node (the single unit's output when `specs.len() ==
+/// 1`).
+///
+/// # Errors
+///
+/// Returns an error if unit construction fails.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn build_units_or(
+    circuit: &mut Circuit,
+    inputs: &[NodeId],
+    specs: &[ComparisonSpec],
+) -> Result<NodeId, sft_netlist::NetlistError> {
+    assert!(!specs.is_empty(), "at least one unit required");
+    let mut unit_outputs = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let top = crate::unit::build_unit_in(circuit, inputs, spec)?;
+        unit_outputs.push(crate::unit::materialize_top(circuit, top)?);
+    }
+    if unit_outputs.len() == 1 {
+        Ok(unit_outputs[0])
+    } else {
+        circuit.add_gate(GateKind::Or, unit_outputs)
+    }
+}
+
+/// The cost (equivalent 2-input gates, per-input path counts, depth) of an
+/// OR-of-units implementation of `specs` — the multi-unit analogue of
+/// [`crate::unit::unit_cost`], used by the resynthesis extension that
+/// replaces one subcircuit with several comparison units (the paper's
+/// concluding remark 2).
+///
+/// # Errors
+///
+/// Returns an error if construction fails.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty.
+pub fn cover_cost(
+    specs: &[ComparisonSpec],
+) -> Result<crate::unit::UnitCost, sft_netlist::NetlistError> {
+    assert!(!specs.is_empty(), "at least one unit required");
+    let n = specs[0].inputs();
+    let mut c = Circuit::new("cover_cost");
+    let inputs: Vec<NodeId> = (0..n).map(|i| c.add_input(format!("y{i}"))).collect();
+    let out = build_units_or(&mut c, &inputs, specs)?;
+    c.add_output(out, "f");
+    let input_paths = inputs.iter().map(|&i| c.path_count_between(i, out) as u64).collect();
+    Ok(crate::unit::UnitCost {
+        two_input_gates: c.two_input_gate_count(),
+        input_paths,
+        depth: c.depth(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_table(cover: &[ComparisonSpec], n: usize) -> TruthTable {
+        let mut acc = TruthTable::zero(n);
+        for spec in cover {
+            acc = acc.or(&spec.to_table());
+        }
+        acc
+    }
+
+    #[test]
+    fn every_3_input_function_covered_exactly() {
+        let opts = IdentifyOptions::default();
+        for bits in 0..=255u128 {
+            let f = TruthTable::from_bits(3, bits);
+            let cover = comparison_cover(&f, &opts);
+            assert_eq!(cover_table(&cover, 3), f, "cover mismatch for {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn comparison_functions_get_single_unit_covers() {
+        let opts = IdentifyOptions::default();
+        let f = ComparisonSpec::new(vec![1, 0, 2], 2, 5).unwrap().to_table();
+        let cover = comparison_cover(&f, &opts);
+        assert_eq!(cover.len(), 1);
+    }
+
+    #[test]
+    fn parity_needs_many_units() {
+        let opts = IdentifyOptions::default();
+        let f = TruthTable::from_fn(4, |m| m.count_ones() % 2 == 1);
+        let cover = comparison_cover(&f, &opts);
+        // Parity on-minterms {1,2,4,7,8,11,13,14} fall into 5 maximal runs
+        // under the identity permutation ({1,2}, {4}, {7,8}, {11}, {13,14});
+        // no permutation does better than 5 for 4-input parity.
+        assert_eq!(cover.len(), 5);
+        assert_eq!(cover_table(&cover, 4), f);
+    }
+
+    #[test]
+    fn build_cover_in_circuit_matches_function() {
+        let opts = IdentifyOptions::default();
+        let f = TruthTable::from_minterms(3, &[0, 3, 5, 6]).unwrap();
+        let mut c = Circuit::new("cover");
+        let ins: Vec<NodeId> = (0..3).map(|i| c.add_input(format!("y{}", i + 1))).collect();
+        let out = build_cover_in(&mut c, &ins, &f, &opts).unwrap();
+        c.add_output(out, "f");
+        for m in 0..8u64 {
+            let a: Vec<bool> = (0..3).map(|j| m >> (2 - j) & 1 == 1).collect();
+            assert_eq!(c.eval_assignment(&a)[0], f.value(m), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn zero_function_empty_cover() {
+        let opts = IdentifyOptions::default();
+        assert!(comparison_cover(&TruthTable::zero(3), &opts).is_empty());
+        let mut c = Circuit::new("z");
+        let ins: Vec<NodeId> = (0..3).map(|i| c.add_input(format!("y{i}"))).collect();
+        let out = build_cover_in(&mut c, &ins, &TruthTable::zero(3), &opts).unwrap();
+        c.add_output(out, "f");
+        assert_eq!(c.eval_assignment(&[true, true, true]), vec![false]);
+    }
+}

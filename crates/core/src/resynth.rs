@@ -1,0 +1,869 @@
+//! Procedures 2 and 3 of the paper: circuit optimization by replacing
+//! subcircuits with comparison units.
+//!
+//! Both procedures traverse the circuit from the primary outputs towards
+//! the primary inputs in reverse BFS (level) order. At every *marked* gate
+//! output `g` they enumerate candidate subcircuits (cones rooted at `g`
+//! with at most `K` inputs), keep those whose function at `g` is a
+//! comparison function, and score replacing them with the corresponding
+//! comparison unit:
+//!
+//! - **Procedure 2** maximizes the reduction in equivalent 2-input gates,
+//!   breaking ties by the number of paths at `g`. Gates of the old cone
+//!   that fan out elsewhere are excluded from the removable count, exactly
+//!   as in the paper (Section 4.1).
+//! - **Procedure 3** minimizes the number of paths at `g` (using the
+//!   Section 2 identity `N_p(g) = Σ N_p(I_i)·K_p(I_i)`), with no secondary
+//!   gate objective (Section 4.2).
+//! - **Combined** (Section 4.3) maximizes a weighted sum of both
+//!   improvements.
+//!
+//! After a replacement, the inputs of the selected subcircuit are marked
+//! for further processing, and the internal gates that the replacement made
+//! dead are never revisited. The whole procedure repeats in passes until a
+//! pass yields no improvement. Every pass is (optionally but by default)
+//! verified equivalent to the input circuit with BDDs.
+
+use crate::cover::{comparison_cover, cover_cost};
+use crate::unit::{build_unit_in, unit_cost};
+use crate::{identify, identify_with_dc, identify_with_polarities, ComparisonSpec, IdentifyOptions};
+use sft_netlist::{simplify, two_input_cost, Circuit, GateKind, NodeId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// What a candidate replacement is scored by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Procedure 2: maximize the gate reduction, tie-break on paths.
+    #[default]
+    Gates,
+    /// Procedure 3: minimize the paths at the replaced line.
+    Paths,
+    /// Section 4.3: maximize `gate_weight·Δgates + path_weight·Δpaths`.
+    Combined {
+        /// Weight of the equivalent-2-input-gate reduction.
+        gate_weight: u32,
+        /// Weight of the path-count reduction at the line.
+        path_weight: u32,
+    },
+}
+
+/// Options controlling the resynthesis procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResynthOptions {
+    /// The input limit `K` of candidate subcircuits (the paper uses 5–7).
+    pub max_inputs: usize,
+    /// Cap on candidate subcircuits enumerated per gate output.
+    pub max_candidates_per_gate: usize,
+    /// The optimization objective.
+    pub objective: Objective,
+    /// Comparison-function identification options.
+    pub identify: IdentifyOptions,
+    /// Maximum number of passes.
+    pub max_passes: usize,
+    /// Verify circuit equivalence with BDDs after every pass.
+    pub verify_each_pass: bool,
+    /// Use satisfiability don't-cares (reachable cone-input combinations)
+    /// during identification — the first "issue to be investigated" of the
+    /// paper's concluding remarks. Computed exactly with BDDs; expensive,
+    /// off by default.
+    pub use_satisfiability_dont_cares: bool,
+    /// Allow replacing a subcircuit by an OR of up to this many comparison
+    /// units when its function is not a comparison function — the paper's
+    /// concluding remark 2. `1` (the default) reproduces the paper's
+    /// single-unit procedure.
+    pub max_cover_units: usize,
+    /// Also search input polarities during identification: a cone whose
+    /// function becomes a comparison function after complementing some of
+    /// its inputs is replaced by a unit fed through inverters (which cost
+    /// no equivalent 2-input gates and add no paths). A strict
+    /// generalization of Definition 1; off by default to match the paper.
+    pub allow_input_negation: bool,
+}
+
+impl Default for ResynthOptions {
+    fn default() -> Self {
+        ResynthOptions {
+            max_inputs: 5,
+            max_candidates_per_gate: 200,
+            objective: Objective::Gates,
+            identify: IdentifyOptions::default(),
+            max_passes: 16,
+            verify_each_pass: true,
+            use_satisfiability_dont_cares: false,
+            max_cover_units: 1,
+            allow_input_negation: false,
+        }
+    }
+}
+
+/// Errors from resynthesis.
+#[derive(Debug)]
+pub enum ResynthError {
+    /// The circuit failed validation before or during resynthesis.
+    Netlist(sft_netlist::NetlistError),
+    /// Post-pass BDD verification found a functional difference (a bug —
+    /// this is a hard internal check).
+    VerificationFailed {
+        /// The output slot that differs.
+        output: usize,
+    },
+    /// BDD construction blew up during verification or don't-care analysis.
+    Bdd(sft_bdd::BddError),
+}
+
+impl fmt::Display for ResynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResynthError::Netlist(e) => write!(f, "netlist error: {e}"),
+            ResynthError::VerificationFailed { output } => {
+                write!(f, "resynthesis changed the function of output {output}")
+            }
+            ResynthError::Bdd(e) => write!(f, "bdd error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResynthError {}
+
+impl From<sft_netlist::NetlistError> for ResynthError {
+    fn from(e: sft_netlist::NetlistError) -> Self {
+        ResynthError::Netlist(e)
+    }
+}
+
+impl From<sft_bdd::BddError> for ResynthError {
+    fn from(e: sft_bdd::BddError) -> Self {
+        ResynthError::Bdd(e)
+    }
+}
+
+/// Summary of a resynthesis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResynthReport {
+    /// Passes executed.
+    pub passes: usize,
+    /// Subcircuit replacements performed.
+    pub replacements: usize,
+    /// Equivalent 2-input gates before.
+    pub gates_before: u64,
+    /// Equivalent 2-input gates after.
+    pub gates_after: u64,
+    /// Paths before.
+    pub paths_before: u128,
+    /// Paths after.
+    pub paths_after: u128,
+}
+
+impl fmt::Display for ResynthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} passes, {} replacements: gates {} -> {}, paths {} -> {}",
+            self.passes,
+            self.replacements,
+            self.gates_before,
+            self.gates_after,
+            self.paths_before,
+            self.paths_after
+        )
+    }
+}
+
+/// Procedure 2: reduce the number of equivalent 2-input gates.
+///
+/// # Errors
+///
+/// See [`ResynthError`].
+pub fn procedure2(
+    circuit: &mut Circuit,
+    options: &ResynthOptions,
+) -> Result<ResynthReport, ResynthError> {
+    let opts = ResynthOptions { objective: Objective::Gates, ..options.clone() };
+    resynthesize(circuit, &opts)
+}
+
+/// Procedure 3: reduce the number of paths.
+///
+/// # Errors
+///
+/// See [`ResynthError`].
+pub fn procedure3(
+    circuit: &mut Circuit,
+    options: &ResynthOptions,
+) -> Result<ResynthReport, ResynthError> {
+    let opts = ResynthOptions { objective: Objective::Paths, ..options.clone() };
+    resynthesize(circuit, &opts)
+}
+
+/// What a candidate replaces the subcircuit with.
+enum Replacement {
+    /// A single comparison unit (the paper's procedure).
+    Unit(ComparisonSpec),
+    /// A unit fed through inverters on the negated inputs (polarity
+    /// extension).
+    NegatedUnit(ComparisonSpec, Vec<bool>),
+    /// An OR of several comparison units (concluding remark 2).
+    Cover(Vec<ComparisonSpec>),
+}
+
+/// A scored candidate subcircuit.
+struct Candidate {
+    gates: Vec<NodeId>,
+    inputs: Vec<NodeId>,
+    replacement: Replacement,
+    gate_reduction: i64,
+    new_paths_at_g: u128,
+}
+
+/// Runs the resynthesis procedure with the configured objective until a
+/// pass yields no improvement (or `max_passes`).
+///
+/// # Errors
+///
+/// See [`ResynthError`].
+pub fn resynthesize(
+    circuit: &mut Circuit,
+    options: &ResynthOptions,
+) -> Result<ResynthReport, ResynthError> {
+    circuit.validate()?;
+    let mut report = ResynthReport {
+        gates_before: circuit.two_input_gate_count(),
+        paths_before: circuit.path_count(),
+        ..ResynthReport::default()
+    };
+    let snapshot = if options.verify_each_pass { Some(circuit.clone()) } else { None };
+    loop {
+        report.passes += 1;
+        let before_gates = circuit.two_input_gate_count();
+        let before_paths = circuit.path_count();
+        let replacements = one_pass(circuit, options)?;
+        report.replacements += replacements;
+        simplify::propagate_constants(circuit);
+        simplify::collapse_buffers(circuit);
+        circuit.sweep();
+        if let Some(reference) = &snapshot {
+            match sft_bdd::equivalent(reference, circuit)? {
+                sft_bdd::CheckResult::Equivalent => {}
+                sft_bdd::CheckResult::Different { output, .. } => {
+                    return Err(ResynthError::VerificationFailed { output });
+                }
+            }
+        }
+        let improved = match options.objective {
+            Objective::Gates => circuit.two_input_gate_count() < before_gates,
+            Objective::Paths => circuit.path_count() < before_paths,
+            Objective::Combined { .. } => {
+                circuit.two_input_gate_count() < before_gates
+                    || circuit.path_count() < before_paths
+            }
+        };
+        if replacements == 0 || !improved || report.passes >= options.max_passes {
+            break;
+        }
+    }
+    report.gates_after = circuit.two_input_gate_count();
+    report.paths_after = circuit.path_count();
+    Ok(report)
+}
+
+/// One output-to-input pass. Returns the number of replacements.
+fn one_pass(circuit: &mut Circuit, options: &ResynthOptions) -> Result<usize, ResynthError> {
+    let labels = circuit.path_labels();
+    let order = circuit.bfs_order()?;
+    let mut marked = vec![false; circuit.len()];
+    for &o in circuit.outputs() {
+        marked[o.index()] = true;
+    }
+    let mut consumed = vec![false; circuit.len()];
+    let output_mask = {
+        let mut m = vec![false; circuit.len()];
+        for &o in circuit.outputs() {
+            m[o.index()] = true;
+        }
+        m
+    };
+    // Satisfiability-don't-care support: BDDs of every original line.
+    let dc_bdds = if options.use_satisfiability_dont_cares {
+        let mut manager = sft_bdd::Manager::new();
+        let per_node = node_bdds(&mut manager, circuit)?;
+        Some((manager, per_node))
+    } else {
+        None
+    };
+    let mut dc_state = dc_bdds;
+
+    let mut replacements = 0usize;
+    for &g in order.iter().rev() {
+        if g.index() >= marked.len() {
+            continue; // nodes appended during this pass
+        }
+        if !marked[g.index()] || consumed[g.index()] {
+            continue;
+        }
+        if !circuit.node(g).kind().is_gate() {
+            continue;
+        }
+        let fanout_counts = circuit.fanout_counts();
+        let fanout_table = circuit.fanout_table();
+        let candidates = enumerate_candidates(circuit, g, options);
+        let mut best: Option<Candidate> = None;
+        for (gates, inputs) in candidates {
+            let Ok(truth) = circuit.cone_function(g, &inputs) else { continue };
+            let spec = match &mut dc_state {
+                Some((manager, per_node)) => {
+                    match reachable_dc(manager, per_node, circuit, &inputs) {
+                        Ok(Some(dc)) => identify_with_dc(&truth, &dc, &options.identify),
+                        _ => identify(&truth, &options.identify),
+                    }
+                }
+                None => identify(&truth, &options.identify),
+            };
+            let (replacement, cost) = match spec {
+                Some(spec) => {
+                    let Ok(cost) = unit_cost(&spec) else { continue };
+                    (Replacement::Unit(spec), cost)
+                }
+                None => {
+                    let negated = options
+                        .allow_input_negation
+                        .then(|| identify_with_polarities(&truth, &options.identify))
+                        .flatten();
+                    if let Some((spec, negate)) = negated {
+                        // Inverters on unit inputs change neither the eq-2
+                        // count nor the per-input path counts.
+                        let Ok(mut cost) = unit_cost(&spec) else { continue };
+                        cost.depth += 1;
+                        (Replacement::NegatedUnit(spec, negate), cost)
+                    } else if options.max_cover_units > 1 {
+                        let cover = comparison_cover(&truth, &options.identify);
+                        if cover.is_empty() || cover.len() > options.max_cover_units {
+                            continue;
+                        }
+                        let Ok(cost) = cover_cost(&cover) else { continue };
+                        (Replacement::Cover(cover), cost)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            // Old gate cost: g itself plus the cone gates that would die.
+            let removable =
+                removable_gates(g, &gates, &output_mask, &fanout_counts, &fanout_table);
+            let old_cost: u64 = removable
+                .iter()
+                .map(|&x| {
+                    let n = circuit.node(x);
+                    two_input_cost(n.kind(), n.fanins().len())
+                })
+                .sum();
+            let gate_reduction = old_cost as i64 - cost.two_input_gates as i64;
+            let input_labels: Vec<u128> =
+                inputs.iter().map(|i| labels[i.index()]).collect();
+            let new_paths_at_g = cost.paths_with_labels(&input_labels);
+            let candidate =
+                Candidate { gates, inputs, replacement, gate_reduction, new_paths_at_g };
+            best = Some(match best {
+                None => candidate,
+                Some(b) => pick_better(b, candidate, options.objective),
+            });
+        }
+        let old_paths_at_g = labels[g.index()];
+        let accept = best.as_ref().is_some_and(|b| match options.objective {
+            Objective::Gates => {
+                b.gate_reduction > 0
+                    || (b.gate_reduction == 0 && b.new_paths_at_g < old_paths_at_g)
+            }
+            Objective::Paths => b.new_paths_at_g < old_paths_at_g,
+            Objective::Combined { gate_weight, path_weight } => {
+                combined_score(b, old_paths_at_g, gate_weight, path_weight) > 0
+            }
+        });
+        if accept {
+            let b = best.expect("accept implies candidate");
+            // Mark the dying cone gates as consumed *before* rewiring (the
+            // removable set is computed against the pre-rewire structure).
+            for x in removable_gates(g, &b.gates, &output_mask, &fanout_counts, &fanout_table) {
+                if x != g && x.index() < consumed.len() {
+                    consumed[x.index()] = true;
+                }
+            }
+            let (kind, fanins) = match &b.replacement {
+                Replacement::Unit(spec) => {
+                    let top = build_unit_in(circuit, &b.inputs, spec)?;
+                    match top.kind {
+                        GateKind::Const0 | GateKind::Const1 => (top.kind, Vec::new()),
+                        k => (k, top.fanins),
+                    }
+                }
+                Replacement::NegatedUnit(spec, negate) => {
+                    let lines: Vec<NodeId> = b
+                        .inputs
+                        .iter()
+                        .zip(negate)
+                        .map(|(&line, &neg)| {
+                            if neg {
+                                circuit.add_gate(GateKind::Not, vec![line])
+                            } else {
+                                Ok(line)
+                            }
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let top = build_unit_in(circuit, &lines, spec)?;
+                    match top.kind {
+                        GateKind::Const0 | GateKind::Const1 => (top.kind, Vec::new()),
+                        k => (k, top.fanins),
+                    }
+                }
+                Replacement::Cover(specs) => {
+                    let outs: Vec<NodeId> = specs
+                        .iter()
+                        .map(|spec| {
+                            let top = build_unit_in(circuit, &b.inputs, spec)?;
+                            crate::unit::materialize_top(circuit, top)
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if outs.len() == 1 {
+                        (GateKind::Buf, outs)
+                    } else {
+                        (GateKind::Or, outs)
+                    }
+                }
+            };
+            circuit.rewire(g, kind, fanins)?;
+            replacements += 1;
+            for i in &b.inputs {
+                if i.index() < marked.len() && circuit.node(*i).kind().is_gate() {
+                    marked[i.index()] = true;
+                }
+            }
+        } else {
+            // The single-gate candidate is implicitly selected: continue the
+            // traversal through g's fanins (Procedure 2, step 2d).
+            for f in circuit.node(g).fanins().to_vec() {
+                if f.index() < marked.len() && circuit.node(f).kind().is_gate() {
+                    marked[f.index()] = true;
+                }
+            }
+        }
+    }
+    Ok(replacements)
+}
+
+fn combined_score(c: &Candidate, old_paths: u128, gate_weight: u32, path_weight: u32) -> i128 {
+    let path_delta = old_paths as i128 - c.new_paths_at_g as i128;
+    c.gate_reduction as i128 * gate_weight as i128 + path_delta * path_weight as i128
+}
+
+fn pick_better(a: Candidate, b: Candidate, objective: Objective) -> Candidate {
+    match objective {
+        Objective::Gates => {
+            if (b.gate_reduction, std::cmp::Reverse(b.new_paths_at_g))
+                > (a.gate_reduction, std::cmp::Reverse(a.new_paths_at_g))
+            {
+                b
+            } else {
+                a
+            }
+        }
+        Objective::Paths => {
+            if b.new_paths_at_g < a.new_paths_at_g {
+                b
+            } else {
+                a
+            }
+        }
+        Objective::Combined { gate_weight, path_weight } => {
+            // old_paths cancels when comparing two candidates at the same g.
+            let sa = combined_score(&a, 0, gate_weight, path_weight);
+            let sb = combined_score(&b, 0, gate_weight, path_weight);
+            if sb > sa {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+/// Enumerates candidate subcircuits rooted at `g`: cones grown by absorbing
+/// one fanin gate at a time, with at most `K` inputs (Section 4.1). Returns
+/// `(cone gate set, ordered input cut)` pairs; the single-gate cone is
+/// always first.
+fn enumerate_candidates(
+    circuit: &Circuit,
+    g: NodeId,
+    options: &ResynthOptions,
+) -> Vec<(Vec<NodeId>, Vec<NodeId>)> {
+    let inputs_of = |gates: &[NodeId]| -> Vec<NodeId> {
+        let set: HashSet<NodeId> = gates.iter().copied().collect();
+        let mut inputs = Vec::new();
+        for &x in gates {
+            for &f in circuit.node(x).fanins() {
+                let kind = circuit.node(f).kind();
+                if matches!(kind, GateKind::Const0 | GateKind::Const1) {
+                    continue; // constants stay inside the cone
+                }
+                if !set.contains(&f) && !inputs.contains(&f) {
+                    inputs.push(f);
+                }
+            }
+        }
+        inputs
+    };
+
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    let mut result: Vec<(Vec<NodeId>, Vec<NodeId>)> = Vec::new();
+    let mut queue: Vec<Vec<NodeId>> = vec![vec![g]];
+    seen.insert(vec![g]);
+    while let Some(gates) = queue.pop() {
+        let inputs = inputs_of(&gates);
+        if inputs.len() > options.max_inputs || inputs.is_empty() {
+            continue;
+        }
+        result.push((gates.clone(), inputs.clone()));
+        if result.len() >= options.max_candidates_per_gate {
+            break;
+        }
+        for h in inputs {
+            if !circuit.node(h).kind().is_gate() {
+                continue;
+            }
+            let mut next = gates.clone();
+            next.push(h);
+            next.sort_unstable();
+            if seen.insert(next.clone()) {
+                queue.push(next);
+            }
+        }
+    }
+    result
+}
+
+/// The cone gates that die if `g` is rewired away from this cone: gates
+/// (other than `g`) all of whose consumers are `g` or other dying gates,
+/// and which drive no primary output. `g` itself is always included (its
+/// old gate is replaced).
+fn removable_gates(
+    g: NodeId,
+    cone: &[NodeId],
+    output_mask: &[bool],
+    fanout_counts: &[u32],
+    fanout_table: &[Vec<(NodeId, usize)>],
+) -> Vec<NodeId> {
+    let cone_set: HashSet<NodeId> = cone.iter().copied().collect();
+    let mut removable: HashSet<NodeId> = cone_set.clone();
+    removable.remove(&g);
+    loop {
+        let mut changed = false;
+        let current: Vec<NodeId> = removable.iter().copied().collect();
+        for x in current {
+            let po_refs = output_mask[x.index()];
+            let consumer_gates = &fanout_table[x.index()];
+            let external_consumers = fanout_counts[x.index()] as usize != consumer_gates.len();
+            let ok = !po_refs
+                && !external_consumers
+                && consumer_gates
+                    .iter()
+                    .all(|&(c, _)| c == g || removable.contains(&c));
+            if !ok {
+                removable.remove(&x);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut v: Vec<NodeId> = removable.into_iter().collect();
+    v.push(g);
+    v.sort_unstable();
+    v
+}
+
+/// BDDs of every node of the circuit in terms of the primary inputs,
+/// for satisfiability-don't-care extraction.
+fn node_bdds(
+    manager: &mut sft_bdd::Manager,
+    circuit: &Circuit,
+) -> Result<Vec<sft_bdd::BddRef>, sft_bdd::BddError> {
+    let order = circuit.topo_order().expect("combinational circuit");
+    let mut refs = vec![sft_bdd::BddRef::FALSE; circuit.len()];
+    let input_var: std::collections::HashMap<NodeId, u32> = circuit
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i as u32))
+        .collect();
+    for id in order {
+        let node = circuit.node(id);
+        let r = match node.kind() {
+            GateKind::Input => manager.var(input_var[&id]),
+            GateKind::Const0 => sft_bdd::BddRef::FALSE,
+            GateKind::Const1 => sft_bdd::BddRef::TRUE,
+            GateKind::Buf => refs[node.fanins()[0].index()],
+            GateKind::Not => manager.not(refs[node.fanins()[0].index()])?,
+            kind => {
+                let mut acc = match kind {
+                    GateKind::And | GateKind::Nand => sft_bdd::BddRef::TRUE,
+                    _ => sft_bdd::BddRef::FALSE,
+                };
+                for f in node.fanins() {
+                    let fr = refs[f.index()];
+                    acc = match kind {
+                        GateKind::And | GateKind::Nand => manager.and(acc, fr)?,
+                        GateKind::Or | GateKind::Nor => manager.or(acc, fr)?,
+                        _ => manager.xor(acc, fr)?,
+                    };
+                }
+                if kind.inverts() {
+                    manager.not(acc)?
+                } else {
+                    acc
+                }
+            }
+        };
+        refs[id.index()] = r;
+    }
+    Ok(refs)
+}
+
+/// The unreachable cone-input combinations (satisfiability don't-cares) of
+/// a cut, as a truth table over the cut. Returns `None` when everything is
+/// reachable. Node BDDs must come from the same circuit *before any pass
+/// edits* — stale entries (for rewired nodes) make the result conservative
+/// only if unchanged; to stay sound we recompute reachability only for cuts
+/// whose lines all predate the pass (checked by the caller via index
+/// bounds).
+fn reachable_dc(
+    manager: &mut sft_bdd::Manager,
+    per_node: &[sft_bdd::BddRef],
+    _circuit: &Circuit,
+    inputs: &[NodeId],
+) -> Result<Option<sft_truth::TruthTable>, sft_bdd::BddError> {
+    if inputs.iter().any(|i| i.index() >= per_node.len()) {
+        return Ok(None); // cut touches nodes created during this pass
+    }
+    let k = inputs.len();
+    let mut dc = sft_truth::TruthTable::zero(k);
+    for m in 0..(1u64 << k) {
+        let mut acc = sft_bdd::BddRef::TRUE;
+        for (i, &line) in inputs.iter().enumerate() {
+            let bit = m >> (k - 1 - i) & 1 == 1;
+            let f = per_node[line.index()];
+            let lit = if bit { f } else { manager.not(f)? };
+            acc = manager.and(acc, lit)?;
+            if acc == sft_bdd::BddRef::FALSE {
+                break;
+            }
+        }
+        if acc == sft_bdd::BddRef::FALSE {
+            dc = dc.or(&sft_truth::TruthTable::from_minterms(k, &[m]).expect("in range"));
+        }
+    }
+    Ok(if dc.is_zero() { None } else { Some(dc) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+
+    /// A chain of 2-input ANDs is a comparison function; Procedure 2 should
+    /// keep its cost (no regression) and Procedure 3 must not increase
+    /// paths.
+    #[test]
+    fn and_chain_is_stable() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = AND(t1, c)\ny = AND(t2, d)\n";
+        let mut c = parse(src, "chain").unwrap();
+        let before = c.two_input_gate_count();
+        let report = procedure2(&mut c, &ResynthOptions::default()).unwrap();
+        assert!(report.gates_after <= before);
+        assert!(report.paths_after <= report.paths_before);
+    }
+
+    /// A redundant double implementation of an XOR-style compare collapses:
+    /// y = (a AND !b) OR (!a AND b) is the interval [1,2] and becomes a
+    /// 3-eq2-gate comparison unit instead of 3 gates + 2 inverters... the
+    /// gate count must not increase and function must hold.
+    #[test]
+    fn xor_sop_replaced_without_regression() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nOUTPUT(y)\nna = NOT(a)\nnb = NOT(b)\n\
+t1 = AND(a, nb)\nt2 = AND(na, b)\ny = OR(t1, t2)\n";
+        let original = parse(src, "xor").unwrap();
+        let mut c = original.clone();
+        let report = procedure2(&mut c, &ResynthOptions::default()).unwrap();
+        assert!(report.gates_after <= report.gates_before);
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    /// An inefficient 2-of-2 detector: y = ab + ab(c + !c)-style padding
+    /// reduces to a single AND.
+    #[test]
+    fn padded_and_collapses() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = AND(b, a)\ny = OR(t1, t2)\n";
+        let original = parse(src, "pad").unwrap();
+        let mut c = original.clone();
+        let report = procedure2(&mut c, &ResynthOptions::default()).unwrap();
+        assert!(
+            report.gates_after < report.gates_before,
+            "redundant duplicate AND must collapse: {report}"
+        );
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn procedure3_reduces_paths_on_wide_reconvergence() {
+        // f = abc + ab!c has 6 paths as an SOP but is the single cube ab
+        // (interval): paths drop to 2.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nnc = NOT(c)\n\
+t1 = AND(a, b)\np1 = AND(t1, c)\np2 = AND(t1, nc)\ny = OR(p1, p2)\n";
+        let original = parse(src, "recon").unwrap();
+        let mut c = original.clone();
+        let report = procedure3(&mut c, &ResynthOptions::default()).unwrap();
+        assert!(report.paths_after < report.paths_before, "{report}");
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn function_preserved_on_c17() {
+        let src = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+        let original = parse(src, "c17").unwrap();
+        for objective in [
+            Objective::Gates,
+            Objective::Paths,
+            Objective::Combined { gate_weight: 1, path_weight: 1 },
+        ] {
+            let mut c = original.clone();
+            let opts = ResynthOptions { objective, ..ResynthOptions::default() };
+            let report = resynthesize(&mut c, &opts).unwrap();
+            assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+            assert!(report.gates_after <= report.gates_before || objective == Objective::Paths);
+        }
+    }
+
+    #[test]
+    fn candidate_enumeration_respects_k() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = AND(c, d)\nt3 = AND(e, f)\nt4 = AND(t1, t2)\ny = AND(t4, t3)\n";
+        let c = parse(src, "wide").unwrap();
+        let y = c.outputs()[0];
+        let opts = ResynthOptions { max_inputs: 4, ..ResynthOptions::default() };
+        let candidates = enumerate_candidates(&c, y, &opts);
+        assert!(candidates.iter().all(|(_, inputs)| inputs.len() <= 4));
+        // The single-gate candidate is present.
+        assert!(candidates.iter().any(|(gates, _)| gates.len() == 1));
+        // With K=6 the full cone is reachable.
+        let opts6 = ResynthOptions { max_inputs: 6, ..ResynthOptions::default() };
+        let candidates6 = enumerate_candidates(&c, y, &opts6);
+        assert!(candidates6.iter().any(|(gates, _)| gates.len() == 5));
+    }
+
+    #[test]
+    fn removable_excludes_shared_gates() {
+        // t1 fans out to y and z: replacing y's cone cannot remove t1.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+t1 = AND(a, b)\ny = OR(t1, c)\nz = NOT(t1)\n";
+        let c = parse(src, "shared").unwrap();
+        let y = c.outputs()[0];
+        let t1 = c.iter().find(|(_, n)| n.name() == Some("t1")).map(|(id, _)| id).unwrap();
+        let output_mask = {
+            let mut m = vec![false; c.len()];
+            for &o in c.outputs() {
+                m[o.index()] = true;
+            }
+            m
+        };
+        let fo = c.fanout_counts();
+        let ft = c.fanout_table();
+        let removable = removable_gates(y, &[y, t1], &output_mask, &fo, &ft);
+        assert!(!removable.contains(&t1), "shared gate must not be counted removable");
+        assert!(removable.contains(&y));
+    }
+
+    #[test]
+    fn dont_care_option_still_exact() {
+        // With unreachable cone inputs, dc-identification may restructure
+        // more aggressively; whole-circuit function must still hold.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+na = NOT(a)\nt1 = AND(a, na)\nt2 = OR(t1, b)\ny = AND(t2, c)\n";
+        let original = parse(src, "dc").unwrap();
+        let mut c = original.clone();
+        let opts = ResynthOptions {
+            use_satisfiability_dont_cares: true,
+            ..ResynthOptions::default()
+        };
+        resynthesize(&mut c, &opts).unwrap();
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    /// Concluding remark 2: with multi-unit covers enabled, a cone that is
+    /// not a comparison function (majority) can still be replaced by an OR
+    /// of units when that helps; the function must be preserved and gates
+    /// must not regress relative to the single-unit run.
+    #[test]
+    fn multi_unit_cover_extension() {
+        // A deliberately wasteful majority implementation: the flat SOP of
+        // maj(a,b,c) duplicated through buffers.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = AND(a, c)\nt3 = AND(b, c)\no1 = OR(t1, t2)\ny = OR(o1, t3)\n";
+        let original = parse(src, "maj").unwrap();
+        let single = {
+            let mut c = original.clone();
+            procedure2(&mut c, &ResynthOptions::default()).unwrap();
+            c
+        };
+        let multi = {
+            let mut c = original.clone();
+            let opts = ResynthOptions { max_cover_units: 3, ..ResynthOptions::default() };
+            procedure2(&mut c, &opts).unwrap();
+            c
+        };
+        assert!(sft_bdd::equivalent(&original, &multi).unwrap().is_equivalent());
+        assert!(multi.two_input_gate_count() <= original.two_input_gate_count());
+        // The extension can only widen the search space.
+        assert!(multi.two_input_gate_count() <= single.two_input_gate_count());
+    }
+
+    /// The polarity extension finds replacements the plain procedure
+    /// cannot: on-set {0, 3} over (b, c) inside a cone is a comparison
+    /// function only after complementing one input.
+    #[test]
+    fn input_negation_extension_preserves_function() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+nb = NOT(b)\nnc = NOT(c)\nt1 = AND(nb, nc)\nt2 = AND(b, c)\no = OR(t1, t2)\ny = AND(a, o)\n";
+        let original = parse(src, "xnor_cone").unwrap();
+        let mut c = original.clone();
+        let opts = ResynthOptions { allow_input_negation: true, ..ResynthOptions::default() };
+        procedure2(&mut c, &opts).unwrap();
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+        assert!(c.two_input_gate_count() <= original.two_input_gate_count());
+    }
+
+    #[test]
+    fn report_display() {
+        let r = ResynthReport {
+            passes: 2,
+            replacements: 3,
+            gates_before: 10,
+            gates_after: 8,
+            paths_before: 100,
+            paths_after: 60,
+        };
+        assert_eq!(r.to_string(), "2 passes, 3 replacements: gates 10 -> 8, paths 100 -> 60");
+    }
+}

@@ -1,0 +1,278 @@
+use sft_truth::{TruthTable, MAX_INPUTS};
+use std::fmt;
+
+/// Errors from [`ComparisonSpec`] validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The permutation is not a bijection on `0..n`.
+    BadPermutation,
+    /// `lower > upper` (an empty interval must use
+    /// [`ComparisonSpec::constant`] instead).
+    EmptyInterval,
+    /// A bound does not fit in `n` bits.
+    BoundOutOfRange,
+    /// More inputs than [`MAX_INPUTS`].
+    TooManyInputs(usize),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadPermutation => write!(f, "permutation is not a bijection"),
+            SpecError::EmptyInterval => write!(f, "lower bound exceeds upper bound"),
+            SpecError::BoundOutOfRange => write!(f, "bound does not fit in the input count"),
+            SpecError::TooManyInputs(n) => {
+                write!(f, "{n} inputs exceed the supported {MAX_INPUTS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The certificate that a function is a comparison function
+/// (Definition 1 of the paper): a permutation of its inputs and two bounds.
+///
+/// Under the permutation, input `perm[i]` of the original function plays the
+/// role of the paper's `x_{i+1}` — position 0 is the **most significant
+/// bit** of the minterm value. The function is 1 exactly on minterms whose
+/// decimal value `m` satisfies `lower <= m <= upper`; when
+/// [`complemented`](Self::complemented) is set, the *complement* of the
+/// function has that form (the paper's experiments check both, Section 5).
+///
+/// # Examples
+///
+/// ```
+/// use sft_core::ComparisonSpec;
+///
+/// // x1 AND x2 is >=3 over 2 inputs.
+/// let spec = ComparisonSpec::new(vec![0, 1], 3, 3)?;
+/// let t = spec.to_table();
+/// assert_eq!(t.on_set().collect::<Vec<_>>(), vec![3]);
+/// # Ok::<(), sft_core::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ComparisonSpec {
+    /// `perm[i]` = original input index playing the role of `x_{i+1}`
+    /// (MSB-first).
+    pub perm: Vec<usize>,
+    /// The lower bound `L` (inclusive).
+    pub lower: u64,
+    /// The upper bound `U` (inclusive).
+    pub upper: u64,
+    /// Whether the certificate describes the complement of the function.
+    pub complemented: bool,
+}
+
+impl fmt::Display for ComparisonSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.complemented {
+            write!(f, "NOT ")?;
+        }
+        write!(f, "[{}, {}] under (", self.lower, self.upper)?;
+        for (i, p) in self.perm.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "y{}", p + 1)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl ComparisonSpec {
+    /// Creates and validates a spec.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn new(perm: Vec<usize>, lower: u64, upper: u64) -> Result<Self, SpecError> {
+        let spec = ComparisonSpec { perm, lower, upper, complemented: false };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Like [`new`](Self::new) but describing the complement of the target
+    /// function.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn new_complemented(perm: Vec<usize>, lower: u64, upper: u64) -> Result<Self, SpecError> {
+        let spec = ComparisonSpec { perm, lower, upper, complemented: true };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates permutation and bounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let n = self.perm.len();
+        if n > MAX_INPUTS {
+            return Err(SpecError::TooManyInputs(n));
+        }
+        let mut seen = [false; MAX_INPUTS];
+        for &p in &self.perm {
+            if p >= n || seen[p] {
+                return Err(SpecError::BadPermutation);
+            }
+            seen[p] = true;
+        }
+        if self.lower > self.upper {
+            return Err(SpecError::EmptyInterval);
+        }
+        let max = if n == 0 { 0 } else { (1u64 << n) - 1 };
+        if self.upper > max {
+            return Err(SpecError::BoundOutOfRange);
+        }
+        Ok(())
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Bit `i` (MSB-first, `i < n`) of the lower bound.
+    pub fn lower_bit(&self, i: usize) -> bool {
+        self.lower >> (self.inputs() - 1 - i) & 1 == 1
+    }
+
+    /// Bit `i` (MSB-first) of the upper bound.
+    pub fn upper_bit(&self, i: usize) -> bool {
+        self.upper >> (self.inputs() - 1 - i) & 1 == 1
+    }
+
+    /// Number of leading *free variables* (Definition 2): positions where
+    /// the bounds agree.
+    pub fn free_count(&self) -> usize {
+        (0..self.inputs()).take_while(|&i| self.lower_bit(i) == self.upper_bit(i)).count()
+    }
+
+    /// Whether the `>=L_F` block is trivial (the non-free suffix of `L` is
+    /// all zeros) and can be omitted (Section 3.2.2).
+    pub fn geq_block_trivial(&self) -> bool {
+        (self.free_count()..self.inputs()).all(|i| !self.lower_bit(i))
+    }
+
+    /// Whether the `<=U_F` block is trivial (suffix of `U` all ones).
+    pub fn leq_block_trivial(&self) -> bool {
+        (self.free_count()..self.inputs()).all(|i| self.upper_bit(i))
+    }
+
+    /// Expands the spec into the truth table of the function it certifies
+    /// (complement included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid.
+    pub fn to_table(&self) -> TruthTable {
+        self.validate().expect("valid spec");
+        let n = self.inputs();
+        TruthTable::from_fn(n, |m| {
+            // Permuted value: x_{i+1} = input perm[i]; bit of m for original
+            // input j is m >> (n-1-j).
+            let mut v = 0u64;
+            for (i, &p) in self.perm.iter().enumerate() {
+                let bit = m >> (n - 1 - p) & 1;
+                v |= bit << (n - 1 - i);
+            }
+            let inside = self.lower <= v && v <= self.upper;
+            inside != self.complemented
+        })
+    }
+
+    /// The threshold-function view of Section 3: weights `2^(n-i)` for
+    /// `x_i` and thresholds `(L, U + 1)` — the `>=L` block is the threshold
+    /// function `sum >= L`, the `<=U` block the complement of `sum >= U+1`.
+    /// Returns `(weights_by_original_input, t_lower, t_upper_plus_one)`.
+    pub fn threshold_view(&self) -> (Vec<u64>, u64, u64) {
+        let n = self.inputs();
+        let mut weights = vec![0u64; n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            weights[p] = 1 << (n - 1 - i);
+        }
+        (weights, self.lower, self.upper + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_f2_spec_round_trip() {
+        // f2 under reversal: L=5, U=10 (Section 3.1 example).
+        let spec = ComparisonSpec::new(vec![3, 2, 1, 0], 5, 10).unwrap();
+        let t = spec.to_table();
+        assert_eq!(t.on_set().collect::<Vec<_>>(), vec![1, 5, 6, 9, 10, 14]);
+    }
+
+    #[test]
+    fn identity_perm_spec() {
+        let spec = ComparisonSpec::new(vec![0, 1, 2], 2, 5).unwrap();
+        assert_eq!(spec.to_table().on_set().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn complemented_spec() {
+        let spec = ComparisonSpec::new_complemented(vec![0, 1], 1, 2).unwrap();
+        assert_eq!(spec.to_table().on_set().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn free_variables_definition2() {
+        // L=5=(0101), U=7=(0111): free = {x1, x2} (paper, Section 3.2.1).
+        let spec = ComparisonSpec::new(vec![0, 1, 2, 3], 5, 7).unwrap();
+        assert_eq!(spec.free_count(), 2);
+        assert!(!spec.geq_block_trivial());
+        assert!(spec.leq_block_trivial());
+    }
+
+    #[test]
+    fn single_cube_case() {
+        // L=6, U=7 over 3 inputs: f = x1 x2 (Section 3.2.2 example).
+        let spec = ComparisonSpec::new(vec![0, 1, 2], 6, 7).unwrap();
+        assert_eq!(spec.free_count(), 2);
+        assert!(spec.geq_block_trivial());
+        assert!(spec.leq_block_trivial());
+    }
+
+    #[test]
+    fn validation_rejects_garbage() {
+        assert_eq!(
+            ComparisonSpec::new(vec![0, 0], 0, 1).unwrap_err(),
+            SpecError::BadPermutation
+        );
+        assert_eq!(ComparisonSpec::new(vec![0, 1], 3, 1).unwrap_err(), SpecError::EmptyInterval);
+        assert_eq!(
+            ComparisonSpec::new(vec![0, 1], 0, 4).unwrap_err(),
+            SpecError::BoundOutOfRange
+        );
+        assert!(ComparisonSpec::new((0..8).collect(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn threshold_view_weights() {
+        let spec = ComparisonSpec::new(vec![1, 0, 2], 2, 6).unwrap();
+        let (w, tl, tu) = spec.threshold_view();
+        // x1 = original input 1 -> weight 4; x2 = input 0 -> 2; x3 = input 2 -> 1.
+        assert_eq!(w, vec![2, 4, 1]);
+        assert_eq!((tl, tu), (2, 7));
+        // Check the threshold semantics against the table.
+        let t = spec.to_table();
+        for m in 0..8u64 {
+            let sum: u64 = (0..3).map(|j| (m >> (2 - j) & 1) * w[j]).sum();
+            assert_eq!(t.value(m), sum >= tl && sum < tu);
+        }
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let spec = ComparisonSpec::new(vec![1, 0], 1, 2).unwrap();
+        assert_eq!(spec.to_string(), "[1, 2] under (y2, y1)");
+    }
+}

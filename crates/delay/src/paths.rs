@@ -1,0 +1,242 @@
+//! Explicit enumeration of input-to-output paths.
+
+use sft_netlist::{Circuit, GateKind, NodeId};
+use std::fmt;
+
+/// One physical path from a primary input to a primary output.
+///
+/// A path is the start node followed by a sequence of `(gate, pin)` hops:
+/// hop `k` enters `gate` through fanin position `pin`, whose driver is the
+/// previous element of the path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// The primary input where the path starts.
+    pub start: NodeId,
+    /// The gates traversed, with the entering pin. The last gate drives a
+    /// primary output.
+    pub hops: Vec<(NodeId, u8)>,
+}
+
+impl Path {
+    /// Number of gates on the path.
+    pub fn gate_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The last node of the path (the output node), or the start for a
+    /// degenerate input-is-output path.
+    pub fn end(&self) -> NodeId {
+        self.hops.last().map_or(self.start, |&(g, _)| g)
+    }
+
+    /// The parity of inverting gates along the path: `true` if a rising
+    /// transition at the start arrives as a falling transition at the end.
+    pub fn inverts(&self, circuit: &Circuit) -> bool {
+        self.hops
+            .iter()
+            .filter(|&&(g, _)| circuit.node(g).kind().inverts())
+            .count()
+            % 2
+            == 1
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for (g, pin) in &self.hops {
+            write!(f, " -{pin}-> {g}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from [`enumerate_paths`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathEnumError {
+    /// The circuit has more paths than the requested cap.
+    TooManyPaths {
+        /// The cap that was exceeded.
+        limit: usize,
+        /// The exact total path count (from Procedure 1).
+        actual: u128,
+    },
+}
+
+impl fmt::Display for PathEnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathEnumError::TooManyPaths { limit, actual } => {
+                write!(f, "circuit has {actual} paths, more than the enumeration cap {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathEnumError {}
+
+/// A dense set of enumerated paths with flattened edge storage, ready for
+/// word-parallel robust analysis.
+#[derive(Debug, Clone)]
+pub struct PathSet {
+    paths: Vec<Path>,
+}
+
+impl PathSet {
+    /// The enumerated paths.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Number of path delay faults: two transition directions per path.
+    pub fn fault_count(&self) -> usize {
+        self.paths.len() * 2
+    }
+
+    /// Iterates over the paths.
+    pub fn iter(&self) -> std::slice::Iter<'_, Path> {
+        self.paths.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PathSet {
+    type Item = &'a Path;
+    type IntoIter = std::slice::Iter<'a, Path>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Enumerates every input-to-output path of `circuit`, up to `limit`.
+///
+/// The number of paths is first computed exactly with Procedure 1; if it
+/// exceeds `limit` (or `usize::MAX`), no enumeration is attempted and
+/// [`PathEnumError::TooManyPaths`] is returned — this mirrors the paper's
+/// observation that enumerative methods stop scaling ([8]) and keeps memory
+/// bounded.
+///
+/// Paths through constants do not exist (constants have no input paths);
+/// a primary input that directly drives an output contributes a hop-free
+/// path per output slot it drives.
+///
+/// # Errors
+///
+/// Returns [`PathEnumError::TooManyPaths`] when the exact path count
+/// exceeds `limit`.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn enumerate_paths(circuit: &Circuit, limit: usize) -> Result<PathSet, PathEnumError> {
+    let actual = circuit.path_count();
+    if actual > limit as u128 {
+        return Err(PathEnumError::TooManyPaths { limit, actual });
+    }
+    let mut paths = Vec::with_capacity(actual as usize);
+    // DFS backward from each output slot, walking fanins.
+    // stack of (node, pin-into-consumer) frames built forward on unwind:
+    // simpler: recursive closure collecting hops in reverse.
+    fn dfs(
+        circuit: &Circuit,
+        node: NodeId,
+        suffix: &mut Vec<(NodeId, u8)>,
+        out: &mut Vec<Path>,
+    ) {
+        let n = circuit.node(node);
+        match n.kind() {
+            GateKind::Input => {
+                let mut hops: Vec<(NodeId, u8)> = suffix.iter().rev().copied().collect();
+                hops.shrink_to_fit();
+                out.push(Path { start: node, hops });
+            }
+            GateKind::Const0 | GateKind::Const1 => {}
+            _ => {
+                for (pin, &f) in n.fanins().iter().enumerate() {
+                    suffix.push((node, pin as u8));
+                    dfs(circuit, f, suffix, out);
+                    suffix.pop();
+                }
+            }
+        }
+    }
+    let mut suffix = Vec::new();
+    for &o in circuit.outputs() {
+        dfs(circuit, o, &mut suffix, &mut paths);
+    }
+    debug_assert_eq!(paths.len() as u128, actual, "enumeration must match Procedure 1");
+    Ok(PathSet { paths })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn c17_has_11_paths() {
+        let c = parse(C17, "c17").unwrap();
+        let p = enumerate_paths(&c, 1000).unwrap();
+        assert_eq!(p.len(), 11);
+        assert_eq!(p.len() as u128, c.path_count());
+        assert_eq!(p.fault_count(), 22);
+        // Every path ends at an output.
+        for path in &p {
+            assert!(c.outputs().contains(&path.end()), "path {path} must end at a PO");
+        }
+    }
+
+    #[test]
+    fn limit_enforced_without_enumeration() {
+        let c = parse(C17, "c17").unwrap();
+        match enumerate_paths(&c, 5) {
+            Err(PathEnumError::TooManyPaths { limit: 5, actual: 11 }) => {}
+            other => panic!("expected TooManyPaths, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inversion_parity() {
+        let src = "INPUT(a)\nOUTPUT(y)\nt = NOT(a)\ny = NAND(t, t)\n";
+        let c = parse(src, "t").unwrap();
+        let p = enumerate_paths(&c, 100).unwrap();
+        // Two paths (through each NAND pin), each crossing NOT+NAND = even.
+        assert_eq!(p.len(), 2);
+        for path in &p {
+            assert!(!path.inverts(&c));
+        }
+    }
+
+    #[test]
+    fn input_driving_output_directly() {
+        let src = "INPUT(a)\nOUTPUT(a)\n";
+        let c = parse(src, "wire").unwrap();
+        let p = enumerate_paths(&c, 10).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.paths()[0].gate_count(), 0);
+        assert_eq!(p.paths()[0].end(), c.inputs()[0]);
+    }
+
+    #[test]
+    fn display_shows_pins() {
+        let c = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let p = enumerate_paths(&c, 10).unwrap();
+        let strings: Vec<String> = p.iter().map(|p| p.to_string()).collect();
+        assert!(strings.iter().any(|s| s.contains("-0->")));
+        assert!(strings.iter().any(|s| s.contains("-1->")));
+    }
+}

@@ -1,0 +1,152 @@
+//! Non-enumerative path statistics: the distribution of path lengths.
+//!
+//! Procedure 1 counts paths; the same dynamic program, labelled with a
+//! count *per depth*, yields the full path-length histogram without
+//! enumerating anything — useful for judging how resynthesis reshapes the
+//! path population (the paper's delay discussion: modified circuits must
+//! not get longer critical paths).
+
+use sft_netlist::{Circuit, GateKind};
+
+/// A histogram of input-to-output path lengths (index = number of gates on
+/// the path, including buffers and inverters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathLengthHistogram {
+    counts: Vec<u128>,
+}
+
+impl PathLengthHistogram {
+    /// Paths of exactly `length` gates.
+    pub fn count(&self, length: usize) -> u128 {
+        self.counts.get(length).copied().unwrap_or(0)
+    }
+
+    /// `(length, count)` pairs with nonzero counts, ascending.
+    pub fn nonzero(&self) -> Vec<(usize, u128)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(l, &c)| (l, c))
+            .collect()
+    }
+
+    /// Total number of paths (must equal Procedure 1's count).
+    pub fn total(&self) -> u128 {
+        self.counts.iter().fold(0u128, |a, &b| a.saturating_add(b))
+    }
+
+    /// The longest path length (0 for circuits with no paths).
+    pub fn longest(&self) -> usize {
+        self.counts.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+
+    /// Mean path length (0.0 for circuits with no paths).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as f64 * c as f64)
+            .sum();
+        weighted / total as f64
+    }
+}
+
+/// Computes the path-length histogram in `O(lines × depth)`.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn path_length_histogram(circuit: &Circuit) -> PathLengthHistogram {
+    let order = circuit.topo_order().expect("combinational circuit");
+    let depth = circuit.depth() as usize;
+    // labels[node][d] = number of partial paths of length d ending at node.
+    let mut labels: Vec<Vec<u128>> = vec![Vec::new(); circuit.len()];
+    for id in order {
+        let node = circuit.node(id);
+        let mut v = vec![0u128; depth + 1];
+        match node.kind() {
+            GateKind::Input => v[0] = 1,
+            GateKind::Const0 | GateKind::Const1 => {}
+            _ => {
+                for f in node.fanins() {
+                    for (d, &c) in labels[f.index()].iter().enumerate() {
+                        if c > 0 {
+                            v[d + 1] = v[d + 1].saturating_add(c);
+                        }
+                    }
+                }
+            }
+        }
+        labels[id.index()] = v;
+    }
+    let mut counts = vec![0u128; depth + 1];
+    for &o in circuit.outputs() {
+        for (d, &c) in labels[o.index()].iter().enumerate() {
+            counts[d] = counts[d].saturating_add(c);
+        }
+    }
+    PathLengthHistogram { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_paths;
+    use sft_netlist::bench_format::parse;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn matches_enumeration_on_c17() {
+        let c = parse(C17, "c17").unwrap();
+        let h = path_length_histogram(&c);
+        assert_eq!(h.total(), c.path_count());
+        let paths = enumerate_paths(&c, 1000).unwrap();
+        for (length, count) in h.nonzero() {
+            let enumerated =
+                paths.iter().filter(|p| p.gate_count() == length).count() as u128;
+            assert_eq!(count, enumerated, "length {length}");
+        }
+        assert_eq!(h.longest() as u32, c.depth());
+    }
+
+    #[test]
+    fn exponential_circuit_histogram_is_single_spike() {
+        // k doubling stages: all 2^k paths have the same length.
+        let mut src = String::from("INPUT(a)\nOUTPUT(y10)\ny0 = BUF(a)\n");
+        for i in 0..10 {
+            src.push_str(&format!(
+                "l{i} = BUF(y{i})\nr{i} = NOT(y{i})\ny{} = OR(l{i}, r{i})\n",
+                i + 1
+            ));
+        }
+        let c = parse(&src, "exp").unwrap();
+        let h = path_length_histogram(&c);
+        assert_eq!(h.total(), 1 << 10);
+        assert_eq!(h.nonzero().len(), 1);
+        assert_eq!(h.count(h.longest()), 1 << 10);
+    }
+
+    #[test]
+    fn mean_and_empty_behave() {
+        let c = parse("INPUT(a)\nOUTPUT(a)\n", "wire").unwrap();
+        let h = path_length_histogram(&c);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.longest(), 0);
+        assert!((h.mean() - 0.0).abs() < 1e-12);
+        // No outputs at all.
+        let empty = parse("INPUT(a)\n", "none").unwrap();
+        let h = path_length_histogram(&empty);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

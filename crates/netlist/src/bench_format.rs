@@ -1,0 +1,342 @@
+//! ISCAS-style `.bench` netlist format.
+//!
+//! The format is the one used by the ISCAS-85/89 benchmark distributions:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! INPUT(b)
+//! OUTPUT(y)
+//! n1 = NAND(a, b)
+//! y  = NOT(n1)
+//! ```
+//!
+//! Supported gate names: `AND`, `OR`, `NAND`, `NOR`, `XOR`, `XNOR`, `NOT`,
+//! `BUF`/`BUFF`, and the extensions `CONST0`/`CONST1` (written without
+//! arguments). Sequential elements (`DFF`) are rejected: this workspace
+//! models fully-scanned circuits, i.e. the combinational core only — exactly
+//! the form the paper evaluates ("irredundant, fully-scanned ISCAS89").
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_netlist::bench_format::{parse, write};
+//!
+//! let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+//! let c = parse(src, "tiny")?;
+//! assert_eq!(c.inputs().len(), 2);
+//! let round_trip = parse(&write(&c), "tiny2")?;
+//! assert_eq!(round_trip.outputs().len(), 1);
+//! # Ok::<(), sft_netlist::NetlistError>(())
+//! ```
+
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn gate_kind_from_name(name: &str) -> Option<GateKind> {
+    Some(match name.to_ascii_uppercase().as_str() {
+        "AND" => GateKind::And,
+        "OR" => GateKind::Or,
+        "NAND" => GateKind::Nand,
+        "NOR" => GateKind::Nor,
+        "XOR" => GateKind::Xor,
+        "XNOR" => GateKind::Xnor,
+        "NOT" | "INV" => GateKind::Not,
+        "BUF" | "BUFF" => GateKind::Buf,
+        "CONST0" | "GND" => GateKind::Const0,
+        "CONST1" | "VDD" => GateKind::Const1,
+        _ => return None,
+    })
+}
+
+/// Parses `.bench` text into a [`Circuit`] named `name`.
+///
+/// Signals may be used before they are defined (two-pass resolution).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a 1-based line number for syntax
+/// errors, unknown gate types, undefined signals, duplicate definitions, and
+/// sequential elements.
+pub fn parse(text: &str, name: impl Into<String>) -> Result<Circuit, NetlistError> {
+    enum Item {
+        Input(String),
+        Output(String),
+        Gate { target: String, kind: GateKind, args: Vec<String> },
+    }
+    let err = |line: usize, message: String| NetlistError::Parse { line, message };
+    let mut items: Vec<(usize, Item)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("INPUT(").or_else(|| line.strip_prefix("input(")) {
+            let sig = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(lineno, "missing ')' after INPUT".into()))?;
+            items.push((lineno, Item::Input(sig.trim().to_string())));
+        } else if let Some(rest) =
+            line.strip_prefix("OUTPUT(").or_else(|| line.strip_prefix("output("))
+        {
+            let sig = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(lineno, "missing ')' after OUTPUT".into()))?;
+            items.push((lineno, Item::Output(sig.trim().to_string())));
+        } else if let Some((target, expr)) = line.split_once('=') {
+            let target = target.trim().to_string();
+            let expr = expr.trim();
+            let (func, args_str) = match expr.split_once('(') {
+                Some((f, rest)) => {
+                    let inner = rest
+                        .strip_suffix(')')
+                        .ok_or_else(|| err(lineno, "missing ')' in gate expression".into()))?;
+                    (f.trim(), inner)
+                }
+                None => (expr, ""),
+            };
+            if func.eq_ignore_ascii_case("DFF") {
+                return Err(err(
+                    lineno,
+                    "sequential element DFF not supported; extract the combinational core".into(),
+                ));
+            }
+            let kind = gate_kind_from_name(func)
+                .ok_or_else(|| err(lineno, format!("unknown gate type {func:?}")))?;
+            let args: Vec<String> = args_str
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            items.push((lineno, Item::Gate { target, kind, args }));
+        } else {
+            return Err(err(lineno, format!("unrecognized line {line:?}")));
+        }
+    }
+
+    let mut c = Circuit::new(name);
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    // Pass 1: declare inputs and placeholder gates.
+    for (lineno, item) in &items {
+        match item {
+            Item::Input(sig) => {
+                if by_name.contains_key(sig) {
+                    return Err(err(*lineno, format!("duplicate definition of {sig:?}")));
+                }
+                let id = c.add_input(sig.clone());
+                by_name.insert(sig.clone(), id);
+            }
+            Item::Gate { target, kind, .. } => {
+                if by_name.contains_key(target) {
+                    return Err(err(*lineno, format!("duplicate definition of {target:?}")));
+                }
+                // Placeholder constant; rewired in pass 2.
+                let id = c.add_const(*kind == GateKind::Const1);
+                c.set_node_name(id, target.clone());
+                by_name.insert(target.clone(), id);
+            }
+            Item::Output(_) => {}
+        }
+    }
+    // Pass 2: connect gates and outputs.
+    for (lineno, item) in &items {
+        match item {
+            Item::Gate { target, kind, args } => {
+                if matches!(kind, GateKind::Const0 | GateKind::Const1) {
+                    if !args.is_empty() {
+                        return Err(err(*lineno, "constants take no arguments".into()));
+                    }
+                    continue;
+                }
+                let target_id = by_name[target];
+                let mut fanins = Vec::with_capacity(args.len());
+                for a in args {
+                    let &id = by_name
+                        .get(a)
+                        .ok_or_else(|| err(*lineno, format!("undefined signal {a:?}")))?;
+                    fanins.push(id);
+                }
+                c.rewire(target_id, *kind, fanins).map_err(|e| match e {
+                    NetlistError::Cycle(_) => {
+                        err(*lineno, format!("combinational cycle through {target:?}"))
+                    }
+                    NetlistError::Arity { kind, got } => {
+                        err(*lineno, format!("gate {kind} cannot take {got} inputs"))
+                    }
+                    other => other,
+                })?;
+            }
+            Item::Output(sig) => {
+                let &id = by_name
+                    .get(sig)
+                    .ok_or_else(|| err(*lineno, format!("undefined output signal {sig:?}")))?;
+                c.add_output(id, sig.clone());
+            }
+            Item::Input(_) => {}
+        }
+    }
+    Ok(c)
+}
+
+/// Serializes a circuit to `.bench` text. Unnamed nodes get synthetic
+/// `n<id>` names; the output is parseable by [`parse`].
+pub fn write(c: &Circuit) -> String {
+    let name_of = |id: NodeId| -> String {
+        match c.node(id).name() {
+            Some(n) => n.to_string(),
+            None => format!("n{}", id.index()),
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", c.name());
+    for &i in c.inputs() {
+        let _ = writeln!(out, "INPUT({})", name_of(i));
+    }
+    for (slot, &o) in c.outputs().iter().enumerate() {
+        let label = c.output_name(slot).map(str::to_string).unwrap_or_else(|| name_of(o));
+        let _ = writeln!(out, "OUTPUT({label})");
+    }
+    // Gates in topological order; output aliases handled via BUF when the
+    // output name differs from the driving node's name.
+    let order = c.topo_order().expect("combinational circuit");
+    for id in order {
+        let node = c.node(id);
+        match node.kind() {
+            GateKind::Input => {}
+            GateKind::Const0 => {
+                let _ = writeln!(out, "{} = CONST0", name_of(id));
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, "{} = CONST1", name_of(id));
+            }
+            kind => {
+                let args: Vec<String> = node.fanins().iter().map(|&f| name_of(f)).collect();
+                let _ = writeln!(out, "{} = {}({})", name_of(id), kind.name(), args.join(", "));
+            }
+        }
+    }
+    for (slot, &o) in c.outputs().iter().enumerate() {
+        if let Some(label) = c.output_name(slot) {
+            if label != name_of(o) {
+                let _ = writeln!(out, "{label} = BUF({})", name_of(o));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parse_c17() {
+        let c = parse(C17, "c17").unwrap();
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.two_input_gate_count(), 6);
+        c.validate().unwrap();
+        // Known vector: all inputs 0 -> NAND outputs ... compute one case.
+        // inputs (1,2,3,6,7) = (0,0,0,0,0): 10=1, 11=1, 16=1, 19=1, 22=0, 23=0.
+        assert_eq!(c.eval_assignment(&[false; 5]), vec![false, false]);
+    }
+
+    #[test]
+    fn c17_path_count() {
+        let c = parse(C17, "c17").unwrap();
+        // Paths: 22: via 10 (1,3) + via 16 (2, 11{3,6}) = 2 + 3 = 5;
+        // 23: via 16 (3) + via 19 (11{3,6},7) = 3 + 3 = 6. Total 11.
+        assert_eq!(c.path_count(), 11);
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let c = parse(C17, "c17").unwrap();
+        let text = write(&c);
+        let c2 = parse(&text, "c17rt").unwrap();
+        assert_eq!(c.inputs().len(), c2.inputs().len());
+        for m in 0..32u32 {
+            let a: Vec<bool> = (0..5).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(c.eval_assignment(&a), c2.eval_assignment(&a));
+        }
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = BUF(a)\n";
+        let c = parse(src, "fwd").unwrap();
+        assert_eq!(c.eval_assignment(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn constants_supported() {
+        let src = "INPUT(a)\nOUTPUT(y)\nk = CONST1\ny = AND(a, k)\n";
+        let c = parse(src, "k").unwrap();
+        assert_eq!(c.eval_assignment(&[true]), vec![true]);
+        assert_eq!(c.eval_assignment(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        match parse(bad, "bad") {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("FROB"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dff_rejected() {
+        let bad = "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n";
+        assert!(matches!(parse(bad, "bad"), Err(NetlistError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn undefined_signal_rejected() {
+        let bad = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        assert!(matches!(parse(bad, "bad"), Err(NetlistError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let bad = "INPUT(a)\nINPUT(a)\n";
+        assert!(matches!(parse(bad, "bad"), Err(NetlistError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let bad = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n";
+        assert!(parse(bad, "bad").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "\n# hello\nINPUT(a) # trailing\nOUTPUT(a)\n";
+        let c = parse(src, "c").unwrap();
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.outputs().len(), 1);
+    }
+}

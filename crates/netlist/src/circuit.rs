@@ -1,0 +1,635 @@
+use crate::{GateKind, NetlistError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node (line) in a [`Circuit`].
+///
+/// Node ids are dense indices; they remain stable under edits and are only
+/// compacted by [`Circuit::sweep`], which returns a [`NodeMap`] describing
+/// the renumbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw index (no validation; out-of-range ids
+    /// are rejected by circuit methods that receive them).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single node of a [`Circuit`]: a primary input, a constant or a gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    kind: GateKind,
+    fanins: Vec<NodeId>,
+    name: Option<String>,
+}
+
+impl Node {
+    /// The node kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The fanin lines of the node (empty for inputs and constants).
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+
+    /// Optional user-facing name (always present for primary inputs).
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// Renumbering map returned by [`Circuit::sweep`]: `map[old.index()]` is the
+/// new id, or `None` if the node was removed.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMap {
+    map: Vec<Option<NodeId>>,
+}
+
+impl NodeMap {
+    /// Translates an old id; `None` if the node was removed.
+    pub fn get(&self, old: NodeId) -> Option<NodeId> {
+        self.map.get(old.index()).copied().flatten()
+    }
+}
+
+/// A combinational gate-level circuit.
+///
+/// The circuit is a DAG of [`Node`]s. Primary outputs are references to
+/// nodes (a node may drive several outputs). Fanout branches are implicit:
+/// a node with several consumers has one branch per (consumer, pin).
+///
+/// # Examples
+///
+/// ```
+/// use sft_netlist::{Circuit, GateKind};
+///
+/// // y = (a AND b) OR c
+/// let mut c = Circuit::new("ex");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let ci = c.add_input("c");
+/// let g1 = c.add_gate(GateKind::And, vec![a, b])?;
+/// let g2 = c.add_gate(GateKind::Or, vec![g1, ci])?;
+/// c.add_output(g2, "y");
+/// assert_eq!(c.eval_assignment(&[false, true, true]), vec![true]);
+/// # Ok::<(), sft_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    output_names: Vec<Option<String>>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+        }
+    }
+
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds a primary input and returns its id.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind: GateKind::Input, fanins: Vec::new(), name: Some(name.into()) });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant node and returns its id.
+    pub fn add_const(&mut self, value: bool) -> NodeId {
+        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, fanins: Vec::new(), name: None });
+        id
+    }
+
+    /// Adds a gate and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Arity`] if the fanin count is invalid for the
+    /// kind, [`NetlistError::NotAGate`] if `kind` is
+    /// [`GateKind::Input`], and [`NetlistError::NodeOutOfRange`] if a fanin
+    /// id does not exist yet.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<NodeId>) -> Result<NodeId, NetlistError> {
+        if kind == GateKind::Input {
+            return Err(NetlistError::NotAGate(NodeId(self.nodes.len() as u32)));
+        }
+        if !kind.accepts_arity(fanins.len()) {
+            return Err(NetlistError::Arity { kind: kind.name(), got: fanins.len() });
+        }
+        for &f in &fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::NodeOutOfRange(f));
+            }
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind, fanins, name: None });
+        Ok(id)
+    }
+
+    /// Adds a named gate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`add_gate`](Self::add_gate).
+    pub fn add_named_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<NodeId>,
+        name: impl Into<String>,
+    ) -> Result<NodeId, NetlistError> {
+        let id = self.add_gate(kind, fanins)?;
+        self.nodes[id.index()].name = Some(name.into());
+        Ok(id)
+    }
+
+    /// Registers `node` as a primary output (a node may drive several
+    /// outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not exist.
+    pub fn add_output(&mut self, node: NodeId, name: impl Into<String>) {
+        assert!(node.index() < self.nodes.len(), "output node out of range");
+        self.outputs.push(node);
+        self.output_names.push(Some(name.into()));
+    }
+
+    /// Number of nodes (lines) in the circuit, including dead ones.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the circuit has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterator over `(id, node)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The name of output slot `i`, if any.
+    pub fn output_name(&self, i: usize) -> Option<&str> {
+        self.output_names.get(i).and_then(|n| n.as_deref())
+    }
+
+    /// Sets the name of a node (useful after rewiring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_node_name(&mut self, id: NodeId, name: impl Into<String>) {
+        self.nodes[id.index()].name = Some(name.into());
+    }
+
+    /// Redefines node `id` as a gate of `kind` with `fanins`.
+    ///
+    /// This is the primitive used by resynthesis: the node keeps its id, so
+    /// all consumers automatically see the new function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::NotAGate`] if `id` is a primary input or
+    /// `kind` is [`GateKind::Input`]; [`NetlistError::Arity`] or
+    /// [`NetlistError::NodeOutOfRange`] on malformed fanins; and
+    /// [`NetlistError::Cycle`] if the edit would create a combinational
+    /// cycle (i.e. `id` is in the transitive fanin of one of the new
+    /// fanins).
+    pub fn rewire(
+        &mut self,
+        id: NodeId,
+        kind: GateKind,
+        fanins: Vec<NodeId>,
+    ) -> Result<(), NetlistError> {
+        if id.index() >= self.nodes.len() {
+            return Err(NetlistError::NodeOutOfRange(id));
+        }
+        if self.nodes[id.index()].kind == GateKind::Input || kind == GateKind::Input {
+            return Err(NetlistError::NotAGate(id));
+        }
+        if !kind.accepts_arity(fanins.len()) {
+            return Err(NetlistError::Arity { kind: kind.name(), got: fanins.len() });
+        }
+        for &f in &fanins {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::NodeOutOfRange(f));
+            }
+        }
+        if self.reaches(id, &fanins) {
+            return Err(NetlistError::Cycle(id));
+        }
+        let node = &mut self.nodes[id.index()];
+        node.kind = kind;
+        node.fanins = fanins;
+        Ok(())
+    }
+
+    /// Whether `target` is reachable from any of `from` by walking fanins
+    /// (i.e. `target` is in the transitive fanin closure of `from`,
+    /// including `from` itself).
+    pub fn reaches(&self, target: NodeId, from: &[NodeId]) -> bool {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = from.to_vec();
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            if std::mem::replace(&mut seen[n.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(&self.nodes[n.index()].fanins);
+        }
+        false
+    }
+
+    /// A topological order of all nodes (fanins before fanouts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] if the circuit contains a cycle.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, NetlistError> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0u32; n];
+        let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            indegree[i] = node.fanins.len() as u32;
+            for f in &node.fanins {
+                fanouts[f.index()].push(i as u32);
+            }
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<u32> =
+            (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        while let Some(i) = queue.pop() {
+            order.push(NodeId(i));
+            for &o in &fanouts[i as usize] {
+                indegree[o as usize] -= 1;
+                if indegree[o as usize] == 0 {
+                    queue.push(o);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(NetlistError::Cyclic);
+        }
+        Ok(order)
+    }
+
+    /// Logic level of every node: inputs and constants are level 0, a gate
+    /// is one more than its deepest fanin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] if the circuit contains a cycle.
+    pub fn levels(&self) -> Result<Vec<u32>, NetlistError> {
+        let order = self.topo_order()?;
+        let mut level = vec![0u32; self.nodes.len()];
+        for id in order {
+            let node = &self.nodes[id.index()];
+            if node.kind.is_gate() {
+                level[id.index()] =
+                    1 + node.fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0);
+            }
+        }
+        Ok(level)
+    }
+
+    /// The paper's *BFS order* of lines: nodes sorted by level (inputs
+    /// first), ties broken by id. Procedures 2 and 3 traverse this order in
+    /// reverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] if the circuit contains a cycle.
+    pub fn bfs_order(&self) -> Result<Vec<NodeId>, NetlistError> {
+        let level = self.levels()?;
+        let mut ids: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId).collect();
+        ids.sort_by_key(|id| (level[id.index()], id.0));
+        Ok(ids)
+    }
+
+    /// Fanout table: for every node, the list of `(consumer, pin)` pairs.
+    /// Primary-output references are not included.
+    pub fn fanout_table(&self) -> Vec<Vec<(NodeId, usize)>> {
+        let mut t: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (pin, f) in node.fanins.iter().enumerate() {
+                t[f.index()].push((NodeId(i as u32), pin));
+            }
+        }
+        t
+    }
+
+    /// Number of consumers of each node, counting primary-output references.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut c = vec![0u32; self.nodes.len()];
+        for node in &self.nodes {
+            for f in &node.fanins {
+                c[f.index()] += 1;
+            }
+        }
+        for o in &self.outputs {
+            c[o.index()] += 1;
+        }
+        c
+    }
+
+    /// Marks every node reachable from the primary outputs by walking
+    /// fanins ("live" logic).
+    pub fn live_mask(&self) -> Vec<bool> {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.clone();
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut live[n.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(&self.nodes[n.index()].fanins);
+        }
+        live
+    }
+
+    /// Removes dead (unreachable-from-output) non-input nodes and compacts
+    /// ids; returns the renumbering map. Primary inputs are always kept.
+    pub fn sweep(&mut self) -> NodeMap {
+        let mut keep = self.live_mask();
+        for i in &self.inputs {
+            keep[i.index()] = true;
+        }
+        let mut map = vec![None; self.nodes.len()];
+        let mut new_nodes = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate() {
+            if keep[i] {
+                map[i] = Some(NodeId(new_nodes.len() as u32));
+                new_nodes.push(node.clone());
+            }
+        }
+        for node in &mut new_nodes {
+            for f in &mut node.fanins {
+                *f = map[f.index()].expect("live node fanins are live");
+            }
+        }
+        self.nodes = new_nodes;
+        for i in &mut self.inputs {
+            *i = map[i.index()].expect("inputs kept");
+        }
+        for o in &mut self.outputs {
+            *o = map[o.index()].expect("outputs are live");
+        }
+        NodeMap { map }
+    }
+
+    /// Full structural validation: arities, fanin ranges, acyclicity, and
+    /// input/output list consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.kind.accepts_arity(node.fanins.len()) {
+                return Err(NetlistError::Arity { kind: node.kind.name(), got: node.fanins.len() });
+            }
+            for &f in &node.fanins {
+                if f.index() >= self.nodes.len() {
+                    return Err(NetlistError::NodeOutOfRange(f));
+                }
+            }
+            let is_input_kind = node.kind == GateKind::Input;
+            let in_list = self.inputs.contains(&NodeId(i as u32));
+            if is_input_kind != in_list {
+                return Err(NetlistError::NotAGate(NodeId(i as u32)));
+            }
+        }
+        for &o in &self.outputs {
+            if o.index() >= self.nodes.len() {
+                return Err(NetlistError::NodeOutOfRange(o));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Evaluates the circuit on a single assignment (one bool per primary
+    /// input, in input order); returns one bool per primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the number of inputs or the
+    /// circuit is cyclic.
+    pub fn eval_assignment(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(assignment.len(), self.inputs.len(), "assignment length mismatch");
+        let order = self.topo_order().expect("combinational circuit");
+        let mut values = vec![false; self.nodes.len()];
+        let input_pos: HashMap<NodeId, usize> =
+            self.inputs.iter().copied().enumerate().map(|(i, id)| (id, i)).collect();
+        let mut buf = Vec::new();
+        for id in order {
+            let node = &self.nodes[id.index()];
+            values[id.index()] = match node.kind {
+                GateKind::Input => assignment[input_pos[&id]],
+                kind => {
+                    buf.clear();
+                    buf.extend(node.fanins.iter().map(|f| values[f.index()]));
+                    kind.eval(&buf)
+                }
+            };
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// A fresh unique name based on `prefix` not colliding with existing
+    /// node names.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let mut k = self.nodes.len();
+        loop {
+            let candidate = format!("{prefix}{k}");
+            if self.nodes.iter().all(|n| n.name.as_deref() != Some(candidate.as_str())) {
+                return candidate;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_or() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("x");
+        let g1 = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Or, vec![g1, x]).unwrap();
+        c.add_output(g2, "y");
+        (c, g1, g2)
+    }
+
+    #[test]
+    fn build_and_eval() {
+        let (c, _, _) = and_or();
+        assert_eq!(c.eval_assignment(&[true, true, false]), vec![true]);
+        assert_eq!(c.eval_assignment(&[true, false, false]), vec![false]);
+        assert_eq!(c.eval_assignment(&[false, false, true]), vec![true]);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        assert!(matches!(
+            c.add_gate(GateKind::Not, vec![a, a]),
+            Err(NetlistError::Arity { .. })
+        ));
+        assert!(matches!(c.add_gate(GateKind::And, vec![]), Err(NetlistError::Arity { .. })));
+        assert!(matches!(
+            c.add_gate(GateKind::And, vec![NodeId(99)]),
+            Err(NetlistError::NodeOutOfRange(_))
+        ));
+        assert!(matches!(c.add_gate(GateKind::Input, vec![]), Err(NetlistError::NotAGate(_))));
+    }
+
+    #[test]
+    fn rewire_rejects_cycles() {
+        let (mut c, g1, g2) = and_or();
+        // g1 := BUF(g2) would create a cycle g1 -> g2 -> g1.
+        assert!(matches!(c.rewire(g1, GateKind::Buf, vec![g2]), Err(NetlistError::Cycle(_))));
+        // Self-loop rejected too.
+        assert!(matches!(c.rewire(g1, GateKind::Buf, vec![g1]), Err(NetlistError::Cycle(_))));
+        // A legal rewire works and consumers see it.
+        let a = c.inputs()[0];
+        c.rewire(g1, GateKind::Buf, vec![a]).unwrap();
+        assert_eq!(c.eval_assignment(&[true, false, false]), vec![true]);
+    }
+
+    #[test]
+    fn rewire_rejects_inputs() {
+        let (mut c, _, _) = and_or();
+        let a = c.inputs()[0];
+        assert!(matches!(c.rewire(a, GateKind::Buf, vec![a]), Err(NetlistError::NotAGate(_))));
+    }
+
+    #[test]
+    fn topo_and_levels() {
+        let (c, g1, g2) = and_or();
+        let order = c.topo_order().unwrap();
+        let pos: Vec<usize> =
+            (0..c.len()).map(|i| order.iter().position(|n| n.index() == i).unwrap()).collect();
+        assert!(pos[g1.index()] < pos[g2.index()]);
+        let levels = c.levels().unwrap();
+        assert_eq!(levels[g1.index()], 1);
+        assert_eq!(levels[g2.index()], 2);
+        assert_eq!(levels[c.inputs()[0].index()], 0);
+    }
+
+    #[test]
+    fn bfs_order_sorted_by_level() {
+        let (c, _, _) = and_or();
+        let order = c.bfs_order().unwrap();
+        let levels = c.levels().unwrap();
+        for w in order.windows(2) {
+            assert!(levels[w[0].index()] <= levels[w[1].index()]);
+        }
+    }
+
+    #[test]
+    fn fanout_accounting() {
+        let (c, g1, g2) = and_or();
+        let t = c.fanout_table();
+        assert_eq!(t[g1.index()], vec![(g2, 0)]);
+        let counts = c.fanout_counts();
+        assert_eq!(counts[g2.index()], 1); // the PO reference
+        assert_eq!(counts[g1.index()], 1);
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let (mut c, _, _) = and_or();
+        let a = c.inputs()[0];
+        let dead = c.add_gate(GateKind::Not, vec![a]).unwrap();
+        assert_eq!(c.len(), 6);
+        let map = c.sweep();
+        assert_eq!(c.len(), 5);
+        assert!(map.get(dead).is_none());
+        c.validate().unwrap();
+        assert_eq!(c.eval_assignment(&[true, true, false]), vec![true]);
+    }
+
+    #[test]
+    fn sweep_keeps_unused_inputs() {
+        let mut c = Circuit::new("t");
+        let _unused = c.add_input("u");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::Buf, vec![a]).unwrap();
+        c.add_output(g, "y");
+        c.sweep();
+        assert_eq!(c.inputs().len(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let mut c = Circuit::new("t");
+        c.add_input("w1");
+        let n = c.fresh_name("w");
+        assert_ne!(n, "w1");
+    }
+}

@@ -1,0 +1,45 @@
+use crate::NodeId;
+use std::fmt;
+
+/// Errors produced by netlist construction, editing and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was given the wrong number of fanins for its kind.
+    Arity { kind: &'static str, got: usize },
+    /// A referenced node id does not exist in the circuit.
+    NodeOutOfRange(NodeId),
+    /// An edit would have created a combinational cycle through this node.
+    Cycle(NodeId),
+    /// The circuit contains a combinational cycle (detected during ordering).
+    Cyclic,
+    /// A node that had to be a gate (e.g. a rewiring target) is a primary
+    /// input.
+    NotAGate(NodeId),
+    /// `.bench` parse failure with 1-based line number.
+    Parse { line: usize, message: String },
+    /// A cone truth-table extraction failed (too many inputs, or the target
+    /// depends on lines outside the given input cut).
+    Cone(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Arity { kind, got } => {
+                write!(f, "invalid fanin count {got} for gate kind {kind}")
+            }
+            NetlistError::NodeOutOfRange(id) => write!(f, "node id {id} out of range"),
+            NetlistError::Cycle(id) => {
+                write!(f, "edit would create a combinational cycle through node {id}")
+            }
+            NetlistError::Cyclic => write!(f, "circuit contains a combinational cycle"),
+            NetlistError::NotAGate(id) => write!(f, "node {id} is not a gate"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::Cone(message) => write!(f, "cone extraction failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,249 @@
+use std::fmt;
+
+/// The kind of a circuit node.
+///
+/// Multi-input kinds ([`And`](GateKind::And), [`Or`](GateKind::Or),
+/// [`Nand`](GateKind::Nand), [`Nor`](GateKind::Nor), [`Xor`](GateKind::Xor),
+/// [`Xnor`](GateKind::Xnor)) accept one or more fanins; `Xor`/`Xnor` with
+/// more than two fanins compute (complemented) parity. [`Not`](GateKind::Not)
+/// and [`Buf`](GateKind::Buf) take exactly one fanin; constants and
+/// [`Input`](GateKind::Input) take none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// A primary input.
+    Input,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// A non-inverting buffer.
+    Buf,
+    /// An inverter.
+    Not,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical OR of all fanins.
+    Or,
+    /// Complemented AND.
+    Nand,
+    /// Complemented OR.
+    Nor,
+    /// Parity (XOR) of all fanins.
+    Xor,
+    /// Complemented parity.
+    Xnor,
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl GateKind {
+    /// The canonical upper-case name used by the `.bench` format.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Whether the kind is a logic gate (not an input or constant).
+    pub fn is_gate(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Whether a node of this kind accepts `n` fanins.
+    pub fn accepts_arity(self, n: usize) -> bool {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => n == 0,
+            GateKind::Buf | GateKind::Not => n == 1,
+            _ => n >= 1,
+        }
+    }
+
+    /// The controlling input value of the gate, if it has one.
+    ///
+    /// A controlling value on any input determines the output regardless of
+    /// the other inputs (0 for AND/NAND, 1 for OR/NOR). Parity gates,
+    /// buffers, inverters, inputs and constants have none.
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Whether the gate inverts (output = complement of the uninverted
+    /// AND/OR/parity of the inputs). For `Not` this is `true`.
+    pub fn inverts(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor)
+    }
+
+    /// The same gate with the output inversion toggled, if such a kind
+    /// exists (e.g. `And` ↔ `Nand`). Constants also pair up; `Input` has no
+    /// complement kind.
+    pub fn complemented(self) -> Option<GateKind> {
+        Some(match self {
+            GateKind::And => GateKind::Nand,
+            GateKind::Nand => GateKind::And,
+            GateKind::Or => GateKind::Nor,
+            GateKind::Nor => GateKind::Or,
+            GateKind::Xor => GateKind::Xnor,
+            GateKind::Xnor => GateKind::Xor,
+            GateKind::Buf => GateKind::Not,
+            GateKind::Not => GateKind::Buf,
+            GateKind::Const0 => GateKind::Const1,
+            GateKind::Const1 => GateKind::Const0,
+            GateKind::Input => return None,
+        })
+    }
+
+    /// Evaluates the gate on boolean fanin values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is invalid for the kind (see
+    /// [`accepts_arity`](Self::accepts_arity)) or if called on
+    /// [`GateKind::Input`].
+    pub fn eval(self, fanins: &[bool]) -> bool {
+        assert!(self.accepts_arity(fanins.len()), "bad arity {} for {self}", fanins.len());
+        match self {
+            GateKind::Input => panic!("primary inputs have no gate function"),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => fanins[0],
+            GateKind::Not => !fanins[0],
+            GateKind::And => fanins.iter().all(|&b| b),
+            GateKind::Nand => !fanins.iter().all(|&b| b),
+            GateKind::Or => fanins.iter().any(|&b| b),
+            GateKind::Nor => !fanins.iter().any(|&b| b),
+            GateKind::Xor => fanins.iter().filter(|&&b| b).count() % 2 == 1,
+            GateKind::Xnor => fanins.iter().filter(|&&b| b).count() % 2 == 0,
+        }
+    }
+
+    /// Evaluates the gate over 64 parallel patterns packed into `u64` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`eval`](Self::eval).
+    pub fn eval_words(self, fanins: &[u64]) -> u64 {
+        assert!(self.accepts_arity(fanins.len()), "bad arity {} for {self}", fanins.len());
+        match self {
+            GateKind::Input => panic!("primary inputs have no gate function"),
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Buf => fanins[0],
+            GateKind::Not => !fanins[0],
+            GateKind::And => fanins.iter().fold(u64::MAX, |a, &b| a & b),
+            GateKind::Nand => !fanins.iter().fold(u64::MAX, |a, &b| a & b),
+            GateKind::Or => fanins.iter().fold(0, |a, &b| a | b),
+            GateKind::Nor => !fanins.iter().fold(0, |a, &b| a | b),
+            GateKind::Xor => fanins.iter().fold(0, |a, &b| a ^ b),
+            GateKind::Xnor => !fanins.iter().fold(0, |a, &b| a ^ b),
+        }
+    }
+
+    /// Whether the fanin order is irrelevant (all supported gates are
+    /// symmetric; buffers and inverters trivially so).
+    pub fn is_symmetric(self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [GateKind; 11] = [
+        GateKind::Input,
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ];
+
+    #[test]
+    fn eval_matches_eval_words_on_all_kinds() {
+        for kind in ALL.into_iter().filter(|k| k.is_gate()) {
+            for n in 1..=3usize {
+                if !kind.accepts_arity(n) {
+                    continue;
+                }
+                for m in 0..1u32 << n {
+                    let bools: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+                    let words: Vec<u64> =
+                        bools.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+                    let scalar = kind.eval(&bools);
+                    let word = kind.eval_words(&words);
+                    assert_eq!(word, if scalar { u64::MAX } else { 0 }, "{kind} on {bools:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complemented_is_involutive() {
+        for kind in ALL {
+            if let Some(c) = kind.complemented() {
+                assert_eq!(c.complemented(), Some(kind));
+                if kind.is_gate() && kind.accepts_arity(2) {
+                    for m in 0..4u32 {
+                        let bools = [m & 1 == 1, m & 2 == 2];
+                        assert_eq!(kind.eval(&bools), !c.eval(&bools), "{kind} vs {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        // A controlling value really controls.
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Or, GateKind::Nor] {
+            let c = kind.controlling_value().unwrap();
+            for other in [false, true] {
+                let out = kind.eval(&[c, other]);
+                assert_eq!(out, kind.eval(&[c, !other]), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_parity() {
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true, false, false]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Input.accepts_arity(0));
+        assert!(!GateKind::Input.accepts_arity(1));
+        assert!(GateKind::Not.accepts_arity(1));
+        assert!(!GateKind::Not.accepts_arity(2));
+        assert!(GateKind::And.accepts_arity(5));
+        assert!(!GateKind::And.accepts_arity(0));
+    }
+}

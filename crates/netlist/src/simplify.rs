@@ -1,0 +1,462 @@
+//! Structural simplification passes.
+//!
+//! Each pass takes a mutable [`Circuit`] and returns the number of changes it
+//! made, so passes can be iterated to a fixpoint ([`normalize`]). All passes
+//! preserve the circuit function (for every primary-output slot).
+
+use crate::{Circuit, GateKind, NodeId};
+use std::collections::HashMap;
+
+/// Folds constants through gates and simplifies duplicate fanins.
+///
+/// Rules (per gate, applied until the gate stabilizes):
+/// - AND/NAND: a `Const0` fanin forces the output; `Const1` fanins drop.
+/// - OR/NOR: a `Const1` fanin forces the output; `Const0` fanins drop.
+/// - XOR/XNOR: `Const0` fanins drop; each `Const1` fanin toggles the output
+///   inversion; duplicated fanins cancel pairwise.
+/// - AND/OR/NAND/NOR: duplicate fanins dedupe.
+/// - A gate left with one fanin becomes a `Buf`/`Not`; with none, a constant.
+/// - `Buf`/`Not` of a constant folds.
+///
+/// Returns the number of nodes changed.
+pub fn propagate_constants(c: &mut Circuit) -> usize {
+    let order = c.topo_order().expect("combinational circuit");
+    let mut changed = 0;
+    for id in order {
+        let node = c.node(id);
+        let kind = node.kind();
+        if !kind.is_gate() {
+            continue;
+        }
+        let fanins: Vec<NodeId> = node.fanins().to_vec();
+        let (new_kind, new_fanins) = fold_gate(c, kind, &fanins);
+        if new_kind != kind || new_fanins != fanins {
+            c.rewire(id, new_kind, new_fanins).expect("folding cannot create cycles");
+            changed += 1;
+        }
+    }
+    changed
+}
+
+fn const_of(c: &Circuit, id: NodeId) -> Option<bool> {
+    match c.node(id).kind() {
+        GateKind::Const0 => Some(false),
+        GateKind::Const1 => Some(true),
+        _ => None,
+    }
+}
+
+/// Computes the folded (kind, fanins) for a gate without mutating the
+/// circuit. Constants required by the folded form must already exist; we
+/// reuse any constant node present or keep the gate in a normalized
+/// `Const`-kind with no fanins.
+fn fold_gate(c: &Circuit, kind: GateKind, fanins: &[NodeId]) -> (GateKind, Vec<NodeId>) {
+    match kind {
+        GateKind::Buf | GateKind::Not => {
+            if let Some(v) = const_of(c, fanins[0]) {
+                let out = if kind == GateKind::Not { !v } else { v };
+                (if out { GateKind::Const1 } else { GateKind::Const0 }, Vec::new())
+            } else {
+                (kind, fanins.to_vec())
+            }
+        }
+        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+            let controlling = kind.controlling_value().expect("and/or family");
+            let inverts = kind.inverts();
+            let mut kept: Vec<NodeId> = Vec::with_capacity(fanins.len());
+            for &f in fanins {
+                match const_of(c, f) {
+                    Some(v) if v == controlling => {
+                        // Output forced to controlling ^ inversion semantics:
+                        // AND with 0 -> 0, NAND with 0 -> 1, OR with 1 -> 1,
+                        // NOR with 1 -> 0.
+                        let out = match kind {
+                            GateKind::And => false,
+                            GateKind::Nand => true,
+                            GateKind::Or => true,
+                            GateKind::Nor => false,
+                            _ => unreachable!(),
+                        };
+                        return (if out { GateKind::Const1 } else { GateKind::Const0 }, Vec::new());
+                    }
+                    Some(_) => {} // non-controlling constant: drop
+                    None => {
+                        if !kept.contains(&f) {
+                            kept.push(f);
+                        }
+                    }
+                }
+            }
+            match kept.len() {
+                0 => {
+                    // Empty AND = 1, empty OR = 0, then inversion.
+                    let base = matches!(kind, GateKind::And | GateKind::Nand);
+                    let out = base != inverts;
+                    (if out { GateKind::Const1 } else { GateKind::Const0 }, Vec::new())
+                }
+                1 => (if inverts { GateKind::Not } else { GateKind::Buf }, kept),
+                _ => (kind, kept),
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut invert = kind == GateKind::Xnor;
+            let mut kept: Vec<NodeId> = Vec::with_capacity(fanins.len());
+            for &f in fanins {
+                match const_of(c, f) {
+                    Some(true) => invert = !invert,
+                    Some(false) => {}
+                    None => {
+                        // Pairwise cancellation of duplicates.
+                        if let Some(pos) = kept.iter().position(|&k| k == f) {
+                            kept.remove(pos);
+                        } else {
+                            kept.push(f);
+                        }
+                    }
+                }
+            }
+            match kept.len() {
+                0 => (if invert { GateKind::Const1 } else { GateKind::Const0 }, Vec::new()),
+                1 => (if invert { GateKind::Not } else { GateKind::Buf }, kept),
+                _ => (if invert { GateKind::Xnor } else { GateKind::Xor }, kept),
+            }
+        }
+        _ => (kind, fanins.to_vec()),
+    }
+}
+
+/// Collapses buffers: consumers of a `Buf` read its fanin directly. The
+/// buffer node itself is left in place (swept later if dead). Double
+/// inverters are collapsed the same way (`Not(Not(x))` consumers read `x`).
+///
+/// Returns the number of fanin references rewritten.
+pub fn collapse_buffers(c: &mut Circuit) -> usize {
+    // target[i] = the line consumers should read instead of i.
+    let order = c.topo_order().expect("combinational circuit");
+    let mut target: Vec<NodeId> = (0..c.len()).map(NodeId::from_index).collect();
+    for id in order {
+        let node = c.node(id);
+        match node.kind() {
+            GateKind::Buf => target[id.index()] = target[node.fanins()[0].index()],
+            GateKind::Not => {
+                let inner = target[node.fanins()[0].index()];
+                if c.node(inner).kind() == GateKind::Not {
+                    target[id.index()] = target[c.node(inner).fanins()[0].index()];
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut changed = 0;
+    for i in 0..c.len() {
+        let id = NodeId::from_index(i);
+        let node = c.node(id);
+        if !node.kind().is_gate() {
+            continue;
+        }
+        let fanins: Vec<NodeId> = node.fanins().to_vec();
+        let new: Vec<NodeId> = fanins.iter().map(|f| target[f.index()]).collect();
+        if new != fanins {
+            let kind = node.kind();
+            // Re-fold in case dedup opportunities appear.
+            let (k2, f2) = fold_gate(c, kind, &new);
+            c.rewire(id, k2, f2).expect("redirecting to equivalent lines is acyclic");
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Merges same-kind AND/OR chains: a fanin that is the same kind of gate
+/// (AND into AND, OR into OR) and has no other consumer is inlined into its
+/// consumer, producing a wider gate. This implements the paper's gate
+/// merging (Fig. 4: "when k consecutive gates have the same type, they can
+/// be combined into a k+1 input gate").
+///
+/// Returns the number of inlined gates.
+pub fn merge_chains(c: &mut Circuit) -> usize {
+    let mut total = 0;
+    loop {
+        let counts = c.fanout_counts();
+        let order = c.topo_order().expect("combinational circuit");
+        let mut changed = 0;
+        for id in order {
+            let kind = c.node(id).kind();
+            if !matches!(kind, GateKind::And | GateKind::Or) {
+                continue;
+            }
+            let fanins: Vec<NodeId> = c.node(id).fanins().to_vec();
+            let mut new_fanins: Vec<NodeId> = Vec::with_capacity(fanins.len());
+            let mut merged = false;
+            for f in fanins {
+                let fnode = c.node(f);
+                if fnode.kind() == kind && counts[f.index()] == 1 {
+                    for &g in fnode.fanins() {
+                        if !new_fanins.contains(&g) {
+                            new_fanins.push(g);
+                        }
+                    }
+                    merged = true;
+                } else if !new_fanins.contains(&f) {
+                    new_fanins.push(f);
+                }
+            }
+            if merged {
+                c.rewire(id, kind, new_fanins).expect("inlining fanins is acyclic");
+                changed += 1;
+            }
+        }
+        total += changed;
+        if changed == 0 {
+            return total;
+        }
+    }
+}
+
+/// Structural hashing: merges gates with identical (kind, sorted fanins).
+/// Consumers of a duplicate are redirected to the representative.
+///
+/// Returns the number of duplicate gates eliminated.
+pub fn strash(c: &mut Circuit) -> usize {
+    let order = c.topo_order().expect("combinational circuit");
+    let mut repr: Vec<NodeId> = (0..c.len()).map(NodeId::from_index).collect();
+    let mut table: HashMap<(GateKind, Vec<NodeId>), NodeId> = HashMap::new();
+    let mut changed = 0;
+    let mut duplicates: Vec<(NodeId, NodeId)> = Vec::new();
+    for id in order {
+        let node = c.node(id);
+        if !node.kind().is_gate() {
+            continue;
+        }
+        // Buffers never become class representatives (a duplicate demoted
+        // to Buf on an earlier pass must not re-register as a duplicate).
+        if node.kind() == GateKind::Buf {
+            repr[id.index()] = repr[node.fanins()[0].index()];
+            continue;
+        }
+        let mut fanins: Vec<NodeId> = node.fanins().iter().map(|f| repr[f.index()]).collect();
+        if node.kind().is_symmetric() {
+            fanins.sort_unstable();
+        }
+        let key = (node.kind(), fanins.clone());
+        match table.get(&key) {
+            Some(&existing) => {
+                repr[id.index()] = existing;
+                duplicates.push((id, existing));
+            }
+            None => {
+                table.insert(key, id);
+                if fanins != node.fanins() {
+                    c.rewire(id, node.kind(), fanins).expect("representatives are acyclic");
+                    changed += 1;
+                }
+            }
+        }
+    }
+    if !duplicates.is_empty() {
+        for i in 0..c.len() {
+            let id = NodeId::from_index(i);
+            let node = c.node(id);
+            if !node.kind().is_gate() {
+                continue;
+            }
+            let fanins: Vec<NodeId> = node.fanins().iter().map(|f| repr[f.index()]).collect();
+            if fanins != node.fanins() {
+                let kind = node.kind();
+                c.rewire(id, kind, fanins).expect("representatives are acyclic");
+                changed += 1;
+            }
+        }
+        // Demote each duplicate to a buffer of its representative so the
+        // pass is idempotent (re-running finds nothing new to merge).
+        for (dup, existing) in duplicates {
+            let node = c.node(dup);
+            if node.kind() == GateKind::Buf && node.fanins() == [existing] {
+                continue;
+            }
+            c.rewire(dup, GateKind::Buf, vec![existing])
+                .expect("a duplicate never lies in its representative's fanin cone");
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Runs [`propagate_constants`], [`collapse_buffers`], [`strash`] and
+/// [`Circuit::sweep`] to a fixpoint. Does **not** merge chains (chain
+/// merging changes gate granularity; callers opt in explicitly).
+///
+/// Returns the total number of changes.
+pub fn normalize(c: &mut Circuit) -> usize {
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        changed += propagate_constants(c);
+        changed += collapse_buffers(c);
+        changed += strash(c);
+        total += changed;
+        if changed == 0 {
+            c.sweep();
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    fn outputs_for_all(c: &Circuit) -> Vec<Vec<bool>> {
+        let n = c.inputs().len();
+        (0..1u32 << n)
+            .map(|m| {
+                let assignment: Vec<bool> = (0..n).map(|i| m >> (n - 1 - i) & 1 == 1).collect();
+                c.eval_assignment(&assignment)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn constants_fold_through_and() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let k1 = c.add_const(true);
+        let k0 = c.add_const(false);
+        let g1 = c.add_gate(GateKind::And, vec![a, k1]).unwrap(); // = a
+        let g2 = c.add_gate(GateKind::Or, vec![g1, k0]).unwrap(); // = a
+        c.add_output(g2, "y");
+        let before = outputs_for_all(&c);
+        propagate_constants(&mut c);
+        assert_eq!(outputs_for_all(&c), before);
+        assert_eq!(c.node(g1).kind(), GateKind::Buf);
+        assert_eq!(c.node(g2).kind(), GateKind::Buf);
+    }
+
+    #[test]
+    fn forced_output_becomes_constant() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let k0 = c.add_const(false);
+        let g = c.add_gate(GateKind::Nand, vec![a, k0]).unwrap();
+        c.add_output(g, "y");
+        propagate_constants(&mut c);
+        assert_eq!(c.node(g).kind(), GateKind::Const1);
+    }
+
+    #[test]
+    fn xor_constant_and_duplicate_rules() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let k1 = c.add_const(true);
+        let g1 = c.add_gate(GateKind::Xor, vec![a, b, k1]).unwrap(); // xnor(a,b)
+        let g2 = c.add_gate(GateKind::Xor, vec![a, a, b]).unwrap(); // buf(b)
+        c.add_output(g1, "y1");
+        c.add_output(g2, "y2");
+        let before = outputs_for_all(&c);
+        propagate_constants(&mut c);
+        assert_eq!(outputs_for_all(&c), before);
+        assert_eq!(c.node(g1).kind(), GateKind::Xnor);
+        assert_eq!(c.node(g2).kind(), GateKind::Buf);
+    }
+
+    #[test]
+    fn duplicate_fanins_dedupe() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.add_gate(GateKind::And, vec![a, a]).unwrap();
+        c.add_output(g, "y");
+        propagate_constants(&mut c);
+        assert_eq!(c.node(g).kind(), GateKind::Buf);
+    }
+
+    #[test]
+    fn buffers_collapse() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let buf = c.add_gate(GateKind::Buf, vec![a]).unwrap();
+        let n1 = c.add_gate(GateKind::Not, vec![b]).unwrap();
+        let n2 = c.add_gate(GateKind::Not, vec![n1]).unwrap();
+        let g = c.add_gate(GateKind::And, vec![buf, n2]).unwrap();
+        c.add_output(g, "y");
+        let before = outputs_for_all(&c);
+        collapse_buffers(&mut c);
+        assert_eq!(outputs_for_all(&c), before);
+        assert_eq!(c.node(g).fanins(), &[a, b]);
+    }
+
+    #[test]
+    fn chains_merge_into_wide_gate() {
+        // AND(AND(a,b),c) with single fanout merges to AND(a,b,c).
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let inner = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let outer = c.add_gate(GateKind::And, vec![inner, d]).unwrap();
+        c.add_output(outer, "y");
+        let before = outputs_for_all(&c);
+        assert_eq!(merge_chains(&mut c), 1);
+        assert_eq!(outputs_for_all(&c), before);
+        assert_eq!(c.node(outer).fanins().len(), 3);
+    }
+
+    #[test]
+    fn chains_do_not_merge_shared_gates() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let inner = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let outer = c.add_gate(GateKind::And, vec![inner, d]).unwrap();
+        c.add_output(outer, "y");
+        c.add_output(inner, "z"); // inner is shared with an output
+        assert_eq!(merge_chains(&mut c), 0);
+    }
+
+    #[test]
+    fn strash_merges_duplicates() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::And, vec![b, a]).unwrap(); // same, permuted
+        let o = c.add_gate(GateKind::Or, vec![g1, g2]).unwrap();
+        c.add_output(o, "y");
+        let before = outputs_for_all(&c);
+        let changed = strash(&mut c);
+        assert!(changed >= 2, "redirect + demotion at minimum, got {changed}");
+        assert_eq!(outputs_for_all(&c), before);
+        // One of the two ANDs became the representative, the other a buffer
+        // of it, and the OR reads the representative twice.
+        let (repr, dup) = if c.node(g1).kind() == GateKind::And { (g1, g2) } else { (g2, g1) };
+        assert_eq!(c.node(dup).kind(), GateKind::Buf);
+        assert_eq!(c.node(dup).fanins(), &[repr]);
+        assert_eq!(c.node(o).fanins(), &[repr, repr]);
+        // Idempotent: a second run changes nothing (the fixpoint property
+        // `normalize` relies on).
+        assert_eq!(strash(&mut c), 0);
+    }
+
+    #[test]
+    fn normalize_reaches_fixpoint_and_sweeps() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let k1 = c.add_const(true);
+        let g1 = c.add_gate(GateKind::And, vec![a, k1]).unwrap();
+        let g2 = c.add_gate(GateKind::And, vec![g1, b]).unwrap();
+        let g3 = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let o = c.add_gate(GateKind::Or, vec![g2, g3]).unwrap();
+        c.add_output(o, "y");
+        let before = outputs_for_all(&c);
+        normalize(&mut c);
+        assert_eq!(outputs_for_all(&c), before);
+        // g2 and g3 become the same AND(a,b); OR dedupes to Buf; everything
+        // else swept. Final: 2 inputs + AND + OR-as-buf.
+        assert!(c.len() <= 4, "got {} nodes", c.len());
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! Circuit size and shape statistics, including the paper's equivalent
+//! 2-input gate count.
+
+use crate::{Circuit, GateKind};
+use std::fmt;
+
+/// A summary of circuit size and testability-relevant shape metrics.
+///
+/// Produced by [`Circuit::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of live nodes (reachable from an output), including inputs.
+    pub live_nodes: usize,
+    /// Number of live logic gates (including buffers and inverters).
+    pub gates: usize,
+    /// Equivalent 2-input gate count (the paper's area metric).
+    pub two_input_gates: u64,
+    /// Total number of input-to-output paths (Procedure 1).
+    pub paths: u128,
+    /// Number of gates on the longest input-to-output path (buffers and
+    /// inverters included).
+    pub depth: u32,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in={} out={} gates={} eq2={} paths={} depth={}",
+            self.inputs, self.outputs, self.gates, self.two_input_gates, self.paths, self.depth
+        )
+    }
+}
+
+/// Equivalent 2-input gate cost of one gate kind with `arity` fanins.
+///
+/// A `k`-input AND/OR/NAND/NOR/XOR/XNOR counts as `k - 1` two-input gates
+/// (the paper, Section 5). Inverters and buffers count 0; the paper does not
+/// specify their cost, and the classical equivalent-gate convention charges
+/// only for the 2-input gate tree. The convention is applied uniformly to
+/// both the original and the modified circuits, so every comparison the
+/// paper makes is unaffected by this choice (see DESIGN.md).
+pub fn two_input_cost(kind: GateKind, arity: usize) -> u64 {
+    match kind {
+        GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+        | GateKind::Xnor => arity.saturating_sub(1) as u64,
+        _ => 0,
+    }
+}
+
+impl Circuit {
+    /// Equivalent 2-input gate count over live logic (the paper's area
+    /// metric; see [`two_input_cost`]).
+    pub fn two_input_gate_count(&self) -> u64 {
+        let live = self.live_mask();
+        self.iter()
+            .filter(|(id, _)| live[id.index()])
+            .map(|(_, n)| two_input_cost(n.kind(), n.fanins().len()))
+            .sum()
+    }
+
+    /// Number of gates (including buffers/inverters) on the longest
+    /// input-to-output path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn depth(&self) -> u32 {
+        let levels = self.levels().expect("combinational circuit");
+        self.outputs().iter().map(|o| levels[o.index()]).max().unwrap_or(0)
+    }
+
+    /// Computes the full [`CircuitStats`] summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn stats(&self) -> CircuitStats {
+        let live = self.live_mask();
+        let live_nodes = live.iter().filter(|&&b| b).count();
+        let gates = self
+            .iter()
+            .filter(|(id, n)| live[id.index()] && n.kind().is_gate())
+            .count();
+        CircuitStats {
+            inputs: self.inputs().len(),
+            outputs: self.outputs().len(),
+            live_nodes,
+            gates,
+            two_input_gates: self.two_input_gate_count(),
+            paths: self.path_count(),
+            depth: self.depth(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn eq2_counts_wide_gates() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let n = c.add_gate(GateKind::Not, vec![a]).unwrap();
+        let g = c.add_gate(GateKind::And, vec![n, b, d]).unwrap();
+        c.add_output(g, "y");
+        // 3-input AND = 2 eq-2 gates; NOT = 0.
+        assert_eq!(c.two_input_gate_count(), 2);
+    }
+
+    #[test]
+    fn eq2_ignores_dead_logic() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let _dead = c.add_gate(GateKind::Or, vec![a, b]).unwrap();
+        c.add_output(g, "y");
+        assert_eq!(c.two_input_gate_count(), 1);
+    }
+
+    #[test]
+    fn stats_summary() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let n = c.add_gate(GateKind::Not, vec![a]).unwrap();
+        let g = c.add_gate(GateKind::And, vec![n, b]).unwrap();
+        c.add_output(g, "y");
+        let s = c.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.two_input_gates, 1);
+        assert_eq!(s.paths, 2);
+        assert_eq!(s.depth, 2);
+        assert!(s.to_string().contains("eq2=1"));
+    }
+
+    #[test]
+    fn cost_table() {
+        assert_eq!(two_input_cost(GateKind::And, 5), 4);
+        assert_eq!(two_input_cost(GateKind::Nor, 2), 1);
+        assert_eq!(two_input_cost(GateKind::Not, 1), 0);
+        assert_eq!(two_input_cost(GateKind::Buf, 1), 0);
+        assert_eq!(two_input_cost(GateKind::Const1, 0), 0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Two-level (sum-of-products) synthesis from truth tables.
+//!
+//! Used by the examples and tests to materialize arbitrary small functions
+//! as gate-level logic — the "before" circuits the resynthesis procedures
+//! improve.
+
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+use sft_truth::{CubeList, Literal, TruthTable};
+
+impl Circuit {
+    /// Builds a sum-of-products implementation of `table` over the given
+    /// input lines (one per table input, MSB first) and returns the output
+    /// line. Inverters are shared per input; single-cube and constant
+    /// functions degenerate gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cone`] if `inputs.len() != table.inputs()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sft_netlist::Circuit;
+    /// use sft_truth::TruthTable;
+    ///
+    /// let maj = TruthTable::from_minterms(3, &[3, 5, 6, 7])?;
+    /// let mut c = Circuit::new("maj");
+    /// let ins: Vec<_> = (0..3).map(|i| c.add_input(format!("x{i}"))).collect();
+    /// let out = c.synthesize_sop(&ins, &maj)?;
+    /// c.add_output(out, "y");
+    /// assert_eq!(c.eval_assignment(&[true, true, false]), vec![true]);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn synthesize_sop(
+        &mut self,
+        inputs: &[NodeId],
+        table: &TruthTable,
+    ) -> Result<NodeId, NetlistError> {
+        if inputs.len() != table.inputs() {
+            return Err(NetlistError::Cone(format!(
+                "sop needs {} input lines, got {}",
+                table.inputs(),
+                inputs.len()
+            )));
+        }
+        if table.is_zero() {
+            return Ok(self.add_const(false));
+        }
+        if table.is_one() {
+            return Ok(self.add_const(true));
+        }
+        let cover = CubeList::from_table(table);
+        let mut negations: Vec<Option<NodeId>> = vec![None; inputs.len()];
+        let mut terms = Vec::with_capacity(cover.len());
+        for cube in cover.cubes() {
+            let mut fanins = Vec::new();
+            for (i, &line) in inputs.iter().enumerate() {
+                match cube.literal(i) {
+                    Literal::DontCare => {}
+                    Literal::Positive => fanins.push(line),
+                    Literal::Negative => {
+                        let neg = match negations[i] {
+                            Some(n) => n,
+                            None => {
+                                let n = self.add_gate(GateKind::Not, vec![line])?;
+                                negations[i] = Some(n);
+                                n
+                            }
+                        };
+                        fanins.push(neg);
+                    }
+                }
+            }
+            terms.push(match fanins.len() {
+                0 => self.add_const(true), // universal cube
+                1 => fanins[0],
+                _ => self.add_gate(GateKind::And, fanins)?,
+            });
+        }
+        match terms.len() {
+            1 => Ok(terms[0]),
+            _ => self.add_gate(GateKind::Or, terms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_3_input_functions_synthesize_exactly() {
+        for bits in 0..=255u128 {
+            let table = TruthTable::from_bits(3, bits);
+            let mut c = Circuit::new("t");
+            let ins: Vec<_> = (0..3).map(|i| c.add_input(format!("x{i}"))).collect();
+            let out = c.synthesize_sop(&ins, &table).unwrap();
+            c.add_output(out, "y");
+            c.validate().unwrap();
+            for m in 0..8u64 {
+                let a: Vec<bool> = (0..3).map(|i| m >> (2 - i) & 1 == 1).collect();
+                assert_eq!(c.eval_assignment(&a)[0], table.value(m), "bits {bits:#x} m {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverters_are_shared() {
+        // !x1!x2 + !x1 x3: one inverter for x1, one for x2.
+        let table = TruthTable::from_fn(3, |m| {
+            let x1 = m >> 2 & 1 == 1;
+            let x2 = m >> 1 & 1 == 1;
+            let x3 = m & 1 == 1;
+            (!x1 && !x2) || (!x1 && x3)
+        });
+        let mut c = Circuit::new("t");
+        let ins: Vec<_> = (0..3).map(|i| c.add_input(format!("x{i}"))).collect();
+        let out = c.synthesize_sop(&ins, &table).unwrap();
+        c.add_output(out, "y");
+        let inverters =
+            c.iter().filter(|(_, n)| n.kind() == GateKind::Not).count();
+        assert!(inverters <= 2, "{inverters} inverters");
+    }
+
+    #[test]
+    fn wrong_input_count_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let table = TruthTable::one(2);
+        assert!(c.synthesize_sop(&[a], &table).is_err());
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let out = c.synthesize_sop(&[a], &TruthTable::variable(1, 0)).unwrap();
+        assert_eq!(out, a, "identity synthesizes to the input line itself");
+        let z = c.synthesize_sop(&[a], &TruthTable::zero(1)).unwrap();
+        assert_eq!(c.node(z).kind(), GateKind::Const0);
+    }
+}

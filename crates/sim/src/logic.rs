@@ -1,0 +1,140 @@
+use sft_netlist::{Circuit, GateKind, NodeId};
+
+/// A 64-way bit-parallel good-machine simulator.
+///
+/// Construction precomputes the topological order; each [`eval`](Self::eval)
+/// call then simulates 64 input patterns in one sweep. Bit `p` of every word
+/// belongs to pattern `p`.
+///
+/// # Examples
+///
+/// ```
+/// use sft_netlist::bench_format::parse;
+/// use sft_sim::Simulator;
+///
+/// let c = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", "x")?;
+/// let sim = Simulator::new(&c);
+/// // Pattern bit 0: a=1,b=0; bit 1: a=1,b=1.
+/// let values = sim.eval(&[0b11, 0b10]);
+/// assert_eq!(sim.output_words(&values), vec![0b01]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+    order: Vec<NodeId>,
+    /// Position of each primary input in the input vector, indexed by node.
+    input_pos: Vec<usize>,
+}
+
+impl<'c> Simulator<'c> {
+    /// Prepares a simulator for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        let order = circuit.topo_order().expect("combinational circuit");
+        let mut input_pos = vec![usize::MAX; circuit.len()];
+        for (i, &id) in circuit.inputs().iter().enumerate() {
+            input_pos[id.index()] = i;
+        }
+        Simulator { circuit, order, input_pos }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The cached topological order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Simulates 64 patterns; `input_words[i]` carries the 64 values of
+    /// primary input `i`. Returns one word per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn eval(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(input_words.len(), self.circuit.inputs().len(), "input word count mismatch");
+        let mut values = vec![0u64; self.circuit.len()];
+        self.eval_into(input_words, &mut values);
+        values
+    }
+
+    /// Like [`eval`](Self::eval) but reuses a caller-provided buffer
+    /// (resized as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn eval_into(&self, input_words: &[u64], values: &mut Vec<u64>) {
+        assert_eq!(input_words.len(), self.circuit.inputs().len(), "input word count mismatch");
+        values.clear();
+        values.resize(self.circuit.len(), 0);
+        let mut buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in &self.order {
+            let node = self.circuit.node(id);
+            values[id.index()] = match node.kind() {
+                GateKind::Input => input_words[self.input_pos[id.index()]],
+                kind => {
+                    buf.clear();
+                    buf.extend(node.fanins().iter().map(|f| values[f.index()]));
+                    kind.eval_words(&buf)
+                }
+            };
+        }
+    }
+
+    /// Extracts the primary-output words from a full value vector.
+    pub fn output_words(&self, values: &[u64]) -> Vec<u64> {
+        self.circuit.outputs().iter().map(|o| values[o.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+
+    #[test]
+    fn parallel_matches_scalar() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+t1 = NAND(a, b)\nt2 = XOR(t1, c)\ny = NOR(t2, a)\nz = OR(t1, t2, c)\n";
+        let c = parse(src, "mix").unwrap();
+        let sim = Simulator::new(&c);
+        // Pack all 8 input combinations into one word.
+        let mut words = vec![0u64; 3];
+        for m in 0..8u64 {
+            for i in 0..3 {
+                if m >> (2 - i) & 1 == 1 {
+                    words[i] |= 1 << m;
+                }
+            }
+        }
+        let values = sim.eval(&words);
+        let outs = sim.output_words(&values);
+        for m in 0..8u64 {
+            let a: Vec<bool> = (0..3).map(|i| m >> (2 - i) & 1 == 1).collect();
+            let expect = c.eval_assignment(&a);
+            for (o, &word) in outs.iter().enumerate() {
+                assert_eq!(word >> m & 1 == 1, expect[o], "pattern {m} output {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_into_reuses_buffer() {
+        let c = parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "n").unwrap();
+        let sim = Simulator::new(&c);
+        let mut buf = Vec::new();
+        sim.eval_into(&[0xF0F0], &mut buf);
+        assert_eq!(sim.output_words(&buf), vec![!0xF0F0]);
+        sim.eval_into(&[0], &mut buf);
+        assert_eq!(sim.output_words(&buf), vec![u64::MAX]);
+    }
+}

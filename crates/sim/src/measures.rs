@@ -1,0 +1,248 @@
+//! COP-style probabilistic testability measures.
+//!
+//! The paper's Table 6 measures random-pattern stuck-at testability by
+//! brute-force simulation; the classical *controllability/observability
+//! program* (COP) estimates the same quantities analytically: under
+//! independent uniform inputs,
+//!
+//! - `C1(ℓ)` — the probability that line `ℓ` is 1;
+//! - `O(ℓ)`  — the probability that flipping `ℓ` flips some output;
+//! - the detection probability of `ℓ s-a-v` is then approximately
+//!   `O(ℓ) · (v ? C0 : C1)(ℓ)`.
+//!
+//! COP treats reconverging signals as independent, so the estimates are
+//! approximations; the tests cross-check them against exact exhaustive
+//! computation on small circuits and verify exactness on trees.
+
+use crate::Fault;
+use sft_netlist::{Circuit, GateKind, NodeId};
+
+/// Per-line COP estimates.
+#[derive(Debug, Clone)]
+pub struct CopMeasures {
+    /// `C1` per node: probability the line is 1 under uniform inputs.
+    pub controllability: Vec<f64>,
+    /// `O` per node: probability a flip on the line reaches an output.
+    pub observability: Vec<f64>,
+}
+
+impl CopMeasures {
+    /// Estimated detection probability of `fault` under one uniform random
+    /// pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault site is out of range.
+    pub fn detection_probability(&self, circuit: &Circuit, fault: Fault) -> f64 {
+        match fault.site {
+            crate::FaultSite::Stem(n) => {
+                let c1 = self.controllability[n.index()];
+                let activation = if fault.stuck { 1.0 - c1 } else { c1 };
+                activation * self.observability[n.index()]
+            }
+            crate::FaultSite::Branch { gate, pin } => {
+                let driver = circuit.node(gate).fanins()[pin as usize];
+                let c1 = self.controllability[driver.index()];
+                let activation = if fault.stuck { 1.0 - c1 } else { c1 };
+                // Branch observability: the driver's flip must pass this
+                // particular gate; approximate with the gate output's
+                // observability times the side-input sensitization
+                // probability.
+                let sens = gate_sensitization(self, circuit, gate, pin as usize);
+                activation * sens * self.observability[gate.index()]
+            }
+        }
+    }
+}
+
+fn gate_sensitization(m: &CopMeasures, circuit: &Circuit, gate: NodeId, pin: usize) -> f64 {
+    let node = circuit.node(gate);
+    match node.kind() {
+        GateKind::Buf | GateKind::Not => 1.0,
+        GateKind::And | GateKind::Nand => node
+            .fanins()
+            .iter()
+            .enumerate()
+            .filter(|&(q, _)| q != pin)
+            .map(|(_, f)| m.controllability[f.index()])
+            .product(),
+        GateKind::Or | GateKind::Nor => node
+            .fanins()
+            .iter()
+            .enumerate()
+            .filter(|&(q, _)| q != pin)
+            .map(|(_, f)| 1.0 - m.controllability[f.index()])
+            .product(),
+        GateKind::Xor | GateKind::Xnor => 1.0,
+        _ => 0.0,
+    }
+}
+
+/// Computes COP controllability and observability for every line.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn cop_measures(circuit: &Circuit) -> CopMeasures {
+    let order = circuit.topo_order().expect("combinational circuit");
+    let mut c1 = vec![0.0f64; circuit.len()];
+    for &id in &order {
+        let node = circuit.node(id);
+        c1[id.index()] = match node.kind() {
+            GateKind::Input => 0.5,
+            GateKind::Const0 => 0.0,
+            GateKind::Const1 => 1.0,
+            GateKind::Buf => c1[node.fanins()[0].index()],
+            GateKind::Not => 1.0 - c1[node.fanins()[0].index()],
+            GateKind::And | GateKind::Nand => {
+                let p: f64 = node.fanins().iter().map(|f| c1[f.index()]).product();
+                if node.kind() == GateKind::Nand {
+                    1.0 - p
+                } else {
+                    p
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let p: f64 = node.fanins().iter().map(|f| 1.0 - c1[f.index()]).product();
+                if node.kind() == GateKind::Nor {
+                    p
+                } else {
+                    1.0 - p
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                // P(odd number of 1s) for independent inputs.
+                let mut odd = 0.0f64;
+                for f in node.fanins() {
+                    let p = c1[f.index()];
+                    odd = odd * (1.0 - p) + (1.0 - odd) * p;
+                }
+                if node.kind() == GateKind::Xnor {
+                    1.0 - odd
+                } else {
+                    odd
+                }
+            }
+        };
+    }
+    // Observability: outputs have O = 1; propagate backwards. A line seen
+    // by several consumers gets the max (a flip needs only one live path —
+    // COP's standard approximation).
+    let mut obs = vec![0.0f64; circuit.len()];
+    for &o in circuit.outputs() {
+        obs[o.index()] = 1.0;
+    }
+    let measures_stub =
+        CopMeasures { controllability: c1.clone(), observability: Vec::new() };
+    for &id in order.iter().rev() {
+        let node = circuit.node(id);
+        if !node.kind().is_gate() {
+            continue;
+        }
+        let out_obs = obs[id.index()];
+        for (pin, &f) in node.fanins().iter().enumerate() {
+            let through = out_obs * gate_sensitization(&measures_stub, circuit, id, pin);
+            if through > obs[f.index()] {
+                obs[f.index()] = through;
+            }
+        }
+    }
+    CopMeasures { controllability: c1, observability: obs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fault_list, FaultSim};
+    use sft_netlist::bench_format::parse;
+
+    /// Exact detection probability by exhaustive simulation.
+    fn exact_detection_probability(c: &Circuit, fault: Fault) -> f64 {
+        let n = c.inputs().len();
+        let mut fsim = FaultSim::new(c);
+        let mut detected = 0u64;
+        let total = 1u64 << n;
+        let mut m = 0u64;
+        while m < total {
+            let block = (total - m).min(64);
+            let mut words = vec![0u64; n];
+            for b in 0..block {
+                for (i, w) in words.iter_mut().enumerate() {
+                    if (m + b) >> i & 1 == 1 {
+                        *w |= 1 << b;
+                    }
+                }
+            }
+            let mask = fsim.detect_masks(&[fault], &words)[0];
+            detected += (mask & if block == 64 { u64::MAX } else { (1 << block) - 1 })
+                .count_ones() as u64;
+            m += block;
+        }
+        detected as f64 / total as f64
+    }
+
+    /// On fanout-free circuits (trees), COP is exact.
+    #[test]
+    fn exact_on_trees() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = NOR(c, d)\ny = OR(t1, t2)\n";
+        let c = parse(src, "tree").unwrap();
+        let m = cop_measures(&c);
+        for fault in fault_list(&c) {
+            let estimated = m.detection_probability(&c, fault);
+            let exact = exact_detection_probability(&c, fault);
+            assert!(
+                (estimated - exact).abs() < 1e-9,
+                "{fault}: COP {estimated} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn controllability_basics() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = XOR(a, b)\n";
+        let c = parse(src, "t").unwrap();
+        let m = cop_measures(&c);
+        let y = c.outputs()[0];
+        let z = c.outputs()[1];
+        assert!((m.controllability[y.index()] - 0.25).abs() < 1e-12);
+        assert!((m.controllability[z.index()] - 0.5).abs() < 1e-12);
+        assert!((m.observability[c.inputs()[0].index()] - 1.0).abs() < 1e-12,
+            "xor makes every input fully observable");
+    }
+
+    /// On reconvergent circuits COP is approximate but must stay in [0, 1]
+    /// and correlate with exact probabilities (same ranking direction for
+    /// clearly-easy vs clearly-hard faults).
+    #[test]
+    fn sane_on_reconvergence() {
+        let src = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+        let c = parse(src, "c17").unwrap();
+        let m = cop_measures(&c);
+        for fault in fault_list(&c) {
+            let p = m.detection_probability(&c, fault);
+            assert!((0.0..=1.0).contains(&p), "{fault}: {p}");
+            let exact = exact_detection_probability(&c, fault);
+            // c17 is fully testable: both agree nothing is untestable, and
+            // the estimate is within a loose band of the exact value.
+            assert!(exact > 0.0);
+            assert!(p > 0.0, "{fault} estimated impossible");
+            assert!((p - exact).abs() < 0.5, "{fault}: COP {p} vs exact {exact}");
+        }
+    }
+
+    /// A redundant fault gets low estimated detection probability... COP
+    /// cannot prove 0, but the exact probability IS 0.
+    #[test]
+    fn redundant_fault_has_zero_exact_probability() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
+        let c = parse(src, "abs").unwrap();
+        let t = c.iter().find(|(_, n)| n.name() == Some("t")).map(|(id, _)| id).unwrap();
+        let exact = exact_detection_probability(&c, Fault::stem(t, false));
+        assert_eq!(exact, 0.0);
+    }
+}

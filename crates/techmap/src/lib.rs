@@ -1,0 +1,35 @@
+//! A SIS-style technology mapper (Table 4 substrate).
+//!
+//! The paper evaluates circuit size after resynthesis by running the SIS
+//! technology mapper and reporting two columns: the number of **literals**
+//! in the mapped netlist and the number of gates on the **longest path**.
+//! This crate reimplements that flow with the classical algorithm
+//! (Keutzer's DAGON recipe):
+//!
+//! 1. decompose the circuit into a **subject graph** of 2-input NAND gates
+//!    and inverters;
+//! 2. partition the subject DAG into trees at fanout points;
+//! 3. cover each tree by dynamic programming over a small standard-cell
+//!    [`Library`] of tree patterns, minimizing total literal count;
+//! 4. report [`MappedStats`]: literals, cell count and mapped depth.
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_netlist::bench_format::parse;
+//! use sft_techmap::{map_circuit, Library};
+//!
+//! let c = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2")?;
+//! let mapped = map_circuit(&c, &Library::standard());
+//! assert_eq!(mapped.literals, 2); // one AND2 cell
+//! assert_eq!(mapped.longest_path, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod library;
+mod mapper;
+mod subject;
+
+pub use library::{Cell, Library, Pattern};
+pub use mapper::{map_circuit, MappedStats};
+pub use subject::SubjectGraph;

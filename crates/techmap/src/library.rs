@@ -1,0 +1,179 @@
+//! The standard-cell library: tree patterns over NAND2/INV.
+
+use std::fmt;
+
+/// A pattern tree matched against the subject graph. `Input(i)` binds the
+/// `i`-th cell pin (pins may repeat in principle, but the standard cells
+/// use distinct pins).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// A cell pin.
+    Input(u8),
+    /// An inverter over a subpattern.
+    Inv(Box<Pattern>),
+    /// A 2-input NAND over two subpatterns.
+    Nand(Box<Pattern>, Box<Pattern>),
+}
+
+impl Pattern {
+    /// Convenience constructor: pin `i`.
+    pub fn input(i: u8) -> Pattern {
+        Pattern::Input(i)
+    }
+
+    /// Convenience constructor: inverter.
+    pub fn inv(p: Pattern) -> Pattern {
+        Pattern::Inv(Box::new(p))
+    }
+
+    /// Convenience constructor: NAND2.
+    pub fn nand(a: Pattern, b: Pattern) -> Pattern {
+        Pattern::Nand(Box::new(a), Box::new(b))
+    }
+
+    /// Number of pins (distinct `Input` indices).
+    pub fn pin_count(&self) -> usize {
+        fn max_pin(p: &Pattern) -> u8 {
+            match p {
+                Pattern::Input(i) => *i,
+                Pattern::Inv(a) => max_pin(a),
+                Pattern::Nand(a, b) => max_pin(a).max(max_pin(b)),
+            }
+        }
+        max_pin(self) as usize + 1
+    }
+}
+
+/// One standard cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Cell name (e.g. `NAND3`).
+    pub name: &'static str,
+    /// Area in literals (the SIS convention: one literal per input).
+    pub literals: u32,
+    /// The pattern tree the cell implements.
+    pub pattern: Pattern,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} lits)", self.name, self.literals)
+    }
+}
+
+/// A technology library.
+#[derive(Debug, Clone)]
+pub struct Library {
+    cells: Vec<Cell>,
+}
+
+impl Library {
+    /// A library from explicit cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty or lacks an inverter/NAND2 (the base
+    /// cells every cover needs).
+    pub fn new(cells: Vec<Cell>) -> Self {
+        assert!(!cells.is_empty(), "library must not be empty");
+        let has_inv = cells.iter().any(|c| matches!(&c.pattern, Pattern::Inv(p) if matches!(**p, Pattern::Input(_))));
+        let has_nand = cells.iter().any(|c| {
+            matches!(&c.pattern, Pattern::Nand(a, b)
+                if matches!(**a, Pattern::Input(_)) && matches!(**b, Pattern::Input(_)))
+        });
+        assert!(has_inv && has_nand, "library must contain INV and NAND2 base cells");
+        Library { cells }
+    }
+
+    /// The cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The standard 10-cell library used by the Table 4 experiment:
+    /// INV, NAND2/3/4, NOR2/3, AND2, OR2, AOI21, OAI21, XOR2.
+    pub fn standard() -> Self {
+        use Pattern as P;
+        let i = P::input;
+        let cells = vec![
+            Cell { name: "INV", literals: 1, pattern: P::inv(i(0)) },
+            Cell { name: "NAND2", literals: 2, pattern: P::nand(i(0), i(1)) },
+            Cell {
+                name: "NAND3",
+                literals: 3,
+                pattern: P::nand(P::inv(P::nand(i(0), i(1))), i(2)),
+            },
+            Cell {
+                name: "NAND4",
+                literals: 4,
+                pattern: P::nand(P::inv(P::nand(i(0), i(1))), P::inv(P::nand(i(2), i(3)))),
+            },
+            Cell { name: "AND2", literals: 2, pattern: P::inv(P::nand(i(0), i(1))) },
+            Cell { name: "NOR2", literals: 2, pattern: P::nand(P::inv(i(0)), P::inv(i(1))) },
+            Cell {
+                name: "NOR3",
+                literals: 3,
+                pattern: P::nand(P::inv(P::nand(P::inv(i(0)), P::inv(i(1)))), P::inv(i(2))),
+            },
+            Cell { name: "OR2", literals: 2, pattern: P::inv(P::nand(P::inv(i(0)), P::inv(i(1)))) },
+            Cell {
+                name: "AOI21",
+                literals: 3,
+                pattern: P::inv(P::nand(P::nand(i(0), i(1)), P::inv(i(2)))),
+            },
+            Cell {
+                name: "OAI21",
+                literals: 3,
+                pattern: P::nand(P::inv(P::nand(P::inv(i(0)), P::inv(i(1)))), i(2)),
+            },
+            Cell {
+                name: "XOR2",
+                literals: 2,
+                pattern: P::nand(P::nand(i(0), P::inv(i(1))), P::nand(P::inv(i(0)), i(1))),
+            },
+        ];
+        Library { cells }
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_sanity() {
+        let lib = Library::standard();
+        assert!(lib.cells().len() >= 10);
+        for cell in lib.cells() {
+            assert!(cell.literals >= 1);
+            assert!(cell.pattern.pin_count() >= 1);
+        }
+        let nand3 = lib.cells().iter().find(|c| c.name == "NAND3").unwrap();
+        assert_eq!(nand3.pattern.pin_count(), 3);
+    }
+
+    #[test]
+    fn library_requires_base_cells() {
+        let result = std::panic::catch_unwind(|| {
+            Library::new(vec![Cell {
+                name: "INV",
+                literals: 1,
+                pattern: Pattern::inv(Pattern::input(0)),
+            }])
+        });
+        assert!(result.is_err(), "missing NAND2 must be rejected");
+    }
+
+    #[test]
+    fn xor2_pattern_repeats_pins() {
+        let lib = Library::standard();
+        let xor = lib.cells().iter().find(|c| c.name == "XOR2").unwrap();
+        assert_eq!(xor.pattern.pin_count(), 2);
+    }
+}

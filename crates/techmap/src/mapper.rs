@@ -1,0 +1,312 @@
+//! Dynamic-programming tree covering of the subject graph.
+
+use crate::library::{Cell, Library, Pattern};
+use crate::subject::{SubjectGraph, SubjectNode};
+use sft_netlist::Circuit;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Result of technology mapping (the two columns of Table 4, plus cell
+/// count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappedStats {
+    /// Total literals of the chosen cells (the SIS area metric).
+    pub literals: u64,
+    /// Number of cells instantiated.
+    pub cells: u64,
+    /// Gates (cells) on the longest input-to-output path.
+    pub longest_path: u32,
+}
+
+impl fmt::Display for MappedStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} literals, {} cells, longest path {}", self.literals, self.cells, self.longest_path)
+    }
+}
+
+/// Attempts to match `pattern` rooted at subject node `n`. Internal pattern
+/// nodes may only consume single-fanout subject nodes (tree covering must
+/// not duplicate shared logic); pattern pins bind consistently (needed for
+/// the XOR2 cell, whose pins appear twice).
+fn match_at(
+    g: &SubjectGraph,
+    fanout: &[u32],
+    pattern: &Pattern,
+    n: u32,
+    root: bool,
+    bindings: &mut HashMap<u8, u32>,
+) -> bool {
+    match pattern {
+        Pattern::Input(i) => match bindings.get(i) {
+            Some(&b) => b == n,
+            None => {
+                bindings.insert(*i, n);
+                true
+            }
+        },
+        Pattern::Inv(sub) => {
+            if !root && fanout[n as usize] != 1 {
+                return false;
+            }
+            match g.nodes()[n as usize] {
+                SubjectNode::Inv(a) => match_at(g, fanout, sub, a, false, bindings),
+                _ => false,
+            }
+        }
+        Pattern::Nand(pa, pb) => {
+            if !root && fanout[n as usize] != 1 {
+                return false;
+            }
+            match g.nodes()[n as usize] {
+                SubjectNode::Nand(a, b) => {
+                    let save = bindings.clone();
+                    if match_at(g, fanout, pa, a, false, bindings)
+                        && match_at(g, fanout, pb, b, false, bindings)
+                    {
+                        return true;
+                    }
+                    *bindings = save.clone();
+                    if match_at(g, fanout, pa, b, false, bindings)
+                        && match_at(g, fanout, pb, a, false, bindings)
+                    {
+                        return true;
+                    }
+                    *bindings = save;
+                    false
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+struct Chosen {
+    cell_index: usize,
+    inputs: Vec<u32>,
+    cost: u64,
+}
+
+/// Maps `circuit` onto `library`, minimizing total literals.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic. A cover always exists because the
+/// library is required to contain INV and NAND2.
+pub fn map_circuit(circuit: &Circuit, library: &Library) -> MappedStats {
+    let g = SubjectGraph::new(circuit);
+    let fanout = g.fanout_counts();
+    let n_nodes = g.nodes().len();
+    let mut best: Vec<Option<Chosen>> = (0..n_nodes).map(|_| None).collect();
+
+    // Topological order of subject nodes: ids are created children-first.
+    for n in 0..n_nodes as u32 {
+        if matches!(g.nodes()[n as usize], SubjectNode::Leaf(_)) {
+            continue;
+        }
+        let mut node_best: Option<Chosen> = None;
+        for (ci, cell) in library.cells().iter().enumerate() {
+            let mut bindings = HashMap::new();
+            if !match_at(&g, &fanout, &cell.pattern, n, true, &mut bindings) {
+                continue;
+            }
+            let mut inputs: Vec<u32> = bindings.values().copied().collect();
+            inputs.sort_unstable();
+            inputs.dedup();
+            let mut cost = cell.literals as u64;
+            let mut feasible = true;
+            for &b in &inputs {
+                match &best[b as usize] {
+                    _ if matches!(g.nodes()[b as usize], SubjectNode::Leaf(_)) => {}
+                    Some(c) => cost += c.cost_at_input(&fanout, b),
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+            if node_best.as_ref().map_or(true, |c| cost < c.cost) {
+                node_best = Some(Chosen { cell_index: ci, inputs, cost });
+            }
+        }
+        best[n as usize] = node_best;
+    }
+
+    // Accumulate area over chosen tree roots (boundaries): outputs and
+    // multi-fanout nodes, counted once each.
+    let mut boundary = vec![false; n_nodes];
+    for &o in g.outputs() {
+        boundary[o as usize] = true;
+    }
+    for n in 0..n_nodes {
+        if fanout[n] >= 2 {
+            boundary[n] = true;
+        }
+    }
+    // Live nodes only.
+    let live = {
+        let mut live = vec![false; n_nodes];
+        let mut stack: Vec<u32> = g.outputs().to_vec();
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut live[i as usize], true) {
+                continue;
+            }
+            match g.nodes()[i as usize] {
+                SubjectNode::Leaf(_) => {}
+                SubjectNode::Inv(a) => stack.push(a),
+                SubjectNode::Nand(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        live
+    };
+
+    let mut literals = 0u64;
+    let mut cells = 0u64;
+    let mut arrive: Vec<u32> = vec![0; n_nodes];
+    // Depth: evaluate arrival times bottom-up over chosen matches.
+    for n in 0..n_nodes {
+        if matches!(g.nodes()[n], SubjectNode::Leaf(_)) {
+            continue;
+        }
+        if let Some(chosen) = &best[n] {
+            let worst = chosen.inputs.iter().map(|&b| arrive[b as usize]).max().unwrap_or(0);
+            arrive[n] = worst + 1;
+        }
+    }
+    for n in 0..n_nodes {
+        if !live[n] || !boundary[n] || matches!(g.nodes()[n], SubjectNode::Leaf(_)) {
+            continue;
+        }
+        let chosen = best[n].as_ref().expect("cover exists for live logic");
+        // Count the whole tree hanging off this boundary root.
+        let (l, c) = tree_area(&g, &best, &boundary, library, chosen);
+        literals += l;
+        cells += c;
+    }
+    let longest_path = g.outputs().iter().map(|&o| arrive[o as usize]).max().unwrap_or(0);
+    MappedStats { literals, cells, longest_path }
+}
+
+impl Chosen {
+    /// Cost a consumer pays for this node as an input: 0 if the node is a
+    /// boundary (it is counted as its own root), else its subtree cost.
+    fn cost_at_input(&self, fanout: &[u32], n: u32) -> u64 {
+        if fanout[n as usize] >= 2 {
+            0
+        } else {
+            self.cost
+        }
+    }
+}
+
+/// Area of the cell tree rooted at boundary node `n`, stopping at leaves
+/// and other boundaries.
+fn tree_area(
+    g: &SubjectGraph,
+    best: &[Option<Chosen>],
+    boundary: &[bool],
+    library: &Library,
+    chosen: &Chosen,
+) -> (u64, u64) {
+    let cell: &Cell = &library.cells()[chosen.cell_index];
+    let mut literals = cell.literals as u64;
+    let mut cells = 1u64;
+    for &b in &chosen.inputs {
+        if boundary[b as usize] || matches!(g.nodes()[b as usize], SubjectNode::Leaf(_)) {
+            continue;
+        }
+        let sub = best[b as usize].as_ref().expect("internal nodes are covered");
+        let (l, c) = tree_area(g, best, boundary, library, sub);
+        literals += l;
+        cells += c;
+    }
+    (literals, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+
+    #[test]
+    fn single_gates_map_to_single_cells() {
+        for (src, lits) in [
+            ("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", 2),
+            ("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", 2),
+            ("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)\n", 2),
+            ("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n", 2),
+            ("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", 2),
+            ("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", 1),
+        ] {
+            let c = parse(src, "t").unwrap();
+            let m = map_circuit(&c, &Library::standard());
+            assert_eq!(m.literals, lits, "{src}");
+            assert_eq!(m.cells, 1, "{src}");
+            assert_eq!(m.longest_path, 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn nand3_uses_wide_cell() {
+        let c = parse("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = NAND(a, b, c)\n", "t").unwrap();
+        let m = map_circuit(&c, &Library::standard());
+        assert_eq!(m.literals, 3);
+        assert_eq!(m.cells, 1);
+    }
+
+    #[test]
+    fn aoi_structure_found() {
+        // y = !(ab + c): exactly one AOI21 cell.
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\no = OR(t, c)\ny = NOT(o)\n";
+        let c = parse(src, "aoi").unwrap();
+        let m = map_circuit(&c, &Library::standard());
+        assert_eq!(m.literals, 3, "AOI21 should cover the whole cone: {m}");
+        assert_eq!(m.cells, 1);
+    }
+
+    #[test]
+    fn fanout_points_break_trees() {
+        // t = AND(a,b) feeds two consumers: it must be its own cell; total
+        // = AND2 + NOT + OR2.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+t = AND(a, b)\ny = NOT(t)\nz = OR(t, c)\n";
+        let c = parse(src, "fo").unwrap();
+        let m = map_circuit(&c, &Library::standard());
+        assert_eq!(m.cells, 3);
+        assert_eq!(m.literals, 2 + 1 + 2);
+    }
+
+    #[test]
+    fn longest_path_counts_cells() {
+        // A chain of 4 NOT gates collapses (double inverters) to 0 or 1
+        // cells; use ANDs instead.
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = AND(t1, c)\nt3 = AND(t2, d)\ny = AND(t3, e)\n";
+        let c = parse(src, "chain").unwrap();
+        let m = map_circuit(&c, &Library::standard());
+        assert!(m.longest_path <= 4);
+        assert!(m.longest_path >= 2);
+        assert!(m.literals <= 8);
+    }
+
+    #[test]
+    fn c17_maps_reasonably() {
+        let src = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+        let c = parse(src, "c17").unwrap();
+        let m = map_circuit(&c, &Library::standard());
+        // c17 is 6 NAND2s with fanout: exactly 6 cells, 12 literals.
+        assert_eq!(m.cells, 6);
+        assert_eq!(m.literals, 12);
+        assert_eq!(m.longest_path, 3);
+    }
+}

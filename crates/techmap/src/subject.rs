@@ -1,0 +1,255 @@
+//! The NAND2/INV subject graph.
+
+use sft_netlist::{Circuit, GateKind, NodeId};
+use std::collections::HashMap;
+
+/// A node of the subject graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubjectNode {
+    /// A leaf: a primary input or constant of the source circuit.
+    Leaf(NodeId),
+    /// An inverter.
+    Inv(u32),
+    /// A 2-input NAND.
+    Nand(u32, u32),
+}
+
+/// The hash-consed NAND2/INV decomposition of a circuit.
+///
+/// Every original line maps to a subject node via
+/// [`line_root`](Self::line_root); hash-consing shares identical structure,
+/// and double inverters are collapsed on construction.
+#[derive(Debug)]
+pub struct SubjectGraph {
+    nodes: Vec<SubjectNode>,
+    table: HashMap<SubjectNode, u32>,
+    /// Subject node implementing each original circuit line.
+    line_root: Vec<u32>,
+    /// Subject nodes that are primary outputs of the original circuit.
+    outputs: Vec<u32>,
+}
+
+impl SubjectGraph {
+    /// Decomposes `circuit` into NAND2/INV form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn new(circuit: &Circuit) -> Self {
+        let mut g = SubjectGraph {
+            nodes: Vec::new(),
+            table: HashMap::new(),
+            line_root: vec![u32::MAX; circuit.len()],
+            outputs: Vec::new(),
+        };
+        let order = circuit.topo_order().expect("combinational circuit");
+        for id in order {
+            let node = circuit.node(id);
+            let root = match node.kind() {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => {
+                    g.intern(SubjectNode::Leaf(id))
+                }
+                GateKind::Buf => g.line_root[node.fanins()[0].index()],
+                GateKind::Not => {
+                    let a = g.line_root[node.fanins()[0].index()];
+                    g.inv(a)
+                }
+                GateKind::And | GateKind::Nand => {
+                    let kids: Vec<u32> =
+                        node.fanins().iter().map(|f| g.line_root[f.index()]).collect();
+                    let conj = g.and_tree(&kids);
+                    if node.kind() == GateKind::Nand {
+                        g.inv(conj)
+                    } else {
+                        conj
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let kids: Vec<u32> = node
+                        .fanins()
+                        .iter()
+                        .map(|f| {
+                            let a = g.line_root[f.index()];
+                            g.inv(a)
+                        })
+                        .collect();
+                    // OR = NAND of complements; build balanced NAND-of-INVs.
+                    let conj = g.and_tree(&kids);
+                    let or = g.inv(conj);
+                    if node.kind() == GateKind::Nor {
+                        g.inv(or)
+                    } else {
+                        or
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let kids: Vec<u32> =
+                        node.fanins().iter().map(|f| g.line_root[f.index()]).collect();
+                    let mut acc = kids[0];
+                    for &k in &kids[1..] {
+                        acc = g.xor2(acc, k);
+                    }
+                    if node.kind() == GateKind::Xnor {
+                        g.inv(acc)
+                    } else {
+                        acc
+                    }
+                }
+            };
+            g.line_root[id.index()] = root;
+        }
+        for &o in circuit.outputs() {
+            let r = g.line_root[o.index()];
+            g.outputs.push(r);
+        }
+        g
+    }
+
+    fn intern(&mut self, node: SubjectNode) -> u32 {
+        if let Some(&i) = self.table.get(&node) {
+            return i;
+        }
+        let i = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.table.insert(node, i);
+        i
+    }
+
+    fn inv(&mut self, a: u32) -> u32 {
+        // Collapse double inverters.
+        if let SubjectNode::Inv(inner) = self.nodes[a as usize] {
+            return inner;
+        }
+        self.intern(SubjectNode::Inv(a))
+    }
+
+    fn nand(&mut self, a: u32, b: u32) -> u32 {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(SubjectNode::Nand(a, b))
+    }
+
+    /// Balanced AND tree returning the *conjunction* (via NAND + INV pairs,
+    /// with the final inversion left to the caller as a NAND when posible).
+    fn and_tree(&mut self, kids: &[u32]) -> u32 {
+        // Returns AND(kids). AND2 = INV(NAND2).
+        match kids.len() {
+            0 => panic!("empty AND"),
+            1 => kids[0],
+            _ => {
+                let mid = kids.len() / 2;
+                let l = self.and_tree(&kids[..mid]);
+                let r = self.and_tree(&kids[mid..]);
+                let n = self.nand(l, r);
+                self.inv(n)
+            }
+        }
+    }
+
+    fn xor2(&mut self, a: u32, b: u32) -> u32 {
+        // XOR = NAND(NAND(a, !b), NAND(!a, b)).
+        let nb = self.inv(b);
+        let na = self.inv(a);
+        let t1 = self.nand(a, nb);
+        let t2 = self.nand(na, b);
+        self.nand(t1, t2)
+    }
+
+    /// All subject nodes.
+    pub fn nodes(&self) -> &[SubjectNode] {
+        &self.nodes
+    }
+
+    /// The subject node implementing original line `id`.
+    pub fn root_of(&self, id: NodeId) -> u32 {
+        self.line_root[id.index()]
+    }
+
+    /// Subject nodes implementing the primary outputs.
+    pub fn outputs(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// Reference (consumer) counts of each subject node, counting output
+    /// references, restricted to nodes reachable from the outputs.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.nodes.len()];
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.outputs.clone();
+        for &o in &self.outputs {
+            counts[o as usize] += 1;
+        }
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut live[i as usize], true) {
+                continue;
+            }
+            match self.nodes[i as usize] {
+                SubjectNode::Leaf(_) => {}
+                SubjectNode::Inv(a) => {
+                    counts[a as usize] += 1;
+                    stack.push(a);
+                }
+                SubjectNode::Nand(a, b) => {
+                    counts[a as usize] += 1;
+                    counts[b as usize] += 1;
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+
+    fn eval_subject(g: &SubjectGraph, node: u32, leaf_values: &HashMap<NodeId, bool>) -> bool {
+        match g.nodes()[node as usize] {
+            SubjectNode::Leaf(id) => leaf_values[&id],
+            SubjectNode::Inv(a) => !eval_subject(g, a, leaf_values),
+            SubjectNode::Nand(a, b) => {
+                !(eval_subject(g, a, leaf_values) && eval_subject(g, b, leaf_values))
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_preserves_function() {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+t1 = NAND(a, b, c)\nt2 = NOR(a, c)\nt3 = XOR(t1, t2)\ny = OR(t3, b)\nz = XNOR(t1, b)\n";
+        let c = parse(src, "mix").unwrap();
+        let g = SubjectGraph::new(&c);
+        for m in 0..8u32 {
+            let assignment: Vec<bool> = (0..3).map(|i| m >> i & 1 == 1).collect();
+            let leaf_values: HashMap<NodeId, bool> =
+                c.inputs().iter().copied().zip(assignment.iter().copied()).collect();
+            let expect = c.eval_assignment(&assignment);
+            for (slot, &o) in g.outputs().iter().enumerate() {
+                assert_eq!(
+                    eval_subject(&g, o, &leaf_values),
+                    expect[slot],
+                    "pattern {m} output {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = AND(b, a)\n";
+        let c = parse(src, "dup").unwrap();
+        let g = SubjectGraph::new(&c);
+        assert_eq!(g.outputs()[0], g.outputs()[1], "identical ANDs share subject nodes");
+    }
+
+    #[test]
+    fn double_inverters_collapse() {
+        let src = "INPUT(a)\nOUTPUT(y)\nt = NOT(a)\ny = NOT(t)\n";
+        let c = parse(src, "ii").unwrap();
+        let g = SubjectGraph::new(&c);
+        assert!(matches!(g.nodes()[g.outputs()[0] as usize], SubjectNode::Leaf(_)));
+    }
+}

@@ -1,0 +1,321 @@
+//! Cubes (product terms) and cube lists (sum-of-products covers).
+//!
+//! These are used to express comparison functions and the single-cube special
+//! case of Sec. 3.2.2 of the paper, and by the greedy SOP extraction that
+//! feeds the OR-of-comparison-units cover (Sec. 3.1).
+
+use crate::{TruthError, TruthTable, MAX_INPUTS};
+use std::fmt;
+
+/// A literal polarity inside a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// The input does not appear in the cube.
+    DontCare,
+    /// The input appears positively.
+    Positive,
+    /// The input appears negatively.
+    Negative,
+}
+
+/// A product term over `inputs` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use sft_truth::{Cube, TruthTable};
+///
+/// // x1 * !x3 over 3 inputs.
+/// let c = Cube::parse("1-0")?;
+/// assert_eq!(c.literal_count(), 2);
+/// assert!(c.to_table().eval(&[true, true, false]));
+/// # Ok::<(), sft_truth::TruthError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    literals: Vec<Literal>,
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({self})")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for l in &self.literals {
+            let c = match l {
+                Literal::DontCare => '-',
+                Literal::Positive => '1',
+                Literal::Negative => '0',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Cube {
+    /// The universal cube (all don't-cares) over `inputs` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > MAX_INPUTS`.
+    pub fn universe(inputs: usize) -> Self {
+        assert!(inputs <= MAX_INPUTS, "at most {MAX_INPUTS} inputs supported");
+        Cube { literals: vec![Literal::DontCare; inputs] }
+    }
+
+    /// The cube containing the single minterm `m` (input 0 is MSB).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `inputs > MAX_INPUTS` or `m >= 2^inputs`.
+    pub fn from_minterm(inputs: usize, m: u64) -> Result<Self, TruthError> {
+        if inputs > MAX_INPUTS {
+            return Err(TruthError::TooManyInputs(inputs));
+        }
+        if m >= 1 << inputs {
+            return Err(TruthError::MintermOutOfRange { minterm: m, inputs });
+        }
+        let literals = (0..inputs)
+            .map(|i| {
+                if m >> (inputs - 1 - i) & 1 == 1 {
+                    Literal::Positive
+                } else {
+                    Literal::Negative
+                }
+            })
+            .collect();
+        Ok(Cube { literals })
+    }
+
+    /// Parses a PLA-style cube string of `1`, `0` and `-` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TruthError::TooManyInputs`] if the string is longer than
+    /// [`MAX_INPUTS`], and [`TruthError::InputOutOfRange`] (carrying the
+    /// character position) if any character is not `1`, `0` or `-`.
+    pub fn parse(s: &str) -> Result<Self, TruthError> {
+        if s.len() > MAX_INPUTS {
+            return Err(TruthError::TooManyInputs(s.len()));
+        }
+        let mut literals = Vec::with_capacity(s.len());
+        for (i, ch) in s.chars().enumerate() {
+            literals.push(match ch {
+                '-' => Literal::DontCare,
+                '1' => Literal::Positive,
+                '0' => Literal::Negative,
+                _ => return Err(TruthError::InputOutOfRange { input: i, inputs: s.len() }),
+            });
+        }
+        Ok(Cube { literals })
+    }
+
+    /// Number of inputs of the enclosing function.
+    pub fn inputs(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// The literal for input `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= inputs`.
+    pub fn literal(&self, i: usize) -> Literal {
+        self.literals[i]
+    }
+
+    /// Number of non-don't-care literals.
+    pub fn literal_count(&self) -> usize {
+        self.literals.iter().filter(|l| !matches!(l, Literal::DontCare)).count()
+    }
+
+    /// Whether minterm `m` is contained in the cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^inputs`.
+    pub fn contains(&self, m: u64) -> bool {
+        assert!(m < 1 << self.inputs(), "minterm out of range");
+        let n = self.inputs();
+        self.literals.iter().enumerate().all(|(i, l)| {
+            let bit = m >> (n - 1 - i) & 1 == 1;
+            match l {
+                Literal::DontCare => true,
+                Literal::Positive => bit,
+                Literal::Negative => !bit,
+            }
+        })
+    }
+
+    /// Expands the cube into its truth table.
+    pub fn to_table(&self) -> TruthTable {
+        TruthTable::from_fn(self.inputs(), |m| self.contains(m))
+    }
+
+    /// Tries to drop literal `i`; returns the widened cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= inputs`.
+    #[must_use]
+    pub fn without_literal(&self, i: usize) -> Self {
+        let mut c = self.clone();
+        c.literals[i] = Literal::DontCare;
+        c
+    }
+}
+
+/// A list of cubes interpreted as a sum-of-products cover.
+///
+/// # Examples
+///
+/// ```
+/// use sft_truth::{CubeList, TruthTable};
+///
+/// let f = TruthTable::from_minterms(3, &[3, 5, 6, 7])?; // majority
+/// let cover = CubeList::from_table(&f);
+/// assert_eq!(cover.to_table(), f);
+/// # Ok::<(), sft_truth::TruthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CubeList {
+    cubes: Vec<Cube>,
+}
+
+impl CubeList {
+    /// An empty cover (constant 0 over any number of inputs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts a greedy irredundant-ish cover from a truth table by
+    /// expanding each uncovered minterm into a prime-ish cube (literals are
+    /// dropped greedily while the cube stays inside the on-set).
+    pub fn from_table(table: &TruthTable) -> Self {
+        let mut cubes: Vec<Cube> = Vec::new();
+        let inside = |c: &Cube| c.to_table().and(&table.complement()).is_zero();
+        for m in table.on_set() {
+            if cubes.iter().any(|c| c.contains(m)) {
+                continue;
+            }
+            let mut cube = Cube::from_minterm(table.inputs(), m).expect("minterm in range");
+            for i in 0..table.inputs() {
+                let wider = cube.without_literal(i);
+                if inside(&wider) {
+                    cube = wider;
+                }
+            }
+            cubes.push(cube);
+        }
+        CubeList { cubes }
+    }
+
+    /// Appends a cube to the cover.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// The cubes of the cover.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover is empty (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total number of literals across all cubes.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Evaluates the cover into a truth table over `inputs` inputs taken from
+    /// the first cube (or constant 0 over 0 inputs when empty).
+    pub fn to_table(&self) -> TruthTable {
+        match self.cubes.first() {
+            None => TruthTable::zero(0),
+            Some(first) => {
+                let mut t = TruthTable::zero(first.inputs());
+                for c in &self.cubes {
+                    t = t.or(&c.to_table());
+                }
+                t
+            }
+        }
+    }
+}
+
+impl FromIterator<Cube> for CubeList {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        CubeList { cubes: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Cube> for CubeList {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_parse_display_round_trip() {
+        let c = Cube::parse("1-0").unwrap();
+        assert_eq!(c.to_string(), "1-0");
+        assert_eq!(c.literal_count(), 2);
+        assert_eq!(c.literal(1), Literal::DontCare);
+    }
+
+    #[test]
+    fn cube_parse_rejects_junk() {
+        assert!(Cube::parse("1x0").is_err());
+        assert!(Cube::parse("10101010").is_err());
+    }
+
+    #[test]
+    fn cube_minterm_containment() {
+        let c = Cube::from_minterm(3, 5).unwrap();
+        assert_eq!(c.to_string(), "101");
+        assert!(c.contains(5));
+        assert!(!c.contains(4));
+        assert_eq!(c.to_table().on_set().collect::<Vec<_>>(), vec![5]);
+    }
+
+    #[test]
+    fn universe_contains_everything() {
+        let u = Cube::universe(3);
+        assert!((0..8).all(|m| u.contains(m)));
+        assert_eq!(u.literal_count(), 0);
+    }
+
+    #[test]
+    fn cover_round_trip_all_3_input_functions() {
+        for bits in 0..=255u128 {
+            let t = TruthTable::from_bits(3, bits);
+            let cover = CubeList::from_table(&t);
+            assert_eq!(cover.to_table().bits(), t.bits(), "cover mismatch for {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn cover_of_single_cube_function_is_one_cube() {
+        // x1 * x3 over 3 inputs (paper Sec. 3.2.2 single-prime-implicant case).
+        let f = TruthTable::variable(3, 0).and(&TruthTable::variable(3, 2));
+        let cover = CubeList::from_table(&f);
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover.cubes()[0].to_string(), "1-1");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the truth-table algebra.
+
+use proptest::prelude::*;
+use sft_truth::{CubeList, TruthTable};
+
+fn arb_table(n: usize) -> impl Strategy<Value = TruthTable> {
+    any::<u128>().prop_map(move |bits| TruthTable::from_bits(n, bits))
+}
+
+fn arb_perm(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Permutation is a group action: applying a permutation and then its
+    /// inverse restores the function.
+    #[test]
+    fn permute_inverse_round_trip(t in arb_table(5), perm in arb_perm(5)) {
+        let permuted = t.permute(&perm).expect("valid");
+        let mut inverse = vec![0usize; perm.len()];
+        for (i, &p) in perm.iter().enumerate() {
+            inverse[p] = i;
+        }
+        prop_assert_eq!(permuted.permute(&inverse).expect("valid"), t);
+    }
+
+    /// Permutation composition: permuting by `p` then `q` equals permuting
+    /// once by the composition.
+    #[test]
+    fn permute_composes(t in arb_table(4), p in arb_perm(4), q in arb_perm(4)) {
+        let two_step = t.permute(&p).expect("valid").permute(&q).expect("valid");
+        // New input i of the q-result behaves like input q[i] of the
+        // p-result, which behaves like input p[q[i]] of t.
+        let composed: Vec<usize> = q.iter().map(|&i| p[i]).collect();
+        prop_assert_eq!(t.permute(&composed).expect("valid"), two_step);
+    }
+
+    /// De Morgan over the table algebra.
+    #[test]
+    fn de_morgan(a in arb_table(5), b in arb_table(5)) {
+        let lhs = a.and(&b).complement();
+        let rhs = a.complement().or(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Shannon expansion: f = x_i·f|x_i=1 + !x_i·f|x_i=0.
+    #[test]
+    fn shannon_expansion(t in arb_table(5), i in 0usize..5) {
+        let x = TruthTable::variable(5, i);
+        let c1 = t.cofactor(i, true).expect("in range");
+        let c0 = t.cofactor(i, false).expect("in range");
+        let rebuilt = x.and(&c1).or(&x.complement().and(&c0));
+        prop_assert_eq!(rebuilt, t);
+    }
+
+    /// Flipping an input twice is the identity; flipping commutes with
+    /// complement.
+    #[test]
+    fn flip_involution_and_commutation(t in arb_table(5), i in 0usize..5) {
+        let f = t.flip_input(i).expect("in range");
+        prop_assert_eq!(f.flip_input(i).expect("in range"), t);
+        prop_assert_eq!(
+            t.complement().flip_input(i).expect("in range"),
+            f.complement()
+        );
+    }
+
+    /// Support is exact: the function is invariant under flipping exactly
+    /// the non-support inputs.
+    #[test]
+    fn support_is_exact(t in arb_table(5)) {
+        let support = t.support();
+        for i in 0..5 {
+            let flipped = t.flip_input(i).expect("in range");
+            if support.contains(&i) {
+                prop_assert_ne!(flipped, t, "support input {} must matter", i);
+            } else {
+                prop_assert_eq!(flipped, t, "non-support input {} must not matter", i);
+            }
+        }
+    }
+
+    /// Cube covers reproduce the function exactly, for any function.
+    #[test]
+    fn cover_round_trip(t in arb_table(6)) {
+        let cover = CubeList::from_table(&t);
+        if t.is_zero() {
+            prop_assert!(cover.is_empty());
+        } else {
+            prop_assert_eq!(cover.to_table(), t);
+        }
+    }
+
+    /// on_count + off minterms = 2^n; eval agrees with value.
+    #[test]
+    fn counting_and_eval_consistency(t in arb_table(5), m in 0u64..32) {
+        prop_assert_eq!(
+            t.on_count() as u64 + t.off_set().count() as u64,
+            t.size()
+        );
+        let assignment: Vec<bool> = (0..5).map(|i| m >> (4 - i) & 1 == 1).collect();
+        prop_assert_eq!(t.eval(&assignment), t.value(m));
+    }
+}

@@ -1,0 +1,42 @@
+//! Robust path-delay-fault test generation for comparison units
+//! (Section 3.3 / Table 1 of the paper).
+//!
+//! Builds comparison units for several specs, generates the constructive
+//! robust two-pattern test set for each, and validates full coverage with
+//! the independent robust checker of `sft-delay`.
+//!
+//! Run with `cargo run --example delay_test_generation`.
+
+use sft::core::testability::{unit_test_set, validate_test_set};
+use sft::core::{build_standalone_unit, ComparisonSpec};
+use sft::delay::enumerate_paths;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let specs = [
+        ComparisonSpec::new(vec![0, 1, 2, 3], 11, 12)?, // the paper's Fig. 6
+        ComparisonSpec::new(vec![3, 2, 1, 0], 5, 10)?,  // the paper's f2
+        ComparisonSpec::new(vec![0, 1, 2, 3, 4], 7, 22)?,
+        ComparisonSpec::new_complemented(vec![1, 0, 2, 3], 3, 9)?,
+    ];
+    for spec in &specs {
+        let unit = build_standalone_unit(spec)?;
+        let paths = enumerate_paths(&unit, 10_000)?;
+        let tests = unit_test_set(spec);
+        let (covered, total) = validate_test_set(spec, &tests);
+        println!(
+            "unit {spec}: {} gates, {} paths, {} tests -> {covered}/{total} PDFs robustly covered",
+            unit.stats().gates,
+            paths.len(),
+            tests.len(),
+        );
+        assert_eq!(covered, total, "comparison units are fully robustly testable");
+        if spec.lower == 11 && spec.upper == 12 {
+            println!("  (this is Table 1 of the paper)");
+            for t in &tests {
+                println!("  {t}");
+            }
+        }
+    }
+    println!("\nall units fully robustly testable — Section 3.3 reproduced");
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! `sft` — command-line driver for the synthesis-for-testability flow.
+//!
+//! ```text
+//! sft stats      <in.bench>                      circuit statistics
+//! sft resynth    <in.bench> <out.bench> [opts]   Procedures 2/3
+//! sft redundancy <in.bench> <out.bench>          redundancy removal
+//! sft testgen    <in.bench>                      compact stuck-at test set
+//! sft equiv      <a.bench> <b.bench>             BDD equivalence check
+//! sft techmap    <in.bench>                      map & report literals/depth
+//! sft pdf        <in.bench> [--pairs N]          robust PDF campaign
+//! sft export     <in.bench> (--verilog|--dot)    format conversion
+//! ```
+//!
+//! Resynthesis options: `--objective gates|paths|combined`, `--k N`,
+//! `--negation`, `--covers N`, `--dont-cares`.
+
+use sft::atpg::{generate_test_set, remove_redundancies, TestSetOptions};
+use sft::core::{resynthesize, Objective, ResynthOptions};
+use sft::delay::{pdf_campaign, PdfCampaignConfig};
+use sft::netlist::{bench_format, export, Circuit};
+use sft::techmap::{map_circuit, Library};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_string();
+    bench_format::parse(&text, name).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save(path: &str, circuit: &Circuit) -> Result<(), String> {
+    std::fs::write(path, bench_format::write(circuit)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn opt(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err("usage: sft <stats|resynth|redundancy|testgen|equiv|techmap|pdf|export> ...\
+                    \nsee `sft help`"
+            .into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "help" => {
+            println!("see the crate README for full usage; commands:");
+            println!("  stats resynth redundancy testgen equiv techmap pdf export");
+            Ok(())
+        }
+        "stats" => {
+            let c = load(rest.first().ok_or("stats needs an input file")?)?;
+            println!("{}: {}", c.name(), c.stats());
+            Ok(())
+        }
+        "resynth" => {
+            let input = rest.first().ok_or("resynth needs input and output files")?;
+            let output = rest.get(1).ok_or("resynth needs an output file")?;
+            let mut c = load(input)?;
+            let objective = match opt(rest, "--objective").as_deref() {
+                None | Some("gates") => Objective::Gates,
+                Some("paths") => Objective::Paths,
+                Some("combined") => Objective::Combined { gate_weight: 1, path_weight: 1 },
+                Some(other) => return Err(format!("unknown objective {other:?}")),
+            };
+            let opts = ResynthOptions {
+                objective,
+                max_inputs: opt(rest, "--k").and_then(|v| v.parse().ok()).unwrap_or(5),
+                allow_input_negation: flag(rest, "--negation"),
+                max_cover_units: opt(rest, "--covers").and_then(|v| v.parse().ok()).unwrap_or(1),
+                use_satisfiability_dont_cares: flag(rest, "--dont-cares"),
+                ..ResynthOptions::default()
+            };
+            let report = resynthesize(&mut c, &opts).map_err(|e| e.to_string())?;
+            println!("{report}");
+            save(output, &c)
+        }
+        "redundancy" => {
+            let input = rest.first().ok_or("redundancy needs input and output files")?;
+            let output = rest.get(1).ok_or("redundancy needs an output file")?;
+            let mut c = load(input)?;
+            let report = remove_redundancies(&mut c, 50_000);
+            println!(
+                "{} removed, {} aborted, gates {} -> {}",
+                report.removed, report.aborted, report.gates_before, report.gates_after
+            );
+            save(output, &c)
+        }
+        "testgen" => {
+            let c = load(rest.first().ok_or("testgen needs an input file")?)?;
+            let set = generate_test_set(&c, &TestSetOptions::default());
+            println!(
+                "# {} faults, {} redundant, {} aborted, coverage {:.2}%",
+                set.total_faults,
+                set.redundant,
+                set.aborted,
+                set.coverage() * 100.0
+            );
+            for v in &set.vectors {
+                let s: String = v.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                println!("{s}");
+            }
+            Ok(())
+        }
+        "equiv" => {
+            let a = load(rest.first().ok_or("equiv needs two files")?)?;
+            let b = load(rest.get(1).ok_or("equiv needs two files")?)?;
+            match sft::bdd::equivalent(&a, &b).map_err(|e| e.to_string())? {
+                sft::bdd::CheckResult::Equivalent => {
+                    println!("equivalent");
+                    Ok(())
+                }
+                sft::bdd::CheckResult::Different { output, witness } => {
+                    let w: String =
+                        witness.iter().map(|&x| if x { '1' } else { '0' }).collect();
+                    Err(format!("NOT equivalent: output {output} differs on input {w}"))
+                }
+            }
+        }
+        "techmap" => {
+            let c = load(rest.first().ok_or("techmap needs an input file")?)?;
+            println!("{}", map_circuit(&c, &Library::standard()));
+            Ok(())
+        }
+        "pdf" => {
+            let c = load(rest.first().ok_or("pdf needs an input file")?)?;
+            let cfg = PdfCampaignConfig {
+                max_pairs: opt(rest, "--pairs").and_then(|v| v.parse().ok()).unwrap_or(1 << 14),
+                ..PdfCampaignConfig::default()
+            };
+            let r = pdf_campaign(&c, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "{}/{} robust path delay faults detected ({:.2}%) in {} pairs",
+                r.detected,
+                r.total_faults,
+                r.coverage() * 100.0,
+                r.pairs_applied
+            );
+            Ok(())
+        }
+        "export" => {
+            let c = load(rest.first().ok_or("export needs an input file")?)?;
+            if flag(rest, "--verilog") {
+                print!("{}", export::write_verilog(&c));
+            } else if flag(rest, "--dot") {
+                print!("{}", export::write_dot(&c));
+            } else {
+                return Err("export needs --verilog or --dot".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; see `sft help`")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

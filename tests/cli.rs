@@ -1,0 +1,110 @@
+//! Smoke tests for the `sft` command-line driver.
+
+use std::process::Command;
+
+fn sft() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sft"))
+}
+
+fn write_bench(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("sft-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write bench");
+    path
+}
+
+const DEMO: &str = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = AND(b, a)\no = OR(t1, t2)\ny = AND(o, c)\n";
+
+#[test]
+fn stats_prints_summary() {
+    let input = write_bench("stats.bench", DEMO);
+    let out = sft().args(["stats", input.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("eq2="), "{text}");
+    assert!(text.contains("paths="), "{text}");
+}
+
+#[test]
+fn resynth_then_equiv_round_trip() {
+    let input = write_bench("resynth_in.bench", DEMO);
+    let output = write_bench("resynth_out.bench", "");
+    let out = sft()
+        .args([
+            "resynth",
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--objective",
+            "gates",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    // The CLI's own equivalence checker agrees the result is equivalent.
+    let eq = sft()
+        .args(["equiv", input.to_str().unwrap(), output.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(eq.status.success(), "{eq:?}");
+    assert!(String::from_utf8_lossy(&eq.stdout).contains("equivalent"));
+}
+
+#[test]
+fn equiv_detects_differences() {
+    let a = write_bench("eq_a.bench", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n");
+    let b = write_bench("eq_b.bench", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+    let out = sft()
+        .args(["equiv", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NOT equivalent"));
+}
+
+#[test]
+fn testgen_emits_vectors() {
+    let input = write_bench("testgen.bench", DEMO);
+    let out = sft().args(["testgen", input.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.chars().all(|c| c == '0' || c == '1') && !l.is_empty()));
+    assert!(text.contains("coverage"));
+}
+
+#[test]
+fn export_verilog_and_dot() {
+    let input = write_bench("export.bench", DEMO);
+    for (flag, needle) in [("--verilog", "module"), ("--dot", "digraph")] {
+        let out = sft()
+            .args(["export", input.to_str().unwrap(), flag])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{flag}: {out:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains(needle), "{flag}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = sft().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn techmap_and_pdf_report() {
+    let input = write_bench("tm.bench", DEMO);
+    let out = sft().args(["techmap", input.to_str().unwrap()]).output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("literals"));
+
+    let out = sft()
+        .args(["pdf", input.to_str().unwrap(), "--pairs", "512"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("robust path delay faults"));
+}
