@@ -34,4 +34,4 @@ mod testset;
 
 pub use podem::{generate_test, TestResult};
 pub use redundancy::{remove_redundancies, RedundancyReport};
-pub use testset::{generate_test_set, TestSet, TestSetOptions};
+pub use testset::{generate_test_set, generate_test_set_with_budget, TestSet, TestSetOptions};

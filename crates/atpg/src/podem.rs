@@ -234,8 +234,7 @@ impl<'c> Podem<'c> {
                     if gate == id {
                         let driver = self.circuit.node(gate).fanins()[pin as usize];
                         let g = self.good[driver.index()];
-                        has_d_input =
-                            g != V3::X && g != V3::from_bool(self.fault.stuck);
+                        has_d_input = g != V3::X && g != V3::from_bool(self.fault.stuck);
                     }
                 }
             }
@@ -319,11 +318,8 @@ impl<'c> Podem<'c> {
                     }
                     // Choose an X input to pursue. For parity gates the
                     // value handed down is heuristic only.
-                    let next = node
-                        .fanins()
-                        .iter()
-                        .copied()
-                        .find(|&f| self.good[f.index()] == V3::X)?;
+                    let next =
+                        node.fanins().iter().copied().find(|&f| self.good[f.index()] == V3::X)?;
                     line = next;
                 }
             }
@@ -337,11 +333,7 @@ impl<'c> Podem<'c> {
         let mut stack: Vec<(usize, bool, bool)> = Vec::new();
         loop {
             if self.fault_at_output() {
-                let test = self
-                    .pi_values
-                    .iter()
-                    .map(|v| matches!(v, V3::One))
-                    .collect();
+                let test = self.pi_values.iter().map(|v| matches!(v, V3::One)).collect();
                 return TestResult::Test(test);
             }
             match self.objective() {

@@ -10,6 +10,7 @@
 use crate::podem::{generate_test, TestResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sft_budget::{Budget, StopReason};
 use sft_netlist::Circuit;
 use sft_sim::{fault_list, Fault, FaultSim};
 
@@ -42,19 +43,25 @@ pub struct TestSet {
     /// Faults whose PODEM search aborted (no test found, not proven
     /// redundant).
     pub aborted: usize,
+    /// Faults never targeted because the effort budget ran out. Always 0
+    /// when [`stop_reason`](Self::stop_reason) is [`StopReason::Converged`].
+    pub untargeted: usize,
     /// Total faults targeted.
     pub total_faults: usize,
+    /// Why generation stopped. [`StopReason::Converged`] means every fault
+    /// was processed; budget exhaustion keeps the vectors generated so far.
+    pub stop_reason: StopReason,
 }
 
 impl TestSet {
     /// Fault coverage over the testable faults: detected / (total −
-    /// redundant).
+    /// redundant). Aborted and budget-skipped faults count as undetected.
     pub fn coverage(&self) -> f64 {
         let testable = self.total_faults - self.redundant;
         if testable == 0 {
             1.0
         } else {
-            (testable - self.aborted) as f64 / testable as f64
+            (testable - self.aborted - self.untargeted) as f64 / testable as f64
         }
     }
 }
@@ -75,6 +82,26 @@ fn detects(fsim: &mut FaultSim<'_>, faults: &[Fault], vector: &[bool]) -> Vec<bo
 ///
 /// Panics if the circuit is cyclic or has no inputs.
 pub fn generate_test_set(circuit: &Circuit, options: &TestSetOptions) -> TestSet {
+    generate_test_set_with_budget(circuit, options, &Budget::unlimited())
+}
+
+/// Generates a stuck-at test set under an effort [`Budget`].
+///
+/// The budget is checked once per random-pattern block and consumed one
+/// step per deterministically targeted fault. On exhaustion the vectors
+/// generated so far are returned as-is (final compaction is also skipped
+/// — it only shrinks the set, never completes it), the remaining faults
+/// are counted in [`TestSet::untargeted`], and
+/// [`TestSet::stop_reason`] records which limit cut in.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic or has no inputs.
+pub fn generate_test_set_with_budget(
+    circuit: &Circuit,
+    options: &TestSetOptions,
+    budget: &Budget,
+) -> TestSet {
     assert!(!circuit.inputs().is_empty(), "circuit must have inputs");
     let faults = fault_list(circuit);
     let mut fsim = FaultSim::new(circuit);
@@ -82,10 +109,15 @@ pub fn generate_test_set(circuit: &Circuit, options: &TestSetOptions) -> TestSet
     let mut vectors: Vec<Vec<bool>> = Vec::new();
     let mut rng = StdRng::seed_from_u64(options.seed);
     let n_inputs = circuit.inputs().len();
+    let mut stop = StopReason::Converged;
 
     // Phase 1: random patterns, keeping only effective ones.
     for _ in 0..options.random_blocks {
         if alive.is_empty() {
+            break;
+        }
+        if let Err(e) = budget.check() {
+            stop = e.into();
             break;
         }
         let words: Vec<u64> = (0..n_inputs).map(|_| rng.gen()).collect();
@@ -95,32 +127,25 @@ pub fn generate_test_set(circuit: &Circuit, options: &TestSetOptions) -> TestSet
         effective_bits.sort_unstable();
         effective_bits.dedup();
         for bit in effective_bits {
-            let vector: Vec<bool> =
-                (0..n_inputs).map(|i| words[i] >> bit & 1 == 1).collect();
+            let vector: Vec<bool> = (0..n_inputs).map(|i| words[i] >> bit & 1 == 1).collect();
             vectors.push(vector);
         }
-        alive = alive
-            .iter()
-            .zip(&det)
-            .filter(|&(_, d)| d.is_none())
-            .map(|(&i, _)| i)
-            .collect();
+        alive = alive.iter().zip(&det).filter(|&(_, d)| d.is_none()).map(|(&i, _)| i).collect();
     }
 
     // Phase 2: deterministic PODEM with fault dropping.
     let mut redundant = 0;
     let mut aborted = 0;
     while let Some(&target) = alive.first() {
+        if let Err(e) = budget.consume(1) {
+            stop = e.into();
+            break;
+        }
         match generate_test(circuit, faults[target], options.backtrack_limit) {
             TestResult::Test(vector) => {
                 let alive_faults: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
                 let hit = detects(&mut fsim, &alive_faults, &vector);
-                alive = alive
-                    .iter()
-                    .zip(&hit)
-                    .filter(|&(_, &h)| !h)
-                    .map(|(&i, _)| i)
-                    .collect();
+                alive = alive.iter().zip(&hit).filter(|&(_, &h)| !h).map(|(&i, _)| i).collect();
                 vectors.push(vector);
             }
             TestResult::Untestable => {
@@ -134,8 +159,12 @@ pub fn generate_test_set(circuit: &Circuit, options: &TestSetOptions) -> TestSet
         }
     }
 
-    // Phase 3: reverse-order static compaction.
-    if options.compact && !vectors.is_empty() {
+    let untargeted = if stop.is_early() { alive.len() } else { 0 };
+
+    // Phase 3: reverse-order static compaction. Skipped when the budget
+    // ran out: compaction only shrinks the set, and the remaining effort
+    // is better reported back to the caller immediately.
+    if options.compact && !vectors.is_empty() && !stop.is_early() {
         let targeted: Vec<Fault> = faults.clone();
         // Detection matrix and per-fault cover counts.
         let matrix: Vec<Vec<bool>> =
@@ -150,10 +179,8 @@ pub fn generate_test_set(circuit: &Circuit, options: &TestSetOptions) -> TestSet
         }
         let mut keep = vec![true; vectors.len()];
         for v in (0..vectors.len()).rev() {
-            let droppable = matrix[v]
-                .iter()
-                .enumerate()
-                .all(|(f, &hit)| !hit || cover_count[f] >= 2);
+            let droppable =
+                matrix[v].iter().enumerate().all(|(f, &hit)| !hit || cover_count[f] >= 2);
             if droppable {
                 keep[v] = false;
                 for (f, &hit) in matrix[v].iter().enumerate() {
@@ -163,15 +190,17 @@ pub fn generate_test_set(circuit: &Circuit, options: &TestSetOptions) -> TestSet
                 }
             }
         }
-        vectors = vectors
-            .into_iter()
-            .zip(keep)
-            .filter(|&(_, k)| k)
-            .map(|(v, _)| v)
-            .collect();
+        vectors = vectors.into_iter().zip(keep).filter(|&(_, k)| k).map(|(v, _)| v).collect();
     }
 
-    TestSet { vectors, redundant, aborted, total_faults: faults.len() }
+    TestSet {
+        vectors,
+        redundant,
+        aborted,
+        untargeted,
+        total_faults: faults.len(),
+        stop_reason: stop,
+    }
 }
 
 #[cfg(test)]
@@ -218,10 +247,8 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     #[test]
     fn compaction_never_loses_coverage() {
         let c = parse(C17, "c17").unwrap();
-        let loose = generate_test_set(
-            &c,
-            &TestSetOptions { compact: false, ..TestSetOptions::default() },
-        );
+        let loose =
+            generate_test_set(&c, &TestSetOptions { compact: false, ..TestSetOptions::default() });
         let tight = generate_test_set(&c, &TestSetOptions::default());
         verify_complete(&c, &loose);
         verify_complete(&c, &tight);
@@ -253,5 +280,35 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
             &TestSetOptions { random_blocks: 0, ..TestSetOptions::default() },
         );
         verify_complete(&c, &set);
+    }
+
+    #[test]
+    fn pre_expired_deadline_yields_empty_set() {
+        let c = parse(C17, "c17").unwrap();
+        let budget = Budget::unlimited().with_time_limit(std::time::Duration::ZERO);
+        let set = generate_test_set_with_budget(&c, &TestSetOptions::default(), &budget);
+        assert_eq!(set.stop_reason, StopReason::Deadline);
+        assert!(set.vectors.is_empty());
+        assert_eq!(set.untargeted, set.total_faults);
+        assert!(set.coverage() < 1e-9);
+    }
+
+    #[test]
+    fn step_budget_limits_targeted_faults() {
+        let c = parse(C17, "c17").unwrap();
+        // Skip the random phase so every vector comes from a budgeted
+        // PODEM target.
+        let opts = TestSetOptions { random_blocks: 0, ..TestSetOptions::default() };
+        let budget = Budget::unlimited().with_step_limit(2);
+        let set = generate_test_set_with_budget(&c, &opts, &budget);
+        assert_eq!(set.stop_reason, StopReason::StepBudget);
+        assert!(set.vectors.len() <= 2, "{} vectors", set.vectors.len());
+        assert!(set.untargeted > 0);
+        assert!(set.coverage() < 1.0);
+        // The partial set is still a valid (incomplete) test set.
+        let full = generate_test_set(&c, &opts);
+        assert_eq!(full.stop_reason, StopReason::Converged);
+        assert_eq!(full.untargeted, 0);
+        assert!(set.vectors.len() <= full.vectors.len());
     }
 }

@@ -1,6 +1,7 @@
 //! Netlist → BDD bridge and combinational equivalence checking.
 
 use crate::{BddError, BddRef, Manager};
+use sft_budget::Budget;
 use sft_netlist::{Circuit, GateKind};
 
 /// Outcome of an equivalence check.
@@ -35,18 +36,35 @@ impl CheckResult {
 ///
 /// Panics if the circuit is cyclic.
 pub fn circuit_bdds(manager: &mut Manager, circuit: &Circuit) -> Result<Vec<BddRef>, BddError> {
+    circuit_bdds_budgeted(manager, circuit, &Budget::unlimited())
+}
+
+/// [`circuit_bdds`] with an effort budget checked at every circuit node, so
+/// a deadline, step budget, or cancellation interrupts construction between
+/// gates.
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] on blowup and [`BddError::Interrupted`]
+/// when the budget runs out.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn circuit_bdds_budgeted(
+    manager: &mut Manager,
+    circuit: &Circuit,
+    budget: &Budget,
+) -> Result<Vec<BddRef>, BddError> {
     let order = circuit.topo_order().expect("combinational circuit");
     let mut refs: Vec<BddRef> = vec![BddRef::FALSE; circuit.len()];
-    let input_var: std::collections::HashMap<_, _> = circuit
-        .inputs()
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i as u32))
-        .collect();
+    let input_var: std::collections::HashMap<_, _> =
+        circuit.inputs().iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
     for id in order {
+        budget.check()?;
         let node = circuit.node(id);
         let r = match node.kind() {
-            GateKind::Input => manager.var(input_var[&id]),
+            GateKind::Input => manager.var(input_var[&id])?,
             GateKind::Const0 => BddRef::FALSE,
             GateKind::Const1 => BddRef::TRUE,
             GateKind::Buf => refs[node.fanins()[0].index()],
@@ -106,10 +124,30 @@ pub fn equivalent_with_manager(
     a: &Circuit,
     b: &Circuit,
 ) -> Result<CheckResult, BddError> {
+    equivalent_with_manager_budgeted(manager, a, b, &Budget::unlimited())
+}
+
+/// [`equivalent_with_manager`] with an effort budget; construction of either
+/// side can be interrupted by a deadline, step budget, or cancellation.
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] on BDD blowup and
+/// [`BddError::Interrupted`] when the budget runs out.
+///
+/// # Panics
+///
+/// Same as [`equivalent_with_manager`].
+pub fn equivalent_with_manager_budgeted(
+    manager: &mut Manager,
+    a: &Circuit,
+    b: &Circuit,
+    budget: &Budget,
+) -> Result<CheckResult, BddError> {
     assert_eq!(a.inputs().len(), b.inputs().len(), "input arity mismatch");
     assert_eq!(a.outputs().len(), b.outputs().len(), "output arity mismatch");
-    let fa = circuit_bdds(manager, a)?;
-    let fb = circuit_bdds(manager, b)?;
+    let fa = circuit_bdds_budgeted(manager, a, budget)?;
+    let fb = circuit_bdds_budgeted(manager, b, budget)?;
     for (slot, (&x, &y)) in fa.iter().zip(&fb).enumerate() {
         if x != y {
             let diff = manager.xor(x, y)?;
@@ -185,10 +223,8 @@ mod tests {
 
     #[test]
     fn multi_output_mismatch_reports_slot() {
-        let a =
-            parse("INPUT(a)\nOUTPUT(y1)\nOUTPUT(y2)\ny1 = BUF(a)\ny2 = BUF(a)\n", "a").unwrap();
-        let b =
-            parse("INPUT(a)\nOUTPUT(y1)\nOUTPUT(y2)\ny1 = BUF(a)\ny2 = NOT(a)\n", "b").unwrap();
+        let a = parse("INPUT(a)\nOUTPUT(y1)\nOUTPUT(y2)\ny1 = BUF(a)\ny2 = BUF(a)\n", "a").unwrap();
+        let b = parse("INPUT(a)\nOUTPUT(y1)\nOUTPUT(y2)\ny1 = BUF(a)\ny2 = NOT(a)\n", "b").unwrap();
         match equivalent(&a, &b).unwrap() {
             CheckResult::Different { output, .. } => assert_eq!(output, 1),
             CheckResult::Equivalent => panic!("should differ"),
@@ -217,6 +253,33 @@ mod tests {
         let a = parse("INPUT(a)\nOUTPUT(y)\nk = CONST1\ny = AND(a, k)\n", "a").unwrap();
         let b = parse("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n", "b").unwrap();
         assert!(equivalent(&a, &b).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn budget_interrupts_construction() {
+        use sft_budget::{Budget, CancelFlag, Exhausted};
+        let c = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "c").unwrap();
+
+        let expired = Budget::unlimited().with_time_limit(std::time::Duration::ZERO);
+        let mut m = Manager::new();
+        assert_eq!(
+            circuit_bdds_budgeted(&mut m, &c, &expired),
+            Err(BddError::Interrupted(Exhausted::Deadline))
+        );
+
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let cancelled = Budget::unlimited().with_cancel(flag);
+        let mut m = Manager::new();
+        assert_eq!(
+            equivalent_with_manager_budgeted(&mut m, &c, &c, &cancelled),
+            Err(BddError::Interrupted(Exhausted::Cancelled))
+        );
+
+        // An unlimited budget changes nothing.
+        let mut m = Manager::new();
+        let refs = circuit_bdds_budgeted(&mut m, &c, &Budget::unlimited()).unwrap();
+        assert_eq!(refs.len(), 1);
     }
 
     /// Random-circuit cross-validation: BDD equivalence agrees with

@@ -17,8 +17,8 @@
 //! use sft_bdd::Manager;
 //!
 //! let mut m = Manager::new();
-//! let a = m.var(0);
-//! let b = m.var(1);
+//! let a = m.var(0)?;
+//! let b = m.var(1)?;
 //! let ab = m.and(a, b)?;
 //! let ba = m.and(b, a)?;
 //! assert_eq!(ab, ba); // hash-consing makes equivalence a pointer check
@@ -28,5 +28,8 @@
 mod bridge;
 mod manager;
 
-pub use bridge::{circuit_bdds, equivalent, equivalent_with_manager, CheckResult};
-pub use manager::{BddError, BddRef, Manager};
+pub use bridge::{
+    circuit_bdds, circuit_bdds_budgeted, equivalent, equivalent_with_manager,
+    equivalent_with_manager_budgeted, CheckResult,
+};
+pub use manager::{BddError, BddRef, Manager, DEFAULT_NODE_LIMIT};

@@ -36,13 +36,23 @@ impl fmt::Display for BddRef {
 pub enum BddError {
     /// The manager exceeded its node cap (BDD blowup).
     NodeLimit(usize),
+    /// Construction was interrupted by an exhausted effort budget
+    /// (deadline, step budget, or cooperative cancellation).
+    Interrupted(sft_budget::Exhausted),
 }
 
 impl fmt::Display for BddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BddError::NodeLimit(n) => write!(f, "bdd node limit of {n} nodes exceeded"),
+            BddError::Interrupted(e) => write!(f, "bdd construction interrupted: {e}"),
         }
+    }
+}
+
+impl From<sft_budget::Exhausted> for BddError {
+    fn from(e: sft_budget::Exhausted) -> Self {
+        BddError::Interrupted(e)
     }
 }
 
@@ -56,7 +66,9 @@ struct Node {
 }
 
 const TERMINAL_VAR: u32 = u32::MAX;
-const DEFAULT_NODE_LIMIT: usize = 4_000_000;
+
+/// Node cap used by [`Manager::new`].
+pub const DEFAULT_NODE_LIMIT: usize = 4_000_000;
 
 /// A hash-consed ROBDD manager with an `ite`-based operation core.
 ///
@@ -69,7 +81,7 @@ const DEFAULT_NODE_LIMIT: usize = 4_000_000;
 /// use sft_bdd::{BddRef, Manager};
 ///
 /// let mut m = Manager::new();
-/// let x = m.var(0);
+/// let x = m.var(0)?;
 /// let nx = m.not(x)?;
 /// assert_eq!(m.or(x, nx)?, BddRef::TRUE);
 /// assert_eq!(m.and(x, nx)?, BddRef::FALSE);
@@ -132,8 +144,13 @@ impl Manager {
     }
 
     /// The single-variable function `x_var`.
-    pub fn var(&mut self, var: u32) -> BddRef {
-        self.mk(var, BddRef::FALSE, BddRef::TRUE).expect("two terminals always fit")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the manager's node cap is hit
+    /// (possible with very small caps).
+    pub fn var(&mut self, var: u32) -> Result<BddRef, BddError> {
+        self.mk(var, BddRef::FALSE, BddRef::TRUE)
     }
 
     fn mk(&mut self, var: u32, lo: BddRef, hi: BddRef) -> Result<BddRef, BddError> {
@@ -254,12 +271,7 @@ impl Manager {
     ///
     /// Panics if `f` mentions a variable `>= num_vars`.
     pub fn sat_count(&self, f: BddRef, num_vars: u32) -> u128 {
-        fn walk(
-            m: &Manager,
-            f: BddRef,
-            num_vars: u32,
-            memo: &mut HashMap<BddRef, u128>,
-        ) -> u128 {
+        fn walk(m: &Manager, f: BddRef, num_vars: u32, memo: &mut HashMap<BddRef, u128>) -> u128 {
             // Returns count / 2^(var_of(f) levels above): count over
             // remaining vars from var_of(f).
             if f == BddRef::FALSE {
@@ -389,7 +401,7 @@ mod tests {
     #[test]
     fn tautologies_and_contradictions() {
         let mut m = Manager::new();
-        let x = m.var(0);
+        let x = m.var(0).unwrap();
         let nx = m.not(x).unwrap();
         assert_eq!(m.or(x, nx).unwrap(), BddRef::TRUE);
         assert_eq!(m.and(x, nx).unwrap(), BddRef::FALSE);
@@ -399,9 +411,9 @@ mod tests {
     #[test]
     fn hash_consing_gives_canonical_forms() {
         let mut m = Manager::new();
-        let a = m.var(0);
-        let b = m.var(1);
-        let c = m.var(2);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
         // (a & b) | c vs c | (b & a)
         let ab = m.and(a, b).unwrap();
         let lhs = m.or(ab, c).unwrap();
@@ -413,8 +425,8 @@ mod tests {
     #[test]
     fn eval_matches_semantics() {
         let mut m = Manager::new();
-        let a = m.var(0);
-        let b = m.var(1);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
         let f = m.xor(a, b).unwrap();
         assert!(!m.eval(f, &[false, false]));
         assert!(m.eval(f, &[true, false]));
@@ -425,8 +437,8 @@ mod tests {
     #[test]
     fn sat_count_basics() {
         let mut m = Manager::new();
-        let a = m.var(0);
-        let b = m.var(1);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
         let f = m.and(a, b).unwrap();
         assert_eq!(m.sat_count(f, 2), 1);
         assert_eq!(m.sat_count(a, 2), 2);
@@ -441,8 +453,8 @@ mod tests {
     #[test]
     fn any_sat_finds_witness() {
         let mut m = Manager::new();
-        let a = m.var(0);
-        let b = m.var(1);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
         let nb = m.not(b).unwrap();
         let f = m.and(a, nb).unwrap();
         let w = m.any_sat(f).unwrap();
@@ -454,7 +466,7 @@ mod tests {
     #[test]
     fn node_limit_enforced() {
         let mut m = Manager::with_node_limit(16);
-        let vars: Vec<BddRef> = (0..8).map(|i| m.var(i)).collect();
+        let vars: Vec<BddRef> = (0..8).map(|i| m.var(i).unwrap()).collect();
         let mut acc = vars[0];
         let mut hit = false;
         for &v in &vars[1..] {
@@ -465,6 +477,7 @@ mod tests {
                     hit = true;
                     break;
                 }
+                Err(other) => panic!("unexpected error: {other}"),
             }
         }
         assert!(hit, "node limit should have been hit");
@@ -473,9 +486,9 @@ mod tests {
     #[test]
     fn support_and_quantification() {
         let mut m = Manager::new();
-        let a = m.var(0);
-        let b = m.var(1);
-        let c = m.var(2);
+        let a = m.var(0).unwrap();
+        let b = m.var(1).unwrap();
+        let c = m.var(2).unwrap();
         let ab = m.and(a, b).unwrap();
         let f = m.or(ab, c).unwrap();
         assert_eq!(m.support(f), vec![0, 1, 2]);
@@ -508,9 +521,8 @@ mod tests {
                 if bits >> minterm & 1 == 1 {
                     let mut cube = BddRef::TRUE;
                     for v in 0..3u32 {
-                        let x = m.var(v);
-                        let lit =
-                            if minterm >> v & 1 == 1 { x } else { m.not(x).unwrap() };
+                        let x = m.var(v).unwrap();
+                        let lit = if minterm >> v & 1 == 1 { x } else { m.not(x).unwrap() };
                         cube = m.and(cube, lit).unwrap();
                     }
                     f = m.or(f, cube).unwrap();

@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sft_circuits::random::{random_circuit, RandomCircuitConfig};
-use sft_core::{identify, resynthesize, IdentifyMethod, IdentifyOptions, Objective, ResynthOptions};
+use sft_core::{
+    identify, resynthesize, IdentifyMethod, IdentifyOptions, Objective, ResynthOptions,
+};
 use sft_truth::TruthTable;
 use std::hint::black_box;
 
@@ -22,15 +24,10 @@ fn bench_identify_methods(c: &mut Criterion) {
             .to_table();
         let miss = TruthTable::from_fn(n, |m| m.count_ones() as usize * 2 > n);
         for (label, table) in [("hit", hit), ("miss", miss)] {
-            for (mname, method) in [
-                ("exact", IdentifyMethod::Exact),
-                ("perm200", IdentifyMethod::Permutations),
-            ] {
-                let opts = IdentifyOptions {
-                    method,
-                    max_permutations: 200,
-                    try_complement: true,
-                };
+            for (mname, method) in
+                [("exact", IdentifyMethod::Exact), ("perm200", IdentifyMethod::Permutations)]
+            {
+                let opts = IdentifyOptions { method, max_permutations: 200, try_complement: true };
                 group.bench_with_input(
                     BenchmarkId::new(format!("{mname}/{label}"), n),
                     &table,
@@ -98,11 +95,8 @@ fn bench_objectives(c: &mut Criterion) {
         ("combined_1_1", Objective::Combined { gate_weight: 1, path_weight: 1 }),
         ("combined_100_1", Objective::Combined { gate_weight: 100, path_weight: 1 }),
     ] {
-        let opts = ResynthOptions {
-            objective,
-            max_candidates_per_gate: 60,
-            ..ResynthOptions::default()
-        };
+        let opts =
+            ResynthOptions { objective, max_candidates_per_gate: 60, ..ResynthOptions::default() };
         // Print the quality point once so the ablation is visible in the
         // bench log, then measure throughput.
         let mut probe = circuit.clone();

@@ -26,7 +26,10 @@ fn main() {
     // Figure 4: >=7 with the AND chain merged into a 3-input gate.
     show("Figure 4 (>=7, merged)", &ComparisonSpec::new(vec![0, 1, 2, 3], 7, 15).expect("valid"));
     // Figure 5: free variables (L=5, U=7: x1, x2 free).
-    show("Figure 5 (free vars, L=5 U=7)", &ComparisonSpec::new(vec![0, 1, 2, 3], 5, 7).expect("valid"));
+    show(
+        "Figure 5 (free vars, L=5 U=7)",
+        &ComparisonSpec::new(vec![0, 1, 2, 3], 5, 7).expect("valid"),
+    );
     // Figure 6: the L=11, U=12 unit used by Table 1.
     show("Figure 6 (L=11 U=12)", &ComparisonSpec::new(vec![0, 1, 2, 3], 11, 12).expect("valid"));
 }

@@ -2,16 +2,12 @@
 //! preparation (redundancy-removal) record. With `--dump <dir>` also
 //! writes each circuit as a `.bench` file.
 
-use sft_bench::format::{grouped, header, row};
+use sft_bench::format::{grouped_paths, header, row};
 use sft_netlist::bench_format;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let dump_dir = args
-        .iter()
-        .position(|a| a == "--dump")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let dump_dir = args.iter().position(|a| a == "--dump").and_then(|i| args.get(i + 1)).cloned();
     let quick = args.iter().any(|a| a == "--quick");
     let entries = if quick { sft_circuits::suite_small() } else { sft_circuits::suite() };
     println!("substitute benchmark suite ({} circuits)", entries.len());
@@ -34,7 +30,7 @@ fn main() {
             (s.outputs.to_string(), 7),
             (s.gates.to_string(), 7),
             (s.two_input_gates.to_string(), 7),
-            (grouped(s.paths), 14),
+            (grouped_paths(s.paths), 14),
             (s.depth.to_string(), 6),
             (e.redundancies_removed.to_string(), 11),
         ]);

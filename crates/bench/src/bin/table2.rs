@@ -1,6 +1,6 @@
 //! Regenerates Table 2: Procedure 2 followed by redundancy removal.
 
-use sft_bench::format::{grouped, header, row};
+use sft_bench::format::{grouped_paths, header, row};
 use sft_bench::{table2_rows, ExperimentConfig};
 
 fn main() {
@@ -22,9 +22,9 @@ fn main() {
             (r.gates.0.to_string(), 10),
             (r.gates.1.to_string(), 8),
             (r.gates.2.map_or_else(String::new, |g| g.to_string()), 8),
-            (grouped(r.paths.0), 14),
-            (grouped(r.paths.1), 14),
-            (r.paths.2.map_or_else(String::new, grouped), 14),
+            (grouped_paths(r.paths.0), 14),
+            (grouped_paths(r.paths.1), 14),
+            (r.paths.2.map_or_else(String::new, grouped_paths), 14),
         ]);
     }
 }

@@ -1,6 +1,6 @@
 //! Regenerates Table 3: comparison with the RAMBO_C-style RAR baseline.
 
-use sft_bench::format::{grouped, header, row};
+use sft_bench::format::{grouped_paths, header, row};
 use sft_bench::{table3_rows, ExperimentConfig};
 
 fn main() {
@@ -21,12 +21,12 @@ fn main() {
         row(&[
             (r.name.to_string(), 8),
             (r.orig.0.to_string(), 10),
-            (grouped(r.orig.1), 13),
+            (grouped_paths(r.orig.1), 13),
             (r.rambo.0.to_string(), 10),
-            (grouped(r.rambo.1), 13),
+            (grouped_paths(r.rambo.1), 13),
             (r.k.to_string(), 3),
             (r.both.0.to_string(), 10),
-            (grouped(r.both.1), 13),
+            (grouped_paths(r.both.1), 13),
         ]);
     }
 }

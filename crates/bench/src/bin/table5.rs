@@ -1,6 +1,6 @@
 //! Regenerates Table 5: Procedure 3 (paths minimized).
 
-use sft_bench::format::{grouped, header, row};
+use sft_bench::format::{grouped_paths, header, row};
 use sft_bench::{table5_rows, ExperimentConfig};
 
 fn main() {
@@ -23,8 +23,8 @@ fn main() {
             (r.io.1.to_string(), 5),
             (r.gates.0.to_string(), 10),
             (r.gates.1.to_string(), 8),
-            (grouped(r.paths.0), 14),
-            (grouped(r.paths.1), 14),
+            (grouped_paths(r.paths.0), 14),
+            (grouped_paths(r.paths.1), 14),
         ]);
     }
 }

@@ -4,7 +4,7 @@ use sft_atpg::remove_redundancies;
 use sft_circuits::{suite, suite_small, SuiteEntry};
 use sft_core::{procedure2, procedure3, ResynthOptions};
 use sft_delay::{pdf_campaign, PdfCampaignConfig};
-use sft_netlist::Circuit;
+use sft_netlist::{Circuit, PathCount};
 use sft_rambo::{optimize, RamboOptions};
 use sft_sim::{campaign, fault_list, CampaignConfig};
 use sft_techmap::{map_circuit, Library};
@@ -140,8 +140,9 @@ pub struct Table2Row {
     pub k: usize,
     /// Equivalent 2-input gates: original / modified / after red. removal.
     pub gates: (u64, u64, Option<u64>),
-    /// Paths: original / modified / after red. removal.
-    pub paths: (u128, u128, Option<u128>),
+    /// Paths: original / modified / after red. removal
+    /// (saturation-aware; see [`PathCount`]).
+    pub paths: (PathCount, PathCount, Option<PathCount>),
 }
 
 /// Computes Table 2 over the suite.
@@ -162,9 +163,9 @@ pub fn table2_rows(cfg: &ExperimentConfig) -> Vec<Table2Row> {
                     red.then(|| cleaned.two_input_gate_count()),
                 ),
                 paths: (
-                    entry.circuit.path_count(),
-                    modified.path_count(),
-                    red.then(|| cleaned.path_count()),
+                    entry.circuit.path_count_exact(),
+                    modified.path_count_exact(),
+                    red.then(|| cleaned.path_count_exact()),
                 ),
             }
         })
@@ -177,13 +178,13 @@ pub struct Table3Row {
     /// Circuit name.
     pub name: &'static str,
     /// Original (eq-2 gates, paths).
-    pub orig: (u64, u128),
+    pub orig: (u64, PathCount),
     /// After the RAR baseline.
-    pub rambo: (u64, u128),
+    pub rambo: (u64, PathCount),
     /// Winning K of the follow-up Procedure 2.
     pub k: usize,
     /// After RAR + Procedure 2.
-    pub both: (u64, u128),
+    pub both: (u64, PathCount),
 }
 
 /// Computes Table 3 over the four smallest suite entries.
@@ -200,10 +201,10 @@ pub fn table3_rows(cfg: &ExperimentConfig) -> Vec<Table3Row> {
             let (both, k) = best_procedure2(&rambo, cfg);
             Table3Row {
                 name: entry.name,
-                orig: (entry.circuit.two_input_gate_count(), entry.circuit.path_count()),
-                rambo: (rambo.two_input_gate_count(), rambo.path_count()),
+                orig: (entry.circuit.two_input_gate_count(), entry.circuit.path_count_exact()),
+                rambo: (rambo.two_input_gate_count(), rambo.path_count_exact()),
                 k,
-                both: (both.two_input_gate_count(), both.path_count()),
+                both: (both.two_input_gate_count(), both.path_count_exact()),
             }
         })
         .collect()
@@ -264,8 +265,8 @@ pub struct Table5Row {
     pub io: (usize, usize),
     /// Equivalent 2-input gates: original / modified.
     pub gates: (u64, u64),
-    /// Paths: original / modified.
-    pub paths: (u128, u128),
+    /// Paths: original / modified (saturation-aware).
+    pub paths: (PathCount, PathCount),
 }
 
 /// Computes Table 5 over the suite.
@@ -279,7 +280,7 @@ pub fn table5_rows(cfg: &ExperimentConfig) -> Vec<Table5Row> {
                 k,
                 io: (entry.circuit.inputs().len(), entry.circuit.outputs().len()),
                 gates: (entry.circuit.two_input_gate_count(), modified.two_input_gate_count()),
-                paths: (entry.circuit.path_count(), modified.path_count()),
+                paths: (entry.circuit.path_count_exact(), modified.path_count_exact()),
             }
         })
         .collect()

@@ -1,5 +1,7 @@
 //! Minimal fixed-width table printing for the experiment binaries.
 
+use sft_netlist::PathCount;
+
 /// Prints a header row followed by a separator.
 pub fn header(columns: &[(&str, usize)]) {
     let mut line = String::new();
@@ -28,10 +30,20 @@ pub fn grouped(n: u128) -> String {
     let bytes = digits.as_bytes();
     let mut out = String::with_capacity(digits.len() + digits.len() / 3);
     for (i, b) in bytes.iter().enumerate() {
-        if i > 0 && (bytes.len() - i) % 3 == 0 {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(*b as char);
+    }
+    out
+}
+
+/// Formats a [`PathCount`] like [`grouped`], with a trailing `+` when the
+/// count saturated (the printed number is then a lower bound).
+pub fn grouped_paths(n: PathCount) -> String {
+    let mut out = grouped(n.value());
+    if n.is_saturated() {
+        out.push('+');
     }
     out
 }
@@ -46,5 +58,12 @@ mod tests {
         assert_eq!(grouped(999), "999");
         assert_eq!(grouped(1000), "1,000");
         assert_eq!(grouped(23_003_369), "23,003,369");
+    }
+
+    #[test]
+    fn grouping_saturated() {
+        assert_eq!(grouped_paths(PathCount::exact(1000)), "1,000");
+        let sat: PathCount = [PathCount::exact(u128::MAX), PathCount::exact(1)].into_iter().sum();
+        assert!(grouped_paths(sat).ends_with('+'));
     }
 }

@@ -16,6 +16,6 @@ pub mod experiments;
 pub mod format;
 
 pub use experiments::{
-    table2_rows, table3_rows, table4_rows, table5_rows, table6_rows, table7_rows,
-    ExperimentConfig, Table2Row, Table3Row, Table4Row, Table5Row, Table6Row, Table7Row,
+    table2_rows, table3_rows, table4_rows, table5_rows, table6_rows, table7_rows, ExperimentConfig,
+    Table2Row, Table3Row, Table4Row, Table5Row, Table6Row, Table7Row,
 };

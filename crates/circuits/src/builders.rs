@@ -6,12 +6,7 @@
 
 use sft_netlist::{Circuit, GateKind, NodeId};
 
-fn full_adder(
-    c: &mut Circuit,
-    a: NodeId,
-    b: NodeId,
-    cin: NodeId,
-) -> (NodeId, NodeId) {
+fn full_adder(c: &mut Circuit, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
     let axb = c.add_gate(GateKind::Xor, vec![a, b]).expect("valid gate");
     let sum = c.add_gate(GateKind::Xor, vec![axb, cin]).expect("valid gate");
     let t1 = c.add_gate(GateKind::And, vec![a, b]).expect("valid gate");
@@ -57,9 +52,8 @@ pub fn comparator(n: usize) -> Circuit {
     let a: Vec<_> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect();
     let b: Vec<_> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect();
     // Bitwise equality, then prefix chains from the MSB.
-    let eqs: Vec<NodeId> = (0..n)
-        .map(|i| c.add_gate(GateKind::Xnor, vec![a[i], b[i]]).expect("valid gate"))
-        .collect();
+    let eqs: Vec<NodeId> =
+        (0..n).map(|i| c.add_gate(GateKind::Xnor, vec![a[i], b[i]]).expect("valid gate")).collect();
     let mut eq_prefix: Option<NodeId> = None; // MSB-down running equality
     let mut lt_terms = Vec::new();
     let mut gt_terms = Vec::new();
@@ -137,10 +131,8 @@ pub fn decoder(k: usize) -> Circuit {
     let mut c = Circuit::new(format!("dec{k}"));
     let x: Vec<_> = (0..k).map(|i| c.add_input(format!("x{i}"))).collect();
     let en = c.add_input("en");
-    let nx: Vec<_> = x
-        .iter()
-        .map(|&xi| c.add_gate(GateKind::Not, vec![xi]).expect("valid gate"))
-        .collect();
+    let nx: Vec<_> =
+        x.iter().map(|&xi| c.add_gate(GateKind::Not, vec![xi]).expect("valid gate")).collect();
     for m in 0..1usize << k {
         let mut fanins = vec![en];
         for i in 0..k {

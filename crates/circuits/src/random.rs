@@ -46,25 +46,16 @@ pub fn random_circuit(config: &RandomCircuitConfig) -> Circuit {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut c = Circuit::new(format!("rand_{}", config.seed));
     let mut pool: Vec<NodeId> = (0..config.inputs).map(|i| c.add_input(format!("i{i}"))).collect();
-    let kinds = [
-        GateKind::And,
-        GateKind::Or,
-        GateKind::Nand,
-        GateKind::Nor,
-        GateKind::And,
-        GateKind::Or,
-    ];
+    let kinds =
+        [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor, GateKind::And, GateKind::Or];
     for gi in 0..config.gates {
         let window = config.window.min(pool.len());
         let pick = |rng: &mut StdRng, pool: &[NodeId]| {
             let lo = pool.len() - window;
             pool[rng.gen_range(lo..pool.len())]
         };
-        let kind = if rng.gen_ratio(1, 12) {
-            GateKind::Not
-        } else {
-            kinds[rng.gen_range(0..kinds.len())]
-        };
+        let kind =
+            if rng.gen_ratio(1, 12) { GateKind::Not } else { kinds[rng.gen_range(0..kinds.len())] };
         let arity = if kind == GateKind::Not {
             1
         } else if rng.gen_ratio(1, 4) {
@@ -80,11 +71,7 @@ pub fn random_circuit(config: &RandomCircuitConfig) -> Circuit {
         if fanins.is_empty() {
             continue;
         }
-        let kind = if fanins.len() == 1 && kind != GateKind::Not {
-            GateKind::Buf
-        } else {
-            kind
-        };
+        let kind = if fanins.len() == 1 && kind != GateKind::Not { GateKind::Buf } else { kind };
         let g = c.add_gate(kind, fanins).expect("valid fanins");
         pool.push(g);
         let _ = gi;
@@ -130,16 +117,10 @@ mod tests {
 
     #[test]
     fn small_window_gives_more_paths() {
-        let wide = random_circuit(&RandomCircuitConfig {
-            window: 64,
-            gates: 300,
-            ..Default::default()
-        });
-        let narrow = random_circuit(&RandomCircuitConfig {
-            window: 6,
-            gates: 300,
-            ..Default::default()
-        });
+        let wide =
+            random_circuit(&RandomCircuitConfig { window: 64, gates: 300, ..Default::default() });
+        let narrow =
+            random_circuit(&RandomCircuitConfig { window: 6, gates: 300, ..Default::default() });
         assert!(
             narrow.path_count() > wide.path_count(),
             "narrow {} vs wide {}",

@@ -42,8 +42,8 @@ pub fn suite() -> Vec<SuiteEntry> {
             random_circuit(&RandomCircuitConfig {
                 inputs: 20,
                 outputs: 10,
-                gates: 180,
-                window: 10,
+                gates: 150,
+                window: 36,
                 seed: 0xA,
             }),
         ),
@@ -52,22 +52,22 @@ pub fn suite() -> Vec<SuiteEntry> {
             random_circuit(&RandomCircuitConfig {
                 inputs: 32,
                 outputs: 16,
-                gates: 420,
-                window: 22,
-                seed: 0xB,
+                gates: 260,
+                window: 56,
+                seed: 0xB1,
             }),
         ),
         prepare("irs_c", builders::ripple_carry_adder(16)),
         prepare("irs_d", builders::comparator(12)),
         prepare("irs_e", builders::array_multiplier(6)),
-        prepare("irs_f", builders::mux_tree(5)),
+        prepare("irs_f", builders::mux_tree(6)),
         prepare(
             "irs_g",
             random_circuit(&RandomCircuitConfig {
                 inputs: 14,
                 outputs: 6,
-                gates: 240,
-                window: 6,
+                gates: 70,
+                window: 28,
                 seed: 0xE,
             }),
         ),
@@ -76,8 +76,8 @@ pub fn suite() -> Vec<SuiteEntry> {
             random_circuit(&RandomCircuitConfig {
                 inputs: 40,
                 outputs: 20,
-                gates: 700,
-                window: 30,
+                gates: 400,
+                window: 80,
                 seed: 0xF,
             }),
         ),
@@ -93,13 +93,13 @@ pub fn suite_small() -> Vec<SuiteEntry> {
             random_circuit(&RandomCircuitConfig {
                 inputs: 20,
                 outputs: 10,
-                gates: 180,
-                window: 10,
+                gates: 150,
+                window: 36,
                 seed: 0xA,
             }),
         ),
         prepare("irs_d", builders::comparator(12)),
-        prepare("irs_f", builders::mux_tree(5)),
+        prepare("irs_f", builders::mux_tree(6)),
     ]
 }
 

@@ -13,6 +13,7 @@
 //! comparison unit.
 
 use crate::{ComparisonSpec, IdentifyOptions};
+use sft_budget::Budget;
 use sft_netlist::{Circuit, GateKind, NodeId};
 use sft_truth::TruthTable;
 
@@ -44,6 +45,20 @@ use sft_truth::TruthTable;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn comparison_cover(f: &TruthTable, options: &IdentifyOptions) -> Vec<ComparisonSpec> {
+    comparison_cover_with_budget(f, options, &Budget::unlimited())
+}
+
+/// Like [`comparison_cover`] but under an effort [`Budget`].
+///
+/// One step is consumed per candidate permutation. The search is anytime:
+/// the identity permutation is evaluated before the budget can cut in, so
+/// exhaustion degrades the cover (possibly more units than the unbudgeted
+/// search would find) but never fails to produce one.
+pub fn comparison_cover_with_budget(
+    f: &TruthTable,
+    options: &IdentifyOptions,
+    budget: &Budget,
+) -> Vec<ComparisonSpec> {
     if f.is_zero() {
         return Vec::new();
     }
@@ -60,7 +75,7 @@ pub fn comparison_cover(f: &TruthTable, options: &IdentifyOptions) -> Vec<Compar
                 ComparisonSpec::new(perm.clone(), l, u).expect("runs are valid intervals")
             })
             .collect();
-        if best.as_ref().map_or(true, |b| candidate.len() < b.len()) {
+        if best.as_ref().is_none_or(|b| candidate.len() < b.len()) {
             best = Some(candidate);
         }
         if let Some(b) = &best {
@@ -69,7 +84,10 @@ pub fn comparison_cover(f: &TruthTable, options: &IdentifyOptions) -> Vec<Compar
             }
         }
         tried += 1;
-        if tried >= options.max_permutations.max(1) || !next_perm(&mut perm) {
+        if budget.consume(1).is_err()
+            || tried >= options.max_permutations.max(1)
+            || !next_perm(&mut perm)
+        {
             break;
         }
     }
@@ -252,6 +270,18 @@ mod tests {
             let a: Vec<bool> = (0..3).map(|j| m >> (2 - j) & 1 == 1).collect();
             assert_eq!(c.eval_assignment(&a)[0], f.value(m), "minterm {m}");
         }
+    }
+
+    #[test]
+    fn exhausted_budget_still_yields_a_valid_cover() {
+        let opts = IdentifyOptions::default();
+        let f = TruthTable::from_fn(4, |m| m.count_ones() % 2 == 1);
+        let budget = Budget::unlimited().with_step_limit(0);
+        let cover = comparison_cover_with_budget(&f, &opts, &budget);
+        // Only the identity permutation ran, but the cover is still exact.
+        assert_eq!(cover_table(&cover, 4), f);
+        let full = comparison_cover(&f, &opts);
+        assert!(cover.len() >= full.len());
     }
 
     #[test]

@@ -175,9 +175,14 @@ pub fn identify_with_dc(
     let care_off = on.complement().and(&dc.complement());
     if care_on.is_zero() || care_off.is_zero() {
         // Some constant covers all care minterms.
-        return identify(&if care_off.is_zero() { TruthTable::one(on.inputs()) } else {
-            TruthTable::zero(on.inputs())
-        }, options);
+        return identify(
+            &if care_off.is_zero() {
+                TruthTable::one(on.inputs())
+            } else {
+                TruthTable::zero(on.inputs())
+            },
+            options,
+        );
     }
     if let Some(spec) = interval_search_dc(&care_on, &care_off, options.max_permutations) {
         return Some(spec);
@@ -443,10 +448,16 @@ mod tests {
     /// functions.
     #[test]
     fn exact_equals_exhaustive_all_3input_functions() {
-        let exhaustive =
-            IdentifyOptions { method: IdentifyMethod::Permutations, max_permutations: 6, try_complement: false };
-        let exact =
-            IdentifyOptions { method: IdentifyMethod::Exact, max_permutations: 0, try_complement: false };
+        let exhaustive = IdentifyOptions {
+            method: IdentifyMethod::Permutations,
+            max_permutations: 6,
+            try_complement: false,
+        };
+        let exact = IdentifyOptions {
+            method: IdentifyMethod::Exact,
+            max_permutations: 0,
+            try_complement: false,
+        };
         for bits in 0..=255u128 {
             let f = TruthTable::from_bits(3, bits);
             if f.is_zero() || f.is_one() {

@@ -50,9 +50,13 @@ mod spec;
 pub mod testability;
 pub mod unit;
 
-pub use identify::{identify, identify_with_dc, identify_with_polarities, IdentifyMethod, IdentifyOptions};
-pub use resynth::{
-    procedure2, procedure3, resynthesize, Objective, ResynthError, ResynthOptions, ResynthReport,
+pub use identify::{
+    identify, identify_with_dc, identify_with_polarities, IdentifyMethod, IdentifyOptions,
 };
+pub use resynth::{
+    procedure2, procedure3, resynthesize, resynthesize_with_budget, Objective, ResynthError,
+    ResynthOptions, ResynthReport,
+};
+pub use sft_budget::{Budget, CancelFlag, Exhausted, StopReason};
 pub use spec::{ComparisonSpec, SpecError};
 pub use unit::{build_standalone_unit, build_unit_in, UnitCost};

@@ -23,11 +23,22 @@
 //! dead are never revisited. The whole procedure repeats in passes until a
 //! pass yields no improvement. Every pass is (optionally but by default)
 //! verified equivalent to the input circuit with BDDs.
+//!
+//! Resynthesis is **transactional per pass**: each pass mutates a working
+//! copy that is committed only after BDD verification succeeds. BDD blowup,
+//! a verification mismatch, budget exhaustion, or cancellation rolls the
+//! circuit back to the last verified state and ends the run with a
+//! [`StopReason`] in the report — never an error that discards completed
+//! passes. The procedures are anytime algorithms, and the API preserves
+//! that property.
 
 use crate::cover::{comparison_cover, cover_cost};
 use crate::unit::{build_unit_in, unit_cost};
-use crate::{identify, identify_with_dc, identify_with_polarities, ComparisonSpec, IdentifyOptions};
-use sft_netlist::{simplify, two_input_cost, Circuit, GateKind, NodeId};
+use crate::{
+    identify, identify_with_dc, identify_with_polarities, ComparisonSpec, IdentifyOptions,
+};
+use sft_budget::{Budget, Exhausted, StopReason};
+use sft_netlist::{simplify, two_input_cost, Circuit, GateKind, NodeId, PathCount};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -63,6 +74,11 @@ pub struct ResynthOptions {
     pub max_passes: usize,
     /// Verify circuit equivalence with BDDs after every pass.
     pub verify_each_pass: bool,
+    /// Node cap of the verification BDD manager. Verification BDDs for the
+    /// reference and every pass result accumulate in one hash-consed
+    /// manager; exceeding the cap rolls the run back to the last verified
+    /// circuit with [`StopReason::BddBlowup`].
+    pub verify_node_limit: usize,
     /// Use satisfiability don't-cares (reachable cone-input combinations)
     /// during identification — the first "issue to be investigated" of the
     /// paper's concluding remarks. Computed exactly with BDDs; expensive,
@@ -90,6 +106,7 @@ impl Default for ResynthOptions {
             identify: IdentifyOptions::default(),
             max_passes: 16,
             verify_each_pass: true,
+            verify_node_limit: sft_bdd::DEFAULT_NODE_LIMIT,
             use_satisfiability_dont_cares: false,
             max_cover_units: 1,
             allow_input_negation: false,
@@ -98,28 +115,22 @@ impl Default for ResynthOptions {
 }
 
 /// Errors from resynthesis.
+///
+/// Only genuinely unrecoverable conditions are errors: a circuit that fails
+/// validation (or a structural edit that cannot be applied). Recoverable
+/// interruptions — BDD blowup, verification mismatch, budget exhaustion,
+/// cancellation — roll back to the last verified circuit and are reported
+/// through [`ResynthReport::stop_reason`] instead.
 #[derive(Debug)]
 pub enum ResynthError {
     /// The circuit failed validation before or during resynthesis.
     Netlist(sft_netlist::NetlistError),
-    /// Post-pass BDD verification found a functional difference (a bug —
-    /// this is a hard internal check).
-    VerificationFailed {
-        /// The output slot that differs.
-        output: usize,
-    },
-    /// BDD construction blew up during verification or don't-care analysis.
-    Bdd(sft_bdd::BddError),
 }
 
 impl fmt::Display for ResynthError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ResynthError::Netlist(e) => write!(f, "netlist error: {e}"),
-            ResynthError::VerificationFailed { output } => {
-                write!(f, "resynthesis changed the function of output {output}")
-            }
-            ResynthError::Bdd(e) => write!(f, "bdd error: {e}"),
         }
     }
 }
@@ -132,40 +143,44 @@ impl From<sft_netlist::NetlistError> for ResynthError {
     }
 }
 
-impl From<sft_bdd::BddError> for ResynthError {
-    fn from(e: sft_bdd::BddError) -> Self {
-        ResynthError::Bdd(e)
-    }
-}
-
 /// Summary of a resynthesis run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResynthReport {
-    /// Passes executed.
+    /// Committed (verified) passes.
     pub passes: usize,
-    /// Subcircuit replacements performed.
+    /// Subcircuit replacements in committed passes.
     pub replacements: usize,
     /// Equivalent 2-input gates before.
     pub gates_before: u64,
     /// Equivalent 2-input gates after.
     pub gates_after: u64,
-    /// Paths before.
-    pub paths_before: u128,
-    /// Paths after.
-    pub paths_after: u128,
+    /// Paths before (saturation-aware).
+    pub paths_before: PathCount,
+    /// Paths after (saturation-aware).
+    pub paths_after: PathCount,
+    /// Why the run ended. Everything other than
+    /// [`StopReason::Converged`] / [`StopReason::MaxPasses`] means the run
+    /// was cut short and the circuit holds the last verified state.
+    pub stop_reason: StopReason,
+    /// Nodes held by the cumulative verification BDD manager at the end of
+    /// the run (0 when `verify_each_pass` is off). A direct measure of
+    /// verification effort against
+    /// [`ResynthOptions::verify_node_limit`].
+    pub verify_nodes: usize,
 }
 
 impl fmt::Display for ResynthReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} passes, {} replacements: gates {} -> {}, paths {} -> {}",
+            "{} passes, {} replacements: gates {} -> {}, paths {} -> {} ({})",
             self.passes,
             self.replacements,
             self.gates_before,
             self.gates_after,
             self.paths_before,
-            self.paths_after
+            self.paths_after,
+            self.stop_reason
         )
     }
 }
@@ -216,8 +231,38 @@ struct Candidate {
     new_paths_at_g: u128,
 }
 
+/// Why a pass could not run to completion. Budget exhaustion is recoverable
+/// (rollback + report); netlist errors are not.
+enum PassAbort {
+    Budget(Exhausted),
+    Netlist(sft_netlist::NetlistError),
+}
+
+impl From<sft_netlist::NetlistError> for PassAbort {
+    fn from(e: sft_netlist::NetlistError) -> Self {
+        PassAbort::Netlist(e)
+    }
+}
+
+impl From<Exhausted> for PassAbort {
+    fn from(e: Exhausted) -> Self {
+        PassAbort::Budget(e)
+    }
+}
+
+/// The cumulative verification state: one shared manager holding the
+/// reference output BDDs. Pass results are rebuilt in the same manager, so
+/// hash-consing makes equivalence a reference comparison and the node count
+/// only grows when a pass actually changes the circuit.
+struct Verifier {
+    manager: sft_bdd::Manager,
+    reference: Vec<sft_bdd::BddRef>,
+}
+
 /// Runs the resynthesis procedure with the configured objective until a
 /// pass yields no improvement (or `max_passes`).
+///
+/// Equivalent to [`resynthesize_with_budget`] with an unlimited budget.
 ///
 /// # Errors
 ///
@@ -226,49 +271,135 @@ pub fn resynthesize(
     circuit: &mut Circuit,
     options: &ResynthOptions,
 ) -> Result<ResynthReport, ResynthError> {
+    resynthesize_with_budget(circuit, options, &Budget::unlimited())
+}
+
+/// Runs resynthesis under an effort budget, transactionally per pass.
+///
+/// Each pass works on the live circuit; after the pass the result is
+/// re-verified against the reference BDDs, and only then committed. If the
+/// pass (or its verification) is interrupted — deadline, step budget,
+/// cancellation, BDD node-limit blowup, or a verification mismatch — the
+/// circuit **rolls back to the last committed state** and the function
+/// returns `Ok` with the appropriate [`StopReason`], keeping all previously
+/// committed work. The returned circuit is always BDD-verified equivalent
+/// to the input (when `verify_each_pass` is on).
+///
+/// # Errors
+///
+/// Returns [`ResynthError::Netlist`] only for invalid input circuits or
+/// internal structural failures; never for interruptions.
+pub fn resynthesize_with_budget(
+    circuit: &mut Circuit,
+    options: &ResynthOptions,
+    budget: &Budget,
+) -> Result<ResynthReport, ResynthError> {
     circuit.validate()?;
     let mut report = ResynthReport {
         gates_before: circuit.two_input_gate_count(),
-        paths_before: circuit.path_count(),
+        paths_before: circuit.path_count_exact(),
         ..ResynthReport::default()
     };
-    let snapshot = if options.verify_each_pass { Some(circuit.clone()) } else { None };
-    loop {
-        report.passes += 1;
+    let finish = |circuit: &Circuit, mut report: ResynthReport, reason: StopReason| {
+        report.stop_reason = reason;
+        report.gates_after = circuit.two_input_gate_count();
+        report.paths_after = circuit.path_count_exact();
+        Ok(report)
+    };
+    // Build the reference BDDs once. If even the input circuit does not fit
+    // the verification manager, no verified replacement is possible: return
+    // the untouched circuit with the reason.
+    let mut verifier = if options.verify_each_pass {
+        let mut manager = sft_bdd::Manager::with_node_limit(options.verify_node_limit);
+        match sft_bdd::circuit_bdds_budgeted(&mut manager, circuit, budget) {
+            Ok(reference) => Some(Verifier { manager, reference }),
+            Err(e) => {
+                report.verify_nodes = manager.node_count();
+                let reason = match e {
+                    sft_bdd::BddError::NodeLimit(_) => StopReason::BddBlowup,
+                    sft_bdd::BddError::Interrupted(x) => x.into(),
+                };
+                return finish(circuit, report, reason);
+            }
+        }
+    } else {
+        None
+    };
+    // The last verified (or at least committed) state; every abort path
+    // restores the circuit to it.
+    let mut committed = circuit.clone();
+    let reason = loop {
+        if report.passes >= options.max_passes {
+            break StopReason::MaxPasses;
+        }
+        if let Err(e) = budget.check() {
+            break e.into();
+        }
         let before_gates = circuit.two_input_gate_count();
         let before_paths = circuit.path_count();
-        let replacements = one_pass(circuit, options)?;
-        report.replacements += replacements;
+        let replacements = match one_pass(circuit, options, budget) {
+            Ok(n) => n,
+            Err(PassAbort::Budget(e)) => {
+                circuit.clone_from(&committed);
+                break e.into();
+            }
+            Err(PassAbort::Netlist(e)) => {
+                // Structural corruption is a bug, not an effort problem;
+                // still hand back the last good circuit.
+                circuit.clone_from(&committed);
+                return Err(e.into());
+            }
+        };
         simplify::propagate_constants(circuit);
         simplify::collapse_buffers(circuit);
         circuit.sweep();
-        if let Some(reference) = &snapshot {
-            match sft_bdd::equivalent(reference, circuit)? {
-                sft_bdd::CheckResult::Equivalent => {}
-                sft_bdd::CheckResult::Different { output, .. } => {
-                    return Err(ResynthError::VerificationFailed { output });
+        if let Some(v) = &mut verifier {
+            match sft_bdd::circuit_bdds_budgeted(&mut v.manager, circuit, budget) {
+                Ok(outs) => {
+                    // Hash-consing: same manager + same function = same ref.
+                    if outs != v.reference {
+                        circuit.clone_from(&committed);
+                        break StopReason::VerificationRollback;
+                    }
+                }
+                Err(sft_bdd::BddError::NodeLimit(_)) => {
+                    circuit.clone_from(&committed);
+                    break StopReason::BddBlowup;
+                }
+                Err(sft_bdd::BddError::Interrupted(e)) => {
+                    circuit.clone_from(&committed);
+                    break e.into();
                 }
             }
         }
+        // Commit the verified pass.
+        committed.clone_from(circuit);
+        report.passes += 1;
+        report.replacements += replacements;
         let improved = match options.objective {
             Objective::Gates => circuit.two_input_gate_count() < before_gates,
             Objective::Paths => circuit.path_count() < before_paths,
             Objective::Combined { .. } => {
-                circuit.two_input_gate_count() < before_gates
-                    || circuit.path_count() < before_paths
+                circuit.two_input_gate_count() < before_gates || circuit.path_count() < before_paths
             }
         };
-        if replacements == 0 || !improved || report.passes >= options.max_passes {
-            break;
+        if replacements == 0 || !improved {
+            break StopReason::Converged;
         }
+    };
+    if let Some(v) = &verifier {
+        report.verify_nodes = v.manager.node_count();
     }
-    report.gates_after = circuit.two_input_gate_count();
-    report.paths_after = circuit.path_count();
-    Ok(report)
+    finish(circuit, report, reason)
 }
 
-/// One output-to-input pass. Returns the number of replacements.
-fn one_pass(circuit: &mut Circuit, options: &ResynthOptions) -> Result<usize, ResynthError> {
+/// One output-to-input pass. Returns the number of replacements, or the
+/// reason the pass had to be abandoned (the caller rolls back).
+fn one_pass(
+    circuit: &mut Circuit,
+    options: &ResynthOptions,
+    budget: &Budget,
+) -> Result<usize, PassAbort> {
     let labels = circuit.path_labels();
     let order = circuit.bfs_order()?;
     let mut marked = vec![false; circuit.len()];
@@ -283,15 +414,19 @@ fn one_pass(circuit: &mut Circuit, options: &ResynthOptions) -> Result<usize, Re
         }
         m
     };
-    // Satisfiability-don't-care support: BDDs of every original line.
-    let dc_bdds = if options.use_satisfiability_dont_cares {
+    // Satisfiability-don't-care support: BDDs of every original line. SDCs
+    // only widen the search, so hitting the node limit here degrades to
+    // plain identification instead of aborting the pass.
+    let mut dc_state = if options.use_satisfiability_dont_cares {
         let mut manager = sft_bdd::Manager::new();
-        let per_node = node_bdds(&mut manager, circuit)?;
-        Some((manager, per_node))
+        match node_bdds(&mut manager, circuit, budget) {
+            Ok(per_node) => Some((manager, per_node)),
+            Err(sft_bdd::BddError::NodeLimit(_)) => None,
+            Err(sft_bdd::BddError::Interrupted(e)) => return Err(e.into()),
+        }
     } else {
         None
     };
-    let mut dc_state = dc_bdds;
 
     let mut replacements = 0usize;
     for &g in order.iter().rev() {
@@ -304,11 +439,14 @@ fn one_pass(circuit: &mut Circuit, options: &ResynthOptions) -> Result<usize, Re
         if !circuit.node(g).kind().is_gate() {
             continue;
         }
+        budget.check()?;
         let fanout_counts = circuit.fanout_counts();
         let fanout_table = circuit.fanout_table();
         let candidates = enumerate_candidates(circuit, g, options);
         let mut best: Option<Candidate> = None;
         for (gates, inputs) in candidates {
+            // Scoring one candidate is the pass's unit of work.
+            budget.consume(1)?;
             let Ok(truth) = circuit.cone_function(g, &inputs) else { continue };
             let spec = match &mut dc_state {
                 Some((manager, per_node)) => {
@@ -348,8 +486,7 @@ fn one_pass(circuit: &mut Circuit, options: &ResynthOptions) -> Result<usize, Re
                 }
             };
             // Old gate cost: g itself plus the cone gates that would die.
-            let removable =
-                removable_gates(g, &gates, &output_mask, &fanout_counts, &fanout_table);
+            let removable = removable_gates(g, &gates, &output_mask, &fanout_counts, &fanout_table);
             let old_cost: u64 = removable
                 .iter()
                 .map(|&x| {
@@ -358,8 +495,7 @@ fn one_pass(circuit: &mut Circuit, options: &ResynthOptions) -> Result<usize, Re
                 })
                 .sum();
             let gate_reduction = old_cost as i64 - cost.two_input_gates as i64;
-            let input_labels: Vec<u128> =
-                inputs.iter().map(|i| labels[i.index()]).collect();
+            let input_labels: Vec<u128> = inputs.iter().map(|i| labels[i.index()]).collect();
             let new_paths_at_g = cost.paths_with_labels(&input_labels);
             let candidate =
                 Candidate { gates, inputs, replacement, gate_reduction, new_paths_at_g };
@@ -371,8 +507,7 @@ fn one_pass(circuit: &mut Circuit, options: &ResynthOptions) -> Result<usize, Re
         let old_paths_at_g = labels[g.index()];
         let accept = best.as_ref().is_some_and(|b| match options.objective {
             Objective::Gates => {
-                b.gate_reduction > 0
-                    || (b.gate_reduction == 0 && b.new_paths_at_g < old_paths_at_g)
+                b.gate_reduction > 0 || (b.gate_reduction == 0 && b.new_paths_at_g < old_paths_at_g)
             }
             Objective::Paths => b.new_paths_at_g < old_paths_at_g,
             Objective::Combined { gate_weight, path_weight } => {
@@ -563,9 +698,7 @@ fn removable_gates(
             let external_consumers = fanout_counts[x.index()] as usize != consumer_gates.len();
             let ok = !po_refs
                 && !external_consumers
-                && consumer_gates
-                    .iter()
-                    .all(|&(c, _)| c == g || removable.contains(&c));
+                && consumer_gates.iter().all(|&(c, _)| c == g || removable.contains(&c));
             if !ok {
                 removable.remove(&x);
                 changed = true;
@@ -582,23 +715,23 @@ fn removable_gates(
 }
 
 /// BDDs of every node of the circuit in terms of the primary inputs,
-/// for satisfiability-don't-care extraction.
+/// for satisfiability-don't-care extraction. Checks the budget once per
+/// node (surfaced as [`sft_bdd::BddError::Interrupted`]).
 fn node_bdds(
     manager: &mut sft_bdd::Manager,
     circuit: &Circuit,
+    budget: &Budget,
 ) -> Result<Vec<sft_bdd::BddRef>, sft_bdd::BddError> {
+    // Infallible: resynthesize validates the circuit before any pass runs.
     let order = circuit.topo_order().expect("combinational circuit");
     let mut refs = vec![sft_bdd::BddRef::FALSE; circuit.len()];
-    let input_var: std::collections::HashMap<NodeId, u32> = circuit
-        .inputs()
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i as u32))
-        .collect();
+    let input_var: std::collections::HashMap<NodeId, u32> =
+        circuit.inputs().iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
     for id in order {
+        budget.check()?;
         let node = circuit.node(id);
         let r = match node.kind() {
-            GateKind::Input => manager.var(input_var[&id]),
+            GateKind::Input => manager.var(input_var[&id])?,
             GateKind::Const0 => sft_bdd::BddRef::FALSE,
             GateKind::Const1 => sft_bdd::BddRef::TRUE,
             GateKind::Buf => refs[node.fanins()[0].index()],
@@ -801,10 +934,8 @@ INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
 na = NOT(a)\nt1 = AND(a, na)\nt2 = OR(t1, b)\ny = AND(t2, c)\n";
         let original = parse(src, "dc").unwrap();
         let mut c = original.clone();
-        let opts = ResynthOptions {
-            use_satisfiability_dont_cares: true,
-            ..ResynthOptions::default()
-        };
+        let opts =
+            ResynthOptions { use_satisfiability_dont_cares: true, ..ResynthOptions::default() };
         resynthesize(&mut c, &opts).unwrap();
         assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
     }
@@ -861,9 +992,155 @@ nb = NOT(b)\nnc = NOT(c)\nt1 = AND(nb, nc)\nt2 = AND(b, c)\no = OR(t1, t2)\ny = 
             replacements: 3,
             gates_before: 10,
             gates_after: 8,
-            paths_before: 100,
-            paths_after: 60,
+            paths_before: PathCount::exact(100),
+            paths_after: PathCount::exact(60),
+            stop_reason: StopReason::Converged,
+            verify_nodes: 0,
         };
-        assert_eq!(r.to_string(), "2 passes, 3 replacements: gates 10 -> 8, paths 100 -> 60");
+        assert_eq!(
+            r.to_string(),
+            "2 passes, 3 replacements: gates 10 -> 8, paths 100 -> 60 (converged)"
+        );
+    }
+
+    /// The wasteful XOR SOP used by the budget acceptance tests: several
+    /// passes of work are available, so interruptions can land mid-run.
+    fn budget_fixture() -> Circuit {
+        let src = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nna = NOT(a)\nnb = NOT(b)\n\
+t1 = AND(a, nb)\nt2 = AND(na, b)\nx = OR(t1, t2)\n\
+p1 = AND(x, c)\np2 = AND(c, x)\ny = OR(p1, p2)\n";
+        parse(src, "budget_fixture").unwrap()
+    }
+
+    /// A pre-expired deadline stops before the first pass: `Ok` report with
+    /// `Deadline`, zero passes, and the circuit untouched.
+    #[test]
+    fn pre_expired_deadline_returns_input_unchanged() {
+        let original = budget_fixture();
+        let mut c = original.clone();
+        let budget = Budget::unlimited().with_time_limit(std::time::Duration::ZERO);
+        let report = resynthesize_with_budget(&mut c, &ResynthOptions::default(), &budget).unwrap();
+        assert_eq!(report.stop_reason, StopReason::Deadline);
+        assert_eq!(report.passes, 0);
+        assert_eq!(report.replacements, 0);
+        assert_eq!(report.gates_after, report.gates_before);
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    /// A tiny step budget interrupts candidate scoring mid-pass; the pass
+    /// rolls back, the report is `Ok` with `StepBudget`, and the circuit is
+    /// still equivalent to the input.
+    #[test]
+    fn step_budget_interrupts_mid_pass_and_rolls_back() {
+        let original = budget_fixture();
+        let mut c = original.clone();
+        let budget = Budget::unlimited().with_step_limit(3);
+        let report = resynthesize_with_budget(&mut c, &ResynthOptions::default(), &budget).unwrap();
+        assert_eq!(report.stop_reason, StopReason::StepBudget, "{report}");
+        assert_eq!(report.passes, 0, "an interrupted pass must not be counted");
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    /// A raised cancellation flag stops the run with `Cancelled` and the
+    /// last committed circuit.
+    #[test]
+    fn cancellation_stops_the_run() {
+        let original = budget_fixture();
+        let mut c = original.clone();
+        let flag = sft_budget::CancelFlag::new();
+        flag.cancel();
+        let budget = Budget::unlimited().with_cancel(flag);
+        let report = resynthesize_with_budget(&mut c, &ResynthOptions::default(), &budget).unwrap();
+        assert_eq!(report.stop_reason, StopReason::Cancelled);
+        assert_eq!(report.passes, 0);
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    /// A generous budget changes nothing: same result as the unbudgeted
+    /// run, stop reason still a natural completion.
+    #[test]
+    fn generous_budget_matches_unbudgeted_run() {
+        let mut unbudgeted = budget_fixture();
+        let r1 = resynthesize(&mut unbudgeted, &ResynthOptions::default()).unwrap();
+        let mut budgeted = budget_fixture();
+        let budget = Budget::unlimited()
+            .with_time_limit(std::time::Duration::from_secs(3600))
+            .with_step_limit(1_000_000);
+        let r2 =
+            resynthesize_with_budget(&mut budgeted, &ResynthOptions::default(), &budget).unwrap();
+        assert_eq!(r1, r2);
+        assert!(!r2.stop_reason.is_early());
+        assert!(sft_bdd::equivalent(&unbudgeted, &budgeted).unwrap().is_equivalent());
+    }
+
+    /// When even the reference BDDs do not fit the verification manager,
+    /// the run returns the untouched circuit with `BddBlowup` instead of an
+    /// error — the anytime contract holds all the way down.
+    #[test]
+    fn reference_blowup_returns_input_unchanged() {
+        let original = budget_fixture();
+        let mut c = original.clone();
+        let opts = ResynthOptions { verify_node_limit: 2, ..ResynthOptions::default() };
+        let report = resynthesize(&mut c, &opts).unwrap();
+        assert_eq!(report.stop_reason, StopReason::BddBlowup);
+        assert_eq!(report.passes, 0);
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    /// The headline acceptance test: verification blows up only after the
+    /// first committed pass, and the run keeps that pass's work —
+    /// `replacements > 0`, `stop_reason: BddBlowup`, circuit equivalent to
+    /// the input and strictly better than it.
+    #[test]
+    fn pass2_blowup_keeps_pass1_work() {
+        // A seeded reconvergent circuit known to improve over several
+        // passes (later passes absorb the unit gates the earlier ones
+        // created), so the cumulative verification manager keeps growing
+        // after pass 1.
+        let original =
+            sft_circuits::random::random_circuit(&sft_circuits::random::RandomCircuitConfig {
+                inputs: 12,
+                outputs: 6,
+                gates: 80,
+                window: 24,
+                seed: 1,
+            });
+        let full = {
+            let mut c = original.clone();
+            resynthesize(&mut c, &ResynthOptions::default()).unwrap()
+        };
+        let pass1 = {
+            let mut c = original.clone();
+            let opts = ResynthOptions { max_passes: 1, ..ResynthOptions::default() };
+            resynthesize(&mut c, &opts).unwrap()
+        };
+        assert!(full.passes >= 2, "fixture must take at least two passes: {full}");
+        assert!(
+            full.replacements > pass1.replacements,
+            "later passes must do real work: {pass1} vs {full}"
+        );
+        // One node short of the full run's verification demand: the run
+        // replays identically until the last allocating pass, whose
+        // verification now blows up and rolls back.
+        let limit = full.verify_nodes - 1;
+        assert!(
+            limit >= pass1.verify_nodes,
+            "pass-1 verification must fit under the injected limit"
+        );
+        let mut c = original.clone();
+        let opts = ResynthOptions { verify_node_limit: limit, ..ResynthOptions::default() };
+        let report = resynthesize(&mut c, &opts).unwrap();
+        assert_eq!(report.stop_reason, StopReason::BddBlowup, "{report}");
+        assert!(report.passes >= 1, "pass-1 commit must survive the blowup: {report}");
+        assert!(report.replacements > 0, "pass-1 work must be kept: {report}");
+        assert!(
+            sft_bdd::equivalent(&original, &c).unwrap().is_equivalent(),
+            "rollback must preserve the function"
+        );
+        assert!(
+            c.two_input_gate_count() < original.two_input_gate_count(),
+            "kept work must improve on the input"
+        );
     }
 }

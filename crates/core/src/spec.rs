@@ -243,15 +243,9 @@ mod tests {
 
     #[test]
     fn validation_rejects_garbage() {
-        assert_eq!(
-            ComparisonSpec::new(vec![0, 0], 0, 1).unwrap_err(),
-            SpecError::BadPermutation
-        );
+        assert_eq!(ComparisonSpec::new(vec![0, 0], 0, 1).unwrap_err(), SpecError::BadPermutation);
         assert_eq!(ComparisonSpec::new(vec![0, 1], 3, 1).unwrap_err(), SpecError::EmptyInterval);
-        assert_eq!(
-            ComparisonSpec::new(vec![0, 1], 0, 4).unwrap_err(),
-            SpecError::BoundOutOfRange
-        );
+        assert_eq!(ComparisonSpec::new(vec![0, 1], 0, 4).unwrap_err(), SpecError::BoundOutOfRange);
         assert!(ComparisonSpec::new((0..8).collect(), 0, 1).is_err());
     }
 

@@ -215,7 +215,8 @@ fn complement_top(top: UnitTop) -> UnitTop {
 pub fn build_standalone_unit(spec: &ComparisonSpec) -> Result<Circuit, Box<dyn std::error::Error>> {
     spec.validate()?;
     let mut c = Circuit::new(format!("unit_{}_{}", spec.lower, spec.upper));
-    let inputs: Vec<NodeId> = (0..spec.inputs()).map(|j| c.add_input(format!("y{}", j + 1))).collect();
+    let inputs: Vec<NodeId> =
+        (0..spec.inputs()).map(|j| c.add_input(format!("y{}", j + 1))).collect();
     let top = build_unit_in(&mut c, &inputs, spec)?;
     let out = if top.kind == GateKind::Buf {
         top.fanins[0]
@@ -237,8 +238,7 @@ pub fn build_standalone_unit(spec: &ComparisonSpec) -> Result<Circuit, Box<dyn s
 pub fn unit_cost(spec: &ComparisonSpec) -> Result<UnitCost, Box<dyn std::error::Error>> {
     let c = build_standalone_unit(spec)?;
     let out = c.outputs()[0];
-    let input_paths =
-        c.inputs().iter().map(|&i| c.path_count_between(i, out) as u64).collect();
+    let input_paths = c.inputs().iter().map(|&i| c.path_count_between(i, out) as u64).collect();
     Ok(UnitCost { two_input_gates: c.two_input_gate_count(), input_paths, depth: c.depth() })
 }
 
@@ -362,7 +362,10 @@ mod tests {
         let spec = ComparisonSpec::new_complemented(vec![1, 0, 2], 2, 5).unwrap();
         let c = build_standalone_unit(&spec).unwrap();
         assert_eq!(table_of(&c), spec.to_table());
-        assert_eq!(table_of(&c).complement(), ComparisonSpec::new(vec![1, 0, 2], 2, 5).unwrap().to_table());
+        assert_eq!(
+            table_of(&c).complement(),
+            ComparisonSpec::new(vec![1, 0, 2], 2, 5).unwrap().to_table()
+        );
     }
 
     #[test]
@@ -401,12 +404,8 @@ mod tests {
         let spec = ComparisonSpec::new(vec![0, 1, 2, 3], 5, 10).unwrap();
         let cost = unit_cost(&spec).unwrap();
         let labels = [10u128, 100, 20, 20];
-        let manual: u128 = cost
-            .input_paths
-            .iter()
-            .zip(labels.iter())
-            .map(|(&k, &n)| n * k as u128)
-            .sum();
+        let manual: u128 =
+            cost.input_paths.iter().zip(labels.iter()).map(|(&k, &n)| n * k as u128).sum();
         assert_eq!(cost.paths_with_labels(&labels), manual);
     }
 }

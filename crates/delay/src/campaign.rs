@@ -4,6 +4,7 @@
 use crate::{enumerate_paths, robust_detection_masks, PathEnumError, PathSet, TwoPatternSim};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sft_budget::{Budget, StopReason};
 use sft_netlist::Circuit;
 
 /// Configuration of a random two-pattern campaign.
@@ -38,6 +39,11 @@ pub struct PdfCampaignResult {
     pub last_effective_pair: Option<u64>,
     /// Number of pairs applied.
     pub pairs_applied: u64,
+    /// Why the campaign stopped: [`StopReason::Converged`] (all faults
+    /// detected, or the plateau heuristic fired), [`StopReason::MaxPasses`]
+    /// (the pair cap was reached) or a budget-exhaustion reason. Coverage
+    /// accumulated before an early stop is always retained.
+    pub stop_reason: StopReason,
 }
 
 impl PdfCampaignResult {
@@ -69,8 +75,31 @@ pub fn pdf_campaign(
     circuit: &Circuit,
     config: &PdfCampaignConfig,
 ) -> Result<PdfCampaignResult, PathEnumError> {
+    pdf_campaign_with_budget(circuit, config, &Budget::unlimited())
+}
+
+/// Runs a random two-pattern robust PDF campaign under an effort
+/// [`Budget`].
+///
+/// The budget is checked — and one step consumed — per 64-pair block;
+/// exhaustion stops the campaign and reports the coverage reached so far
+/// with the matching [`PdfCampaignResult::stop_reason`].
+///
+/// # Errors
+///
+/// Returns [`PathEnumError::TooManyPaths`] when the circuit exceeds
+/// `config.path_limit` paths.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn pdf_campaign_with_budget(
+    circuit: &Circuit,
+    config: &PdfCampaignConfig,
+    budget: &Budget,
+) -> Result<PdfCampaignResult, PathEnumError> {
     let paths = enumerate_paths(circuit, config.path_limit)?;
-    Ok(pdf_campaign_on(circuit, &paths, config))
+    Ok(pdf_campaign_on_with_budget(circuit, &paths, config, budget))
 }
 
 /// Like [`pdf_campaign`] but over an already-enumerated [`PathSet`].
@@ -84,6 +113,22 @@ pub fn pdf_campaign_on(
     paths: &PathSet,
     config: &PdfCampaignConfig,
 ) -> PdfCampaignResult {
+    pdf_campaign_on_with_budget(circuit, paths, config, &Budget::unlimited())
+}
+
+/// Like [`pdf_campaign_with_budget`] but over an already-enumerated
+/// [`PathSet`].
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic or `paths` was enumerated from a
+/// different circuit.
+pub fn pdf_campaign_on_with_budget(
+    circuit: &Circuit,
+    paths: &PathSet,
+    config: &PdfCampaignConfig,
+    budget: &Budget,
+) -> PdfCampaignResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let sim = TwoPatternSim::new(circuit);
     let n_inputs = circuit.inputs().len();
@@ -95,7 +140,16 @@ pub fn pdf_campaign_on(
     let mut last_effective: Option<u64> = None;
     let mut total_detected = 0usize;
 
-    while applied < config.max_pairs && total_detected < detected.len() {
+    let mut stop = StopReason::MaxPasses;
+    while applied < config.max_pairs {
+        if total_detected == detected.len() {
+            stop = StopReason::Converged;
+            break;
+        }
+        if let Err(e) = budget.consume(1) {
+            stop = e.into();
+            break;
+        }
         let block = (config.max_pairs - applied).min(64);
         for i in 0..n_inputs {
             v1[i] = rng.gen();
@@ -112,12 +166,18 @@ pub fn pdf_campaign_on(
         }
         applied += block;
         if config.plateau > 0 {
-            match last_effective {
-                Some(l) if applied.saturating_sub(l) > config.plateau => break,
-                None if applied > config.plateau => break,
-                _ => {}
+            let plateaued = match last_effective {
+                Some(l) => applied.saturating_sub(l) > config.plateau,
+                None => applied > config.plateau,
+            };
+            if plateaued {
+                stop = StopReason::Converged;
+                break;
             }
         }
+    }
+    if total_detected == detected.len() {
+        stop = StopReason::Converged;
     }
 
     PdfCampaignResult {
@@ -125,6 +185,7 @@ pub fn pdf_campaign_on(
         detected: total_detected,
         last_effective_pair: last_effective,
         pairs_applied: applied,
+        stop_reason: stop,
     }
 }
 
@@ -173,5 +234,38 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
             PdfCampaignConfig { max_pairs: u64::MAX / 2, plateau: 512, seed: 5, path_limit: 100 };
         let r = pdf_campaign(&c, &cfg).unwrap();
         assert!(r.pairs_applied < u64::MAX / 2);
+        assert_eq!(r.stop_reason, StopReason::Converged);
+    }
+
+    #[test]
+    fn pre_expired_deadline_applies_no_pairs() {
+        let c = parse(C17, "c17").unwrap();
+        let cfg = PdfCampaignConfig { max_pairs: 2048, plateau: 0, seed: 7, path_limit: 1000 };
+        let budget = Budget::unlimited().with_time_limit(std::time::Duration::ZERO);
+        let r = pdf_campaign_with_budget(&c, &cfg, &budget).unwrap();
+        assert_eq!(r.stop_reason, StopReason::Deadline);
+        assert_eq!(r.pairs_applied, 0);
+        assert_eq!(r.detected, 0);
+    }
+
+    #[test]
+    fn step_budget_caps_pattern_blocks() {
+        let c = parse(C17, "c17").unwrap();
+        let cfg = PdfCampaignConfig { max_pairs: 1 << 20, plateau: 0, seed: 7, path_limit: 1000 };
+        // One step per 64-pair block: two blocks, then exhaustion.
+        let budget = Budget::unlimited().with_step_limit(2);
+        let full = pdf_campaign(&c, &cfg).unwrap();
+        let r = pdf_campaign_on_with_budget(
+            &c,
+            &enumerate_paths(&c, cfg.path_limit).unwrap(),
+            &cfg,
+            &budget,
+        );
+        let _ = full;
+        assert!(r.pairs_applied <= 2 * 64, "{} pairs", r.pairs_applied);
+        assert!(matches!(r.stop_reason, StopReason::StepBudget | StopReason::Converged));
+        if r.stop_reason == StopReason::StepBudget {
+            assert!(r.detected <= r.total_faults);
+        }
     }
 }

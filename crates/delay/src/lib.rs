@@ -37,9 +37,12 @@ mod statistics;
 mod transition;
 mod twopattern;
 
-pub use campaign::{pdf_campaign, pdf_campaign_on, PdfCampaignConfig, PdfCampaignResult};
-pub use paths::{enumerate_paths, Path, PathEnumError, PathSet};
+pub use campaign::{
+    pdf_campaign, pdf_campaign_on, pdf_campaign_on_with_budget, pdf_campaign_with_budget,
+    PdfCampaignConfig, PdfCampaignResult,
+};
 pub use nonenumerative::robust_count_for_pair;
+pub use paths::{enumerate_paths, Path, PathEnumError, PathSet};
 pub use robust::{robust_detection_masks, RobustAnalysis};
 pub use statistics::{path_length_histogram, PathLengthHistogram};
 pub use transition::{

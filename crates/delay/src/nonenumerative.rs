@@ -47,7 +47,9 @@ pub fn robust_count_for_pair(
         labels[id.index()] = match node.kind() {
             GateKind::Input => {
                 // A clean transition at the PI launches one partial path.
-                u128::from(waves[id.index()].transition() & waves[id.index()].glitch_free & mask != 0)
+                u128::from(
+                    waves[id.index()].transition() & waves[id.index()].glitch_free & mask != 0,
+                )
             }
             GateKind::Const0 | GateKind::Const1 => 0,
             _ => node
@@ -114,7 +116,10 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let mut src = String::from("INPUT(a)\nOUTPUT(y24)\n");
         src.push_str("y0 = BUF(a)\n");
         for i in 0..24 {
-            src.push_str(&format!("l{i} = BUF(y{i})\nr{i} = NOT(y{i})\ny{} = OR(l{i}, r{i})\n", i + 1));
+            src.push_str(&format!(
+                "l{i} = BUF(y{i})\nr{i} = NOT(y{i})\ny{} = OR(l{i}, r{i})\n",
+                i + 1
+            ));
         }
         let c = parse(&src, "wide").unwrap();
         assert_eq!(c.path_count(), 1 << 24);

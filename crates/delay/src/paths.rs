@@ -32,12 +32,7 @@ impl Path {
     /// The parity of inverting gates along the path: `true` if a rising
     /// transition at the start arrives as a falling transition at the end.
     pub fn inverts(&self, circuit: &Circuit) -> bool {
-        self.hops
-            .iter()
-            .filter(|&&(g, _)| circuit.node(g).kind().inverts())
-            .count()
-            % 2
-            == 1
+        self.hops.iter().filter(|&&(g, _)| circuit.node(g).kind().inverts()).count() % 2 == 1
     }
 }
 
@@ -146,12 +141,7 @@ pub fn enumerate_paths(circuit: &Circuit, limit: usize) -> Result<PathSet, PathE
     // DFS backward from each output slot, walking fanins.
     // stack of (node, pin-into-consumer) frames built forward on unwind:
     // simpler: recursive closure collecting hops in reverse.
-    fn dfs(
-        circuit: &Circuit,
-        node: NodeId,
-        suffix: &mut Vec<(NodeId, u8)>,
-        out: &mut Vec<Path>,
-    ) {
+    fn dfs(circuit: &Circuit, node: NodeId, suffix: &mut Vec<(NodeId, u8)>, out: &mut Vec<Path>) {
         let n = circuit.node(node);
         match n.kind() {
             GateKind::Input => {

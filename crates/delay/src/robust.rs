@@ -47,9 +47,7 @@ impl RobustAnalysis {
     /// to be ANDed with the start line's clean-transition mask, which
     /// [`path_masks`](Self::path_masks) does for you).
     fn hops_mask(&self, path: &crate::Path) -> u64 {
-        path.hops
-            .iter()
-            .fold(u64::MAX, |acc, &(g, pin)| acc & self.masks[g.index()][pin as usize])
+        path.hops.iter().fold(u64::MAX, |acc, &(g, pin)| acc & self.masks[g.index()][pin as usize])
     }
 
     /// For one path: masks of pairs that robustly test its rising-launch
@@ -70,12 +68,7 @@ impl RobustAnalysis {
     /// # Panics
     ///
     /// Panics if `detected.len() != paths.len() * 2`.
-    pub fn accumulate(
-        &self,
-        waves: &[LineWaves],
-        paths: &PathSet,
-        detected: &mut [bool],
-    ) -> usize {
+    pub fn accumulate(&self, waves: &[LineWaves], paths: &PathSet, detected: &mut [bool]) -> usize {
         assert_eq!(detected.len(), paths.len() * 2, "detection bitmap size mismatch");
         let mut new = 0;
         for (i, path) in paths.iter().enumerate() {
@@ -138,8 +131,7 @@ pub fn robust_detection_masks(circuit: &Circuit, waves: &[LineWaves]) -> RobustA
                     let final_nc = !(on.v2 ^ !c_mask);
                     // c -> c̄ on-path transition: side inputs steady nc.
                     // c̄ -> c: side inputs nc on final vector only.
-                    pin_masks[pin] =
-                        t & ((final_nc & all_steady_nc) | (!final_nc & all_final_nc));
+                    pin_masks[pin] = t & ((final_nc & all_steady_nc) | (!final_nc & all_final_nc));
                 }
             }
             GateKind::Xor | GateKind::Xnor => {
@@ -207,8 +199,7 @@ mod tests {
         // y = AND(a, t), t = OR(b, c) with b falling, c rising: t steady-1
         // but hazardous; a rising through AND must NOT be robust.
         let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = OR(b, c)\ny = AND(a, t)\n";
-        let (c, waves, analysis, paths) =
-            analyze(src, &[false, true, false], &[true, false, true]);
+        let (c, waves, analysis, paths) = analyze(src, &[false, true, false], &[true, false, true]);
         let a = c.inputs()[0];
         let a_path = paths.iter().position(|p| p.start == a).unwrap();
         let (r, _) = analysis.path_masks(&waves, &paths.paths()[a_path]);
@@ -261,8 +252,7 @@ mod tests {
     fn robust_claims_survive_delay_perturbation() {
         // y = OR(AND(a,b), c) — test the a-path rising.
         let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(t, c)\n";
-        let (c, waves, analysis, paths) =
-            analyze(src, &[false, true, false], &[true, true, false]);
+        let (c, waves, analysis, paths) = analyze(src, &[false, true, false], &[true, true, false]);
         let a = c.inputs()[0];
         let idx = paths.iter().position(|p| p.start == a).unwrap();
         let (r, _) = analysis.path_masks(&waves, &paths.paths()[idx]);

@@ -23,12 +23,7 @@ impl PathLengthHistogram {
 
     /// `(length, count)` pairs with nonzero counts, ascending.
     pub fn nonzero(&self) -> Vec<(usize, u128)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(l, &c)| (l, c))
-            .collect()
+        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(l, &c)| (l, c)).collect()
     }
 
     /// Total number of paths (must equal Procedure 1's count).
@@ -47,12 +42,7 @@ impl PathLengthHistogram {
         if total == 0 {
             return 0.0;
         }
-        let weighted: f64 = self
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(l, &c)| l as f64 * c as f64)
-            .sum();
+        let weighted: f64 = self.counts.iter().enumerate().map(|(l, &c)| l as f64 * c as f64).sum();
         weighted / total as f64
     }
 }
@@ -112,8 +102,7 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         assert_eq!(h.total(), c.path_count());
         let paths = enumerate_paths(&c, 1000).unwrap();
         for (length, count) in h.nonzero() {
-            let enumerated =
-                paths.iter().filter(|p| p.gate_count() == length).count() as u128;
+            let enumerated = paths.iter().filter(|p| p.gate_count() == length).count() as u128;
             assert_eq!(count, enumerated, "length {length}");
         }
         assert_eq!(h.longest() as u32, c.depth());

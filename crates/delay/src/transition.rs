@@ -97,10 +97,7 @@ pub fn transition_campaign(
     let mut launch_values = Vec::new();
 
     // The stuck-at faults underlying each transition fault.
-    let stuck: Vec<Fault> = faults
-        .iter()
-        .map(|t| Fault::stem(t.line, !t.slow_to_rise))
-        .collect();
+    let stuck: Vec<Fault> = faults.iter().map(|t| Fault::stem(t.line, !t.slow_to_rise)).collect();
 
     while applied < max_pairs && total_detected < faults.len() {
         let block = (max_pairs - applied).min(64);
@@ -121,8 +118,7 @@ pub fn transition_campaign(
         // we exploit that stuck-at detection of `ℓ s-a-v` by a vector only
         // depends on that vector: the set of detecting bits is exactly the
         // diff mask. We recover the full mask by injecting the fault once.
-        let alive: Vec<usize> =
-            (0..faults.len()).filter(|&i| !detected[i]).collect();
+        let alive: Vec<usize> = (0..faults.len()).filter(|&i| !detected[i]).collect();
         let alive_stuck: Vec<Fault> = alive.iter().map(|&i| stuck[i]).collect();
         let masks = fsim.detect_masks(&alive_stuck, &v2);
         for (slot, &fi) in alive.iter().enumerate() {
@@ -139,7 +135,11 @@ pub fn transition_campaign(
         applied += block;
     }
 
-    TransitionCampaignResult { total_faults: faults.len(), detected: total_detected, pairs_applied: applied }
+    TransitionCampaignResult {
+        total_faults: faults.len(),
+        detected: total_detected,
+        pairs_applied: applied,
+    }
 }
 
 fn mask_low(bits: u64) -> u64 {
@@ -206,8 +206,7 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
                 for (fi, t) in faults.iter().enumerate() {
                     let lv = launch[t.line.index()] & 1 == 1;
                     let cv = capture[t.line.index()] & 1 == 1;
-                    let transitions = t.slow_to_rise && !lv && cv
-                        || !t.slow_to_rise && lv && !cv;
+                    let transitions = t.slow_to_rise && !lv && cv || !t.slow_to_rise && lv && !cv;
                     let sa = Fault::stem(t.line, !t.slow_to_rise);
                     let det = fsim.detect_block(&[sa], &v2)[0] == Some(0);
                     if transitions && det {

@@ -122,9 +122,7 @@ impl<'c> TwoPatternSim<'c> {
                     LineWaves { v1: v1_words[pos], v2: v2_words[pos], glitch_free: u64::MAX }
                 }
                 GateKind::Const0 => LineWaves { v1: 0, v2: 0, glitch_free: u64::MAX },
-                GateKind::Const1 => {
-                    LineWaves { v1: u64::MAX, v2: u64::MAX, glitch_free: u64::MAX }
-                }
+                GateKind::Const1 => LineWaves { v1: u64::MAX, v2: u64::MAX, glitch_free: u64::MAX },
                 GateKind::Buf => waves[node.fanins()[0].index()],
                 GateKind::Not => {
                     let f = waves[node.fanins()[0].index()];
@@ -150,8 +148,7 @@ impl<'c> TwoPatternSim<'c> {
                         }
                         all_gf &= w.glitch_free;
                         let steady = !(w.v1 ^ w.v2);
-                        steady_controlling_gf |=
-                            w.glitch_free & steady & !(w.v1 ^ c_mask);
+                        steady_controlling_gf |= w.glitch_free & steady & !(w.v1 ^ c_mask);
                         let t = w.v1 ^ w.v2;
                         any_rising |= t & w.v2;
                         any_falling |= t & !w.v2;

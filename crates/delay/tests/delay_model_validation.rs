@@ -43,12 +43,8 @@ impl<'c> TimedSim<'c> {
         let node = self.circuit.node(line);
         match node.kind() {
             GateKind::Input => {
-                let pos = self
-                    .circuit
-                    .inputs()
-                    .iter()
-                    .position(|&i| i == line)
-                    .expect("input line");
+                let pos =
+                    self.circuit.inputs().iter().position(|&i| i == line).expect("input line");
                 if t >= 0 {
                     v2[pos]
                 } else {
@@ -113,11 +109,8 @@ fn validate_circuit(src: &str, name: &str, pairs: u32, delay_trials: u32, seed: 
             if (r | f) & 1 == 0 {
                 continue; // not claimed robust for this pair
             }
-            let out_slot = c
-                .outputs()
-                .iter()
-                .position(|&o| o == path.end())
-                .expect("paths end at outputs");
+            let out_slot =
+                c.outputs().iter().position(|&o| o == path.end()).expect("paths end at outputs");
             // Good final value at the path's output.
             let good = c.eval_assignment(&v2)[out_slot];
 
@@ -126,9 +119,7 @@ fn validate_circuit(src: &str, name: &str, pairs: u32, delay_trials: u32, seed: 
             for _ in 0..delay_trials {
                 let mut delays: Vec<Vec<u32>> = c
                     .iter()
-                    .map(|(_, node)| {
-                        node.fanins().iter().map(|_| rng.gen_range(1..8)).collect()
-                    })
+                    .map(|(_, node)| node.fanins().iter().map(|_| rng.gen_range(1..8)).collect())
                     .collect();
                 // Inflate the on-path pins so this path dominates, then
                 // sample strictly before it arrives.
@@ -155,13 +146,7 @@ fn validate_circuit(src: &str, name: &str, pairs: u32, delay_trials: u32, seed: 
 
 #[test]
 fn robust_claims_hold_under_adversarial_delays_small_gates() {
-    validate_circuit(
-        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
-        "and2",
-        16,
-        4,
-        11,
-    );
+    validate_circuit("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "and2", 16, 4, 11);
     validate_circuit(
         "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = OR(b, c)\ny = AND(a, t)\n",
         "aoi",

@@ -124,7 +124,11 @@ impl Circuit {
     /// Adds a primary input and returns its id.
     pub fn add_input(&mut self, name: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind: GateKind::Input, fanins: Vec::new(), name: Some(name.into()) });
+        self.nodes.push(Node {
+            kind: GateKind::Input,
+            fanins: Vec::new(),
+            name: Some(name.into()),
+        });
         self.inputs.push(id);
         id
     }
@@ -145,7 +149,11 @@ impl Circuit {
     /// kind, [`NetlistError::NotAGate`] if `kind` is
     /// [`GateKind::Input`], and [`NetlistError::NodeOutOfRange`] if a fanin
     /// id does not exist yet.
-    pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<NodeId>) -> Result<NodeId, NetlistError> {
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<NodeId>,
+    ) -> Result<NodeId, NetlistError> {
         if kind == GateKind::Input {
             return Err(NetlistError::NotAGate(NodeId(self.nodes.len() as u32)));
         }
@@ -314,8 +322,7 @@ impl Circuit {
             }
         }
         let mut order = Vec::with_capacity(n);
-        let mut queue: Vec<u32> =
-            (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
         while let Some(i) = queue.pop() {
             order.push(NodeId(i));
             for &o in &fanouts[i as usize] {
@@ -535,10 +542,7 @@ mod tests {
     fn arity_checked() {
         let mut c = Circuit::new("t");
         let a = c.add_input("a");
-        assert!(matches!(
-            c.add_gate(GateKind::Not, vec![a, a]),
-            Err(NetlistError::Arity { .. })
-        ));
+        assert!(matches!(c.add_gate(GateKind::Not, vec![a, a]), Err(NetlistError::Arity { .. })));
         assert!(matches!(c.add_gate(GateKind::And, vec![]), Err(NetlistError::Arity { .. })));
         assert!(matches!(
             c.add_gate(GateKind::And, vec![NodeId(99)]),

@@ -65,7 +65,11 @@ impl Circuit {
     /// assert_eq!(f.on_set().collect::<Vec<_>>(), vec![0, 1, 2]);
     /// # Ok::<(), sft_netlist::NetlistError>(())
     /// ```
-    pub fn cone_function(&self, root: NodeId, inputs: &[NodeId]) -> Result<TruthTable, NetlistError> {
+    pub fn cone_function(
+        &self,
+        root: NodeId,
+        inputs: &[NodeId],
+    ) -> Result<TruthTable, NetlistError> {
         if inputs.len() > MAX_INPUTS {
             return Err(NetlistError::Cone(format!(
                 "cut has {} lines, more than the supported {MAX_INPUTS}",
@@ -126,7 +130,9 @@ impl Circuit {
                         for (w, o) in out.iter_mut().enumerate().take(words) {
                             buf.clear();
                             buf.extend(node.fanins().iter().map(|f| values[f][w]));
-                            *o = kind.eval_words(&buf);
+                            *o = kind.try_eval_words(&buf).ok_or_else(|| {
+                                NetlistError::Cone(format!("gate {n} ({kind}) is malformed"))
+                            })?;
                         }
                         values.insert(n, out);
                     } else {

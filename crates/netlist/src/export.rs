@@ -75,8 +75,7 @@ pub fn write_verilog(c: &Circuit) -> String {
                     GateKind::Buf => "buf",
                     _ => unreachable!("inputs/constants handled above"),
                 };
-                let args: Vec<String> =
-                    node.fanins().iter().map(|&f| signal_name(c, f)).collect();
+                let args: Vec<String> = node.fanins().iter().map(|&f| signal_name(c, f)).collect();
                 let _ = writeln!(out, "    {prim} g{} ({name}, {});", id.index(), args.join(", "));
             }
         }
@@ -169,8 +168,7 @@ t1 = NAND(a, b)\ny = NOT(t1)\nk = CONST1\nz = XOR(t1, k)\n";
 
     #[test]
     fn dot_skips_dead_logic() {
-        let c =
-            parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = BUF(a)\n", "d").unwrap();
+        let c = parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = BUF(a)\n", "d").unwrap();
         let d = write_dot(&c);
         assert!(!d.contains("dead"));
     }

@@ -110,17 +110,18 @@ impl GateKind {
         })
     }
 
-    /// Evaluates the gate on boolean fanin values.
+    /// Evaluates the gate on boolean fanin values, or `None` if the kind has
+    /// no gate function ([`GateKind::Input`]) or the arity is invalid for
+    /// the kind (see [`accepts_arity`](Self::accepts_arity)).
     ///
-    /// # Panics
-    ///
-    /// Panics if the arity is invalid for the kind (see
-    /// [`accepts_arity`](Self::accepts_arity)) or if called on
-    /// [`GateKind::Input`].
-    pub fn eval(self, fanins: &[bool]) -> bool {
-        assert!(self.accepts_arity(fanins.len()), "bad arity {} for {self}", fanins.len());
-        match self {
-            GateKind::Input => panic!("primary inputs have no gate function"),
+    /// This is the total form of [`eval`](Self::eval): it never panics, so
+    /// traversals over possibly-malformed circuits can degrade gracefully.
+    pub fn try_eval(self, fanins: &[bool]) -> Option<bool> {
+        if !self.accepts_arity(fanins.len()) {
+            return None;
+        }
+        Some(match self {
+            GateKind::Input => return None,
             GateKind::Const0 => false,
             GateKind::Const1 => true,
             GateKind::Buf => fanins[0],
@@ -131,18 +132,33 @@ impl GateKind {
             GateKind::Nor => !fanins.iter().any(|&b| b),
             GateKind::Xor => fanins.iter().filter(|&&b| b).count() % 2 == 1,
             GateKind::Xnor => fanins.iter().filter(|&&b| b).count() % 2 == 0,
-        }
+        })
     }
 
-    /// Evaluates the gate over 64 parallel patterns packed into `u64` words.
+    /// Evaluates the gate on boolean fanin values.
+    ///
+    /// Checked accessor over [`try_eval`](Self::try_eval) for traversals of
+    /// validated circuits, where arity was enforced at construction and
+    /// primary inputs are handled before gate evaluation.
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`eval`](Self::eval).
-    pub fn eval_words(self, fanins: &[u64]) -> u64 {
-        assert!(self.accepts_arity(fanins.len()), "bad arity {} for {self}", fanins.len());
-        match self {
-            GateKind::Input => panic!("primary inputs have no gate function"),
+    /// Panics if the arity is invalid for the kind (see
+    /// [`accepts_arity`](Self::accepts_arity)) or if called on
+    /// [`GateKind::Input`].
+    pub fn eval(self, fanins: &[bool]) -> bool {
+        self.try_eval(fanins)
+            .unwrap_or_else(|| panic!("no gate function for {self} with {} fanins", fanins.len()))
+    }
+
+    /// Evaluates the gate over 64 parallel patterns packed into `u64` words,
+    /// or `None` under the same conditions as [`try_eval`](Self::try_eval).
+    pub fn try_eval_words(self, fanins: &[u64]) -> Option<u64> {
+        if !self.accepts_arity(fanins.len()) {
+            return None;
+        }
+        Some(match self {
+            GateKind::Input => return None,
             GateKind::Const0 => 0,
             GateKind::Const1 => u64::MAX,
             GateKind::Buf => fanins[0],
@@ -153,7 +169,20 @@ impl GateKind {
             GateKind::Nor => !fanins.iter().fold(0, |a, &b| a | b),
             GateKind::Xor => fanins.iter().fold(0, |a, &b| a ^ b),
             GateKind::Xnor => !fanins.iter().fold(0, |a, &b| a ^ b),
-        }
+        })
+    }
+
+    /// Evaluates the gate over 64 parallel patterns packed into `u64` words.
+    ///
+    /// Checked accessor over [`try_eval_words`](Self::try_eval_words); see
+    /// [`eval`](Self::eval) for the intended usage contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`eval`](Self::eval).
+    pub fn eval_words(self, fanins: &[u64]) -> u64 {
+        self.try_eval_words(fanins)
+            .unwrap_or_else(|| panic!("no gate function for {self} with {} fanins", fanins.len()))
     }
 
     /// Whether the fanin order is irrelevant (all supported gates are
@@ -235,6 +264,38 @@ mod tests {
         assert!(GateKind::Xor.eval(&[true, true, true]));
         assert!(!GateKind::Xor.eval(&[true, true, false, false]));
         assert!(GateKind::Xnor.eval(&[true, true]));
+    }
+
+    #[test]
+    fn try_eval_is_total() {
+        // Inputs have no gate function; bad arities are rejected, not
+        // panicked on — for every kind and a sweep of arities.
+        assert_eq!(GateKind::Input.try_eval(&[]), None);
+        assert_eq!(GateKind::Input.try_eval_words(&[]), None);
+        for kind in ALL {
+            for n in 0..=4usize {
+                let bools = vec![true; n];
+                let words = vec![u64::MAX; n];
+                let ok = kind.accepts_arity(n) && kind != GateKind::Input;
+                assert_eq!(kind.try_eval(&bools).is_some(), ok, "{kind}/{n}");
+                assert_eq!(kind.try_eval_words(&words).is_some(), ok, "{kind}/{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_eval_agrees_with_eval() {
+        for kind in ALL.into_iter().filter(|k| k.is_gate()) {
+            for n in 1..=3usize {
+                if !kind.accepts_arity(n) {
+                    continue;
+                }
+                for m in 0..1u32 << n {
+                    let bools: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+                    assert_eq!(kind.try_eval(&bools), Some(kind.eval(&bools)));
+                }
+            }
+        }
     }
 
     #[test]

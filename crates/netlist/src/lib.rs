@@ -35,9 +35,9 @@
 
 pub mod bench_format;
 mod circuit;
-pub mod export;
 mod cone;
 mod error;
+pub mod export;
 mod gate;
 mod paths;
 pub mod simplify;
@@ -47,4 +47,5 @@ mod synth;
 pub use circuit::{Circuit, Node, NodeId, NodeMap};
 pub use error::NetlistError;
 pub use gate::GateKind;
+pub use paths::PathCount;
 pub use stats::{two_input_cost, CircuitStats};

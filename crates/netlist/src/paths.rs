@@ -8,44 +8,147 @@
 //! of paths of the circuit is the sum of the primary-output labels.
 
 use crate::{Circuit, GateKind};
+use std::fmt;
+
+/// A path count that remembers whether it overflowed `u128`.
+///
+/// Procedure 1 sums path labels; on adversarial inputs (deep reconvergence)
+/// the sum can exceed `u128`. The arithmetic saturates, and this type keeps
+/// the saturation explicit so reports can print `.. +` instead of a silently
+/// clamped number.
+///
+/// Ordering compares the numeric value first, with a saturated count ranked
+/// above the exact count of the same value (a saturated count is a lower
+/// bound on the true count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PathCount {
+    value: u128,
+    saturated: bool,
+}
+
+impl PathCount {
+    /// The zero count.
+    pub const ZERO: PathCount = PathCount { value: 0, saturated: false };
+
+    /// An exact (non-saturated) count.
+    pub fn exact(value: u128) -> Self {
+        PathCount { value, saturated: false }
+    }
+
+    /// The numeric value; a lower bound on the true count when
+    /// [`is_saturated`](Self::is_saturated).
+    pub fn value(self) -> u128 {
+        self.value
+    }
+
+    /// Whether the count overflowed and was clamped to `u128::MAX`.
+    pub fn is_saturated(self) -> bool {
+        self.saturated
+    }
+
+    /// Saturating addition; the result is marked saturated if either operand
+    /// was, or if the sum overflows.
+    pub fn saturating_add(self, other: PathCount) -> PathCount {
+        let (value, overflow) = self.value.overflowing_add(other.value);
+        if overflow {
+            PathCount { value: u128::MAX, saturated: true }
+        } else {
+            PathCount { value, saturated: self.saturated || other.saturated }
+        }
+    }
+}
+
+impl fmt::Display for PathCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.saturated {
+            write!(f, "{}+", self.value)
+        } else {
+            write!(f, "{}", self.value)
+        }
+    }
+}
+
+impl From<u128> for PathCount {
+    fn from(value: u128) -> Self {
+        PathCount::exact(value)
+    }
+}
+
+impl std::ops::Add for PathCount {
+    type Output = PathCount;
+
+    fn add(self, other: PathCount) -> PathCount {
+        self.saturating_add(other)
+    }
+}
+
+impl std::iter::Sum for PathCount {
+    fn sum<I: Iterator<Item = PathCount>>(iter: I) -> PathCount {
+        iter.fold(PathCount::ZERO, PathCount::saturating_add)
+    }
+}
 
 impl Circuit {
-    /// The path label `N_p` for every node (Procedure 1 of the paper).
+    /// The path label `N_p` for every node (Procedure 1 of the paper), with
+    /// explicit saturation tracking.
     ///
     /// Constants have label 0 (no path from a primary input reaches them);
-    /// primary inputs have label 1. Sums saturate at `u128::MAX` (the
-    /// paper's largest benchmark has 2.3×10⁷ paths; saturation exists only
-    /// as a safety net for adversarial inputs).
+    /// primary inputs have label 1. Sums saturate at `u128::MAX` with the
+    /// [`PathCount::is_saturated`] flag set (the paper's largest benchmark
+    /// has 2.3×10⁷ paths; saturation exists only as a safety net for
+    /// adversarial inputs).
     ///
     /// # Panics
     ///
     /// Panics if the circuit is cyclic.
-    pub fn path_labels(&self) -> Vec<u128> {
+    pub fn path_labels_exact(&self) -> Vec<PathCount> {
         let order = self.topo_order().expect("combinational circuit");
-        let mut labels = vec![0u128; self.len()];
+        let mut labels = vec![PathCount::ZERO; self.len()];
         for id in order {
             let node = self.node(id);
             labels[id.index()] = match node.kind() {
-                GateKind::Input => 1,
-                GateKind::Const0 | GateKind::Const1 => 0,
+                GateKind::Input => PathCount::exact(1),
+                GateKind::Const0 | GateKind::Const1 => PathCount::ZERO,
                 _ => node
                     .fanins()
                     .iter()
-                    .fold(0u128, |acc, f| acc.saturating_add(labels[f.index()])),
+                    .fold(PathCount::ZERO, |acc, f| acc.saturating_add(labels[f.index()])),
             };
         }
         labels
     }
 
-    /// Total number of input-to-output paths (Procedure 1, Step 5):
-    /// the sum of the primary-output labels.
+    /// The path label `N_p` for every node as plain `u128` values (clamped
+    /// at `u128::MAX` on overflow; see [`path_labels_exact`](Self::path_labels_exact)
+    /// for the saturation-aware form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn path_labels(&self) -> Vec<u128> {
+        self.path_labels_exact().into_iter().map(PathCount::value).collect()
+    }
+
+    /// Total number of input-to-output paths (Procedure 1, Step 5): the sum
+    /// of the primary-output labels, with explicit saturation tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn path_count_exact(&self) -> PathCount {
+        let labels = self.path_labels_exact();
+        self.outputs().iter().fold(PathCount::ZERO, |acc, o| acc.saturating_add(labels[o.index()]))
+    }
+
+    /// Total number of input-to-output paths as a plain `u128` (clamped at
+    /// `u128::MAX` on overflow; see [`path_count_exact`](Self::path_count_exact)
+    /// for the saturation-aware form).
     ///
     /// # Panics
     ///
     /// Panics if the circuit is cyclic.
     pub fn path_count(&self) -> u128 {
-        let labels = self.path_labels();
-        self.outputs().iter().fold(0u128, |acc, o| acc.saturating_add(labels[o.index()]))
+        self.path_count_exact().value()
     }
 
     /// Number of paths from node `from` to node `to` (0 if `to` is not in
@@ -89,8 +192,7 @@ mod tests {
         // K_p directly: each input appears K_p times as a literal.
         let mut c = Circuit::new("f11");
         let x: Vec<_> = (1..=4).map(|i| c.add_input(format!("x{i}"))).collect();
-        let nx: Vec<_> =
-            x.iter().map(|&xi| c.add_gate(GateKind::Not, vec![xi]).unwrap()).collect();
+        let nx: Vec<_> = x.iter().map(|&xi| c.add_gate(GateKind::Not, vec![xi]).unwrap()).collect();
         let p1 = c.add_gate(GateKind::And, vec![nx[0], x[1], x[3]]).unwrap();
         let p2 = c.add_gate(GateKind::And, vec![x[0], nx[1], nx[2]]).unwrap();
         let p3 = c.add_gate(GateKind::And, vec![x[1], nx[2], x[3]]).unwrap();
@@ -153,6 +255,35 @@ mod tests {
         }
         c.add_output(cur, "y");
         assert_eq!(c.path_count(), 1 << 20);
+    }
+
+    #[test]
+    fn saturation_is_flagged_not_silent() {
+        use crate::paths::PathCount;
+        // 128 doubling stages push the count past u128::MAX.
+        let mut c = Circuit::new("t");
+        let mut cur = c.add_input("a");
+        for _ in 0..130 {
+            let l = c.add_gate(GateKind::Buf, vec![cur]).unwrap();
+            let r = c.add_gate(GateKind::Not, vec![cur]).unwrap();
+            cur = c.add_gate(GateKind::Or, vec![l, r]).unwrap();
+        }
+        c.add_output(cur, "y");
+        let total = c.path_count_exact();
+        assert!(total.is_saturated());
+        assert_eq!(total.value(), u128::MAX);
+        assert_eq!(format!("{total}"), format!("{}+", u128::MAX));
+        // The clamped u128 view is still the lower bound.
+        assert_eq!(c.path_count(), u128::MAX);
+        // An unsaturated circuit stays exact.
+        let exact = PathCount::exact(9);
+        assert!(!exact.is_saturated());
+        assert_eq!(format!("{exact}"), "9");
+        // Ordering: a saturated MAX ranks above an exact MAX.
+        assert!(total > PathCount::exact(u128::MAX));
+        // Sum propagates the flag.
+        let s: PathCount = [exact, total].into_iter().sum();
+        assert!(s.is_saturated());
     }
 
     #[test]

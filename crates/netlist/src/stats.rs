@@ -1,7 +1,7 @@
 //! Circuit size and shape statistics, including the paper's equivalent
 //! 2-input gate count.
 
-use crate::{Circuit, GateKind};
+use crate::{Circuit, GateKind, PathCount};
 use std::fmt;
 
 /// A summary of circuit size and testability-relevant shape metrics.
@@ -19,8 +19,9 @@ pub struct CircuitStats {
     pub gates: usize,
     /// Equivalent 2-input gate count (the paper's area metric).
     pub two_input_gates: u64,
-    /// Total number of input-to-output paths (Procedure 1).
-    pub paths: u128,
+    /// Total number of input-to-output paths (Procedure 1), with an
+    /// explicit saturation flag for counts that overflowed `u128`.
+    pub paths: PathCount,
     /// Number of gates on the longest input-to-output path (buffers and
     /// inverters included).
     pub depth: u32,
@@ -46,7 +47,11 @@ impl fmt::Display for CircuitStats {
 /// paper makes is unaffected by this choice (see DESIGN.md).
 pub fn two_input_cost(kind: GateKind, arity: usize) -> u64 {
     match kind {
-        GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+        GateKind::And
+        | GateKind::Or
+        | GateKind::Nand
+        | GateKind::Nor
+        | GateKind::Xor
         | GateKind::Xnor => arity.saturating_sub(1) as u64,
         _ => 0,
     }
@@ -82,17 +87,14 @@ impl Circuit {
     pub fn stats(&self) -> CircuitStats {
         let live = self.live_mask();
         let live_nodes = live.iter().filter(|&&b| b).count();
-        let gates = self
-            .iter()
-            .filter(|(id, n)| live[id.index()] && n.kind().is_gate())
-            .count();
+        let gates = self.iter().filter(|(id, n)| live[id.index()] && n.kind().is_gate()).count();
         CircuitStats {
             inputs: self.inputs().len(),
             outputs: self.outputs().len(),
             live_nodes,
             gates,
             two_input_gates: self.two_input_gate_count(),
-            paths: self.path_count(),
+            paths: self.path_count_exact(),
             depth: self.depth(),
         }
     }
@@ -140,7 +142,7 @@ mod tests {
         assert_eq!(s.outputs, 1);
         assert_eq!(s.gates, 2);
         assert_eq!(s.two_input_gates, 1);
-        assert_eq!(s.paths, 2);
+        assert_eq!(s.paths, PathCount::exact(2));
         assert_eq!(s.depth, 2);
         assert!(s.to_string().contains("eq2=1"));
     }

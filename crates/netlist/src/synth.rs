@@ -111,14 +111,13 @@ mod tests {
             let x1 = m >> 2 & 1 == 1;
             let x2 = m >> 1 & 1 == 1;
             let x3 = m & 1 == 1;
-            (!x1 && !x2) || (!x1 && x3)
+            !x1 && (!x2 || x3)
         });
         let mut c = Circuit::new("t");
         let ins: Vec<_> = (0..3).map(|i| c.add_input(format!("x{i}"))).collect();
         let out = c.synthesize_sop(&ins, &table).unwrap();
         c.add_output(out, "y");
-        let inverters =
-            c.iter().filter(|(_, n)| n.kind() == GateKind::Not).count();
+        let inverters = c.iter().filter(|(_, n)| n.kind() == GateKind::Not).count();
         assert!(inverters <= 2, "{inverters} inverters");
     }
 

@@ -1,0 +1,124 @@
+//! Adversarial inputs for the `.bench` parser: every malformed input must
+//! come back as `Err(NetlistError::Parse { .. })` (or at least `Err`) and
+//! must never panic, whatever the garbage.
+
+use proptest::prelude::*;
+use sft_netlist::bench_format::parse;
+use sft_netlist::NetlistError;
+
+/// Each malformed source must produce a parse error, never a panic, and the
+/// reported line number must be within the source.
+#[test]
+fn malformed_sources_all_rejected_with_line_numbers() {
+    let cases: &[(&str, &str)] = &[
+        ("self_cycle", "INPUT(a)\nOUTPUT(y)\ny = BUF(y)\n"),
+        ("two_gate_cycle", "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n"),
+        ("long_cycle", "INPUT(a)\nOUTPUT(y)\ny = AND(a, u)\nu = BUF(v)\nv = BUF(w)\nw = BUF(y)\n"),
+        ("duplicate_input", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n"),
+        ("duplicate_gate", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\ny = NOT(a)\n"),
+        ("input_redefined_as_gate", "INPUT(a)\nOUTPUT(a)\na = NOT(a)\n"),
+        ("undefined_fanin", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+        ("undefined_output", "INPUT(a)\nOUTPUT(nothing)\n"),
+        ("absurd_not_fanin", "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a, a, a, a, a, a, a)\n"),
+        ("zero_fanin_and", "INPUT(a)\nOUTPUT(y)\ny = AND()\n"),
+        ("const_with_args", "INPUT(a)\nOUTPUT(y)\ny = CONST1(a)\n"),
+        ("truncated_input_decl", "INPUT(a\nOUTPUT(a)\n"),
+        ("truncated_output_decl", "INPUT(a)\nOUTPUT(y\ny = BUF(a)\n"),
+        ("truncated_gate_expr", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b\n"),
+        ("unknown_gate", "INPUT(a)\nOUTPUT(y)\ny = FROBNICATE(a)\n"),
+        ("dff_rejected", "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n"),
+        ("bare_word_line", "INPUT(a)\nOUTPUT(a)\nhello world\n"),
+        ("control_chars", "\u{1}\u{2}\u{3}\u{7f}\n"),
+        ("null_bytes", "INPUT(a)\n\u{0}\u{0}\u{0}\n"),
+        ("unicode_garbage", "INPUT(a)\nOUTPUT(a)\n\u{1f600} = AND(\u{30c4})\n"),
+    ];
+    for (label, src) in cases {
+        match parse(src, *label) {
+            Err(NetlistError::Parse { line, .. }) => {
+                let total = src.lines().count();
+                assert!((1..=total).contains(&line), "{label}: line {line} outside 1..={total}");
+            }
+            Err(_) => {}
+            Ok(_) => panic!("{label}: malformed source accepted"),
+        }
+    }
+}
+
+/// A gate whose fanin list is enormous parses without stack overflow or
+/// quadratic death, whether or not the arity is legal for the kind.
+#[test]
+fn huge_fanin_lists_do_not_blow_up() {
+    // 50k-ary AND over one input is legal in the format (multi-input gates
+    // take n >= 1 fanins), so it must parse...
+    let wide = format!(
+        "INPUT(a)\nOUTPUT(y)\ny = AND({})\n",
+        std::iter::repeat_n("a", 50_000).collect::<Vec<_>>().join(", ")
+    );
+    let c = parse(&wide, "wide").expect("wide AND is legal");
+    assert_eq!(c.eval_assignment(&[true]), vec![true]);
+    // ...while the same list on a NOT must be an arity error, not a panic.
+    let wide_not = format!(
+        "INPUT(a)\nOUTPUT(y)\ny = NOT({})\n",
+        std::iter::repeat_n("a", 50_000).collect::<Vec<_>>().join(", ")
+    );
+    assert!(parse(&wide_not, "wide_not").is_err());
+}
+
+/// A deep but acyclic chain parses fine (the parser and validator must be
+/// iterative, not recursive).
+#[test]
+fn deep_chains_parse_iteratively() {
+    let mut src = String::from("INPUT(s0)\nOUTPUT(s20000)\n");
+    for i in 0..20_000 {
+        src.push_str(&format!("s{} = NOT(s{})\n", i + 1, i));
+    }
+    let c = parse(&src, "deep").expect("deep chain is valid");
+    assert_eq!(c.eval_assignment(&[false]), vec![false]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary ASCII soup never panics the parser; it either parses (for
+    /// the rare accidentally-valid soup) or errors.
+    #[test]
+    fn ascii_soup_never_panics(bytes in proptest::collection::vec(32u8..127, 0..300)) {
+        let text = String::from_utf8(bytes).expect("printable ascii");
+        let _ = parse(&text, "soup");
+    }
+
+    /// Structured soup: random lines assembled from format fragments, which
+    /// hits the parser's deeper states (duplicate maps, rewiring, cycle
+    /// checks) far more often than raw bytes do.
+    #[test]
+    fn fragment_soup_never_panics(
+        picks in proptest::collection::vec((0usize..12, 0usize..4, 0usize..4), 0..30),
+    ) {
+        let names = ["a", "b", "y", "n1"];
+        let mut text = String::new();
+        for (shape, i, j) in picks {
+            let x = names[i];
+            let z = names[j];
+            let line = match shape {
+                0 => format!("INPUT({x})"),
+                1 => format!("OUTPUT({x})"),
+                2 => format!("{x} = AND({z}, {x})"),
+                3 => format!("{x} = NOT({z})"),
+                4 => format!("{x} = BUF({z}"),
+                5 => format!("{x} = DFF({z})"),
+                6 => format!("{x} = CONST1"),
+                7 => format!("{x} = XOR({z}, {x}, {z})"),
+                8 => format!("{x} ="),
+                9 => format!("= AND({x})"),
+                10 => format!("# comment {x}"),
+                _ => String::new(),
+            };
+            text.push_str(&line);
+            text.push('\n');
+        }
+        if let Ok(c) = parse(&text, "frag") {
+            // Anything the parser accepts must be a valid circuit.
+            c.validate().expect("accepted circuits validate");
+        }
+    }
+}

@@ -37,6 +37,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sft_atpg::{generate_test, remove_redundancies, TestResult};
+use sft_budget::{Budget, StopReason};
 use sft_netlist::{Circuit, GateKind, NodeId};
 use sft_sim::{Fault, FaultSim};
 use std::fmt;
@@ -85,20 +86,27 @@ pub struct RamboReport {
     pub paths_before: u128,
     /// Paths after.
     pub paths_after: u128,
+    /// Why the candidate loop stopped. [`StopReason::MaxPasses`] is the
+    /// ordinary outcome (attempt or acceptance cap reached);
+    /// [`StopReason::Converged`] means the circuit ran out of candidate
+    /// sites. Every accepted addition is equivalence-preserving by
+    /// construction, so an early stop loses no work.
+    pub stop_reason: StopReason,
 }
 
 impl fmt::Display for RamboReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} attempts, {} redundant, {} accepted: gates {} -> {}, paths {} -> {}",
+            "{} attempts, {} redundant, {} accepted: gates {} -> {}, paths {} -> {} ({})",
             self.attempts,
             self.proven_redundant,
             self.accepted,
             self.gates_before,
             self.gates_after,
             self.paths_before,
-            self.paths_after
+            self.paths_after,
+            self.stop_reason
         )
     }
 }
@@ -140,7 +148,12 @@ impl From<sft_bdd::BddError> for RamboError {
 
 /// Quick random-pattern filter: `true` if the fault survives (may be
 /// redundant), `false` if some random pattern detects it.
-fn survives_random_filter(circuit: &Circuit, fault: Fault, blocks: usize, rng: &mut StdRng) -> bool {
+fn survives_random_filter(
+    circuit: &Circuit,
+    fault: Fault,
+    blocks: usize,
+    rng: &mut StdRng,
+) -> bool {
     let mut fsim = FaultSim::new(circuit);
     let faults = [fault];
     let mut words = vec![0u64; circuit.inputs().len()];
@@ -167,6 +180,33 @@ fn survives_random_filter(circuit: &Circuit, fault: Fault, blocks: usize, rng: &
 ///
 /// Panics if the circuit is cyclic.
 pub fn optimize(circuit: &mut Circuit, options: &RamboOptions) -> Result<RamboReport, RamboError> {
+    optimize_with_budget(circuit, options, &Budget::unlimited())
+}
+
+/// Runs redundancy addition and removal under an effort [`Budget`].
+///
+/// The budget is consumed one step per candidate attempt and checked
+/// before each attempt; exhaustion (deadline, step budget, cancellation)
+/// stops the loop cleanly and is reported in
+/// [`RamboReport::stop_reason`]. Because every accepted addition is
+/// individually proven redundant, the circuit is valid and equivalent to
+/// the input at every stopping point — an exhausted budget returns the
+/// best result so far, not an error.
+///
+/// # Errors
+///
+/// Returns [`RamboError::VerificationFailed`] if the final BDD check fails
+/// (which would indicate an internal bug), or propagates netlist/BDD
+/// errors.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn optimize_with_budget(
+    circuit: &mut Circuit,
+    options: &RamboOptions,
+    budget: &Budget,
+) -> Result<RamboReport, RamboError> {
     let original = circuit.clone();
     let mut report = RamboReport {
         gates_before: circuit.two_input_gate_count(),
@@ -177,9 +217,12 @@ pub fn optimize(circuit: &mut Circuit, options: &RamboOptions) -> Result<RamboRe
     remove_redundancies(circuit, options.backtrack_limit);
 
     let mut rng = StdRng::seed_from_u64(options.seed);
-    while report.attempts < options.candidate_attempts
-        && report.accepted < options.max_accepted
-    {
+    let mut stop = StopReason::MaxPasses;
+    while report.attempts < options.candidate_attempts && report.accepted < options.max_accepted {
+        if let Err(e) = budget.consume(1) {
+            stop = e.into();
+            break;
+        }
         report.attempts += 1;
         // Sample a destination AND/OR-family gate and a source wire.
         let live = circuit.live_mask();
@@ -197,12 +240,12 @@ pub fn optimize(circuit: &mut Circuit, options: &RamboOptions) -> Result<RamboRe
         let wires: Vec<NodeId> = circuit
             .iter()
             .filter(|(id, n)| {
-                live[id.index()]
-                    && !matches!(n.kind(), GateKind::Const0 | GateKind::Const1)
+                live[id.index()] && !matches!(n.kind(), GateKind::Const0 | GateKind::Const1)
             })
             .map(|(id, _)| id)
             .collect();
         if gates.is_empty() || wires.is_empty() {
+            stop = StopReason::Converged;
             break;
         }
         let dest = gates[rng.gen_range(0..gates.len())];
@@ -245,6 +288,7 @@ pub fn optimize(circuit: &mut Circuit, options: &RamboOptions) -> Result<RamboRe
         sft_bdd::CheckResult::Equivalent => {}
         sft_bdd::CheckResult::Different { .. } => return Err(RamboError::VerificationFailed),
     }
+    report.stop_reason = stop;
     report.gates_after = circuit.two_input_gate_count();
     report.paths_after = circuit.path_count();
     Ok(report)
@@ -290,8 +334,42 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
             gates_after: 9,
             paths_before: 50,
             paths_after: 60,
+            stop_reason: StopReason::MaxPasses,
         };
         assert!(r.to_string().contains("gates 10 -> 9"));
+        assert!(r.to_string().ends_with("(max-passes)"));
+    }
+
+    #[test]
+    fn step_budget_stops_candidate_loop_without_losing_work() {
+        // c17 is irredundant, so the candidate loop itself must hit the
+        // step budget (the circuit never runs out of candidate sites).
+        let src = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+        let original = parse(src, "c17").unwrap();
+        let mut c = original.clone();
+        let budget = sft_budget::Budget::unlimited().with_step_limit(2);
+        let report = optimize_with_budget(&mut c, &RamboOptions::default(), &budget).unwrap();
+        assert_eq!(report.stop_reason, StopReason::StepBudget);
+        // The last granted unit still runs, so at most 2 attempts happened.
+        assert!(report.attempts <= 2, "attempts = {}", report.attempts);
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn cancellation_stops_the_loop() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
+        let original = parse(src, "abs").unwrap();
+        let mut c = original.clone();
+        let flag = sft_budget::CancelFlag::new();
+        flag.cancel();
+        let budget = sft_budget::Budget::unlimited().with_cancel(flag);
+        let report = optimize_with_budget(&mut c, &RamboOptions::default(), &budget).unwrap();
+        assert_eq!(report.stop_reason, StopReason::Cancelled);
+        assert_eq!(report.attempts, 0);
+        assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());
     }
 
     /// The classical RAR showcase: in a circuit where adding one redundant
@@ -323,11 +401,8 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
                 c.add_output(o, format!("o{i}"));
             }
             let original = c.clone();
-            let opts = RamboOptions {
-                candidate_attempts: 40,
-                max_accepted: 4,
-                ..RamboOptions::default()
-            };
+            let opts =
+                RamboOptions { candidate_attempts: 40, max_accepted: 4, ..RamboOptions::default() };
             let report = optimize(&mut c, &opts).unwrap();
             assert!(report.gates_after <= report.gates_before, "trial {trial}");
             assert!(sft_bdd::equivalent(&original, &c).unwrap().is_equivalent());

@@ -190,11 +190,8 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     fn plateau_stops_early() {
         let c = parse(C17, "c17").unwrap();
         let faults = fault_list(&c);
-        let r = campaign(
-            &c,
-            &faults,
-            &CampaignConfig { max_patterns: 1 << 20, plateau: 256, seed: 5 },
-        );
+        let r =
+            campaign(&c, &faults, &CampaignConfig { max_patterns: 1 << 20, plateau: 256, seed: 5 });
         assert!(r.patterns_applied < 1 << 20);
         assert_eq!(r.remaining(), 0);
     }
@@ -218,9 +215,6 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 9 });
         let max_det = r.detection_pattern.iter().flatten().max().copied();
         assert_eq!(max_det, r.last_effective_pattern);
-        assert_eq!(
-            r.detected,
-            r.detection_pattern.iter().filter(|d| d.is_some()).count()
-        );
+        assert_eq!(r.detected, r.detection_pattern.iter().filter(|d| d.is_some()).count());
     }
 }

@@ -148,10 +148,7 @@ mod tests {
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt1 = AND(a, b)\nt2 = OR(a, b)\ny = XOR(t1, t2)\n";
         let c = parse(src, "t").unwrap();
         let faults = fault_list(&c);
-        let branches = faults
-            .iter()
-            .filter(|f| matches!(f.site, FaultSite::Branch { .. }))
-            .count();
+        let branches = faults.iter().filter(|f| matches!(f.site, FaultSite::Branch { .. })).count();
         // a and b both fan out to 2 consumers: 4 branch sites, 8 faults.
         assert_eq!(branches, 8);
         // Stems: a, b, t1, t2, y -> 10 stem faults.
@@ -181,8 +178,9 @@ mod tests {
         let collapsed = collapse(&c, &full);
         // a s-a-0 and b s-a-0 collapse into y s-a-0: 6 - 2 = 4 faults.
         assert_eq!(collapsed.len(), 4);
-        assert!(collapsed.iter().all(|f| !(matches!(f.site, FaultSite::Stem(n)
-            if c.node(n).kind() == GateKind::Input) && !f.stuck)));
+        assert!(collapsed.iter().all(|f| f.stuck
+            || !matches!(f.site, FaultSite::Stem(n)
+                if c.node(n).kind() == GateKind::Input)));
     }
 
     #[test]

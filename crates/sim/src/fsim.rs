@@ -254,9 +254,9 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         // All 32 input patterns in one block.
         let mut words = vec![0u64; 5];
         for m in 0..32u64 {
-            for i in 0..5 {
+            for (i, w) in words.iter_mut().enumerate() {
                 if m >> i & 1 == 1 {
-                    words[i] |= 1 << m;
+                    *w |= 1 << m;
                 }
             }
         }
@@ -286,17 +286,13 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
         let c = parse(src, "abs").unwrap();
         // t s-a-0 is undetectable.
-        let t = c
-            .iter()
-            .find(|(_, n)| n.name() == Some("t"))
-            .map(|(id, _)| id)
-            .unwrap();
+        let t = c.iter().find(|(_, n)| n.name() == Some("t")).map(|(id, _)| id).unwrap();
         let mut fsim = FaultSim::new(&c);
         let mut words = vec![0u64; 2];
         for m in 0..4u64 {
-            for i in 0..2 {
+            for (i, w) in words.iter_mut().enumerate() {
                 if m >> i & 1 == 1 {
-                    words[i] |= 1 << m;
+                    *w |= 1 << m;
                 }
             }
         }
@@ -313,10 +309,8 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let y = c.iter().find(|(_, n)| n.name() == Some("y")).map(|(id, _)| id).unwrap();
         let mut fsim = FaultSim::new(&c);
         // Single pattern a=0, b=1 at bit 0.
-        let det = fsim.detect_block(
-            &[Fault::branch(y, 0, true), Fault::stem(c.inputs()[0], true)],
-            &[0, 1],
-        );
+        let det = fsim
+            .detect_block(&[Fault::branch(y, 0, true), Fault::stem(c.inputs()[0], true)], &[0, 1]);
         // Branch fault: detected (y flips 0->1). Stem fault also detected
         // (z unaffected since b=1 forces z... wait z = OR(a=0->1, b=1) = 1
         // either way; y flips). Both detected via y.

@@ -37,5 +37,5 @@ mod measures;
 pub use campaign::{campaign, CampaignConfig, CampaignResult};
 pub use fault::{collapse, fault_list, Fault, FaultSite};
 pub use fsim::FaultSim;
-pub use measures::{cop_measures, CopMeasures};
 pub use logic::Simulator;
+pub use measures::{cop_measures, CopMeasures};

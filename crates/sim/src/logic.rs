@@ -110,9 +110,9 @@ t1 = NAND(a, b)\nt2 = XOR(t1, c)\ny = NOR(t2, a)\nz = OR(t1, t2, c)\n";
         // Pack all 8 input combinations into one word.
         let mut words = vec![0u64; 3];
         for m in 0..8u64 {
-            for i in 0..3 {
+            for (i, w) in words.iter_mut().enumerate() {
                 if m >> (2 - i) & 1 == 1 {
-                    words[i] |= 1 << m;
+                    *w |= 1 << m;
                 }
             }
         }

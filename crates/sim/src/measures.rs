@@ -132,8 +132,7 @@ pub fn cop_measures(circuit: &Circuit) -> CopMeasures {
     for &o in circuit.outputs() {
         obs[o.index()] = 1.0;
     }
-    let measures_stub =
-        CopMeasures { controllability: c1.clone(), observability: Vec::new() };
+    let measures_stub = CopMeasures { controllability: c1.clone(), observability: Vec::new() };
     for &id in order.iter().rev() {
         let node = circuit.node(id);
         if !node.kind().is_gate() {
@@ -174,8 +173,8 @@ mod tests {
                 }
             }
             let mask = fsim.detect_masks(&[fault], &words)[0];
-            detected += (mask & if block == 64 { u64::MAX } else { (1 << block) - 1 })
-                .count_ones() as u64;
+            detected +=
+                (mask & if block == 64 { u64::MAX } else { (1 << block) - 1 }).count_ones() as u64;
             m += block;
         }
         detected as f64 / total as f64
@@ -192,10 +191,7 @@ t1 = AND(a, b)\nt2 = NOR(c, d)\ny = OR(t1, t2)\n";
         for fault in fault_list(&c) {
             let estimated = m.detection_probability(&c, fault);
             let exact = exact_detection_probability(&c, fault);
-            assert!(
-                (estimated - exact).abs() < 1e-9,
-                "{fault}: COP {estimated} vs exact {exact}"
-            );
+            assert!((estimated - exact).abs() < 1e-9, "{fault}: COP {estimated} vs exact {exact}");
         }
     }
 
@@ -208,8 +204,10 @@ t1 = AND(a, b)\nt2 = NOR(c, d)\ny = OR(t1, t2)\n";
         let z = c.outputs()[1];
         assert!((m.controllability[y.index()] - 0.25).abs() < 1e-12);
         assert!((m.controllability[z.index()] - 0.5).abs() < 1e-12);
-        assert!((m.observability[c.inputs()[0].index()] - 1.0).abs() < 1e-12,
-            "xor makes every input fully observable");
+        assert!(
+            (m.observability[c.inputs()[0].index()] - 1.0).abs() < 1e-12,
+            "xor makes every input fully observable"
+        );
     }
 
     /// On reconvergent circuits COP is approximate but must stay in [0, 1]

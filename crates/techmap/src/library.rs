@@ -76,7 +76,9 @@ impl Library {
     /// cells every cover needs).
     pub fn new(cells: Vec<Cell>) -> Self {
         assert!(!cells.is_empty(), "library must not be empty");
-        let has_inv = cells.iter().any(|c| matches!(&c.pattern, Pattern::Inv(p) if matches!(**p, Pattern::Input(_))));
+        let has_inv = cells
+            .iter()
+            .any(|c| matches!(&c.pattern, Pattern::Inv(p) if matches!(**p, Pattern::Input(_))));
         let has_nand = cells.iter().any(|c| {
             matches!(&c.pattern, Pattern::Nand(a, b)
                 if matches!(**a, Pattern::Input(_)) && matches!(**b, Pattern::Input(_)))

@@ -20,7 +20,11 @@ pub struct MappedStats {
 
 impl fmt::Display for MappedStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} literals, {} cells, longest path {}", self.literals, self.cells, self.longest_path)
+        write!(
+            f,
+            "{} literals, {} cells, longest path {}",
+            self.literals, self.cells, self.longest_path
+        )
     }
 }
 
@@ -127,7 +131,7 @@ pub fn map_circuit(circuit: &Circuit, library: &Library) -> MappedStats {
             if !feasible {
                 continue;
             }
-            if node_best.as_ref().map_or(true, |c| cost < c.cost) {
+            if node_best.as_ref().is_none_or(|c| cost < c.cost) {
                 node_best = Some(Chosen { cell_index: ci, inputs, cost });
             }
         }
@@ -262,7 +266,8 @@ mod tests {
     #[test]
     fn aoi_structure_found() {
         // y = !(ab + c): exactly one AOI21 cell.
-        let src = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\no = OR(t, c)\ny = NOT(o)\n";
+        let src =
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\no = OR(t, c)\ny = NOT(o)\n";
         let c = parse(src, "aoi").unwrap();
         let m = map_circuit(&c, &Library::standard());
         assert_eq!(m.literals, 3, "AOI21 should cover the whole cone: {m}");

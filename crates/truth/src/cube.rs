@@ -79,15 +79,16 @@ impl Cube {
         if m >= 1 << inputs {
             return Err(TruthError::MintermOutOfRange { minterm: m, inputs });
         }
-        let literals = (0..inputs)
-            .map(|i| {
-                if m >> (inputs - 1 - i) & 1 == 1 {
-                    Literal::Positive
-                } else {
-                    Literal::Negative
-                }
-            })
-            .collect();
+        let literals =
+            (0..inputs)
+                .map(|i| {
+                    if m >> (inputs - 1 - i) & 1 == 1 {
+                        Literal::Positive
+                    } else {
+                        Literal::Negative
+                    }
+                })
+                .collect();
         Ok(Cube { literals })
     }
 

@@ -286,9 +286,7 @@ impl TruthTable {
 
     /// The set of inputs the function actually depends on.
     pub fn support(&self) -> Vec<usize> {
-        (0..self.inputs())
-            .filter(|&i| self.depends_on(i).expect("index in range"))
-            .collect()
+        (0..self.inputs()).filter(|&i| self.depends_on(i).expect("index in range")).collect()
     }
 
     /// Cofactor with respect to `input = value`, keeping the input count

@@ -13,7 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let functions: Vec<(&str, TruthTable)> = vec![
         ("majority3", TruthTable::from_minterms(3, &[3, 5, 6, 7])?),
         ("parity4", TruthTable::from_fn(4, |m| m.count_ones() % 2 == 1)),
-        ("prime5", TruthTable::from_fn(5, |m| matches!(m, 2 | 3 | 5 | 7 | 11 | 13 | 17 | 19 | 23 | 29 | 31))),
+        (
+            "prime5",
+            TruthTable::from_fn(5, |m| {
+                matches!(m, 2 | 3 | 5 | 7 | 11 | 13 | 17 | 19 | 23 | 29 | 31)
+            }),
+        ),
         ("interval", TruthTable::from_fn(5, |m| (9..=23).contains(&m))),
     ];
     for (name, f) in &functions {
@@ -24,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         // Build the OR-of-units circuit and verify it exactly.
         let mut c = Circuit::new(*name);
-        let inputs: Vec<_> =
-            (0..f.inputs()).map(|i| c.add_input(format!("y{}", i + 1))).collect();
+        let inputs: Vec<_> = (0..f.inputs()).map(|i| c.add_input(format!("y{}", i + 1))).collect();
         let out = build_cover_in(&mut c, &inputs, f, &opts)?;
         c.add_output(out, "f");
         for m in 0..f.size() {

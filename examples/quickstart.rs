@@ -3,9 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use sft::core::{
-    build_standalone_unit, identify, procedure2, IdentifyOptions, ResynthOptions,
-};
+use sft::core::{build_standalone_unit, identify, procedure2, IdentifyOptions, ResynthOptions};
 use sft::netlist::bench_format;
 use sft::truth::TruthTable;
 
@@ -31,9 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     let mut terms = Vec::new();
     for m in f2.on_set() {
-        let fanins: Vec<_> = (0..4)
-            .map(|i| if m >> (3 - i) & 1 == 1 { inputs[i] } else { negations[i] })
-            .collect();
+        let fanins: Vec<_> =
+            (0..4).map(|i| if m >> (3 - i) & 1 == 1 { inputs[i] } else { negations[i] }).collect();
         terms.push(sop.add_gate(sft::netlist::GateKind::And, fanins)?);
     }
     let out = sop.add_gate(sft::netlist::GateKind::Or, terms)?;

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = procedure2(&mut modified, &ResynthOptions::default())?;
     println!("\nProcedure 2: {report}");
     let red = remove_redundancies(&mut modified, 20_000);
-    println!("redundancy removal: {} removed, gates {} -> {}", red.removed, red.gates_before, red.gates_after);
+    println!(
+        "redundancy removal: {} removed, gates {} -> {}",
+        red.removed, red.gates_before, red.gates_after
+    );
     println!("modified: {}", modified.stats());
 
     // Exact equivalence.
@@ -32,7 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stuck-at random-pattern testability at equal budget & seed (Table 6).
     let stuck = |c: &Circuit| {
         let faults = fault_list(c);
-        let r = campaign(c, &faults, &CampaignConfig { max_patterns: 1 << 14, plateau: 0, seed: 11 });
+        let r =
+            campaign(c, &faults, &CampaignConfig { max_patterns: 1 << 14, plateau: 0, seed: 11 });
         (r.total_faults, r.remaining(), r.coverage())
     };
     let (fo, ro, co) = stuck(&original);
@@ -42,12 +46,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  modified: {fm} faults, {rm} remain, coverage {:.2}%", cm * 100.0);
 
     // Robust PDF coverage at equal budget & seed (Table 7).
-    let pdf_cfg = PdfCampaignConfig { max_pairs: 1 << 13, plateau: 1 << 11, seed: 11, path_limit: 1 << 20 };
+    let pdf_cfg =
+        PdfCampaignConfig { max_pairs: 1 << 13, plateau: 1 << 11, seed: 11, path_limit: 1 << 20 };
     let pb = pdf_campaign(&original, &pdf_cfg)?;
     let pa = pdf_campaign(&modified, &pdf_cfg)?;
     println!("\nrobust path delay faults (random pairs):");
-    println!("  original: {}/{} detected ({:.2}%)", pb.detected, pb.total_faults, pb.coverage() * 100.0);
-    println!("  modified: {}/{} detected ({:.2}%)", pa.detected, pa.total_faults, pa.coverage() * 100.0);
+    println!(
+        "  original: {}/{} detected ({:.2}%)",
+        pb.detected,
+        pb.total_faults,
+        pb.coverage() * 100.0
+    );
+    println!(
+        "  modified: {}/{} detected ({:.2}%)",
+        pa.detected,
+        pa.total_faults,
+        pa.coverage() * 100.0
+    );
 
     // Technology mapping (Table 4).
     let lib = Library::standard();

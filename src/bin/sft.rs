@@ -13,13 +13,20 @@
 //!
 //! Resynthesis options: `--objective gates|paths|combined`, `--k N`,
 //! `--negation`, `--covers N`, `--dont-cares`.
+//!
+//! Effort options (resynth, testgen, pdf): `--time-limit <dur>` (e.g.
+//! `500ms`, `10s`, `2m`, `1h`, or bare seconds) and `--step-limit <N>`
+//! bound the run. An exhausted budget is not an error: the command prints
+//! the stop reason, writes the best verified partial result, and exits 0.
 
-use sft::atpg::{generate_test_set, remove_redundancies, TestSetOptions};
-use sft::core::{resynthesize, Objective, ResynthOptions};
-use sft::delay::{pdf_campaign, PdfCampaignConfig};
+use sft::atpg::{generate_test_set_with_budget, remove_redundancies, TestSetOptions};
+use sft::budget::{Budget, StopReason};
+use sft::core::{resynthesize_with_budget, Objective, ResynthOptions};
+use sft::delay::{pdf_campaign_with_budget, PdfCampaignConfig};
 use sft::netlist::{bench_format, export, Circuit};
 use sft::techmap::{map_circuit, Library};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn load(path: &str) -> Result<Circuit, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -43,6 +50,79 @@ fn opt(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
+/// Options that take a value; their value token is not a positional arg.
+const VALUE_OPTIONS: &[&str] =
+    &["--objective", "--k", "--covers", "--pairs", "--time-limit", "--step-limit"];
+
+/// The non-flag arguments, in order, so flags may appear anywhere
+/// (`sft resynth --time-limit 0s in.bench out.bench` works).
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if VALUE_OPTIONS.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Parses `10s`, `500ms`, `2m`, `1h` or bare seconds (`15`).
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    let text = text.trim();
+    let (number, unit) = match text.find(|c: char| !c.is_ascii_digit() && c != '.') {
+        Some(i) => text.split_at(i),
+        None => (text, "s"),
+    };
+    let value: f64 =
+        number.parse().map_err(|_| format!("bad duration {text:?} (try 10s, 500ms, 2m)"))?;
+    let seconds = match unit {
+        "ms" => value / 1000.0,
+        "s" => value,
+        "m" => value * 60.0,
+        "h" => value * 3600.0,
+        other => return Err(format!("bad duration unit {other:?} (use ms, s, m or h)")),
+    };
+    if !seconds.is_finite() || seconds < 0.0 {
+        return Err(format!("bad duration {text:?}"));
+    }
+    Ok(Duration::from_secs_f64(seconds))
+}
+
+/// Builds the effort budget from `--time-limit` / `--step-limit`.
+fn budget_from(args: &[String]) -> Result<Budget, String> {
+    let mut budget = Budget::unlimited();
+    match (flag(args, "--time-limit"), opt(args, "--time-limit")) {
+        (true, None) => return Err("--time-limit needs a value (e.g. 10s)".into()),
+        (_, Some(limit)) => budget = budget.with_time_limit(parse_duration(&limit)?),
+        _ => {}
+    }
+    match (flag(args, "--step-limit"), opt(args, "--step-limit")) {
+        (true, None) => return Err("--step-limit needs a value".into()),
+        (_, Some(limit)) => {
+            let steps: u64 = limit.parse().map_err(|_| format!("bad step limit {limit:?}"))?;
+            budget = budget.with_step_limit(steps);
+        }
+        _ => {}
+    }
+    Ok(budget)
+}
+
+/// One-line stop-reason note for budget-aware commands.
+fn print_stop(reason: StopReason) {
+    if reason.is_early() {
+        println!("stopped early: {reason} (partial result kept)");
+    } else {
+        println!("stop reason: {reason}");
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -63,8 +143,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "resynth" => {
-            let input = rest.first().ok_or("resynth needs input and output files")?;
-            let output = rest.get(1).ok_or("resynth needs an output file")?;
+            let files = positionals(rest);
+            let input = files.first().ok_or("resynth needs input and output files")?;
+            let output = files.get(1).ok_or("resynth needs an output file")?;
             let mut c = load(input)?;
             let objective = match opt(rest, "--objective").as_deref() {
                 None | Some("gates") => Objective::Gates,
@@ -80,8 +161,11 @@ fn run() -> Result<(), String> {
                 use_satisfiability_dont_cares: flag(rest, "--dont-cares"),
                 ..ResynthOptions::default()
             };
-            let report = resynthesize(&mut c, &opts).map_err(|e| e.to_string())?;
+            let budget = budget_from(rest)?;
+            let report =
+                resynthesize_with_budget(&mut c, &opts, &budget).map_err(|e| e.to_string())?;
             println!("{report}");
+            print_stop(report.stop_reason);
             save(output, &c)
         }
         "redundancy" => {
@@ -96,15 +180,21 @@ fn run() -> Result<(), String> {
             save(output, &c)
         }
         "testgen" => {
-            let c = load(rest.first().ok_or("testgen needs an input file")?)?;
-            let set = generate_test_set(&c, &TestSetOptions::default());
+            let files = positionals(rest);
+            let c = load(files.first().ok_or("testgen needs an input file")?)?;
+            let budget = budget_from(rest)?;
+            let set = generate_test_set_with_budget(&c, &TestSetOptions::default(), &budget);
             println!(
-                "# {} faults, {} redundant, {} aborted, coverage {:.2}%",
+                "# {} faults, {} redundant, {} aborted, {} untargeted, coverage {:.2}%",
                 set.total_faults,
                 set.redundant,
                 set.aborted,
+                set.untargeted,
                 set.coverage() * 100.0
             );
+            if set.stop_reason.is_early() {
+                println!("# stopped early: {} (partial test set kept)", set.stop_reason);
+            }
             for v in &set.vectors {
                 let s: String = v.iter().map(|&b| if b { '1' } else { '0' }).collect();
                 println!("{s}");
@@ -120,8 +210,7 @@ fn run() -> Result<(), String> {
                     Ok(())
                 }
                 sft::bdd::CheckResult::Different { output, witness } => {
-                    let w: String =
-                        witness.iter().map(|&x| if x { '1' } else { '0' }).collect();
+                    let w: String = witness.iter().map(|&x| if x { '1' } else { '0' }).collect();
                     Err(format!("NOT equivalent: output {output} differs on input {w}"))
                 }
             }
@@ -132,12 +221,14 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "pdf" => {
-            let c = load(rest.first().ok_or("pdf needs an input file")?)?;
+            let files = positionals(rest);
+            let c = load(files.first().ok_or("pdf needs an input file")?)?;
             let cfg = PdfCampaignConfig {
                 max_pairs: opt(rest, "--pairs").and_then(|v| v.parse().ok()).unwrap_or(1 << 14),
                 ..PdfCampaignConfig::default()
             };
-            let r = pdf_campaign(&c, &cfg).map_err(|e| e.to_string())?;
+            let budget = budget_from(rest)?;
+            let r = pdf_campaign_with_budget(&c, &cfg, &budget).map_err(|e| e.to_string())?;
             println!(
                 "{}/{} robust path delay faults detected ({:.2}%) in {} pairs",
                 r.detected,
@@ -145,6 +236,7 @@ fn run() -> Result<(), String> {
                 r.coverage() * 100.0,
                 r.pairs_applied
             );
+            print_stop(r.stop_reason);
             Ok(())
         }
         "export" => {

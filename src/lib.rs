@@ -70,3 +70,7 @@ pub use sft_rambo as rambo;
 
 /// Benchmark circuit generators and the `irs*` substitute suite.
 pub use sft_circuits as circuits;
+
+/// The effort governor: budgets (deadline, steps), cancellation, and the
+/// workspace-wide [`StopReason`](sft_budget::StopReason) vocabulary.
+pub use sft_budget as budget;

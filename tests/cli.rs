@@ -56,10 +56,8 @@ fn resynth_then_equiv_round_trip() {
 fn equiv_detects_differences() {
     let a = write_bench("eq_a.bench", "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n");
     let b = write_bench("eq_b.bench", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
-    let out = sft()
-        .args(["equiv", a.to_str().unwrap(), b.to_str().unwrap()])
-        .output()
-        .expect("spawn");
+    let out =
+        sft().args(["equiv", a.to_str().unwrap(), b.to_str().unwrap()]).output().expect("spawn");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("NOT equivalent"));
 }
@@ -78,13 +76,81 @@ fn testgen_emits_vectors() {
 fn export_verilog_and_dot() {
     let input = write_bench("export.bench", DEMO);
     for (flag, needle) in [("--verilog", "module"), ("--dot", "digraph")] {
-        let out = sft()
-            .args(["export", input.to_str().unwrap(), flag])
-            .output()
-            .expect("spawn");
+        let out = sft().args(["export", input.to_str().unwrap(), flag]).output().expect("spawn");
         assert!(out.status.success(), "{flag}: {out:?}");
         assert!(String::from_utf8_lossy(&out.stdout).contains(needle), "{flag}");
     }
+}
+
+#[test]
+fn resynth_with_expired_time_limit_exits_zero_with_partial_result() {
+    let input = write_bench("budget_in.bench", DEMO);
+    let output = write_bench("budget_out.bench", "");
+    // Flags before the files: positional parsing must not eat "0s".
+    let out = sft()
+        .args(["resynth", "--time-limit", "0s", input.to_str().unwrap(), output.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("deadline"), "{text}");
+    assert!(text.contains("stopped early"), "{text}");
+    // The written result is a valid .bench, function-identical to the input.
+    let eq = sft()
+        .args(["equiv", input.to_str().unwrap(), output.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(eq.status.success(), "{eq:?}");
+    assert!(String::from_utf8_lossy(&eq.stdout).contains("equivalent"));
+}
+
+#[test]
+fn resynth_step_limit_reports_stop_reason() {
+    let input = write_bench("budget_steps_in.bench", DEMO);
+    let output = write_bench("budget_steps_out.bench", "");
+    let out = sft()
+        .args(["resynth", input.to_str().unwrap(), output.to_str().unwrap(), "--step-limit", "1"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("step-budget"), "{text}");
+    let eq = sft()
+        .args(["equiv", input.to_str().unwrap(), output.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(eq.status.success(), "{eq:?}");
+}
+
+#[test]
+fn resynth_rejects_bad_duration() {
+    let input = write_bench("bad_dur.bench", DEMO);
+    let output = write_bench("bad_dur_out.bench", "");
+    let out = sft()
+        .args([
+            "resynth",
+            input.to_str().unwrap(),
+            output.to_str().unwrap(),
+            "--time-limit",
+            "tomorrow",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad duration"));
+}
+
+#[test]
+fn testgen_with_step_limit_reports_partial_set() {
+    let input = write_bench("testgen_budget.bench", DEMO);
+    let out = sft()
+        .args(["testgen", input.to_str().unwrap(), "--step-limit", "0"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stopped early"), "{text}");
+    assert!(text.contains("untargeted"), "{text}");
 }
 
 #[test]
@@ -101,10 +167,8 @@ fn techmap_and_pdf_report() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("literals"));
 
-    let out = sft()
-        .args(["pdf", input.to_str().unwrap(), "--pairs", "512"])
-        .output()
-        .expect("spawn");
+    let out =
+        sft().args(["pdf", input.to_str().unwrap(), "--pairs", "512"]).output().expect("spawn");
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("robust path delay faults"));
 }

@@ -13,10 +13,8 @@ fn section2_f1_cover_choice() {
     let build = |cubes: &[[i8; 4]]| -> Circuit {
         let mut c = Circuit::new("f1");
         let x: Vec<_> = (1..=4).map(|i| c.add_input(format!("x{i}"))).collect();
-        let nx: Vec<_> = x
-            .iter()
-            .map(|&xi| c.add_gate(GateKind::Not, vec![xi]).expect("valid"))
-            .collect();
+        let nx: Vec<_> =
+            x.iter().map(|&xi| c.add_gate(GateKind::Not, vec![xi]).expect("valid")).collect();
         let mut terms = Vec::new();
         for cube in cubes {
             let fanins: Vec<_> = cube
@@ -95,12 +93,8 @@ fn table1_rows_exact() {
     // normalized out.
     let mut rows: Vec<(usize, TestTarget, Vec<Option<bool>>)> = Vec::new();
     for t in &tests {
-        let base: Vec<Option<bool>> = t
-            .v1
-            .iter()
-            .zip(&t.v2)
-            .map(|(&a, &b)| if a == b { Some(a) } else { None })
-            .collect();
+        let base: Vec<Option<bool>> =
+            t.v1.iter().zip(&t.v2).map(|(&a, &b)| if a == b { Some(a) } else { None }).collect();
         if !rows.iter().any(|(p, g, b)| *p == t.position && *g == t.target && *b == base) {
             rows.push((t.position, t.target, base));
         }
@@ -125,10 +119,10 @@ fn table1_rows_exact() {
 #[test]
 fn figure3_block_sizes() {
     let sizes = [
-        (3u64, 15u64, 3u64),  // >=3
-        (12, 15, 1),          // >=12: AND(x1, x2)
-        (0, 12, 3),           // <=12
-        (0, 3, 1),            // <=3: AND(!x1, !x2)
+        (3u64, 15u64, 3u64), // >=3
+        (12, 15, 1),         // >=12: AND(x1, x2)
+        (0, 12, 3),          // <=12
+        (0, 3, 1),           // <=3: AND(!x1, !x2)
     ];
     for (l, u, eq2) in sizes {
         let spec = ComparisonSpec::new(vec![0, 1, 2, 3], l, u).unwrap();

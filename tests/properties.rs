@@ -17,31 +17,28 @@ fn arb_circuit(inputs: usize, gates: usize) -> impl Strategy<Value = Circuit> {
         GateKind::Xor,
         GateKind::Not,
     ]);
-    proptest::collection::vec((kinds, any::<u16>(), any::<u16>()), gates).prop_map(
-        move |specs| {
-            let mut c = Circuit::new("arb");
-            let mut pool: Vec<NodeId> =
-                (0..inputs).map(|i| c.add_input(format!("i{i}"))).collect();
-            for (kind, xa, xb) in specs {
-                let a = pool[xa as usize % pool.len()];
-                let b = pool[xb as usize % pool.len()];
-                let g = if kind == GateKind::Not {
-                    c.add_gate(GateKind::Not, vec![a]).expect("valid")
-                } else if a == b {
-                    c.add_gate(GateKind::Buf, vec![a]).expect("valid")
-                } else {
-                    c.add_gate(kind, vec![a, b]).expect("valid")
-                };
-                pool.push(g);
-            }
-            let out = *pool.last().expect("nonempty");
-            c.add_output(out, "y");
-            if pool.len() > inputs + 2 {
-                c.add_output(pool[inputs + 1], "z");
-            }
-            c
-        },
-    )
+    proptest::collection::vec((kinds, any::<u16>(), any::<u16>()), gates).prop_map(move |specs| {
+        let mut c = Circuit::new("arb");
+        let mut pool: Vec<NodeId> = (0..inputs).map(|i| c.add_input(format!("i{i}"))).collect();
+        for (kind, xa, xb) in specs {
+            let a = pool[xa as usize % pool.len()];
+            let b = pool[xb as usize % pool.len()];
+            let g = if kind == GateKind::Not {
+                c.add_gate(GateKind::Not, vec![a]).expect("valid")
+            } else if a == b {
+                c.add_gate(GateKind::Buf, vec![a]).expect("valid")
+            } else {
+                c.add_gate(kind, vec![a, b]).expect("valid")
+            };
+            pool.push(g);
+        }
+        let out = *pool.last().expect("nonempty");
+        c.add_output(out, "y");
+        if pool.len() > inputs + 2 {
+            c.add_output(pool[inputs + 1], "z");
+        }
+        c
+    })
 }
 
 fn exhaustive_outputs(c: &Circuit) -> Vec<Vec<bool>> {

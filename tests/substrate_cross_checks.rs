@@ -4,9 +4,7 @@
 use sft::atpg::{generate_test, generate_test_set, TestResult, TestSetOptions};
 use sft::bdd::{circuit_bdds, Manager};
 use sft::circuits::builders;
-use sft::delay::{
-    enumerate_paths, robust_count_for_pair, robust_detection_masks, TwoPatternSim,
-};
+use sft::delay::{enumerate_paths, robust_count_for_pair, robust_detection_masks, TwoPatternSim};
 use sft::netlist::{Circuit, GateKind};
 use sft::sim::{campaign, fault_list, CampaignConfig};
 use sft::truth::TruthTable;
@@ -42,11 +40,7 @@ fn bdd_sat_count_agrees_with_truth_tables() {
         });
         // Input i maps to BDD variable i; the truth-table MSB convention
         // reverses bit order, which sat_count does not care about.
-        assert_eq!(
-            manager.sat_count(f, 6),
-            u128::from(table.on_count()),
-            "output {slot}"
-        );
+        assert_eq!(manager.sat_count(f, 6), u128::from(table.on_count()), "output {slot}");
     }
 }
 
@@ -72,8 +66,10 @@ fn nonenumerative_pdf_count_agrees_on_adder() {
     let paths = enumerate_paths(&c, 100_000).unwrap();
     let sim = TwoPatternSim::new(&c);
     let n = c.inputs().len();
-    let v1: Vec<u64> = (0..n as u64).map(|i| 0xa076_1d64_78bd_642fu64.wrapping_mul(i + 1)).collect();
-    let v2: Vec<u64> = (0..n as u64).map(|i| 0xe703_7ed1_a0b4_28dbu64.wrapping_mul(i + 5)).collect();
+    let v1: Vec<u64> =
+        (0..n as u64).map(|i| 0xa076_1d64_78bd_642fu64.wrapping_mul(i + 1)).collect();
+    let v2: Vec<u64> =
+        (0..n as u64).map(|i| 0xe703_7ed1_a0b4_28dbu64.wrapping_mul(i + 5)).collect();
     let waves = sim.simulate(&v1, &v2);
     let analysis = robust_detection_masks(&c, &waves);
     for bit in 0..64 {

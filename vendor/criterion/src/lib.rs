@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this vendored
+//! crate provides the small criterion surface the workspace's benches use:
+//! `Criterion`, `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input` and `Bencher::iter`. Timing is a
+//! simple adaptive loop reporting ns/iter to stdout — good enough to run the
+//! benches and compare orders of magnitude, with none of criterion's
+//! statistics or reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and a first estimate.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let probe = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (MEASURE_BUDGET.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.last_ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn run_bench(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { last_ns_per_iter: 0.0 };
+    f(&mut b);
+    let ns = b.last_ns_per_iter;
+    if ns >= 1e9 {
+        println!("{name:<40} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{name:<40} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<40} {:>12.3} us/iter", ns / 1e3);
+    } else {
+        println!("{name:<40} {:>12.0} ns/iter", ns);
+    }
+}
+
+/// Identifier combining a function name and a parameter, printed `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.id), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites work.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { last_ns_per_iter: 0.0 };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.last_ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("exact/hit", 5);
+        assert_eq!(id.id, "exact/hit/5");
+    }
+}

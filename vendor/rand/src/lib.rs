@@ -1,0 +1,280 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a from-scratch implementation of the tiny `rand` API surface it
+//! actually uses: seeded generators (`StdRng`, `SmallRng`), `Rng::gen`,
+//! `gen_range`, `gen_bool` and `gen_ratio`. The generator is xorshift64*
+//! seeded through SplitMix64 — deterministic per seed, statistically fine for
+//! test-vector generation and randomized property tests, and not intended for
+//! cryptography.
+
+pub mod rngs {
+    /// Deterministic 64-bit generator (xorshift64* seeded via SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    /// Same engine as [`StdRng`]; exists so `rand::rngs::SmallRng` imports work.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) state: u64,
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn seed_state(seed: u64) -> u64 {
+    let mut s = seed;
+    let state = splitmix64(&mut s);
+    // xorshift64* requires a non-zero state.
+    if state == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        state
+    }
+}
+
+fn xorshift64star(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Seeding constructors; only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng { state: seed_state(seed) }
+    }
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng { state: seed_state(seed) }
+    }
+}
+
+/// Types that can be produced uniformly at random by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn random(word: u64, extra: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn random(word: u64, _extra: u64) -> Self {
+                word as $t
+            }
+        })*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn random(word: u64, extra: u64) -> Self {
+        (u128::from(word) << 64) | u128::from(extra)
+    }
+}
+
+impl Standard for i128 {
+    fn random(word: u64, extra: u64) -> Self {
+        u128::random(word, extra) as i128
+    }
+}
+
+impl Standard for bool {
+    fn random(word: u64, _extra: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn random(word: u64, _extra: u64) -> Self {
+        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn random(word: u64, _extra: u64) -> Self {
+        (word >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait RangeSample: Copy + PartialOrd {
+    fn to_u128(self) -> u128;
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {
+        $(impl RangeSample for $t {
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        })*
+    };
+}
+
+impl_range_sample!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+/// Range argument for [`Rng::gen_range`]: `lo..hi` or `lo..=hi`.
+pub trait SampleRange<T> {
+    fn bounds(self) -> (T, T, bool);
+}
+
+impl<T: RangeSample> SampleRange<T> for core::ops::Range<T> {
+    fn bounds(self) -> (T, T, bool) {
+        (self.start, self.end, false)
+    }
+}
+
+impl<T: RangeSample> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T, bool) {
+        let (s, e) = self.into_inner();
+        (s, e, true)
+    }
+}
+
+/// The subset of `rand::Rng` this workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T {
+        let w = self.next_u64();
+        let e = self.next_u64();
+        T::random(w, e)
+    }
+
+    fn gen_range<T: RangeSample, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi, inclusive) = range.bounds();
+        let lo_u = lo.to_u128();
+        let hi_u = hi.to_u128();
+        let span = if inclusive {
+            hi_u.wrapping_sub(lo_u).wrapping_add(1)
+        } else {
+            assert!(hi_u > lo_u, "gen_range called with empty range");
+            hi_u - lo_u
+        };
+        if span == 0 {
+            // Inclusive range covering the whole domain.
+            let w = self.next_u64();
+            let e = self.next_u64();
+            return T::from_u128(u128::random(w, e));
+        }
+        // Modulo reduction: bias is negligible for the small spans used here.
+        let w = u128::from(self.next_u64()) << 64 | u128::from(self.next_u64());
+        T::from_u128(lo_u + w % span)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        let x: f64 = self.gen();
+        x < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be non-zero");
+        assert!(numerator <= denominator, "gen_ratio numerator > denominator");
+        self.gen_range(0..denominator) < numerator
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        xorshift64star(&mut self.state)
+    }
+}
+
+impl Rng for rngs::SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        xorshift64star(&mut self.state)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{rngs::SmallRng, rngs::StdRng, Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..17);
+            assert!(v < 17);
+            let w = rng.gen_range(1..8);
+            assert!((1..8).contains(&w));
+            let x: u64 = rng.gen_range(5..=5);
+            assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    fn gen_ratio_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..4000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((700..1300).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_u128_uses_two_words() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v: u128 = rng.gen();
+        assert_ne!(v >> 64, 0);
+    }
+}
