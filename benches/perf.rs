@@ -1,0 +1,194 @@
+//! Parallel-scaling benchmark harness.
+//!
+//! Runs the two parallel hot paths — Procedure-2 resynthesis (candidate
+//! scoring) and the random-pattern stuck-at campaign (pattern blocks) — on
+//! the bundled benchmark suite at 1 thread and at all cores, checks that
+//! both thread counts produce bit-identical results, and writes machine-
+//! readable reports to `BENCH_resynth.json` and `BENCH_sim.json` (wall
+//! time per thread count, speedup, gate counts, path counts, coverage).
+//!
+//! ```text
+//! cargo bench --bench perf             # full suite
+//! cargo bench --bench perf -- --quick  # 3-circuit smoke mode (CI)
+//! cargo bench --bench perf -- --jobs 8 # explicit parallel thread count
+//! ```
+//!
+//! The JSON is hand-rolled (the workspace vendors no serde); every row is
+//! flat key/value so downstream tooling can `jq` it directly.
+
+use sft::circuits::{suite, suite_small, SuiteEntry};
+use sft::core::{procedure2, ResynthOptions};
+use sft::netlist::Circuit;
+use sft::par::Jobs;
+use sft::sim::{campaign, fault_list, CampaignConfig, CampaignResult};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Config {
+    quick: bool,
+    jobs: Jobs,
+    patterns: u64,
+    out_dir: std::path::PathBuf,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let jobs = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(Jobs::all_cores);
+        Config {
+            quick,
+            jobs,
+            patterns: if quick { 1 << 12 } else { 1 << 16 },
+            out_dir: std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(Into::into)
+                .unwrap_or_else(|| ".".into()),
+        }
+    }
+
+    fn suite(&self) -> Vec<SuiteEntry> {
+        if self.quick {
+            suite_small()
+        } else {
+            suite()
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// One flat JSON object from `(key, rendered value)` pairs (values must
+/// already be valid JSON fragments — numbers, booleans, quoted strings).
+fn json_object(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{}\": {}", json_escape(k), v);
+    }
+    out.push('}');
+    out
+}
+
+fn json_report(meta: &[(&str, String)], rows: &[String]) -> String {
+    let mut out = String::from("{\n");
+    for (k, v) in meta {
+        let _ = writeln!(out, "  \"{}\": {},", json_escape(k), v);
+    }
+    out.push_str("  \"circuits\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(out, "    {row}{sep}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn resynth_row(entry: &SuiteEntry, cfg: &Config) -> String {
+    let opts = |jobs: Jobs| ResynthOptions {
+        max_candidates_per_gate: if cfg.quick { 60 } else { 150 },
+        jobs,
+        ..ResynthOptions::default()
+    };
+    let run = |jobs: Jobs| {
+        let mut c = entry.circuit.clone();
+        let (report, secs) = time(|| procedure2(&mut c, &opts(jobs)).expect("resynth verifies"));
+        (c, report, secs)
+    };
+    let (serial_c, report, serial_secs) = run(Jobs::serial());
+    let (par_c, _, par_secs) = run(cfg.jobs);
+    assert_eq!(serial_c, par_c, "{}: resynthesis must be thread-count invariant", entry.name);
+    json_object(&[
+        ("name", format!("\"{}\"", json_escape(entry.name))),
+        ("gates_before", report.gates_before.to_string()),
+        ("gates_after", report.gates_after.to_string()),
+        ("paths_before", report.paths_before.to_string()),
+        ("paths_after", report.paths_after.to_string()),
+        ("replacements", report.replacements.to_string()),
+        ("secs_1_thread", format!("{serial_secs:.4}")),
+        ("secs_n_threads", format!("{par_secs:.4}")),
+        ("speedup", format!("{:.3}", serial_secs / par_secs.max(1e-9))),
+    ])
+}
+
+fn sim_row(entry: &SuiteEntry, cfg: &Config) -> String {
+    let faults = fault_list(&entry.circuit);
+    let campaign_cfg =
+        |jobs: Jobs| CampaignConfig { max_patterns: cfg.patterns, plateau: 0, seed: 0x5f7, jobs };
+    let run = |jobs: Jobs| -> (CampaignResult, f64) {
+        time(|| campaign(&entry.circuit, &faults, &campaign_cfg(jobs)))
+    };
+    let (serial_r, serial_secs) = run(Jobs::serial());
+    let (par_r, par_secs) = run(cfg.jobs);
+    assert_eq!(serial_r, par_r, "{}: campaign must be thread-count invariant", entry.name);
+    let c: &Circuit = &entry.circuit;
+    json_object(&[
+        ("name", format!("\"{}\"", json_escape(entry.name))),
+        ("gates", c.two_input_gate_count().to_string()),
+        ("paths", c.path_count().to_string()),
+        ("faults", serial_r.total_faults.to_string()),
+        ("detected", serial_r.detected.to_string()),
+        ("coverage", format!("{:.4}", serial_r.coverage())),
+        ("patterns_applied", serial_r.patterns_applied.to_string()),
+        ("secs_1_thread", format!("{serial_secs:.4}")),
+        ("secs_n_threads", format!("{par_secs:.4}")),
+        ("speedup", format!("{:.3}", serial_secs / par_secs.max(1e-9))),
+    ])
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let entries = cfg.suite();
+    let meta = |kind: &str| {
+        vec![
+            ("benchmark", format!("\"{kind}\"")),
+            ("threads", cfg.jobs.get().to_string()),
+            ("quick", cfg.quick.to_string()),
+        ]
+    };
+
+    eprintln!(
+        "perf: {} circuits, 1 vs {} thread(s), {} patterns{}",
+        entries.len(),
+        cfg.jobs,
+        cfg.patterns,
+        if cfg.quick { " (quick)" } else { "" }
+    );
+
+    let resynth_rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            eprintln!("  resynth {}", e.name);
+            resynth_row(e, &cfg)
+        })
+        .collect();
+    let resynth_path = cfg.out_dir.join("BENCH_resynth.json");
+    std::fs::write(&resynth_path, json_report(&meta("resynth"), &resynth_rows))
+        .expect("write BENCH_resynth.json");
+    eprintln!("wrote {}", resynth_path.display());
+
+    let sim_rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            eprintln!("  campaign {}", e.name);
+            sim_row(e, &cfg)
+        })
+        .collect();
+    let sim_path = cfg.out_dir.join("BENCH_sim.json");
+    std::fs::write(&sim_path, json_report(&meta("sim"), &sim_rows)).expect("write BENCH_sim.json");
+    eprintln!("wrote {}", sim_path.display());
+}

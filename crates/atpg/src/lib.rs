@@ -4,9 +4,9 @@
 //!
 //! 1. the benchmark circuits are **irredundant** to begin with (obtained in
 //!    the paper with the redundancy-removal procedure of Kajihara et al.
-//!    [15]), and
+//!    \[15\]), and
 //! 2. Procedure 2 can introduce redundant stuck-at faults, which the paper
-//!    removes by running [15] again after resynthesis.
+//!    removes by running \[15\] again after resynthesis.
 //!
 //! This crate provides both: [`generate_test`] is a PODEM implementation
 //! over the 5-valued D-algebra with an explicit backtrack limit, and

@@ -1,4 +1,4 @@
-//! Redundancy identification and removal (the role of [15] in the paper).
+//! Redundancy identification and removal (the role of \[15\] in the paper).
 //!
 //! A stuck-at fault proven untestable means the faulty and fault-free
 //! circuits are equivalent, so the faulty value can be wired in

@@ -98,7 +98,13 @@ fn bench_fault_sim(c: &mut Criterion) {
 fn bench_robust_pdf(c: &mut Criterion) {
     let circuit = builders::comparator(10);
     let paths = enumerate_paths(&circuit, 1 << 22).expect("enumerable");
-    let cfg = PdfCampaignConfig { max_pairs: 64, plateau: 0, seed: 3, path_limit: 1 << 22 };
+    let cfg = PdfCampaignConfig {
+        max_pairs: 64,
+        plateau: 0,
+        seed: 3,
+        path_limit: 1 << 22,
+        ..Default::default()
+    };
     c.bench_function("robust_pdf/cmp10_block", |b| {
         b.iter(|| black_box(pdf_campaign_on(&circuit, &paths, &cfg)));
     });

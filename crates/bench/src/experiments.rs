@@ -5,6 +5,7 @@ use sft_circuits::{suite, suite_small, SuiteEntry};
 use sft_core::{procedure2, procedure3, ResynthOptions};
 use sft_delay::{pdf_campaign, PdfCampaignConfig};
 use sft_netlist::{Circuit, PathCount};
+use sft_par::Jobs;
 use sft_rambo::{optimize, RamboOptions};
 use sft_sim::{campaign, fault_list, CampaignConfig};
 use sft_techmap::{map_circuit, Library};
@@ -29,6 +30,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Use the 3-circuit quick suite instead of the full 8-circuit suite.
     pub quick: bool,
+    /// Worker threads for the parallel engines (resynthesis candidate
+    /// scoring, campaign pattern blocks). Results are bit-identical at any
+    /// value.
+    pub jobs: Jobs,
 }
 
 impl Default for ExperimentConfig {
@@ -42,6 +47,7 @@ impl Default for ExperimentConfig {
             path_limit: 1 << 21,
             seed: 0x5f7,
             quick: false,
+            jobs: Jobs::serial(),
         }
     }
 }
@@ -54,6 +60,11 @@ impl ExperimentConfig {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => cfg.quick = true,
+                "--jobs" => {
+                    if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
+                        cfg.jobs = v;
+                    }
+                }
                 "--patterns" => {
                     if let Some(v) = args.next().and_then(|s| s.parse().ok()) {
                         cfg.stuck_at_patterns = v;
@@ -88,6 +99,7 @@ impl ExperimentConfig {
         ResynthOptions {
             max_inputs: k,
             max_candidates_per_gate: self.max_candidates,
+            jobs: self.jobs,
             ..ResynthOptions::default()
         }
     }
@@ -313,6 +325,7 @@ pub fn table6_rows(cfg: &ExperimentConfig) -> Vec<Table6Row> {
                         max_patterns: cfg.stuck_at_patterns,
                         plateau: 0,
                         seed: cfg.seed,
+                        jobs: cfg.jobs,
                     },
                 );
                 (r.total_faults, r.remaining(), r.last_effective_pattern)
@@ -353,6 +366,7 @@ pub fn table7_rows(cfg: &ExperimentConfig) -> Vec<Table7Row> {
         plateau: cfg.pdf_plateau,
         seed: cfg.seed,
         path_limit: cfg.path_limit,
+        jobs: cfg.jobs,
     };
     let run = |c: &Circuit| {
         let r = pdf_campaign(c, &pdf_cfg).expect("path count within limit");

@@ -11,6 +11,22 @@
 //! All before/after comparisons use **equal seeds and budgets**, which is
 //! what makes the paper's claims (unchanged stuck-at testability, improved
 //! robust PDF coverage) budget-independent.
+//!
+//! # Examples
+//!
+//! Experiment drivers parse their budget and parallelism knobs from CLI
+//! arguments; `--jobs` feeds every parallel engine:
+//!
+//! ```
+//! use sft_bench::ExperimentConfig;
+//!
+//! let args = ["--quick", "--patterns", "4096", "--jobs", "4", "--seed", "7"];
+//! let cfg = ExperimentConfig::from_args(args.iter().map(|s| s.to_string()));
+//! assert!(cfg.quick);
+//! assert_eq!(cfg.stuck_at_patterns, 4096);
+//! assert_eq!(cfg.jobs.get(), 4);
+//! assert_eq!(cfg.seed, 7);
+//! ```
 
 pub mod experiments;
 pub mod format;

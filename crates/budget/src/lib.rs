@@ -36,6 +36,8 @@
 //! assert_eq!(budget.consume(1), Err(Exhausted::StepBudget));
 //! ```
 
+#![warn(missing_docs)]
+
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

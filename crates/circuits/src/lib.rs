@@ -10,10 +10,10 @@
 //!   trees, ALU slices and array multipliers;
 //! - [`random`] — a seeded random reconvergent-DAG generator with tunable
 //!   size and shape;
-//! - [`suite`] — the substitute benchmark suite used by every table
+//! - [`mod@suite`] — the substitute benchmark suite used by every table
 //!   experiment: a fixed set of seeded circuits, each made **irredundant**
 //!   with the workspace's own redundancy-removal pass, mirroring the
-//!   paper's preparation of its benchmarks with the procedure of [15].
+//!   paper's preparation of its benchmarks with the procedure of \[15\].
 //!
 //! # Examples
 //!

@@ -3,7 +3,7 @@
 //! The paper evaluates on irredundant, fully-scanned ISCAS89 circuits with
 //! more than 10,000 paths. This suite substitutes deterministic, seeded
 //! circuits with the same *preparation*: every entry is passed through the
-//! workspace's redundancy-removal procedure (the role of [15] in the
+//! workspace's redundancy-removal procedure (the role of \[15\] in the
 //! paper) so the starting points are irredundant, and entries span
 //! structural arithmetic (adders, comparators, multipliers, multiplexers)
 //! and random reconvergent logic with path counts from thousands to

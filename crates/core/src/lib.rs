@@ -16,7 +16,7 @@
 //!   (the paper's capped permutation search *and* an exact recursive
 //!   decomposition; both also handle the complemented case used in the
 //!   paper's experiments, and optionally satisfiability don't-cares);
-//! - [`unit`] — constructing comparison units (Figures 1–5: `>=L`/`<=U`
+//! - [`mod@unit`] — constructing comparison units (Figures 1–5: `>=L`/`<=U`
 //!   blocks, free variables, trivial-bound omission, same-kind gate
 //!   merging) and costing them;
 //! - [`testability`] — the constructive robust two-pattern test set of
@@ -42,6 +42,8 @@
 //! assert!(!spec.complemented);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod cover;
 mod identify;

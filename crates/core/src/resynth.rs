@@ -39,6 +39,7 @@ use crate::{
 };
 use sft_budget::{Budget, Exhausted, StopReason};
 use sft_netlist::{simplify, two_input_cost, Circuit, GateKind, NodeId, PathCount};
+use sft_par::{parallel_map, Jobs};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -95,6 +96,15 @@ pub struct ResynthOptions {
     /// no equivalent 2-input gates and add no paths). A strict
     /// generalization of Definition 1; off by default to match the paper.
     pub allow_input_negation: bool,
+    /// Worker threads scoring candidate cones concurrently. Scoring is
+    /// read-only, results are merged in enumeration order, and all circuit
+    /// edits stay on the calling thread, so the resynthesized circuit is
+    /// identical at any value when the budget is unlimited; under a step
+    /// budget, workers may overshoot the step limit by up to `jobs - 1`
+    /// in-flight scoring steps. Ignored (treated as serial) while
+    /// `use_satisfiability_dont_cares` is on, since SDC extraction shares
+    /// one mutable BDD manager.
+    pub jobs: Jobs,
 }
 
 impl Default for ResynthOptions {
@@ -110,6 +120,7 @@ impl Default for ResynthOptions {
             use_satisfiability_dont_cares: false,
             max_cover_units: 1,
             allow_input_negation: false,
+            jobs: Jobs::serial(),
         }
     }
 }
@@ -443,66 +454,39 @@ fn one_pass(
         let fanout_counts = circuit.fanout_counts();
         let fanout_table = circuit.fanout_table();
         let candidates = enumerate_candidates(circuit, g, options);
-        let mut best: Option<Candidate> = None;
-        for (gates, inputs) in candidates {
-            // Scoring one candidate is the pass's unit of work.
-            budget.consume(1)?;
-            let Ok(truth) = circuit.cone_function(g, &inputs) else { continue };
-            let spec = match &mut dc_state {
-                Some((manager, per_node)) => {
-                    match reachable_dc(manager, per_node, circuit, &inputs) {
-                        Ok(Some(dc)) => identify_with_dc(&truth, &dc, &options.identify),
-                        _ => identify(&truth, &options.identify),
-                    }
-                }
-                None => identify(&truth, &options.identify),
-            };
-            let (replacement, cost) = match spec {
-                Some(spec) => {
-                    let Ok(cost) = unit_cost(&spec) else { continue };
-                    (Replacement::Unit(spec), cost)
-                }
-                None => {
-                    let negated = options
-                        .allow_input_negation
-                        .then(|| identify_with_polarities(&truth, &options.identify))
-                        .flatten();
-                    if let Some((spec, negate)) = negated {
-                        // Inverters on unit inputs change neither the eq-2
-                        // count nor the per-input path counts.
-                        let Ok(mut cost) = unit_cost(&spec) else { continue };
-                        cost.depth += 1;
-                        (Replacement::NegatedUnit(spec, negate), cost)
-                    } else if options.max_cover_units > 1 {
-                        let cover = comparison_cover(&truth, &options.identify);
-                        if cover.is_empty() || cover.len() > options.max_cover_units {
-                            continue;
-                        }
-                        let Ok(cost) = cover_cost(&cover) else { continue };
-                        (Replacement::Cover(cover), cost)
-                    } else {
-                        continue;
-                    }
-                }
-            };
-            // Old gate cost: g itself plus the cone gates that would die.
-            let removable = removable_gates(g, &gates, &output_mask, &fanout_counts, &fanout_table);
-            let old_cost: u64 = removable
+        let ctx = ScoreCtx {
+            g,
+            labels: &labels,
+            output_mask: &output_mask,
+            fanout_counts: &fanout_counts,
+            fanout_table: &fanout_table,
+        };
+        // Scoring is read-only on the circuit, so candidates fan out to
+        // worker threads; the SDC path shares one mutable BDD manager and
+        // stays sequential. Merging in enumeration order keeps the chosen
+        // candidate identical at any thread count.
+        let scored: Vec<Result<Option<Candidate>, Exhausted>> = match &mut dc_state {
+            Some(dc) => candidates
                 .iter()
-                .map(|&x| {
-                    let n = circuit.node(x);
-                    two_input_cost(n.kind(), n.fanins().len())
+                .map(|(gates, inputs)| {
+                    score_candidate(circuit, options, budget, &ctx, Some(dc), gates, inputs)
                 })
-                .sum();
-            let gate_reduction = old_cost as i64 - cost.two_input_gates as i64;
-            let input_labels: Vec<u128> = inputs.iter().map(|i| labels[i.index()]).collect();
-            let new_paths_at_g = cost.paths_with_labels(&input_labels);
-            let candidate =
-                Candidate { gates, inputs, replacement, gate_reduction, new_paths_at_g };
-            best = Some(match best {
-                None => candidate,
-                Some(b) => pick_better(b, candidate, options.objective),
-            });
+                .collect(),
+            None => {
+                let circuit: &Circuit = circuit;
+                parallel_map(options.jobs, &candidates, |_, (gates, inputs)| {
+                    score_candidate(circuit, options, budget, &ctx, None, gates, inputs)
+                })
+            }
+        };
+        let mut best: Option<Candidate> = None;
+        for s in scored {
+            if let Some(candidate) = s? {
+                best = Some(match best {
+                    None => candidate,
+                    Some(b) => pick_better(b, candidate, options.objective),
+                });
+            }
         }
         let old_paths_at_g = labels[g.index()];
         let accept = best.as_ref().is_some_and(|b| match options.objective {
@@ -679,6 +663,94 @@ fn enumerate_candidates(
 /// (other than `g`) all of whose consumers are `g` or other dying gates,
 /// and which drive no primary output. `g` itself is always included (its
 /// old gate is replaced).
+/// Per-gate read-only context shared by every candidate scoring of one
+/// replacement site (and by all scoring workers).
+struct ScoreCtx<'a> {
+    g: NodeId,
+    labels: &'a [u128],
+    output_mask: &'a [bool],
+    fanout_counts: &'a [u32],
+    fanout_table: &'a [Vec<(NodeId, usize)>],
+}
+
+/// Scores one candidate cone at `ctx.g`: extracts the cone function,
+/// identifies a comparison replacement (a unit, a negated-input unit, or a
+/// cover), and computes the gate/path deltas. Returns `Ok(None)` when the
+/// cone has no admissible replacement.
+///
+/// Read-only on the circuit — safe to call from worker threads. Consumes
+/// one budget step (the pass's unit of work) before doing anything
+/// expensive, so once the budget is exhausted all pending scorings return
+/// immediately; concurrent workers can overshoot the step limit by at most
+/// the number of in-flight calls.
+fn score_candidate(
+    circuit: &Circuit,
+    options: &ResynthOptions,
+    budget: &Budget,
+    ctx: &ScoreCtx<'_>,
+    dc: Option<&mut (sft_bdd::Manager, Vec<sft_bdd::BddRef>)>,
+    gates: &[NodeId],
+    inputs: &[NodeId],
+) -> Result<Option<Candidate>, Exhausted> {
+    budget.consume(1)?;
+    let Ok(truth) = circuit.cone_function(ctx.g, inputs) else { return Ok(None) };
+    let spec = match dc {
+        Some((manager, per_node)) => match reachable_dc(manager, per_node, circuit, inputs) {
+            Ok(Some(dc)) => identify_with_dc(&truth, &dc, &options.identify),
+            _ => identify(&truth, &options.identify),
+        },
+        None => identify(&truth, &options.identify),
+    };
+    let (replacement, cost) = match spec {
+        Some(spec) => {
+            let Ok(cost) = unit_cost(&spec) else { return Ok(None) };
+            (Replacement::Unit(spec), cost)
+        }
+        None => {
+            let negated = options
+                .allow_input_negation
+                .then(|| identify_with_polarities(&truth, &options.identify))
+                .flatten();
+            if let Some((spec, negate)) = negated {
+                // Inverters on unit inputs change neither the eq-2 count
+                // nor the per-input path counts.
+                let Ok(mut cost) = unit_cost(&spec) else { return Ok(None) };
+                cost.depth += 1;
+                (Replacement::NegatedUnit(spec, negate), cost)
+            } else if options.max_cover_units > 1 {
+                let cover = comparison_cover(&truth, &options.identify);
+                if cover.is_empty() || cover.len() > options.max_cover_units {
+                    return Ok(None);
+                }
+                let Ok(cost) = cover_cost(&cover) else { return Ok(None) };
+                (Replacement::Cover(cover), cost)
+            } else {
+                return Ok(None);
+            }
+        }
+    };
+    // Old gate cost: g itself plus the cone gates that would die.
+    let removable =
+        removable_gates(ctx.g, gates, ctx.output_mask, ctx.fanout_counts, ctx.fanout_table);
+    let old_cost: u64 = removable
+        .iter()
+        .map(|&x| {
+            let n = circuit.node(x);
+            two_input_cost(n.kind(), n.fanins().len())
+        })
+        .sum();
+    let gate_reduction = old_cost as i64 - cost.two_input_gates as i64;
+    let input_labels: Vec<u128> = inputs.iter().map(|i| ctx.labels[i.index()]).collect();
+    let new_paths_at_g = cost.paths_with_labels(&input_labels);
+    Ok(Some(Candidate {
+        gates: gates.to_vec(),
+        inputs: inputs.to_vec(),
+        replacement,
+        gate_reduction,
+        new_paths_at_g,
+    }))
+}
+
 fn removable_gates(
     g: NodeId,
     cone: &[NodeId],

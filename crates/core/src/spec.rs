@@ -7,7 +7,7 @@ pub enum SpecError {
     /// The permutation is not a bijection on `0..n`.
     BadPermutation,
     /// `lower > upper` (an empty interval must use
-    /// [`ComparisonSpec::constant`] instead).
+    /// `ComparisonSpec::constant` instead).
     EmptyInterval,
     /// A bound does not fit in `n` bits.
     BoundOutOfRange,

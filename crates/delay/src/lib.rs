@@ -38,8 +38,8 @@ mod transition;
 mod twopattern;
 
 pub use campaign::{
-    pdf_campaign, pdf_campaign_on, pdf_campaign_on_with_budget, pdf_campaign_with_budget,
-    PdfCampaignConfig, PdfCampaignResult,
+    pair_block, pdf_campaign, pdf_campaign_on, pdf_campaign_on_with_budget,
+    pdf_campaign_with_budget, PdfCampaignConfig, PdfCampaignResult,
 };
 pub use nonenumerative::robust_count_for_pair;
 pub use paths::{enumerate_paths, Path, PathEnumError, PathSet};

@@ -1,4 +1,4 @@
-//! Non-enumerative robust path counting (the method of [8] the paper
+//! Non-enumerative robust path counting (the method of \[8\] the paper
 //! builds on — Pomeranz & Reddy, ICCAD 1992).
 //!
 //! For a single two-pattern pair, the number of path delay faults the pair
@@ -14,7 +14,7 @@
 //! circuit size per pattern pair.
 //!
 //! Per-pair counts cannot simply be summed across pairs (a fault detected
-//! twice would be double-counted — the limitation [8] engineers around);
+//! twice would be double-counted — the limitation \[8\] engineers around);
 //! use [`crate::pdf_campaign`] when an exact cumulative count over an
 //! enumerable path set is needed.
 

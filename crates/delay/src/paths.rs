@@ -117,7 +117,7 @@ impl<'a> IntoIterator for &'a PathSet {
 /// The number of paths is first computed exactly with Procedure 1; if it
 /// exceeds `limit` (or `usize::MAX`), no enumeration is attempted and
 /// [`PathEnumError::TooManyPaths`] is returned — this mirrors the paper's
-/// observation that enumerative methods stop scaling ([8]) and keeps memory
+/// observation that enumerative methods stop scaling (\[8\]) and keeps memory
 /// bounded.
 ///
 /// Paths through constants do not exist (constants have no input paths);

@@ -5,7 +5,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetlistError {
     /// A gate was given the wrong number of fanins for its kind.
-    Arity { kind: &'static str, got: usize },
+    Arity {
+        /// The gate kind's display name.
+        kind: &'static str,
+        /// The number of fanins actually supplied.
+        got: usize,
+    },
     /// A referenced node id does not exist in the circuit.
     NodeOutOfRange(NodeId),
     /// An edit would have created a combinational cycle through this node.
@@ -16,7 +21,12 @@ pub enum NetlistError {
     /// input.
     NotAGate(NodeId),
     /// `.bench` parse failure with 1-based line number.
-    Parse { line: usize, message: String },
+    Parse {
+        /// 1-based line number of the offending `.bench` line.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
     /// A cone truth-table extraction failed (too many inputs, or the target
     /// depends on lines outside the given input cut).
     Cone(String),

@@ -33,6 +33,8 @@
 //! # Ok::<(), sft_netlist::NetlistError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bench_format;
 mod circuit;
 mod cone;

@@ -1,5 +1,5 @@
 //! A redundancy-addition-and-removal (RAR) multi-level optimizer — the
-//! RAMBO_C-style baseline of Table 3 ([1], Cheng & Entrena, "Multi-Level
+//! RAMBO_C-style baseline of Table 3 (ref. \[1\], Cheng & Entrena, "Multi-Level
 //! Logic Optimization by Redundancy Addition and Removal").
 //!
 //! The mechanism: adding a connection that is provably **redundant** (its

@@ -1,9 +1,20 @@
 //! Random-pattern testability campaigns (the Table 6 experiment).
+//!
+//! Campaigns are **thread-parallel and bit-deterministic**: the pattern
+//! words of block `b` are a pure function of `(seed, b)` (counter-based
+//! stream derivation, [`pattern_block`]), blocks are simulated in chunks
+//! of [`CampaignConfig::jobs`] concurrent workers, and worker results are
+//! merged strictly in block order. The merged result is therefore
+//! bit-identical at any thread count — `jobs: Jobs::serial()` additionally
+//! runs everything inline with zero spawned threads.
 
+use crate::fsim::FaultSimTables;
 use crate::{Fault, FaultSim};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sft_netlist::Circuit;
+use sft_par::{derive_seed, parallel_map, Jobs};
+use std::sync::Arc;
 
 /// Configuration of a random-pattern campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,11 +27,15 @@ pub struct CampaignConfig {
     /// RNG seed; equal seeds give identical pattern sequences, which is how
     /// the before/after comparisons of Tables 6 and 7 are made fair.
     pub seed: u64,
+    /// Worker threads simulating pattern blocks concurrently. Results are
+    /// bit-identical at any value; [`Jobs::serial`] (the default) spawns no
+    /// threads at all.
+    pub jobs: Jobs,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { max_patterns: 1 << 16, plateau: 0, seed: 0x5f7 }
+        CampaignConfig { max_patterns: 1 << 16, plateau: 0, seed: 0x5f7, jobs: Jobs::serial() }
     }
 }
 
@@ -76,64 +91,119 @@ impl CampaignResult {
     }
 }
 
+/// The 64 input patterns of pattern block `block`, as one word per primary
+/// input, derived purely from `(seed, block)`.
+///
+/// Every engine that applies seeded random pattern blocks (the stuck-at
+/// campaign here, the random phase of test-set generation) derives block
+/// words through this function, so any worker — on any thread, in any
+/// order — regenerates exactly the block the single-threaded loop would
+/// have drawn.
+pub fn pattern_block(seed: u64, block: u64, num_inputs: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, block));
+    (0..num_inputs).map(|_| rng.gen()).collect()
+}
+
 /// Runs a random-pattern stuck-at campaign over `faults` on `circuit`.
 ///
-/// Patterns are drawn from a seeded RNG in blocks of 64; per-fault first
-/// detection indices are exact (bit-accurate within each block). Detected
-/// faults are dropped from subsequent blocks, so the cost per block shrinks
-/// as coverage saturates.
+/// Patterns are drawn from seeded per-block RNG streams in blocks of 64;
+/// per-fault first detection indices are exact (bit-accurate within each
+/// block). Detected faults are dropped from subsequent blocks, so the cost
+/// per block shrinks as coverage saturates.
+///
+/// With `config.jobs > 1`, up to `jobs` blocks are simulated concurrently
+/// (each worker owns a [`FaultSim`] sharing precomputed
+/// [`FaultSimTables`]) and merged in block order; the result — including
+/// every detection index, the effective-pattern statistic and the
+/// plateau-rule stopping point — is **bit-identical** to the serial run.
+/// The only cost of parallelism is that blocks simulated concurrently with
+/// the block that triggers a stop are discarded (bounded by `jobs - 1`
+/// blocks of wasted work).
 ///
 /// # Panics
 ///
 /// Panics if the circuit is cyclic.
 pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) -> CampaignResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut fsim = FaultSim::new(circuit);
     let num_inputs = circuit.inputs().len();
+    let tables = Arc::new(FaultSimTables::new(circuit));
+    // The serial path keeps one simulator alive across all blocks; parallel
+    // workers build one per block from the shared tables.
+    let mut serial_fsim =
+        config.jobs.is_serial().then(|| FaultSim::with_tables(circuit, Arc::clone(&tables)));
 
     let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
-    // Indices of still-undetected faults; compacted as faults fall.
+    // Global indices of still-undetected faults; compacted as faults fall.
     let mut alive: Vec<u32> = (0..faults.len() as u32).collect();
     let mut alive_faults: Vec<Fault> = faults.to_vec();
     let mut last_effective: Option<u64> = None;
     let mut applied: u64 = 0;
-    let mut words = vec![0u64; num_inputs];
+    let mut block_index: u64 = 0;
+    let mut stopped = false;
 
-    while applied < config.max_patterns && !alive.is_empty() {
-        let block = (config.max_patterns - applied).min(64);
-        for w in words.iter_mut() {
-            *w = rng.gen::<u64>();
-        }
-        // Mask off unused tail patterns to keep determinism irrelevant:
-        // detection bits >= block are ignored below.
-        let det = fsim.detect_block(&alive_faults, &words);
-        let mut keep_idx = Vec::with_capacity(alive.len());
-        let mut keep_faults = Vec::with_capacity(alive.len());
-        for (slot, first_bit) in det.into_iter().enumerate() {
-            match first_bit {
-                Some(bit) if (bit as u64) < block => {
-                    let pattern = applied + bit as u64;
-                    detection[alive[slot] as usize] = Some(pattern);
+    while !stopped && applied < config.max_patterns && !alive.is_empty() {
+        // One chunk: up to `jobs` consecutive blocks over the same alive
+        // set. (offset, size) describe each block's pattern range.
+        let blocks_left = (config.max_patterns - applied).div_ceil(64);
+        let chunk = (config.jobs.get() as u64).min(blocks_left);
+        let blocks: Vec<(u64, u64, u64)> = (0..chunk)
+            .map(|i| {
+                let offset = applied + i * 64;
+                (block_index + i, offset, (config.max_patterns - offset).min(64))
+            })
+            .collect();
+        let masks_per_block: Vec<Vec<u64>> = match &mut serial_fsim {
+            Some(fsim) => blocks
+                .iter()
+                .map(|&(b, _, _)| {
+                    fsim.detect_masks(&alive_faults, &pattern_block(config.seed, b, num_inputs))
+                })
+                .collect(),
+            None => parallel_map(config.jobs, &blocks, |_, &(b, _, _)| {
+                let mut fsim = FaultSim::with_tables(circuit, Arc::clone(&tables));
+                fsim.detect_masks(&alive_faults, &pattern_block(config.seed, b, num_inputs))
+            }),
+        };
+        // Merge strictly in block order. Faults detected by an earlier
+        // block of this chunk are skipped in later blocks (their slot in
+        // `detection` is already set), reproducing the serial drop order.
+        for (&(_, offset, size), masks) in blocks.iter().zip(&masks_per_block) {
+            for (slot, &mask) in masks.iter().enumerate() {
+                let fault_idx = alive[slot] as usize;
+                if detection[fault_idx].is_some() {
+                    continue;
+                }
+                let mask = if size < 64 { mask & ((1u64 << size) - 1) } else { mask };
+                if mask != 0 {
+                    let pattern = offset + u64::from(mask.trailing_zeros());
+                    detection[fault_idx] = Some(pattern);
                     last_effective = Some(last_effective.map_or(pattern, |l| l.max(pattern)));
                 }
-                _ => {
-                    keep_idx.push(alive[slot]);
-                    keep_faults.push(alive_faults[slot]);
-                }
+            }
+            applied = offset + size;
+            block_index += 1;
+            let all_dead = detection.iter().all(Option::is_some);
+            let plateaued = config.plateau > 0
+                && match last_effective {
+                    Some(last) => applied.saturating_sub(last) > config.plateau,
+                    None => applied > config.plateau,
+                };
+            if all_dead || plateaued {
+                // Blocks simulated concurrently past this one are
+                // discarded, exactly as the serial loop never runs them.
+                stopped = true;
+                break;
+            }
+        }
+        let mut keep_idx = Vec::with_capacity(alive.len());
+        let mut keep_faults = Vec::with_capacity(alive.len());
+        for (slot, &fault_idx) in alive.iter().enumerate() {
+            if detection[fault_idx as usize].is_none() {
+                keep_idx.push(fault_idx);
+                keep_faults.push(alive_faults[slot]);
             }
         }
         alive = keep_idx;
         alive_faults = keep_faults;
-        applied += block;
-        if config.plateau > 0 {
-            if let Some(last) = last_effective {
-                if applied.saturating_sub(last) > config.plateau {
-                    break;
-                }
-            } else if applied > config.plateau {
-                break;
-            }
-        }
     }
 
     let detected = detection.iter().filter(|d| d.is_some()).count();
@@ -157,11 +227,15 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
 10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
 22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
 
+    fn cfg(max_patterns: u64, plateau: u64, seed: u64) -> CampaignConfig {
+        CampaignConfig { max_patterns, plateau, seed, ..CampaignConfig::default() }
+    }
+
     #[test]
     fn c17_reaches_full_coverage() {
         let c = parse(C17, "c17").unwrap();
         let faults = fault_list(&c);
-        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 1 });
+        let r = campaign(&c, &faults, &cfg(4096, 0, 1));
         assert_eq!(r.remaining(), 0, "c17 is fully random-pattern testable");
         assert!(r.coverage() > 0.999);
         assert!(r.last_effective_pattern.is_some());
@@ -171,10 +245,39 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     fn same_seed_same_result() {
         let c = parse(C17, "c17").unwrap();
         let faults = fault_list(&c);
-        let cfg = CampaignConfig { max_patterns: 512, plateau: 0, seed: 42 };
-        let a = campaign(&c, &faults, &cfg);
-        let b = campaign(&c, &faults, &cfg);
+        let a = campaign(&c, &faults, &cfg(512, 0, 42));
+        let b = campaign(&c, &faults, &cfg(512, 0, 42));
         assert_eq!(a, b);
+    }
+
+    /// The determinism regression the `--jobs` contract promises: any
+    /// thread count produces the bit-identical campaign result — same
+    /// detection indices, same effective-pattern statistic, same
+    /// plateau-rule stopping point.
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // A circuit large enough that blocks matter, with redundant faults
+        // so the alive list never empties, plus plateau configurations so
+        // the early-stop arithmetic is exercised.
+        let c = sft_circuits::random::random_circuit(&sft_circuits::random::RandomCircuitConfig {
+            inputs: 10,
+            outputs: 5,
+            gates: 60,
+            window: 16,
+            seed: 7,
+        });
+        let faults = fault_list(&c);
+        for (max_patterns, plateau) in [(2048, 0), (1 << 14, 256), (100, 0)] {
+            let serial = campaign(&c, &faults, &cfg(max_patterns, plateau, 9));
+            for jobs in [2, 3, 4, 8] {
+                let par = campaign(
+                    &c,
+                    &faults,
+                    &CampaignConfig { max_patterns, plateau, seed: 9, jobs: Jobs::new(jobs) },
+                );
+                assert_eq!(serial, par, "jobs={jobs} max={max_patterns} plateau={plateau}");
+            }
+        }
     }
 
     #[test]
@@ -182,7 +285,7 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
         let c = parse(src, "abs").unwrap();
         let faults = fault_list(&c);
-        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 1024, plateau: 0, seed: 3 });
+        let r = campaign(&c, &faults, &cfg(1024, 0, 3));
         assert!(r.remaining() >= 1, "absorption makes at least one fault redundant");
     }
 
@@ -190,8 +293,7 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     fn plateau_stops_early() {
         let c = parse(C17, "c17").unwrap();
         let faults = fault_list(&c);
-        let r =
-            campaign(&c, &faults, &CampaignConfig { max_patterns: 1 << 20, plateau: 256, seed: 5 });
+        let r = campaign(&c, &faults, &cfg(1 << 20, 256, 5));
         assert!(r.patterns_applied < 1 << 20);
         assert_eq!(r.remaining(), 0);
     }
@@ -200,7 +302,7 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     fn coverage_curve_is_monotone_and_complete() {
         let c = parse(C17, "c17").unwrap();
         let faults = fault_list(&c);
-        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 2 });
+        let r = campaign(&c, &faults, &cfg(4096, 0, 2));
         let curve = r.coverage_curve();
         assert!(!curve.is_empty());
         assert!(curve.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
@@ -212,9 +314,36 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     fn detection_pattern_consistency() {
         let c = parse(C17, "c17").unwrap();
         let faults = fault_list(&c);
-        let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 9 });
+        let r = campaign(&c, &faults, &cfg(4096, 0, 9));
         let max_det = r.detection_pattern.iter().flatten().max().copied();
         assert_eq!(max_det, r.last_effective_pattern);
         assert_eq!(r.detected, r.detection_pattern.iter().filter(|d| d.is_some()).count());
+    }
+
+    #[test]
+    fn pattern_block_is_a_pure_function() {
+        assert_eq!(pattern_block(5, 3, 4), pattern_block(5, 3, 4));
+        assert_ne!(pattern_block(5, 3, 4), pattern_block(5, 4, 4));
+        assert_ne!(pattern_block(5, 3, 4), pattern_block(6, 3, 4));
+        assert_eq!(pattern_block(5, 3, 4).len(), 4);
+    }
+
+    /// A tail block shorter than 64 patterns must mask detections past the
+    /// configured maximum identically at any thread count.
+    #[test]
+    fn tail_block_masked_consistently() {
+        let c = parse(C17, "c17").unwrap();
+        let faults = fault_list(&c);
+        for max in [1, 63, 65, 130] {
+            let serial = campaign(&c, &faults, &cfg(max, 0, 11));
+            let par = campaign(
+                &c,
+                &faults,
+                &CampaignConfig { max_patterns: max, plateau: 0, seed: 11, jobs: Jobs::new(4) },
+            );
+            assert_eq!(serial, par, "max_patterns={max}");
+            assert!(serial.patterns_applied <= max);
+            assert!(serial.detection_pattern.iter().flatten().all(|&p| p < max));
+        }
     }
 }

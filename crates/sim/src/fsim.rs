@@ -3,10 +3,59 @@
 //! For each 64-pattern block the good machine is simulated once; each fault
 //! is then injected and propagated **only through its fanout cone**, in
 //! topological order, with early exit when the fault effect dies — the
-//! strategy of FSIM [17] adapted to a word-parallel gate-level model.
+//! strategy of FSIM \[17\] adapted to a word-parallel gate-level model.
 
 use crate::{Fault, FaultSite, Simulator};
 use sft_netlist::{Circuit, NodeId};
+use std::sync::Arc;
+
+/// The read-only per-circuit tables a [`FaultSim`] propagates events over:
+/// topological positions, deduplicated fanout lists, and the
+/// primary-output mask.
+///
+/// Building these is the expensive part of [`FaultSim::new`]. Parallel
+/// fault-simulation shards (see [`campaign`](crate::campaign)) build the
+/// tables once and hand each worker a cheap clone of the [`Arc`] via
+/// [`FaultSim::with_tables`], so per-worker setup is reduced to scratch
+/// allocation.
+#[derive(Debug)]
+pub struct FaultSimTables {
+    /// Topological position of each node.
+    topo_pos: Vec<u32>,
+    /// Fanout table: consumers of each node.
+    fanouts: Vec<Vec<NodeId>>,
+    /// Output slots driven by each node.
+    output_mask: Vec<bool>,
+}
+
+impl FaultSimTables {
+    /// Precomputes the propagation tables for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn new(circuit: &Circuit) -> Self {
+        let order = circuit.topo_order().expect("combinational circuit");
+        let mut topo_pos = vec![0u32; circuit.len()];
+        for (pos, &id) in order.iter().enumerate() {
+            topo_pos[id.index()] = pos as u32;
+        }
+        let fanouts: Vec<Vec<NodeId>> = circuit
+            .fanout_table()
+            .into_iter()
+            .map(|v| {
+                let mut gates: Vec<NodeId> = v.into_iter().map(|(g, _)| g).collect();
+                gates.dedup();
+                gates
+            })
+            .collect();
+        let mut output_mask = vec![false; circuit.len()];
+        for &o in circuit.outputs() {
+            output_mask[o.index()] = true;
+        }
+        FaultSimTables { topo_pos, fanouts, output_mask }
+    }
+}
 
 /// A reusable fault-simulation engine bound to one circuit.
 ///
@@ -27,12 +76,8 @@ use sft_netlist::{Circuit, NodeId};
 #[derive(Debug)]
 pub struct FaultSim<'c> {
     sim: Simulator<'c>,
-    /// Topological position of each node.
-    topo_pos: Vec<u32>,
-    /// Fanout table: consumers of each node.
-    fanouts: Vec<Vec<NodeId>>,
-    /// Output slots driven by each node.
-    output_mask: Vec<bool>,
+    /// Shared read-only propagation tables (see [`FaultSimTables`]).
+    tables: Arc<FaultSimTables>,
     /// Scratch: good values for the current block.
     good: Vec<u64>,
     /// Scratch: faulty values (copy-on-write per fault).
@@ -48,33 +93,26 @@ impl<'c> FaultSim<'c> {
     ///
     /// Panics if the circuit is cyclic.
     pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_tables(circuit, Arc::new(FaultSimTables::new(circuit)))
+    }
+
+    /// Prepares a fault simulator reusing already-built [`FaultSimTables`].
+    ///
+    /// The tables must have been built from the same (unmodified)
+    /// `circuit`; sharing them across threads is what makes per-shard
+    /// simulator setup cheap in parallel campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn with_tables(circuit: &'c Circuit, tables: Arc<FaultSimTables>) -> Self {
         let sim = Simulator::new(circuit);
-        let mut topo_pos = vec![0u32; circuit.len()];
-        for (pos, &id) in sim.order().iter().enumerate() {
-            topo_pos[id.index()] = pos as u32;
-        }
-        let fanouts: Vec<Vec<NodeId>> = circuit
-            .fanout_table()
-            .into_iter()
-            .map(|v| {
-                let mut gates: Vec<NodeId> = v.into_iter().map(|(g, _)| g).collect();
-                gates.dedup();
-                gates
-            })
-            .collect();
-        let mut output_mask = vec![false; circuit.len()];
-        for &o in circuit.outputs() {
-            output_mask[o.index()] = true;
-        }
-        FaultSim {
-            sim,
-            topo_pos,
-            fanouts,
-            output_mask,
-            good: Vec::new(),
-            faulty: Vec::new(),
-            deviated: Vec::new(),
-        }
+        assert_eq!(
+            tables.topo_pos.len(),
+            circuit.len(),
+            "tables were built from a different circuit"
+        );
+        FaultSim { sim, tables, good: Vec::new(), faulty: Vec::new(), deviated: Vec::new() }
     }
 
     /// The underlying good-machine simulator.
@@ -150,11 +188,11 @@ impl<'c> FaultSim<'c> {
                 faulty[start_node.index()] = start_val;
                 deviated[start_node.index()] = true;
                 dirty.push(start_node);
-                if self.output_mask[start_node.index()] {
+                if self.tables.output_mask[start_node.index()] {
                     detected |= start_val ^ good[start_node.index()];
                 }
-                for &g in &self.fanouts[start_node.index()] {
-                    heap.push(std::cmp::Reverse((self.topo_pos[g.index()], g)));
+                for &g in &self.tables.fanouts[start_node.index()] {
+                    heap.push(std::cmp::Reverse((self.tables.topo_pos[g.index()], g)));
                 }
                 // Propagate events in topological order.
                 while let Some(std::cmp::Reverse((_, n))) = heap.pop() {
@@ -176,11 +214,11 @@ impl<'c> FaultSim<'c> {
                     faulty[n.index()] = v;
                     deviated[n.index()] = true;
                     dirty.push(n);
-                    if self.output_mask[n.index()] {
+                    if self.tables.output_mask[n.index()] {
                         detected |= v ^ good[n.index()];
                     }
-                    for &g in &self.fanouts[n.index()] {
-                        heap.push(std::cmp::Reverse((self.topo_pos[g.index()], g)));
+                    for &g in &self.tables.fanouts[n.index()] {
+                        heap.push(std::cmp::Reverse((self.tables.topo_pos[g.index()], g)));
                     }
                 }
             }

@@ -1,17 +1,21 @@
 //! Parallel-pattern logic and stuck-at fault simulation.
 //!
 //! This crate reimplements the fault-simulation substrate the paper relies
-//! on (FSIM [17] — Lee & Ha's parallel-pattern single-fault-propagation
+//! on (FSIM \[17\] — Lee & Ha's parallel-pattern single-fault-propagation
 //! simulator) in safe Rust:
 //!
 //! - [`Simulator`] — 64-way bit-parallel good-machine simulation;
 //! - [`Fault`]/[`FaultSite`] — single stuck-at faults on stems and fanout
 //!   branches, with [`fault_list`] and equivalence [`collapse`];
 //! - [`FaultSim`] — parallel-pattern single-fault propagation restricted to
-//!   the fault's fanout cone;
+//!   the fault's fanout cone ([`FaultSimTables`] holds the read-only
+//!   precomputation so concurrent simulators share one copy);
 //! - [`campaign`] — the random-pattern testability experiment driver used by
 //!   Table 6 of the paper (fault coverage, remaining faults, last effective
-//!   pattern).
+//!   pattern). Campaigns run pattern blocks on
+//!   [`CampaignConfig::jobs`] worker threads with bit-identical results at
+//!   any thread count ([`pattern_block`] derives each block's patterns
+//!   purely from `(seed, block)`).
 //!
 //! # Examples
 //!
@@ -34,8 +38,8 @@ mod fsim;
 mod logic;
 mod measures;
 
-pub use campaign::{campaign, CampaignConfig, CampaignResult};
+pub use campaign::{campaign, pattern_block, CampaignConfig, CampaignResult};
 pub use fault::{collapse, fault_list, Fault, FaultSite};
-pub use fsim::FaultSim;
+pub use fsim::{FaultSim, FaultSimTables};
 pub use logic::Simulator;
 pub use measures::{cop_measures, CopMeasures};

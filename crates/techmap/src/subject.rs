@@ -17,7 +17,7 @@ pub enum SubjectNode {
 /// The hash-consed NAND2/INV decomposition of a circuit.
 ///
 /// Every original line maps to a subject node via
-/// [`line_root`](Self::line_root); hash-consing shares identical structure,
+/// `line_root`; hash-consing shares identical structure,
 /// and double inverters are collapsed on construction.
 #[derive(Debug)]
 pub struct SubjectGraph {

@@ -24,6 +24,8 @@
 //! # Ok::<(), sft_truth::TruthError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod cube;
 mod table;
 

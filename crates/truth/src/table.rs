@@ -11,11 +11,21 @@ pub enum TruthError {
     /// The requested number of inputs exceeds [`MAX_INPUTS`].
     TooManyInputs(usize),
     /// A minterm index was out of range for the number of inputs.
-    MintermOutOfRange { minterm: u64, inputs: usize },
+    MintermOutOfRange {
+        /// The offending minterm index.
+        minterm: u64,
+        /// The number of inputs of the table (minterms range over `2^inputs`).
+        inputs: usize,
+    },
     /// A permutation had the wrong length or was not a bijection.
     BadPermutation,
     /// An input index was out of range.
-    InputOutOfRange { input: usize, inputs: usize },
+    InputOutOfRange {
+        /// The offending input index.
+        input: usize,
+        /// The number of inputs of the table.
+        inputs: usize,
+    },
 }
 
 impl fmt::Display for TruthError {

@@ -35,8 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stuck-at random-pattern testability at equal budget & seed (Table 6).
     let stuck = |c: &Circuit| {
         let faults = fault_list(c);
-        let r =
-            campaign(c, &faults, &CampaignConfig { max_patterns: 1 << 14, plateau: 0, seed: 11 });
+        let r = campaign(
+            c,
+            &faults,
+            &CampaignConfig { max_patterns: 1 << 14, plateau: 0, seed: 11, ..Default::default() },
+        );
         (r.total_faults, r.remaining(), r.coverage())
     };
     let (fo, ro, co) = stuck(&original);
@@ -46,8 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  modified: {fm} faults, {rm} remain, coverage {:.2}%", cm * 100.0);
 
     // Robust PDF coverage at equal budget & seed (Table 7).
-    let pdf_cfg =
-        PdfCampaignConfig { max_pairs: 1 << 13, plateau: 1 << 11, seed: 11, path_limit: 1 << 20 };
+    let pdf_cfg = PdfCampaignConfig {
+        max_pairs: 1 << 13,
+        plateau: 1 << 11,
+        seed: 11,
+        path_limit: 1 << 20,
+        ..Default::default()
+    };
     let pb = pdf_campaign(&original, &pdf_cfg)?;
     let pa = pdf_campaign(&modified, &pdf_cfg)?;
     println!("\nrobust path delay faults (random pairs):");

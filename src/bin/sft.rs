@@ -18,12 +18,18 @@
 //! `500ms`, `10s`, `2m`, `1h`, or bare seconds) and `--step-limit <N>`
 //! bound the run. An exhausted budget is not an error: the command prints
 //! the stop reason, writes the best verified partial result, and exits 0.
+//!
+//! Parallelism (resynth, testgen, pdf): `--jobs N` runs the hot loops on
+//! `N` worker threads (`0` or `all` = every core; default: all cores).
+//! Results are bit-identical at any value; `--jobs 1` additionally
+//! restores the exact single-threaded execution order.
 
 use sft::atpg::{generate_test_set_with_budget, remove_redundancies, TestSetOptions};
 use sft::budget::{Budget, StopReason};
 use sft::core::{resynthesize_with_budget, Objective, ResynthOptions};
 use sft::delay::{pdf_campaign_with_budget, PdfCampaignConfig};
 use sft::netlist::{bench_format, export, Circuit};
+use sft::par::Jobs;
 use sft::techmap::{map_circuit, Library};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -52,7 +58,16 @@ fn opt(args: &[String], name: &str) -> Option<String> {
 
 /// Options that take a value; their value token is not a positional arg.
 const VALUE_OPTIONS: &[&str] =
-    &["--objective", "--k", "--covers", "--pairs", "--time-limit", "--step-limit"];
+    &["--objective", "--k", "--covers", "--pairs", "--time-limit", "--step-limit", "--jobs"];
+
+/// Parses `--jobs` (default: all cores; `--jobs 1` = exact serial order).
+fn jobs_from(args: &[String]) -> Result<Jobs, String> {
+    match (flag(args, "--jobs"), opt(args, "--jobs")) {
+        (true, None) => Err("--jobs needs a value (a number, 0 or \"all\")".into()),
+        (_, Some(v)) => v.parse().map_err(|e| format!("--jobs: {e}")),
+        _ => Ok(Jobs::all_cores()),
+    }
+}
 
 /// The non-flag arguments, in order, so flags may appear anywhere
 /// (`sft resynth --time-limit 0s in.bench out.bench` works).
@@ -159,6 +174,7 @@ fn run() -> Result<(), String> {
                 allow_input_negation: flag(rest, "--negation"),
                 max_cover_units: opt(rest, "--covers").and_then(|v| v.parse().ok()).unwrap_or(1),
                 use_satisfiability_dont_cares: flag(rest, "--dont-cares"),
+                jobs: jobs_from(rest)?,
                 ..ResynthOptions::default()
             };
             let budget = budget_from(rest)?;
@@ -183,7 +199,8 @@ fn run() -> Result<(), String> {
             let files = positionals(rest);
             let c = load(files.first().ok_or("testgen needs an input file")?)?;
             let budget = budget_from(rest)?;
-            let set = generate_test_set_with_budget(&c, &TestSetOptions::default(), &budget);
+            let opts = TestSetOptions { jobs: jobs_from(rest)?, ..TestSetOptions::default() };
+            let set = generate_test_set_with_budget(&c, &opts, &budget);
             println!(
                 "# {} faults, {} redundant, {} aborted, {} untargeted, coverage {:.2}%",
                 set.total_faults,
@@ -225,6 +242,7 @@ fn run() -> Result<(), String> {
             let c = load(files.first().ok_or("pdf needs an input file")?)?;
             let cfg = PdfCampaignConfig {
                 max_pairs: opt(rest, "--pairs").and_then(|v| v.parse().ok()).unwrap_or(1 << 14),
+                jobs: jobs_from(rest)?,
                 ..PdfCampaignConfig::default()
             };
             let budget = budget_from(rest)?;

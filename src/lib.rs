@@ -74,3 +74,8 @@ pub use sft_circuits as circuits;
 /// The effort governor: budgets (deadline, steps), cancellation, and the
 /// workspace-wide [`StopReason`](sft_budget::StopReason) vocabulary.
 pub use sft_budget as budget;
+
+/// Fork-join parallelism: the [`Jobs`](sft_par::Jobs) thread-count knob,
+/// order-preserving [`parallel_map`](sft_par::parallel_map), and
+/// counter-based RNG stream derivation.
+pub use sft_par as par;

@@ -172,3 +172,35 @@ fn techmap_and_pdf_report() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("robust path delay faults"));
 }
+
+#[test]
+fn resynth_jobs_flag_matches_serial_run() {
+    let input = write_bench("jobs_in.bench", DEMO);
+    let serial_out = write_bench("jobs_serial.bench", "");
+    let par_out = write_bench("jobs_par.bench", "");
+    for (path, jobs) in [(&serial_out, "1"), (&par_out, "4")] {
+        let out = sft()
+            .args(["resynth", input.to_str().unwrap(), path.to_str().unwrap(), "--jobs", jobs])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{out:?}");
+    }
+    // `--jobs N` is bit-identical to serial: same emitted netlist text.
+    let serial = std::fs::read_to_string(&serial_out).expect("serial output");
+    let par = std::fs::read_to_string(&par_out).expect("parallel output");
+    assert_eq!(serial, par);
+}
+
+#[test]
+fn jobs_flag_rejects_missing_and_garbage_values() {
+    let input = write_bench("jobs_bad.bench", DEMO);
+    let output = write_bench("jobs_bad_out.bench", "");
+    for extra in [vec!["--jobs"], vec!["--jobs", "zero"]] {
+        let mut args = vec!["resynth", input.to_str().unwrap(), output.to_str().unwrap()];
+        args.extend(extra);
+        let out = sft().args(&args).output().expect("spawn");
+        assert!(!out.status.success(), "{out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--jobs"), "{err}");
+    }
+}

@@ -56,7 +56,12 @@ fn stuck_at_testability_does_not_deteriorate() {
     remove_redundancies(&mut modified, 20_000);
     let run = |c: &Circuit| {
         let faults = fault_list(c);
-        campaign(c, &faults, &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 5 }).coverage()
+        campaign(
+            c,
+            &faults,
+            &CampaignConfig { max_patterns: 4096, plateau: 0, seed: 5, ..Default::default() },
+        )
+        .coverage()
     };
     let before = run(&original);
     let after = run(&modified);
@@ -70,7 +75,13 @@ fn pdf_coverage_improves_or_holds_on_reconvergent_logic() {
     let original = builders::mux_tree(4);
     let mut modified = original.clone();
     procedure2(&mut modified, &opts()).expect("verified resynthesis");
-    let cfg = PdfCampaignConfig { max_pairs: 4096, plateau: 0, seed: 5, path_limit: 1 << 20 };
+    let cfg = PdfCampaignConfig {
+        max_pairs: 4096,
+        plateau: 0,
+        seed: 5,
+        path_limit: 1 << 20,
+        ..Default::default()
+    };
     let before = pdf_campaign(&original, &cfg).unwrap();
     let after = pdf_campaign(&modified, &cfg).unwrap();
     assert!(

@@ -1,11 +1,18 @@
 //! Property-based tests over the core invariants of the workspace.
 
 use proptest::prelude::*;
+use sft::budget::{Budget, CancelFlag, StopReason};
 use sft::core::testability::{unit_test_set, validate_test_set};
 use sft::core::{build_standalone_unit, identify, ComparisonSpec, IdentifyOptions};
-use sft::core::{procedure2, procedure3, ResynthOptions};
+use sft::core::{procedure2, procedure3, resynthesize_with_budget, ResynthOptions};
 use sft::netlist::{simplify, Circuit, GateKind, NodeId};
+use sft::par::Jobs;
 use sft::truth::TruthTable;
+
+/// The resynthesis options used by the parallel/budget property tests.
+fn resynth_opts(jobs: Jobs) -> ResynthOptions {
+    ResynthOptions { max_candidates_per_gate: 40, jobs, ..ResynthOptions::default() }
+}
 
 /// Strategy: a random small combinational circuit over `n` inputs.
 fn arb_circuit(inputs: usize, gates: usize) -> impl Strategy<Value = Circuit> {
@@ -185,5 +192,119 @@ proptest! {
             let bdd_equal = sft::bdd::equivalent(&a, &b).expect("fits").is_equivalent();
             prop_assert_eq!(sim_equal, bdd_equal);
         }
+    }
+
+    /// Parallel candidate scoring is a pure refactoring: at any thread
+    /// count, `resynthesize_with_budget` on an unlimited budget produces a
+    /// circuit *identical* to the serial run, with identical step
+    /// accounting (the shared step counter decrements by exactly the same
+    /// amount, races included, because the counter never nears zero).
+    #[test]
+    fn parallel_resynth_matches_serial(c in arb_circuit(5, 14), jobs in 2usize..6) {
+        const BIG: u64 = 1 << 40;
+        let serial_budget = Budget::unlimited().with_step_limit(BIG);
+        let mut serial = c.clone();
+        let serial_report =
+            resynthesize_with_budget(&mut serial, &resynth_opts(Jobs::serial()), &serial_budget)
+                .expect("serial resynthesis");
+        let par_budget = Budget::unlimited().with_step_limit(BIG);
+        let mut par = c.clone();
+        let par_report =
+            resynthesize_with_budget(&mut par, &resynth_opts(Jobs::new(jobs)), &par_budget)
+                .expect("parallel resynthesis");
+        prop_assert_eq!(&par, &serial);
+        prop_assert_eq!(par_report.replacements, serial_report.replacements);
+        prop_assert_eq!(par_report.stop_reason, serial_report.stop_reason);
+        prop_assert_eq!(par_budget.remaining_steps(), serial_budget.remaining_steps());
+    }
+
+    /// Under a step budget, a parallel run stops with `StepBudget`, rolls
+    /// back transactionally to a BDD-equivalent circuit, and overshoots the
+    /// limit by at most `jobs - 1` candidate evaluations (one in-flight
+    /// worker per extra thread may pass the non-consuming `check` before
+    /// the counter drains).
+    #[test]
+    fn parallel_resynth_respects_step_budget(
+        c in arb_circuit(5, 14),
+        limit in 1u64..40,
+        jobs in 2usize..6,
+    ) {
+        // Total work of an unconstrained run, measured on the same input.
+        const BIG: u64 = 1 << 40;
+        let full = Budget::unlimited().with_step_limit(BIG);
+        let mut scratch = c.clone();
+        resynthesize_with_budget(&mut scratch, &resynth_opts(Jobs::new(jobs)), &full)
+            .expect("unconstrained resynthesis");
+        let total_work = BIG - full.remaining_steps().expect("step-limited");
+
+        let budget = Budget::unlimited().with_step_limit(limit);
+        let mut work = c.clone();
+        let report = resynthesize_with_budget(&mut work, &resynth_opts(Jobs::new(jobs)), &budget)
+            .expect("budgeted resynthesis");
+        // Whatever happened, the result is verified equivalent.
+        prop_assert_eq!(exhaustive_outputs(&work), exhaustive_outputs(&c));
+        work.validate().expect("budgeted result validates");
+        if limit >= total_work + jobs as u64 {
+            // Enough budget even in the worst overshoot case: must finish.
+            prop_assert_eq!(report.stop_reason, StopReason::Converged);
+        } else if report.stop_reason == StopReason::StepBudget {
+            // Interrupted mid-search: the pass rolled back, so the circuit
+            // equals a committed (verified) state and the counter drained.
+            prop_assert_eq!(budget.remaining_steps(), Some(0));
+        }
+    }
+
+    /// A cancellation raised before the search starts aborts immediately
+    /// and leaves the circuit untouched, at any thread count.
+    #[test]
+    fn resynth_pre_cancelled_is_a_no_op(c in arb_circuit(5, 12), jobs in 1usize..5) {
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let budget = Budget::unlimited().with_cancel(flag);
+        let mut work = c.clone();
+        let report = resynthesize_with_budget(&mut work, &resynth_opts(Jobs::new(jobs)), &budget)
+            .expect("cancelled resynthesis still returns Ok");
+        prop_assert_eq!(report.stop_reason, StopReason::Cancelled);
+        prop_assert_eq!(report.replacements, 0);
+        prop_assert_eq!(&work, &c);
+    }
+}
+
+/// Cancelling from another thread mid-search aborts cleanly: the run
+/// reports `Cancelled` (or finished first), and the circuit it hands back
+/// is always a committed, function-preserving state — never a half-applied
+/// pass.
+#[test]
+fn resynth_mid_run_cancellation_rolls_back_cleanly() {
+    use sft::circuits::random::{random_circuit, RandomCircuitConfig};
+    // Big enough that a handful of passes take a visible amount of time.
+    let c = random_circuit(&RandomCircuitConfig {
+        inputs: 12,
+        outputs: 6,
+        gates: 220,
+        window: 10,
+        seed: 11,
+    });
+    for delay_us in [0u64, 50, 400, 2000] {
+        let flag = CancelFlag::new();
+        let budget = Budget::unlimited().with_cancel(flag.clone());
+        let killer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_micros(delay_us));
+            flag.cancel();
+        });
+        let mut work = c.clone();
+        let report = resynthesize_with_budget(&mut work, &resynth_opts(Jobs::new(4)), &budget)
+            .expect("cancelled resynthesis still returns Ok");
+        killer.join().expect("killer thread");
+        assert!(
+            matches!(report.stop_reason, StopReason::Cancelled | StopReason::Converged),
+            "unexpected stop reason {:?}",
+            report.stop_reason
+        );
+        work.validate().expect("result validates after cancellation");
+        assert!(
+            sft::bdd::equivalent(&work, &c).expect("fits").is_equivalent(),
+            "cancelled result must stay equivalent (delay {delay_us}us)"
+        );
     }
 }

@@ -15,7 +15,11 @@ use sft::truth::TruthTable;
 fn podem_agrees_with_saturating_campaign() {
     let c = builders::ripple_carry_adder(4); // 9 inputs: 512 patterns saturate
     let faults = fault_list(&c);
-    let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 1 << 15, plateau: 0, seed: 1 });
+    let r = campaign(
+        &c,
+        &faults,
+        &CampaignConfig { max_patterns: 1 << 15, plateau: 0, seed: 1, ..Default::default() },
+    );
     for (fault, det) in faults.iter().zip(&r.detection_pattern) {
         let podem = generate_test(&c, *fault, 100_000);
         match (det, &podem) {
@@ -52,7 +56,11 @@ fn test_set_matches_saturated_coverage() {
     let set = generate_test_set(&c, &TestSetOptions::default());
     assert_eq!(set.aborted, 0);
     let faults = fault_list(&c);
-    let r = campaign(&c, &faults, &CampaignConfig { max_patterns: 1 << 17, plateau: 0, seed: 9 });
+    let r = campaign(
+        &c,
+        &faults,
+        &CampaignConfig { max_patterns: 1 << 17, plateau: 0, seed: 9, ..Default::default() },
+    );
     // Campaign leaves exactly the redundant faults; test set targets the
     // rest deterministically.
     assert_eq!(r.remaining(), set.redundant, "redundant fault counts must agree");
