@@ -56,56 +56,183 @@ pub fn circuit_bdds_budgeted(
     circuit: &Circuit,
     budget: &Budget,
 ) -> Result<Vec<BddRef>, BddError> {
+    let refs = circuit_node_bdds_budgeted(manager, circuit, budget)?;
+    Ok(circuit.outputs().iter().map(|o| refs[o.index()]).collect())
+}
+
+/// Builds a BDD for **every node** of `circuit` (not just the primary
+/// outputs), indexed by node id. Input `i` in declaration order maps to BDD
+/// variable `i`, exactly as in [`circuit_bdds`].
+///
+/// This is the substrate for incremental re-verification: a caller that
+/// keeps the per-node references of a committed circuit can carry the
+/// references of unchanged nodes across an edit and rebuild only the dirty
+/// ones with [`gate_bdd`].
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] on blowup and [`BddError::Interrupted`]
+/// when the budget runs out (checked once per node).
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic.
+pub fn circuit_node_bdds_budgeted(
+    manager: &mut Manager,
+    circuit: &Circuit,
+    budget: &Budget,
+) -> Result<Vec<BddRef>, BddError> {
+    let identity: Vec<u32> = (0..circuit.inputs().len() as u32).collect();
+    circuit_node_bdds_ordered(manager, circuit, &identity, budget)
+}
+
+/// [`circuit_node_bdds_budgeted`] under an explicit variable order:
+/// `var_order[i]` is the BDD variable assigned to input `i` (declaration
+/// order). `var_order` must be a permutation of `0..inputs`.
+///
+/// Equivalence of references built through the same `(manager, var_order)`
+/// pair is unaffected by the choice of order, but the *size* of the BDDs is
+/// extremely order-sensitive; see [`dfs_input_order`] for a structural
+/// heuristic. Callers comparing references across circuits (equivalence
+/// checking, incremental re-verification) must use the same order for every
+/// build in the manager.
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] on blowup and [`BddError::Interrupted`]
+/// when the budget runs out (checked once per node).
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic or `var_order` is shorter than the input
+/// list.
+pub fn circuit_node_bdds_ordered(
+    manager: &mut Manager,
+    circuit: &Circuit,
+    var_order: &[u32],
+    budget: &Budget,
+) -> Result<Vec<BddRef>, BddError> {
     let order = circuit.topo_order().expect("combinational circuit");
     let mut refs: Vec<BddRef> = vec![BddRef::FALSE; circuit.len()];
     let input_var: std::collections::HashMap<_, _> =
-        circuit.inputs().iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        circuit.inputs().iter().enumerate().map(|(i, &id)| (id, var_order[i])).collect();
     for id in order {
         budget.check()?;
         let node = circuit.node(id);
         let r = match node.kind() {
             GateKind::Input => manager.var(input_var[&id])?,
-            GateKind::Const0 => BddRef::FALSE,
-            GateKind::Const1 => BddRef::TRUE,
-            GateKind::Buf => refs[node.fanins()[0].index()],
-            GateKind::Not => manager.not(refs[node.fanins()[0].index()])?,
-            GateKind::And | GateKind::Nand => {
-                let mut acc = BddRef::TRUE;
-                for f in node.fanins() {
-                    acc = manager.and(acc, refs[f.index()])?;
-                }
-                if node.kind() == GateKind::Nand {
-                    manager.not(acc)?
-                } else {
-                    acc
-                }
-            }
-            GateKind::Or | GateKind::Nor => {
-                let mut acc = BddRef::FALSE;
-                for f in node.fanins() {
-                    acc = manager.or(acc, refs[f.index()])?;
-                }
-                if node.kind() == GateKind::Nor {
-                    manager.not(acc)?
-                } else {
-                    acc
-                }
-            }
-            GateKind::Xor | GateKind::Xnor => {
-                let mut acc = BddRef::FALSE;
-                for f in node.fanins() {
-                    acc = manager.xor(acc, refs[f.index()])?;
-                }
-                if node.kind() == GateKind::Xnor {
-                    manager.not(acc)?
-                } else {
-                    acc
-                }
+            kind => {
+                let fanins: Vec<BddRef> = node.fanins().iter().map(|f| refs[f.index()]).collect();
+                gate_bdd(manager, kind, &fanins)?
             }
         };
         refs[id.index()] = r;
     }
-    Ok(circuit.outputs().iter().map(|o| refs[o.index()]).collect())
+    Ok(refs)
+}
+
+/// A structural variable order for [`circuit_node_bdds_ordered`]: inputs are
+/// numbered in the order a depth-first walk from the primary outputs first
+/// reaches them, with unreachable inputs appended in declaration order.
+/// Returns `var_order[i]` = BDD variable of input `i` (declaration order).
+///
+/// Depth-first discovery keeps topologically related inputs adjacent in the
+/// order, which is the classic static heuristic (Malik et al., ICCAD'88) for
+/// small circuit BDDs: a ripple-carry adder interleaves `a_i`/`b_i` (linear
+/// instead of exponential BDDs) and a mux tree lists the shared selects
+/// before the data leaves (the decision-tree order).
+pub fn dfs_input_order(circuit: &Circuit) -> Vec<u32> {
+    let position: std::collections::HashMap<sft_netlist::NodeId, usize> =
+        circuit.inputs().iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut var_order: Vec<u32> = vec![u32::MAX; circuit.inputs().len()];
+    let mut next = 0u32;
+    let mut seen = vec![false; circuit.len()];
+    for &out in circuit.outputs() {
+        // Explicit stack; fanins are pushed in reverse so the leftmost fanin
+        // is explored (and its inputs numbered) first.
+        let mut stack = vec![out];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            let node = circuit.node(id);
+            if node.kind() == GateKind::Input {
+                if let Some(&pos) = position.get(&id) {
+                    var_order[pos] = next;
+                    next += 1;
+                }
+                continue;
+            }
+            for &f in node.fanins().iter().rev() {
+                if !seen[f.index()] {
+                    stack.push(f);
+                }
+            }
+        }
+    }
+    for slot in &mut var_order {
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    var_order
+}
+
+/// Builds the BDD of one gate from the BDDs of its fanins.
+///
+/// # Errors
+///
+/// Returns [`BddError::NodeLimit`] on blowup.
+///
+/// # Panics
+///
+/// Panics on [`GateKind::Input`] — inputs are variables, not gates.
+pub fn gate_bdd(
+    manager: &mut Manager,
+    kind: GateKind,
+    fanins: &[BddRef],
+) -> Result<BddRef, BddError> {
+    Ok(match kind {
+        GateKind::Input => panic!("gate_bdd called on an input node"),
+        GateKind::Const0 => BddRef::FALSE,
+        GateKind::Const1 => BddRef::TRUE,
+        GateKind::Buf => fanins[0],
+        GateKind::Not => manager.not(fanins[0])?,
+        GateKind::And | GateKind::Nand => {
+            let mut acc = BddRef::TRUE;
+            for &f in fanins {
+                acc = manager.and(acc, f)?;
+            }
+            if kind == GateKind::Nand {
+                manager.not(acc)?
+            } else {
+                acc
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut acc = BddRef::FALSE;
+            for &f in fanins {
+                acc = manager.or(acc, f)?;
+            }
+            if kind == GateKind::Nor {
+                manager.not(acc)?
+            } else {
+                acc
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = BddRef::FALSE;
+            for &f in fanins {
+                acc = manager.xor(acc, f)?;
+            }
+            if kind == GateKind::Xnor {
+                manager.not(acc)?
+            } else {
+                acc
+            }
+        }
+    })
 }
 
 /// Checks combinational equivalence of two circuits with the same numbers of

@@ -29,7 +29,8 @@ mod bridge;
 mod manager;
 
 pub use bridge::{
-    circuit_bdds, circuit_bdds_budgeted, equivalent, equivalent_with_manager,
-    equivalent_with_manager_budgeted, CheckResult,
+    circuit_bdds, circuit_bdds_budgeted, circuit_node_bdds_budgeted, circuit_node_bdds_ordered,
+    dfs_input_order, equivalent, equivalent_with_manager, equivalent_with_manager_budgeted,
+    gate_bdd, CheckResult,
 };
 pub use manager::{BddError, BddRef, Manager, DEFAULT_NODE_LIMIT};

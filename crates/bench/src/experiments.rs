@@ -326,6 +326,7 @@ pub fn table6_rows(cfg: &ExperimentConfig) -> Vec<Table6Row> {
                         plateau: 0,
                         seed: cfg.seed,
                         jobs: cfg.jobs,
+                        ..CampaignConfig::default()
                     },
                 );
                 (r.total_faults, r.remaining(), r.last_effective_pattern)

@@ -1,0 +1,508 @@
+//! Permutation-canonical forms (P-canonization) for truth tables of up to
+//! [`MAX_INPUTS`] inputs, and a concurrent signature→value memo table.
+//!
+//! Two `n`-input functions are **P-equivalent** when one becomes the other
+//! under a permutation of the inputs. [`canonicalize`] maps every function
+//! to the representative of its P-class: the permuted table with the
+//! numerically smallest raw bit mask, together with the permutation that
+//! achieves it. The search is a branch-and-bound over input orderings that
+//! prunes with *cofactor weights* — the on-set counts of the blocks induced
+//! by the inputs chosen so far — instead of enumerating all `k!`
+//! permutations ([`canonicalize_brute`] is the brute-force reference, kept
+//! for differential testing).
+//!
+//! The canonical bit mask is a perfect **signature** for memoizing any
+//! per-P-class computation: [`SigCache`] is a sharded, thread-safe map from
+//! [`Signature`] to an arbitrary cached value, with hit/miss counters. The
+//! resynthesis engine uses it to decide "is this cone a comparison
+//! function, and with which bounds" once per function class rather than
+//! once per cone.
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_canon::canonicalize;
+//! use sft_truth::TruthTable;
+//!
+//! // x0 AND x1 and x1 AND x0 share one P-class.
+//! let a = TruthTable::from_minterms(2, &[3])?;
+//! let b = a.permute(&[1, 0])?;
+//! let (ca, cb) = (canonicalize(&a), canonicalize(&b));
+//! assert_eq!(ca.bits, cb.bits);
+//! // The permutation reproduces the canonical table.
+//! assert_eq!(a.permute(&ca.perm)?.bits(), ca.bits);
+//! # Ok::<(), sft_truth::TruthError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use sft_truth::{TruthTable, MAX_INPUTS};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// The canonical representative of a function's P-class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canonical {
+    /// Raw bit mask of the canonical table: the minimum of
+    /// `f.permute(p).bits()` over every input permutation `p`.
+    pub bits: u128,
+    /// The lexicographically smallest permutation achieving the minimum;
+    /// `f.permute(&perm)` is the canonical table.
+    pub perm: Vec<usize>,
+}
+
+impl Canonical {
+    /// Expands the canonical form back into a truth table.
+    pub fn table(&self) -> TruthTable {
+        TruthTable::from_bits(self.perm.len(), self.bits)
+    }
+}
+
+/// Canonicalizes by cofactor-weight branch and bound.
+///
+/// Input positions are assigned most-significant first. A partial
+/// assignment of `d` inputs splits the minterm space into `2^d` blocks
+/// (the cofactors of the chosen inputs); each block's on-count bounds the
+/// smallest value the block can contribute, and the sum of those bounds is
+/// a sound lower bound on any completion — branches that cannot beat the
+/// best known table are cut. Inputs interchangeable under an invariant
+/// transposition of `f` are explored only once (smallest index first),
+/// which collapses the search for symmetric functions.
+///
+/// Agrees exactly — bits *and* permutation — with [`canonicalize_brute`].
+///
+/// # Panics
+///
+/// Panics if `f` has more than [`MAX_INPUTS`] inputs (unrepresentable).
+pub fn canonicalize(f: &TruthTable) -> Canonical {
+    let n = f.inputs();
+    if n <= 1 {
+        return Canonical { bits: f.bits(), perm: (0..n).collect() };
+    }
+    let mut search = Search::new(f);
+    let root_blocks = vec![f_domain_mask(n)];
+    search.descend(&root_blocks, (1u32 << n) - 1);
+    Canonical { bits: search.best_bits, perm: search.best_perm }
+}
+
+/// Brute-force reference canonicalization: tries all `n!` permutations in
+/// lexicographic order and keeps the first minimum.
+pub fn canonicalize_brute(f: &TruthTable) -> Canonical {
+    let n = f.inputs();
+    let mut best_bits = f.bits();
+    let mut best_perm: Vec<usize> = (0..n).collect();
+    let mut perm: Vec<usize> = (0..n).collect();
+    loop {
+        let bits = f.permute(&perm).expect("valid permutation").bits();
+        if bits < best_bits {
+            best_bits = bits;
+            best_perm = perm.clone();
+        }
+        if !next_permutation(&mut perm) {
+            break;
+        }
+    }
+    Canonical { bits: best_bits, perm: best_perm }
+}
+
+/// Advances `perm` to its lexicographic successor; `false` at the last one.
+fn next_permutation(perm: &mut [usize]) -> bool {
+    let n = perm.len();
+    if n < 2 {
+        return false;
+    }
+    let Some(i) = (0..n - 1).rev().find(|&i| perm[i] < perm[i + 1]) else {
+        return false;
+    };
+    let j = (i + 1..n).rev().find(|&j| perm[j] > perm[i]).expect("successor exists");
+    perm.swap(i, j);
+    perm[i + 1..].reverse();
+    true
+}
+
+/// Bit mask over the whole `2^n`-minterm domain.
+fn f_domain_mask(n: usize) -> u128 {
+    if n == MAX_INPUTS {
+        u128::MAX
+    } else {
+        (1u128 << (1u64 << n)) - 1
+    }
+}
+
+struct Search {
+    n: usize,
+    f_bits: u128,
+    /// `var_masks[v]`: minterms where input `v` is 1.
+    var_masks: Vec<u128>,
+    /// `class_smaller[v]`: inputs `u < v` interchangeable with `v`.
+    class_smaller: Vec<u32>,
+    best_bits: u128,
+    best_perm: Vec<usize>,
+    chosen: Vec<usize>,
+}
+
+impl Search {
+    fn new(f: &TruthTable) -> Self {
+        let n = f.inputs();
+        let var_masks: Vec<u128> = (0..n).map(|v| TruthTable::variable(n, v).bits()).collect();
+        // Union inputs connected by invariant transpositions; transpositions
+        // of a connected class generate its full symmetric group, so any
+        // same-class reordering leaves `f` unchanged.
+        let mut rep: Vec<usize> = (0..n).collect();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for u in 0..n {
+            for v in u + 1..n {
+                if find(&mut rep, u) == find(&mut rep, v) {
+                    continue;
+                }
+                perm.swap(u, v);
+                let invariant = f.permute(&perm).expect("valid permutation") == *f;
+                perm.swap(u, v);
+                if invariant {
+                    let (ru, rv) = (find(&mut rep, u), find(&mut rep, v));
+                    rep[ru.max(rv)] = ru.min(rv);
+                }
+            }
+        }
+        let class_smaller: Vec<u32> = (0..n)
+            .map(|v| {
+                let rv = find(&mut rep, v);
+                (0..v).filter(|&u| find(&mut rep, u) == rv).map(|u| 1u32 << u).sum()
+            })
+            .collect();
+        Search {
+            n,
+            f_bits: f.bits(),
+            var_masks,
+            class_smaller,
+            // Seed with the identity permutation: it is the lexicographic
+            // minimum, so ties never displace it incorrectly.
+            best_bits: f.bits(),
+            best_perm: (0..n).collect(),
+            chosen: Vec::with_capacity(n),
+        }
+    }
+
+    /// Sum over blocks of the smallest value each block could take if the
+    /// remaining inputs were ordered for it alone — a sound lower bound,
+    /// exact once every input is placed (blocks are single minterms).
+    fn lower_bound(&self, blocks: &[u128], depth: usize) -> u128 {
+        let block_log = self.n - depth;
+        let mut lb = 0u128;
+        for (b, &mask) in blocks.iter().enumerate() {
+            let cnt = (self.f_bits & mask).count_ones();
+            if cnt == 0 {
+                continue;
+            }
+            let block_min = if cnt >= 128 { u128::MAX } else { (1u128 << cnt) - 1 };
+            lb |= block_min << (b << block_log);
+        }
+        lb
+    }
+
+    fn descend(&mut self, blocks: &[u128], remaining: u32) {
+        let depth = self.chosen.len();
+        if depth == self.n {
+            let bits = self.lower_bound(blocks, depth);
+            if bits < self.best_bits || (bits == self.best_bits && self.chosen < self.best_perm) {
+                self.best_bits = bits;
+                self.best_perm = self.chosen.clone();
+            }
+            return;
+        }
+        // Candidate children ordered by their cofactor-weight bound so the
+        // most promising ordering is completed first, tightening the cut.
+        let mut kids: Vec<(u128, usize, Vec<u128>)> = Vec::new();
+        for v in 0..self.n {
+            if remaining & (1 << v) == 0 || remaining & self.class_smaller[v] != 0 {
+                continue;
+            }
+            let vm = self.var_masks[v];
+            let mut child = Vec::with_capacity(blocks.len() * 2);
+            for &mask in blocks {
+                child.push(mask & !vm);
+                child.push(mask & vm);
+            }
+            let lb = self.lower_bound(&child, depth + 1);
+            if lb > self.best_bits {
+                continue;
+            }
+            kids.push((lb, v, child));
+        }
+        kids.sort_by_key(|&(lb, v, _)| (lb, v));
+        for (lb, v, child) in kids {
+            // Pruning is strict so every tying leaf is still visited and the
+            // lexicographic tie-break matches the brute-force reference.
+            if lb > self.best_bits {
+                continue;
+            }
+            self.chosen.push(v);
+            self.descend(&child, remaining & !(1 << v));
+            self.chosen.pop();
+        }
+    }
+}
+
+fn find(rep: &mut [usize], mut x: usize) -> usize {
+    while rep[x] != x {
+        rep[x] = rep[rep[x]];
+        x = rep[x];
+    }
+    x
+}
+
+/// A memoization key: canonical bits, input count, and a caller-chosen salt
+/// distinguishing unrelated computations that share one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Canonical bit mask from [`canonicalize`].
+    pub bits: u128,
+    /// Number of inputs (distinguishes e.g. constant 0 over 2 vs 3 inputs).
+    pub inputs: u8,
+    /// Caller-defined discriminant (e.g. a hash of the query options).
+    pub salt: u64,
+}
+
+/// Canonicalizes `f` and packages the result as a [`Signature`] plus the
+/// achieving permutation (needed to translate cached answers back to `f`'s
+/// own input numbering).
+pub fn signature_of(f: &TruthTable, salt: u64) -> (Signature, Vec<usize>) {
+    let canonical = canonicalize(f);
+    let sig = Signature { bits: canonical.bits, inputs: f.inputs() as u8, salt };
+    (sig, canonical.perm)
+}
+
+/// Point-in-time counters of a [`SigCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required computing the value.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when the cache is untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo table keyed by [`Signature`].
+///
+/// Values are cloned out on lookup, so `V` is typically small (the
+/// resynthesis engine stores `Option<ComparisonSpec>`). Concurrent misses
+/// on one key may compute the value more than once; both computations must
+/// therefore be deterministic — the second insert simply overwrites the
+/// first with an identical value.
+pub struct SigCache<V> {
+    shards: Vec<RwLock<HashMap<Signature, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> SigCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SigCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, sig: &Signature) -> &RwLock<HashMap<Signature, V>> {
+        let x = (sig.bits as u64) ^ ((sig.bits >> 64) as u64) ^ sig.salt ^ u64::from(sig.inputs);
+        let mixed = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(mixed >> 48) as usize % self.shards.len()]
+    }
+
+    /// Looks `sig` up, counting a hit or a miss.
+    pub fn lookup(&self, sig: &Signature) -> Option<V> {
+        let found = self.shard(sig).read().expect("cache lock").get(sig).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a value for `sig`.
+    pub fn insert(&self, sig: Signature, value: V) {
+        self.shard(&sig).write().expect("cache lock").insert(sig, value);
+    }
+
+    /// Returns the cached value, computing and storing it on a miss. The
+    /// lock is not held while `compute` runs.
+    pub fn get_or_insert_with(&self, sig: Signature, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.lookup(&sig) {
+            return v;
+        }
+        let v = compute();
+        self.insert(sig, v.clone());
+        v
+    }
+
+    /// Current counters and size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().expect("cache lock").len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache lock").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<V: Clone> Default for SigCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sizes() {
+        for bits in 0..2u128 {
+            let c = canonicalize(&TruthTable::from_bits(0, bits));
+            assert_eq!((c.bits, c.perm.as_slice()), (bits, &[][..]));
+        }
+        for bits in 0..4u128 {
+            let c = canonicalize(&TruthTable::from_bits(1, bits));
+            assert_eq!((c.bits, c.perm.as_slice()), (bits, &[0][..]));
+        }
+    }
+
+    #[test]
+    fn two_input_classes() {
+        // The two single-minterm tables {1} and {2} are one P-class whose
+        // canonical form is the smaller mask 0b0010.
+        let a = TruthTable::from_minterms(2, &[1]).unwrap();
+        let b = TruthTable::from_minterms(2, &[2]).unwrap();
+        let (ca, cb) = (canonicalize(&a), canonicalize(&b));
+        assert_eq!(ca.bits, 0b0010);
+        assert_eq!(cb.bits, 0b0010);
+        assert_eq!(ca.perm, vec![0, 1]);
+        assert_eq!(cb.perm, vec![1, 0]);
+    }
+
+    #[test]
+    fn perm_achieves_bits() {
+        let f = TruthTable::from_bits(5, 0x0f0f_1234);
+        let c = canonicalize(&f);
+        assert_eq!(f.permute(&c.perm).unwrap().bits(), c.bits);
+    }
+
+    #[test]
+    fn symmetric_function_keeps_identity() {
+        // Fully symmetric (majority of 3): every permutation ties, so the
+        // lexicographic tie-break must keep the identity.
+        let maj = TruthTable::from_minterms(3, &[3, 5, 6, 7]).unwrap();
+        let c = canonicalize(&maj);
+        assert_eq!(c.bits, maj.bits());
+        assert_eq!(c.perm, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn exhaustive_three_inputs_matches_brute() {
+        for bits in 0..256u128 {
+            let f = TruthTable::from_bits(3, bits);
+            assert_eq!(canonicalize(&f), canonicalize_brute(&f), "bits {bits:#x}");
+        }
+    }
+
+    #[test]
+    fn next_permutation_is_lexicographic() {
+        let mut p = vec![0, 1, 2];
+        let mut seen = vec![p.clone()];
+        while next_permutation(&mut p) {
+            seen.push(p.clone());
+        }
+        assert_eq!(seen.len(), 6);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, seen, "generated in sorted order, no repeats");
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache: SigCache<Option<u32>> = SigCache::new();
+        let (sig, _) = signature_of(&TruthTable::from_bits(3, 0b1010_0101), 7);
+        assert_eq!(cache.get_or_insert_with(sig, || Some(42)), Some(42));
+        assert_eq!(cache.get_or_insert_with(sig, || unreachable!()), Some(42));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cache_distinguishes_inputs_and_salt() {
+        let cache: SigCache<u8> = SigCache::new();
+        // Constant zero over 2 and 3 inputs canonicalizes to bits 0 both
+        // times; the input count keeps the entries apart, as does the salt.
+        let (s2, _) = signature_of(&TruthTable::zero(2), 0);
+        let (s3, _) = signature_of(&TruthTable::zero(3), 0);
+        let (s2b, _) = signature_of(&TruthTable::zero(2), 1);
+        cache.insert(s2, 2);
+        cache.insert(s3, 3);
+        cache.insert(s2b, 4);
+        assert_eq!(cache.lookup(&s2), Some(2));
+        assert_eq!(cache.lookup(&s3), Some(3));
+        assert_eq!(cache.lookup(&s2b), Some(4));
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache: SigCache<u64> = SigCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        let sig = Signature { bits: u128::from(i % 8), inputs: 7, salt: 0 };
+                        cache.get_or_insert_with(sig, || (i % 8) * 10);
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 8);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 256);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests pinning the canonicalization contract: P-invariance and
+//! exact agreement between the pruned search and brute force.
+
+use proptest::prelude::*;
+use sft_canon::{canonicalize, canonicalize_brute};
+use sft_truth::TruthTable;
+
+fn arb_table(n: usize) -> impl Strategy<Value = TruthTable> {
+    any::<u128>().prop_map(move |bits| TruthTable::from_bits(n, bits))
+}
+
+fn arb_perm(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    Just((0..n).collect::<Vec<usize>>()).prop_shuffle()
+}
+
+/// Every 4-input function: the pruned search returns exactly the
+/// brute-force canonical form, bits and permutation both.
+#[test]
+fn exhaustive_four_inputs_matches_brute() {
+    for bits in 0..=u16::MAX {
+        let f = TruthTable::from_bits(4, u128::from(bits));
+        let (pruned, brute) = (canonicalize(&f), canonicalize_brute(&f));
+        assert_eq!(pruned, brute, "bits {bits:#06x}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// (a) The signature is a P-class invariant: permuting the inputs never
+    /// changes the canonical bits.
+    #[test]
+    fn signature_invariant_under_permutation_5(t in arb_table(5), p in arb_perm(5)) {
+        let permuted = t.permute(&p).expect("valid permutation");
+        prop_assert_eq!(canonicalize(&t).bits, canonicalize(&permuted).bits);
+    }
+
+    /// Same invariance at the maximum supported width.
+    #[test]
+    fn signature_invariant_under_permutation_7(t in arb_table(7), p in arb_perm(7)) {
+        let permuted = t.permute(&p).expect("valid permutation");
+        prop_assert_eq!(canonicalize(&t).bits, canonicalize(&permuted).bits);
+    }
+
+    /// (b) Pruned == brute force on sampled 6-input tables.
+    #[test]
+    fn sampled_six_inputs_match_brute(t in arb_table(6)) {
+        prop_assert_eq!(canonicalize(&t), canonicalize_brute(&t));
+    }
+
+    /// (b) Pruned == brute force on sampled 7-input tables.
+    #[test]
+    fn sampled_seven_inputs_match_brute(t in arb_table(7)) {
+        prop_assert_eq!(canonicalize(&t), canonicalize_brute(&t));
+    }
+
+    /// The reported permutation really produces the canonical table, and
+    /// canonicalization is idempotent (the canonical table maps to itself).
+    #[test]
+    fn perm_achieves_bits_and_idempotent(t in arb_table(6)) {
+        let c = canonicalize(&t);
+        prop_assert_eq!(t.permute(&c.perm).expect("valid permutation").bits(), c.bits);
+        prop_assert_eq!(canonicalize(&c.table()).bits, c.bits);
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod cover;
 mod identify;
+pub mod memo;
 pub mod resynth;
 mod spec;
 pub mod testability;
@@ -55,10 +56,12 @@ pub mod unit;
 pub use identify::{
     identify, identify_with_dc, identify_with_polarities, IdentifyMethod, IdentifyOptions,
 };
+pub use memo::{identify_cache_clear, identify_cache_stats, identify_memo};
 pub use resynth::{
     procedure2, procedure3, resynthesize, resynthesize_with_budget, Objective, ResynthError,
     ResynthOptions, ResynthReport,
 };
 pub use sft_budget::{Budget, CancelFlag, Exhausted, StopReason};
+pub use sft_canon::CacheStats;
 pub use spec::{ComparisonSpec, SpecError};
 pub use unit::{build_standalone_unit, build_unit_in, UnitCost};

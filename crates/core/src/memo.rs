@@ -1,0 +1,214 @@
+//! The process-wide comparison-identification memo tables.
+//!
+//! Exact identification ([`crate::identify`] with
+//! [`IdentifyMethod::Exact`]) answers a question about the *function*, not
+//! about any particular cone: whether some input permutation maps the
+//! on-set onto one decimal interval. *Whether* such a permutation exists is
+//! therefore a P-class invariant and is decided once per class, keyed by
+//! the canonical signature from [`sft_canon`], in a shared
+//! [`SigCache`].
+//!
+//! *Which* certificate the search returns is **not** class-invariant: two
+//! P-equivalent tables can be witnessed by intervals with different bounds
+//! (a single minterm is `[m, m]` for whatever value `m` the permutation
+//! gives it), and the bounds feed [`crate::unit::unit_cost`] and the unit's
+//! input ordering — so handing a remapped class certificate to a caller
+//! could change replacement decisions. To keep memoized runs bit-identical
+//! to cold runs, positive answers are served from a second table keyed by
+//! the **exact** truth table, whose entries are always the certificate
+//! [`identify`] itself produced for that very table. A positive class
+//! verdict whose exact table has not been seen yet re-runs [`identify`]
+//! directly — cheap, since constructing a witness is the fast path; the
+//! expensive exhaustive refutations are exactly the negative verdicts the
+//! class table shares.
+//!
+//! Queries probe the exact table **first**: canonicalizing a table costs
+//! more than a typical 5-input exact search (the signature search explores
+//! the same permutation space), so the class table only earns its keep on
+//! *fresh* exact tables whose class has already been refuted or confirmed.
+//! Repeat queries — the common case inside one circuit, where the same cut
+//! function recurs along a regular structure — are answered by one hash
+//! probe with no canonicalization at all.
+//!
+//! Both tables are shared across cones, passes, and circuits for the
+//! lifetime of the process. [`identify_cache_stats`] exposes combined
+//! hit/miss counters (surfaced by the CLI and the benchmark reports);
+//! [`identify_cache_clear`] resets both tables for cold-start timing.
+//!
+//! Capped permutation search ([`IdentifyMethod::Permutations`]) is *not*
+//! memoized: its verdict depends on where the cap cuts the enumeration, so
+//! two P-equivalent tables can legitimately answer differently and a
+//! class-keyed cache would change results. Those queries pass straight
+//! through to [`identify`].
+
+use crate::identify::{identify, IdentifyMethod, IdentifyOptions};
+use crate::ComparisonSpec;
+use sft_canon::{signature_of, CacheStats, SigCache, Signature};
+use sft_truth::TruthTable;
+use std::sync::OnceLock;
+
+static CLASS: OnceLock<SigCache<Option<ComparisonSpec>>> = OnceLock::new();
+static EXACT: OnceLock<SigCache<Option<ComparisonSpec>>> = OnceLock::new();
+
+fn class_cache() -> &'static SigCache<Option<ComparisonSpec>> {
+    CLASS.get_or_init(SigCache::new)
+}
+
+fn exact_cache() -> &'static SigCache<Option<ComparisonSpec>> {
+    EXACT.get_or_init(SigCache::new)
+}
+
+/// Distinguishes option sets that could cache different answers. Only the
+/// fields that influence an **exact** identification matter; the
+/// permutation cap does not (it is ignored by the exact method).
+fn options_salt(options: &IdentifyOptions) -> u64 {
+    u64::from(options.try_complement)
+}
+
+/// The exact-table key: the raw (uncanonicalized) bits under the same salt.
+fn exact_signature(f: &TruthTable, salt: u64) -> Signature {
+    Signature { bits: f.bits(), inputs: f.inputs() as u8, salt }
+}
+
+/// Memoized [`identify`], bit-identical to the direct call: negative
+/// verdicts are shared across the whole P-class, positive certificates are
+/// replayed per exact truth table and are always the ones [`identify`]
+/// produced for that table.
+///
+/// Falls back to a direct (uncached) call when `options.method` is not
+/// [`IdentifyMethod::Exact`] — see the module docs for why capped searches
+/// must not share a class-keyed cache.
+pub fn identify_memo(f: &TruthTable, options: &IdentifyOptions) -> Option<ComparisonSpec> {
+    if options.method != IdentifyMethod::Exact {
+        return identify(f, options);
+    }
+    let salt = options_salt(options);
+    let exact_sig = exact_signature(f, salt);
+    if let Some(answer) = exact_cache().lookup(&exact_sig) {
+        return answer;
+    }
+    let (sig, canon_perm) = signature_of(f, salt);
+    let verdict = class_cache().get_or_insert_with(sig, || {
+        identify(&TruthTable::from_bits(f.inputs(), sig.bits), options)
+    });
+    let answer = match verdict {
+        None => None,
+        Some(class_spec) => {
+            // The class is a comparison class, so `f` has a certificate;
+            // serve the one `identify` computes for `f` itself (the class
+            // table's canonical certificate may be witnessed by a different
+            // interval).
+            let spec = identify(f, options).unwrap_or_else(|| {
+                unreachable!("comparison-function existence is a P-class invariant")
+            });
+            debug_assert_eq!(
+                {
+                    // Cross-check the class certificate: remapped through
+                    // the canonicalizing permutation it must certify `f`.
+                    let remapped = ComparisonSpec {
+                        perm: class_spec.perm.iter().map(|&j| canon_perm[j]).collect(),
+                        ..class_spec
+                    };
+                    remapped.to_table()
+                },
+                *f,
+                "remapped class certificate must certify f"
+            );
+            Some(spec)
+        }
+    };
+    exact_cache().insert(exact_sig, answer.clone());
+    answer
+}
+
+/// Combined counters of the process-wide identification tables: a *hit* is
+/// a query answered from the exact table or from an already-decided class
+/// verdict (either way the exponential existence search was skipped); a
+/// *miss* is a query that had to decide a fresh class. `entries` counts
+/// both tables.
+pub fn identify_cache_stats() -> CacheStats {
+    let class = class_cache().stats();
+    let exact = exact_cache().stats();
+    CacheStats {
+        hits: exact.hits + class.hits,
+        misses: class.misses,
+        entries: class.entries + exact.entries,
+    }
+}
+
+/// Clears both process-wide identification tables and their counters.
+/// Benchmark harnesses call this before each timed run so earlier runs (or
+/// other circuits) do not pre-warm the tables.
+pub fn identify_cache_clear() {
+    class_cache().clear();
+    exact_cache().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact() -> IdentifyOptions {
+        IdentifyOptions { method: IdentifyMethod::Exact, ..IdentifyOptions::default() }
+    }
+
+    // NOTE: the caches are process-global and the test harness runs tests
+    // concurrently in one process, so these tests never call
+    // `identify_cache_clear` (it would race sibling tests) and only make
+    // monotonic or key-local assertions about the counters.
+
+    /// The memoized path returns exactly what direct identification
+    /// returns — certificate and all — whether the tables are cold or warm.
+    #[test]
+    fn memo_is_bit_identical_to_direct() {
+        let opts = exact();
+        let mut rng = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..200 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let f = TruthTable::from_bits(4, u128::from(rng >> 32 & 0xffff));
+            let direct = identify(&f, &opts);
+            assert_eq!(identify_memo(&f, &opts), direct, "cold: {f:?}");
+            assert_eq!(identify_memo(&f, &opts), direct, "warm: {f:?}");
+        }
+    }
+
+    /// P-equivalent queries share one class verdict: the second lookup is
+    /// a hit, and each query still gets its own table's certificate.
+    #[test]
+    fn permuted_queries_hit_the_same_class_entry() {
+        let opts = exact();
+        // The paper's f2 (a comparison function) in two input orders.
+        let f = TruthTable::from_minterms(4, &[1, 5, 6, 9, 10, 14]).unwrap();
+        let g = f.permute(&[2, 0, 3, 1]).unwrap();
+        let before = identify_cache_stats();
+        let sf = identify_memo(&f, &opts).expect("comparison function");
+        let sg = identify_memo(&g, &opts).expect("P-equivalent, still one");
+        let after = identify_cache_stats();
+        assert!(after.hits > before.hits, "second query must hit");
+        assert_eq!(sf, identify(&f, &opts).unwrap());
+        assert_eq!(sg, identify(&g, &opts).unwrap());
+        assert_eq!(sf.to_table(), f);
+        assert_eq!(sg.to_table(), g);
+    }
+
+    /// Non-exact methods bypass the tables entirely: after a capped query,
+    /// the queried class still has no entry.
+    #[test]
+    fn capped_method_is_not_cached() {
+        let opts =
+            IdentifyOptions { method: IdentifyMethod::Permutations, ..IdentifyOptions::default() };
+        // A 7-input table no other test queries, so a stored entry could
+        // only come from this call.
+        let f = TruthTable::from_bits(7, 0x0123_4567_89ab_cdef_0055_aa33_cc0f_f0c3);
+        let _ = identify_memo(&f, &opts);
+        let (sig, _) = signature_of(&f, options_salt(&opts));
+        assert!(
+            class_cache().lookup(&sig).is_none(),
+            "capped identification must not populate the shared class table"
+        );
+        assert!(
+            exact_cache().lookup(&exact_signature(&f, options_salt(&opts))).is_none(),
+            "capped identification must not populate the exact table"
+        );
+    }
+}

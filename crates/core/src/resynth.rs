@@ -105,6 +105,33 @@ pub struct ResynthOptions {
     /// `use_satisfiability_dont_cares` is on, since SDC extraction shares
     /// one mutable BDD manager.
     pub jobs: Jobs,
+    /// Memoize exact comparison-function identification in the
+    /// process-wide tables of [`crate::memo`]: negative verdicts shared
+    /// per P-class, positive certificates replayed per exact truth table.
+    /// Identification answers — certificates included — and the resulting
+    /// netlist are bit-identical to an unmemoized run; repeated cone
+    /// functions (within a circuit, across passes, and across circuits)
+    /// skip the exponential decision procedure. Only
+    /// [`IdentifyMethod::Exact`](crate::IdentifyMethod::Exact) queries are
+    /// cached — see the module docs.
+    /// On by default.
+    pub memoize_identification: bool,
+    /// Skip re-scoring gates whose rejection provably replays: a gate
+    /// rejected in a pass is not re-scored in the next pass unless the
+    /// modified region (the replacements, their fanin frontier, and
+    /// everything downstream) reaches its scoring environment. The final
+    /// netlist is identical to a full re-walk; under a *step* budget the
+    /// run consumes fewer steps and can therefore progress further before
+    /// exhaustion. On by default.
+    pub incremental_rescoring: bool,
+    /// Compact the cumulative verification BDD manager after every
+    /// committed pass, keeping only the reference and the committed
+    /// circuit's node BDDs. Bounds the manager (and its operation caches)
+    /// by the live working set instead of the whole run's history;
+    /// [`ResynthReport::verify_nodes`] reports the peak either way. Off, the
+    /// manager grows monotonically (the pre-compaction behavior). On by
+    /// default.
+    pub compact_verifier: bool,
 }
 
 impl Default for ResynthOptions {
@@ -121,6 +148,9 @@ impl Default for ResynthOptions {
             max_cover_units: 1,
             allow_input_negation: false,
             jobs: Jobs::serial(),
+            memoize_identification: true,
+            incremental_rescoring: true,
+            compact_verifier: true,
         }
     }
 }
@@ -173,10 +203,12 @@ pub struct ResynthReport {
     /// [`StopReason::Converged`] / [`StopReason::MaxPasses`] means the run
     /// was cut short and the circuit holds the last verified state.
     pub stop_reason: StopReason,
-    /// Nodes held by the cumulative verification BDD manager at the end of
+    /// **Peak** node count of the cumulative verification BDD manager over
     /// the run (0 when `verify_each_pass` is off). A direct measure of
     /// verification effort against
-    /// [`ResynthOptions::verify_node_limit`].
+    /// [`ResynthOptions::verify_node_limit`]; with
+    /// [`ResynthOptions::compact_verifier`] off the manager never shrinks
+    /// and the peak equals the final count.
     pub verify_nodes: usize,
 }
 
@@ -262,12 +294,155 @@ impl From<Exhausted> for PassAbort {
 }
 
 /// The cumulative verification state: one shared manager holding the
-/// reference output BDDs. Pass results are rebuilt in the same manager, so
-/// hash-consing makes equivalence a reference comparison and the node count
-/// only grows when a pass actually changes the circuit.
+/// reference output BDDs **and** the per-node BDDs of the last committed
+/// circuit. Verification is incremental: a pass result reuses the committed
+/// references for every node outside the modified region and rebuilds only
+/// the dirty ones, so hash-consing makes equivalence a reference comparison
+/// and per-pass BDD work is proportional to the pass's edits, not the
+/// circuit.
 struct Verifier {
     manager: sft_bdd::Manager,
+    /// Output BDDs of the input circuit — the spec every pass must match.
     reference: Vec<sft_bdd::BddRef>,
+    /// Per-node BDDs of the last committed circuit, indexed by node id.
+    node_refs: Vec<sft_bdd::BddRef>,
+    /// BDD variable of each input position, fixed at reference build time
+    /// (a DFS-derived order; see [`sft_bdd::dfs_input_order`]). Inputs are
+    /// never added, dropped, or reordered by a pass, so the same map stays
+    /// valid for every incremental rebuild.
+    var_order: Vec<u32>,
+    /// Largest node count the manager ever held.
+    peak: usize,
+}
+
+impl Verifier {
+    /// Checks a swept pass result against the reference. `dirty_pre` marks
+    /// (in the pre-sweep id space shared with the committed circuit) the
+    /// nodes whose function may differ from the committed one; every other
+    /// node's committed BDD is carried through `map`. Returns whether the
+    /// outputs still match; on a match the carried+rebuilt refs become the
+    /// new committed refs.
+    fn check_pass(
+        &mut self,
+        circuit: &Circuit,
+        dirty_pre: &[bool],
+        map: &sft_netlist::NodeMap,
+        budget: &Budget,
+    ) -> Result<bool, sft_bdd::BddError> {
+        let mut refs = vec![sft_bdd::BddRef::FALSE; circuit.len()];
+        let mut have = vec![false; circuit.len()];
+        for (old, &r) in self.node_refs.iter().enumerate() {
+            if dirty_pre[old] {
+                continue;
+            }
+            if let Some(new) = map.get(NodeId::from_index(old)) {
+                refs[new.index()] = r;
+                have[new.index()] = true;
+            }
+        }
+        let input_var: std::collections::HashMap<NodeId, u32> =
+            circuit.inputs().iter().enumerate().map(|(i, &id)| (id, self.var_order[i])).collect();
+        // Infallible: every structural edit is cycle-checked by `rewire`.
+        let order = circuit.topo_order().expect("combinational circuit");
+        for id in order {
+            if have[id.index()] {
+                continue;
+            }
+            budget.check()?;
+            let node = circuit.node(id);
+            let r = match node.kind() {
+                GateKind::Input => self.manager.var(input_var[&id])?,
+                kind => {
+                    let fanins: Vec<sft_bdd::BddRef> =
+                        node.fanins().iter().map(|f| refs[f.index()]).collect();
+                    sft_bdd::gate_bdd(&mut self.manager, kind, &fanins)?
+                }
+            };
+            refs[id.index()] = r;
+            have[id.index()] = true;
+        }
+        let outs: Vec<sft_bdd::BddRef> =
+            circuit.outputs().iter().map(|o| refs[o.index()]).collect();
+        let ok = outs == self.reference;
+        if ok {
+            self.node_refs = refs;
+        }
+        Ok(ok)
+    }
+
+    /// Garbage-collects the manager down to the reference and the committed
+    /// circuit's node BDDs, remapping both reference sets consistently.
+    fn compact(&mut self) {
+        let split = self.node_refs.len();
+        let mut keep = std::mem::take(&mut self.node_refs);
+        keep.extend_from_slice(&self.reference);
+        self.manager.compact(&mut keep);
+        self.reference = keep.split_off(split);
+        self.node_refs = keep;
+    }
+}
+
+/// The modified region of `current` (post-simplify, **pre-sweep** — its ids
+/// are shared with `committed`), as two masks over `current`'s ids:
+///
+/// - `.0` — verification-dirty: nodes whose function of the primary inputs
+///   may differ from the committed circuit's. Seeds are the changed nodes
+///   (different kind or fanin list, or appended this pass); the set is
+///   closed downstream, so everything outside keeps its committed BDD.
+/// - `.1` — scoring-dirty: nodes whose next-pass scoring environment may
+///   differ. Seeds additionally include every fanin of a changed node in
+///   either structure (its consumer multiset changed) and every fanin of a
+///   node the sweep is about to drop (it loses that consumer), again closed
+///   downstream. A rejected gate outside this set sees byte-identical path
+///   labels, cone functions, and fanout tables next pass, so its rejection
+///   replays without re-scoring.
+fn dirty_regions(committed: &Circuit, current: &Circuit) -> (Vec<bool>, Vec<bool>) {
+    let n = current.len();
+    let live = current.live_mask();
+    let mut bdd = vec![false; n];
+    let mut score = vec![false; n];
+    for i in 0..n {
+        let id = NodeId::from_index(i);
+        let node = current.node(id);
+        let changed = i >= committed.len() || {
+            let old = committed.node(id);
+            old.kind() != node.kind() || old.fanins() != node.fanins()
+        };
+        if changed {
+            bdd[i] = true;
+            score[i] = true;
+            for f in node.fanins() {
+                score[f.index()] = true;
+            }
+            if i < committed.len() {
+                for f in committed.node(id).fanins() {
+                    score[f.index()] = true;
+                }
+            }
+        }
+        if !live[i] {
+            score[i] = true;
+            for f in node.fanins() {
+                score[f.index()] = true;
+            }
+        }
+    }
+    // Close both masks downstream: a node fed by a dirty node is dirty.
+    let order = current.topo_order().expect("combinational circuit");
+    for &id in &order {
+        if bdd[id.index()] && score[id.index()] {
+            continue;
+        }
+        for f in current.node(id).fanins() {
+            if bdd[f.index()] {
+                bdd[id.index()] = true;
+            }
+            if score[f.index()] {
+                score[id.index()] = true;
+            }
+        }
+    }
+    (bdd, score)
 }
 
 /// Runs the resynthesis procedure with the configured objective until a
@@ -322,8 +497,14 @@ pub fn resynthesize_with_budget(
     // the untouched circuit with the reason.
     let mut verifier = if options.verify_each_pass {
         let mut manager = sft_bdd::Manager::with_node_limit(options.verify_node_limit);
-        match sft_bdd::circuit_bdds_budgeted(&mut manager, circuit, budget) {
-            Ok(reference) => Some(Verifier { manager, reference }),
+        let var_order = sft_bdd::dfs_input_order(circuit);
+        match sft_bdd::circuit_node_bdds_ordered(&mut manager, circuit, &var_order, budget) {
+            Ok(node_refs) => {
+                let reference: Vec<sft_bdd::BddRef> =
+                    circuit.outputs().iter().map(|o| node_refs[o.index()]).collect();
+                let peak = manager.node_count();
+                Some(Verifier { manager, reference, node_refs, var_order, peak })
+            }
             Err(e) => {
                 report.verify_nodes = manager.node_count();
                 let reason = match e {
@@ -339,6 +520,10 @@ pub fn resynthesize_with_budget(
     // The last verified (or at least committed) state; every abort path
     // restores the circuit to it.
     let mut committed = circuit.clone();
+    // Gates (ids of the committed circuit) whose rejection last pass is
+    // outside this pass's modified region: the next pass replays the
+    // rejection without re-scoring.
+    let mut skip: Vec<bool> = Vec::new();
     let reason = loop {
         if report.passes >= options.max_passes {
             break StopReason::MaxPasses;
@@ -348,7 +533,8 @@ pub fn resynthesize_with_budget(
         }
         let before_gates = circuit.two_input_gate_count();
         let before_paths = circuit.path_count();
-        let replacements = match one_pass(circuit, options, budget) {
+        let mut rejected = vec![false; circuit.len()];
+        let replacements = match one_pass(circuit, options, budget, &skip, &mut rejected) {
             Ok(n) => n,
             Err(PassAbort::Budget(e)) => {
                 circuit.clone_from(&committed);
@@ -363,15 +549,16 @@ pub fn resynthesize_with_budget(
         };
         simplify::propagate_constants(circuit);
         simplify::collapse_buffers(circuit);
-        circuit.sweep();
+        let (bdd_dirty, score_dirty) = dirty_regions(&committed, circuit);
+        let map = circuit.sweep();
         if let Some(v) = &mut verifier {
-            match sft_bdd::circuit_bdds_budgeted(&mut v.manager, circuit, budget) {
-                Ok(outs) => {
-                    // Hash-consing: same manager + same function = same ref.
-                    if outs != v.reference {
-                        circuit.clone_from(&committed);
-                        break StopReason::VerificationRollback;
-                    }
+            let outcome = v.check_pass(circuit, &bdd_dirty, &map, budget);
+            v.peak = v.peak.max(v.manager.node_count());
+            match outcome {
+                Ok(true) => {}
+                Ok(false) => {
+                    circuit.clone_from(&committed);
+                    break StopReason::VerificationRollback;
                 }
                 Err(sft_bdd::BddError::NodeLimit(_)) => {
                     circuit.clone_from(&committed);
@@ -385,6 +572,16 @@ pub fn resynthesize_with_budget(
         }
         // Commit the verified pass.
         committed.clone_from(circuit);
+        skip = vec![false; circuit.len()];
+        if options.incremental_rescoring {
+            for (old, &was_rejected) in rejected.iter().enumerate() {
+                if was_rejected && !score_dirty[old] {
+                    if let Some(new) = map.get(NodeId::from_index(old)) {
+                        skip[new.index()] = true;
+                    }
+                }
+            }
+        }
         report.passes += 1;
         report.replacements += replacements;
         let improved = match options.objective {
@@ -397,19 +594,39 @@ pub fn resynthesize_with_budget(
         if replacements == 0 || !improved {
             break StopReason::Converged;
         }
+        // Another pass follows: bound the manager by the live working set.
+        // Compacting on the way *into* a pass (rather than after every
+        // verification) skips the pointless rebuild on the final,
+        // converging pass.
+        if options.compact_verifier {
+            if let Some(v) = &mut verifier {
+                v.compact();
+            }
+        }
     };
     if let Some(v) = &verifier {
-        report.verify_nodes = v.manager.node_count();
+        report.verify_nodes = v.peak.max(v.manager.node_count());
     }
     finish(circuit, report, reason)
 }
 
 /// One output-to-input pass. Returns the number of replacements, or the
 /// reason the pass had to be abandoned (the caller rolls back).
+///
+/// `skip[g]` replays a previous rejection at `g` without re-scoring; the
+/// caller guarantees (via [`dirty_regions`]) that `g`'s scoring environment
+/// is unchanged since that rejection, and the flags are honored only while
+/// this pass has not yet edited the circuit — after the first replacement
+/// the environment is mid-pass state the caller could not have diffed.
+/// `rejected` records (under the same freshness rule) the gates this pass
+/// scored-and-rejected or replay-skipped, as input for the next pass's skip
+/// set.
 fn one_pass(
     circuit: &mut Circuit,
     options: &ResynthOptions,
     budget: &Budget,
+    skip: &[bool],
+    rejected: &mut [bool],
 ) -> Result<usize, PassAbort> {
     let labels = circuit.path_labels();
     let order = circuit.bfs_order()?;
@@ -430,7 +647,7 @@ fn one_pass(
     // plain identification instead of aborting the pass.
     let mut dc_state = if options.use_satisfiability_dont_cares {
         let mut manager = sft_bdd::Manager::new();
-        match node_bdds(&mut manager, circuit, budget) {
+        match sft_bdd::circuit_node_bdds_budgeted(&mut manager, circuit, budget) {
             Ok(per_node) => Some((manager, per_node)),
             Err(sft_bdd::BddError::NodeLimit(_)) => None,
             Err(sft_bdd::BddError::Interrupted(e)) => return Err(e.into()),
@@ -439,6 +656,13 @@ fn one_pass(
         None
     };
 
+    // Fanout bookkeeping only changes when the circuit does, so it is
+    // hoisted out of the gate loop and refreshed after each replacement.
+    let mut fanout_counts = circuit.fanout_counts();
+    let mut fanout_table = circuit.fanout_table();
+    // Skip flags (and newly recorded rejections) are valid only against the
+    // pass-start state the caller diffed; the first edit invalidates both.
+    let mut untouched = true;
     let mut replacements = 0usize;
     for &g in order.iter().rev() {
         if g.index() >= marked.len() {
@@ -451,8 +675,17 @@ fn one_pass(
             continue;
         }
         budget.check()?;
-        let fanout_counts = circuit.fanout_counts();
-        let fanout_table = circuit.fanout_table();
+        if untouched && skip.get(g.index()).copied().unwrap_or(false) {
+            // Replayed rejection: same traversal as the reject branch below,
+            // with the scoring skipped.
+            rejected[g.index()] = true;
+            for f in circuit.node(g).fanins().to_vec() {
+                if f.index() < marked.len() && circuit.node(f).kind().is_gate() {
+                    marked[f.index()] = true;
+                }
+            }
+            continue;
+        }
         let candidates = enumerate_candidates(circuit, g, options);
         let ctx = ScoreCtx {
             g,
@@ -551,12 +784,18 @@ fn one_pass(
             };
             circuit.rewire(g, kind, fanins)?;
             replacements += 1;
+            fanout_counts = circuit.fanout_counts();
+            fanout_table = circuit.fanout_table();
+            untouched = false;
             for i in &b.inputs {
                 if i.index() < marked.len() && circuit.node(*i).kind().is_gate() {
                     marked[i.index()] = true;
                 }
             }
         } else {
+            if untouched {
+                rejected[g.index()] = true;
+            }
             // The single-gate candidate is implicitly selected: continue the
             // traversal through g's fanins (Procedure 2, step 2d).
             for f in circuit.node(g).fanins().to_vec() {
@@ -694,12 +933,21 @@ fn score_candidate(
 ) -> Result<Option<Candidate>, Exhausted> {
     budget.consume(1)?;
     let Ok(truth) = circuit.cone_function(ctx.g, inputs) else { return Ok(None) };
+    // Don't-care-widened identification depends on the cut, not just the
+    // function, so only the plain queries go through the P-class memo.
+    let plain = |truth: &sft_truth::TruthTable| {
+        if options.memoize_identification {
+            crate::memo::identify_memo(truth, &options.identify)
+        } else {
+            identify(truth, &options.identify)
+        }
+    };
     let spec = match dc {
         Some((manager, per_node)) => match reachable_dc(manager, per_node, circuit, inputs) {
             Ok(Some(dc)) => identify_with_dc(&truth, &dc, &options.identify),
-            _ => identify(&truth, &options.identify),
+            _ => plain(&truth),
         },
-        None => identify(&truth, &options.identify),
+        None => plain(&truth),
     };
     let (replacement, cost) = match spec {
         Some(spec) => {
@@ -784,53 +1032,6 @@ fn removable_gates(
     v.push(g);
     v.sort_unstable();
     v
-}
-
-/// BDDs of every node of the circuit in terms of the primary inputs,
-/// for satisfiability-don't-care extraction. Checks the budget once per
-/// node (surfaced as [`sft_bdd::BddError::Interrupted`]).
-fn node_bdds(
-    manager: &mut sft_bdd::Manager,
-    circuit: &Circuit,
-    budget: &Budget,
-) -> Result<Vec<sft_bdd::BddRef>, sft_bdd::BddError> {
-    // Infallible: resynthesize validates the circuit before any pass runs.
-    let order = circuit.topo_order().expect("combinational circuit");
-    let mut refs = vec![sft_bdd::BddRef::FALSE; circuit.len()];
-    let input_var: std::collections::HashMap<NodeId, u32> =
-        circuit.inputs().iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
-    for id in order {
-        budget.check()?;
-        let node = circuit.node(id);
-        let r = match node.kind() {
-            GateKind::Input => manager.var(input_var[&id])?,
-            GateKind::Const0 => sft_bdd::BddRef::FALSE,
-            GateKind::Const1 => sft_bdd::BddRef::TRUE,
-            GateKind::Buf => refs[node.fanins()[0].index()],
-            GateKind::Not => manager.not(refs[node.fanins()[0].index()])?,
-            kind => {
-                let mut acc = match kind {
-                    GateKind::And | GateKind::Nand => sft_bdd::BddRef::TRUE,
-                    _ => sft_bdd::BddRef::FALSE,
-                };
-                for f in node.fanins() {
-                    let fr = refs[f.index()];
-                    acc = match kind {
-                        GateKind::And | GateKind::Nand => manager.and(acc, fr)?,
-                        GateKind::Or | GateKind::Nor => manager.or(acc, fr)?,
-                        _ => manager.xor(acc, fr)?,
-                    };
-                }
-                if kind.inverts() {
-                    manager.not(acc)?
-                } else {
-                    acc
-                }
-            }
-        };
-        refs[id.index()] = r;
-    }
-    Ok(refs)
 }
 
 /// The unreachable cone-input combinations (satisfiability don't-cares) of
@@ -1178,13 +1379,17 @@ p1 = AND(x, c)\np2 = AND(c, x)\ny = OR(p1, p2)\n";
                 window: 24,
                 seed: 1,
             });
+        // With compaction off the verification manager only grows, so
+        // `verify_nodes` of a prefix run is a floor for the full run's and
+        // the one-node-short limit below lands in a later pass.
+        let base = ResynthOptions { compact_verifier: false, ..ResynthOptions::default() };
         let full = {
             let mut c = original.clone();
-            resynthesize(&mut c, &ResynthOptions::default()).unwrap()
+            resynthesize(&mut c, &base).unwrap()
         };
         let pass1 = {
             let mut c = original.clone();
-            let opts = ResynthOptions { max_passes: 1, ..ResynthOptions::default() };
+            let opts = ResynthOptions { max_passes: 1, ..base.clone() };
             resynthesize(&mut c, &opts).unwrap()
         };
         assert!(full.passes >= 2, "fixture must take at least two passes: {full}");
@@ -1201,7 +1406,7 @@ p1 = AND(x, c)\np2 = AND(c, x)\ny = OR(p1, p2)\n";
             "pass-1 verification must fit under the injected limit"
         );
         let mut c = original.clone();
-        let opts = ResynthOptions { verify_node_limit: limit, ..ResynthOptions::default() };
+        let opts = ResynthOptions { verify_node_limit: limit, ..base };
         let report = resynthesize(&mut c, &opts).unwrap();
         assert_eq!(report.stop_reason, StopReason::BddBlowup, "{report}");
         assert!(report.passes >= 1, "pass-1 commit must survive the blowup: {report}");
@@ -1213,6 +1418,70 @@ p1 = AND(x, c)\np2 = AND(c, x)\ny = OR(p1, p2)\n";
         assert!(
             c.two_input_gate_count() < original.two_input_gate_count(),
             "kept work must improve on the input"
+        );
+    }
+
+    /// The tentpole invariant: P-class memoization and rejection replay are
+    /// pure accelerations. On the bundled suite and on a multi-pass fixture
+    /// that exercises the skip path, the final netlist and the report are
+    /// bit-identical to a cold, fully re-scored run.
+    #[test]
+    fn memo_and_incremental_rescoring_match_full_rewalk() {
+        let fast = ResynthOptions { max_candidates_per_gate: 60, ..ResynthOptions::default() };
+        let slow = ResynthOptions {
+            memoize_identification: false,
+            incremental_rescoring: false,
+            ..fast.clone()
+        };
+        let multi_pass =
+            sft_circuits::random::random_circuit(&sft_circuits::random::RandomCircuitConfig {
+                inputs: 12,
+                outputs: 6,
+                gates: 80,
+                window: 24,
+                seed: 1,
+            });
+        let mut circuits: Vec<Circuit> =
+            sft_circuits::suite::suite_small().into_iter().map(|e| e.circuit).collect();
+        circuits.push(multi_pass);
+        for original in circuits {
+            let mut a = original.clone();
+            let mut b = original.clone();
+            let ra = resynthesize(&mut a, &fast).unwrap();
+            let rb = resynthesize(&mut b, &slow).unwrap();
+            assert_eq!(ra, rb, "{}: reports must match", original.name());
+            assert_eq!(a, b, "{}: netlists must be bit-identical", original.name());
+        }
+    }
+
+    /// Compacting the verification manager between passes changes neither
+    /// the result nor the decisions, and its peak node count never exceeds
+    /// the monotone (uncompacted) manager's.
+    #[test]
+    fn verifier_compaction_is_transparent_and_bounded() {
+        let original =
+            sft_circuits::random::random_circuit(&sft_circuits::random::RandomCircuitConfig {
+                inputs: 12,
+                outputs: 6,
+                gates: 80,
+                window: 24,
+                seed: 1,
+            });
+        let compacted_opts = ResynthOptions { compact_verifier: true, ..ResynthOptions::default() };
+        let monotone_opts = ResynthOptions { compact_verifier: false, ..ResynthOptions::default() };
+        let mut compacted = original.clone();
+        let rc = resynthesize(&mut compacted, &compacted_opts).unwrap();
+        let mut monotone = original.clone();
+        let rm = resynthesize(&mut monotone, &monotone_opts).unwrap();
+        assert!(rc.passes >= 2, "fixture must take at least two passes: {rc}");
+        assert_eq!(compacted, monotone, "compaction must not change the netlist");
+        assert_eq!((rc.passes, rc.replacements), (rm.passes, rm.replacements));
+        assert_eq!((rc.gates_after, rc.paths_after), (rm.gates_after, rm.paths_after));
+        assert!(
+            rc.verify_nodes <= rm.verify_nodes,
+            "compacted peak {} must not exceed monotone peak {}",
+            rc.verify_nodes,
+            rm.verify_nodes
         );
     }
 }

@@ -2,11 +2,16 @@
 //!
 //! Campaigns are **thread-parallel and bit-deterministic**: the pattern
 //! words of block `b` are a pure function of `(seed, b)` (counter-based
-//! stream derivation, [`pattern_block`]), blocks are simulated in chunks
-//! of [`CampaignConfig::jobs`] concurrent workers, and worker results are
+//! stream derivation, [`pattern_block`]), consecutive blocks are grouped
+//! into work items of roughly [`CampaignConfig::parallel_grain`] node
+//! evaluations each (one simulator per item, so thread spawns and
+//! simulator setup amortize over many blocks), up to
+//! [`CampaignConfig::jobs`] items run concurrently, and worker results are
 //! merged strictly in block order. The merged result is therefore
-//! bit-identical at any thread count — `jobs: Jobs::serial()` additionally
-//! runs everything inline with zero spawned threads.
+//! bit-identical at any thread count and any grain —
+//! `jobs: Jobs::serial()` additionally runs everything inline with zero
+//! spawned threads, and a remainder too small to fill one work item runs
+//! inline too instead of paying thread-spawn latency.
 
 use crate::fsim::FaultSimTables;
 use crate::{Fault, FaultSim};
@@ -31,11 +36,26 @@ pub struct CampaignConfig {
     /// bit-identical at any value; [`Jobs::serial`] (the default) spawns no
     /// threads at all.
     pub jobs: Jobs,
+    /// Approximate node evaluations per parallel work item. Consecutive
+    /// pattern blocks are grouped until a group reaches this much estimated
+    /// work (`alive faults × circuit nodes` per block), so thread spawns
+    /// and per-worker simulator setup amortize over whole groups and
+    /// near-saturated campaigns (few faults alive, microseconds per block)
+    /// stop paying parallel overhead per block. A remainder smaller than
+    /// one work item runs inline on the calling thread. Results are
+    /// bit-identical at any value; `0` restores one block per work item.
+    pub parallel_grain: u64,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { max_patterns: 1 << 16, plateau: 0, seed: 0x5f7, jobs: Jobs::serial() }
+        CampaignConfig {
+            max_patterns: 1 << 16,
+            plateau: 0,
+            seed: 0x5f7,
+            jobs: Jobs::serial(),
+            parallel_grain: 2_000_000,
+        }
     }
 }
 
@@ -111,14 +131,16 @@ pub fn pattern_block(seed: u64, block: u64, num_inputs: usize) -> Vec<u64> {
 /// block). Detected faults are dropped from subsequent blocks, so the cost
 /// per block shrinks as coverage saturates.
 ///
-/// With `config.jobs > 1`, up to `jobs` blocks are simulated concurrently
-/// (each worker owns a [`FaultSim`] sharing precomputed
+/// With `config.jobs > 1`, consecutive blocks are grouped into work items
+/// of roughly [`CampaignConfig::parallel_grain`] node evaluations and up
+/// to `jobs` items are simulated concurrently (each worker owns a
+/// [`FaultSim`] for its whole group, sharing precomputed
 /// [`FaultSimTables`]) and merged in block order; the result — including
 /// every detection index, the effective-pattern statistic and the
 /// plateau-rule stopping point — is **bit-identical** to the serial run.
 /// The only cost of parallelism is that blocks simulated concurrently with
-/// the block that triggers a stop are discarded (bounded by `jobs - 1`
-/// blocks of wasted work).
+/// the block that triggers a stop are discarded (bounded by the chunk of
+/// blocks in flight).
 ///
 /// # Panics
 ///
@@ -126,10 +148,10 @@ pub fn pattern_block(seed: u64, block: u64, num_inputs: usize) -> Vec<u64> {
 pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) -> CampaignResult {
     let num_inputs = circuit.inputs().len();
     let tables = Arc::new(FaultSimTables::new(circuit));
-    // The serial path keeps one simulator alive across all blocks; parallel
-    // workers build one per block from the shared tables.
-    let mut serial_fsim =
-        config.jobs.is_serial().then(|| FaultSim::with_tables(circuit, Arc::clone(&tables)));
+    // The inline path (serial runs, and chunks too small to parallelize)
+    // keeps one simulator alive across all its blocks; parallel workers
+    // build one per group from the shared tables.
+    let mut inline_fsim: Option<FaultSim> = None;
 
     let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
     // Global indices of still-undetected faults; compacted as faults fall.
@@ -141,27 +163,80 @@ pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) ->
     let mut stopped = false;
 
     while !stopped && applied < config.max_patterns && !alive.is_empty() {
-        // One chunk: up to `jobs` consecutive blocks over the same alive
-        // set. (offset, size) describe each block's pattern range.
+        // One chunk: up to `jobs` groups of consecutive blocks over the
+        // same alive set. (offset, size) describe each block's pattern
+        // range. Group size follows the estimated per-block cost (every
+        // alive fault may touch every node) so each work item carries
+        // roughly `parallel_grain` node evaluations — the estimate only
+        // shapes the schedule, never the result.
         let blocks_left = (config.max_patterns - applied).div_ceil(64);
-        let chunk = (config.jobs.get() as u64).min(blocks_left);
+        let per_block = (alive.len() as u64).max(1) * (circuit.len() as u64).max(1);
+        let group = (config.parallel_grain / per_block).max(1);
+        // A remainder below one full work item is not worth a thread spawn.
+        let inline = config.jobs.is_serial() || blocks_left <= group;
+        let chunk = if inline {
+            // The serial drop order compacts after every block.
+            1
+        } else {
+            (config.jobs.get() as u64 * group).min(blocks_left)
+        };
         let blocks: Vec<(u64, u64, u64)> = (0..chunk)
             .map(|i| {
                 let offset = applied + i * 64;
                 (block_index + i, offset, (config.max_patterns - offset).min(64))
             })
             .collect();
-        let masks_per_block: Vec<Vec<u64>> = match &mut serial_fsim {
-            Some(fsim) => blocks
+        let masks_per_block: Vec<Vec<u64>> = if inline {
+            let fsim = inline_fsim
+                .get_or_insert_with(|| FaultSim::with_tables(circuit, Arc::clone(&tables)));
+            blocks
                 .iter()
                 .map(|&(b, _, _)| {
                     fsim.detect_masks(&alive_faults, &pattern_block(config.seed, b, num_inputs))
                 })
-                .collect(),
-            None => parallel_map(config.jobs, &blocks, |_, &(b, _, _)| {
+                .collect()
+        } else {
+            let groups: Vec<&[(u64, u64, u64)]> = blocks.chunks(group as usize).collect();
+            parallel_map(config.jobs, &groups, |_, grp| {
                 let mut fsim = FaultSim::with_tables(circuit, Arc::clone(&tables));
-                fsim.detect_masks(&alive_faults, &pattern_block(config.seed, b, num_inputs))
-            }),
+                // Workers drop faults they have already detected in an
+                // earlier block of their own group: the merge ignores any
+                // later detection of those faults anyway (strict block
+                // order), so the masks may go silent without changing the
+                // result — and the group stops paying for faults that die
+                // in its first blocks, just as the serial loop does.
+                let mut slots: Vec<usize> = (0..alive_faults.len()).collect();
+                let mut local_faults = alive_faults.clone();
+                grp.iter()
+                    .map(|&(b, _, size)| {
+                        let local_masks = fsim.detect_masks(
+                            &local_faults,
+                            &pattern_block(config.seed, b, num_inputs),
+                        );
+                        let mut masks = vec![0u64; alive_faults.len()];
+                        let mut keep_slots = Vec::with_capacity(slots.len());
+                        let mut keep_faults = Vec::with_capacity(slots.len());
+                        let size_mask = if size < 64 { (1u64 << size) - 1 } else { !0 };
+                        for ((&slot, &fault), &mask) in
+                            slots.iter().zip(&local_faults).zip(&local_masks)
+                        {
+                            masks[slot] = mask;
+                            // Only in-range detections count (a tail block
+                            // must not drop on bits past `max_patterns`).
+                            if mask & size_mask == 0 {
+                                keep_slots.push(slot);
+                                keep_faults.push(fault);
+                            }
+                        }
+                        slots = keep_slots;
+                        local_faults = keep_faults;
+                        masks
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
         };
         // Merge strictly in block order. Faults detected by an earlier
         // block of this chunk are skipped in later blocks (their slot in
@@ -270,12 +345,26 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         for (max_patterns, plateau) in [(2048, 0), (1 << 14, 256), (100, 0)] {
             let serial = campaign(&c, &faults, &cfg(max_patterns, plateau, 9));
             for jobs in [2, 3, 4, 8] {
-                let par = campaign(
-                    &c,
-                    &faults,
-                    &CampaignConfig { max_patterns, plateau, seed: 9, jobs: Jobs::new(jobs) },
-                );
-                assert_eq!(serial, par, "jobs={jobs} max={max_patterns} plateau={plateau}");
+                // grain 0 forces one-block work items (maximal interleaving
+                // of the merge), the default exercises grouped items, and
+                // the huge grain forces the inline remainder path.
+                for grain in [0, CampaignConfig::default().parallel_grain, u64::MAX] {
+                    let par = campaign(
+                        &c,
+                        &faults,
+                        &CampaignConfig {
+                            max_patterns,
+                            plateau,
+                            seed: 9,
+                            jobs: Jobs::new(jobs),
+                            parallel_grain: grain,
+                        },
+                    );
+                    assert_eq!(
+                        serial, par,
+                        "jobs={jobs} grain={grain} max={max_patterns} plateau={plateau}"
+                    );
+                }
             }
         }
     }
@@ -336,10 +425,18 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let faults = fault_list(&c);
         for max in [1, 63, 65, 130] {
             let serial = campaign(&c, &faults, &cfg(max, 0, 11));
+            // grain 0 keeps every block its own work item so the tail
+            // block really crosses the parallel merge.
             let par = campaign(
                 &c,
                 &faults,
-                &CampaignConfig { max_patterns: max, plateau: 0, seed: 11, jobs: Jobs::new(4) },
+                &CampaignConfig {
+                    max_patterns: max,
+                    plateau: 0,
+                    seed: 11,
+                    jobs: Jobs::new(4),
+                    parallel_grain: 0,
+                },
             );
             assert_eq!(serial, par, "max_patterns={max}");
             assert!(serial.patterns_applied <= max);

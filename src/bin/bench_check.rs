@@ -1,0 +1,230 @@
+//! `bench_check` — guard against resynthesis performance regressions.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json>
+//! ```
+//!
+//! Compares a freshly generated `BENCH_resynth.json` against the committed
+//! baseline and exits non-zero when either
+//!
+//! - a **decision drifted**: `gates_after`, `paths_after`, or
+//!   `replacements` differs for any circuit (resynthesis results must be
+//!   independent of timing, caching, and thread count), or
+//! - a **circuit regressed**: its serial time grew by more than 15% beyond
+//!   the machine-speed factor. The factor is the median of the per-circuit
+//!   fresh/baseline time ratios, so a uniformly slower (or faster) CI
+//!   runner shifts every ratio together and trips nothing; only a circuit
+//!   that slowed down *relative to the rest of the suite* fails. Circuits
+//!   within 2 ms of their expected time are exempt — at that scale the
+//!   4-decimal JSON rounding and scheduler noise dominate.
+//!
+//! The parser handles exactly the flat one-row-per-line JSON that
+//! `benches/perf.rs` emits; the workspace vendors no serde.
+
+use std::process::ExitCode;
+
+/// Allowed per-circuit slowdown beyond the median machine-speed ratio.
+const TOLERANCE: f64 = 1.15;
+/// Absolute slack (seconds) below which timing noise wins over the ratio.
+const ABS_SLACK: f64 = 0.002;
+
+#[derive(Debug, PartialEq)]
+struct Row {
+    name: String,
+    secs: f64,
+    gates_after: u64,
+    paths_after: u128,
+    replacements: u64,
+}
+
+/// Extracts the raw text of `"key": <value>` from a one-line JSON object.
+fn field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = row.find(&tag)? + tag.len();
+    let rest = row[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"name\"") {
+            continue;
+        }
+        let get =
+            |key: &str| field(line, key).ok_or_else(|| format!("row missing \"{key}\": {line}"));
+        rows.push(Row {
+            name: get("name")?.to_string(),
+            secs: get("secs_1_thread")?.parse().map_err(|e| format!("secs_1_thread: {e}"))?,
+            gates_after: get("gates_after")?.parse().map_err(|e| format!("gates_after: {e}"))?,
+            paths_after: get("paths_after")?.parse().map_err(|e| format!("paths_after: {e}"))?,
+            replacements: get("replacements")?.parse().map_err(|e| format!("replacements: {e}"))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no circuit rows found".into());
+    }
+    Ok(rows)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Compares the suites; returns human-readable failure messages (empty =
+/// pass).
+fn check(baseline: &[Row], fresh: &[Row]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut ratios = Vec::new();
+    let mut pairs = Vec::new();
+    for b in baseline {
+        let Some(f) = fresh.iter().find(|f| f.name == b.name) else {
+            failures.push(format!("{}: missing from fresh report", b.name));
+            continue;
+        };
+        if (f.gates_after, f.paths_after, f.replacements)
+            != (b.gates_after, b.paths_after, b.replacements)
+        {
+            failures.push(format!(
+                "{}: decision drift: gates_after {} -> {}, paths_after {} -> {}, \
+                 replacements {} -> {}",
+                b.name,
+                b.gates_after,
+                f.gates_after,
+                b.paths_after,
+                f.paths_after,
+                b.replacements,
+                f.replacements
+            ));
+        }
+        // Sub-rounding baseline times carry no ratio information.
+        if b.secs > 0.0 {
+            ratios.push(f.secs / b.secs);
+            pairs.push((b, f));
+        }
+    }
+    if ratios.is_empty() {
+        return failures;
+    }
+    let speed = median(ratios.clone());
+    for (b, f) in pairs {
+        let expected = b.secs * speed;
+        if f.secs > expected * TOLERANCE && f.secs - expected > ABS_SLACK {
+            failures.push(format!(
+                "{}: serial time regressed: {:.4}s vs {:.4}s expected \
+                 (baseline {:.4}s x median machine ratio {:.3}, tolerance {:.0}%)",
+                b.name,
+                f.secs,
+                expected,
+                b.secs,
+                speed,
+                (TOLERANCE - 1.0) * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        return Err("usage: bench_check <baseline.json> <fresh.json>".into());
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let baseline = parse_rows(&read(baseline_path)?)?;
+    let fresh = parse_rows(&read(fresh_path)?)?;
+    let failures = check(&baseline, &fresh);
+    if failures.is_empty() {
+        println!("bench_check: {} circuits OK (tolerance {:.0}%)", baseline.len(), {
+            (TOLERANCE - 1.0) * 100.0
+        });
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_check FAILED:\n{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, secs: f64, gates: u64, paths: u128, repl: u64) -> Row {
+        Row { name: name.into(), secs, gates_after: gates, paths_after: paths, replacements: repl }
+    }
+
+    #[test]
+    fn parses_perf_json_rows() {
+        let text = r#"{
+  "benchmark": "resynth",
+  "circuits": [
+    {"name": "irs_a", "gates_before": 64, "gates_after": 64, "paths_before": 325, "paths_after": 318, "replacements": 2, "cache_hits": 10, "cache_misses": 3, "secs_1_thread": 0.0256, "secs_n_threads": 0.0253, "speedup": 1.014},
+    {"name": "irs_b", "gates_before": 65, "gates_after": 65, "paths_before": 1083, "paths_after": 1083, "replacements": 0, "cache_hits": 0, "cache_misses": 0, "secs_1_thread": 0.0258, "secs_n_threads": 0.0263, "speedup": 0.980}
+  ]
+}"#;
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows, vec![row("irs_a", 0.0256, 64, 318, 2), row("irs_b", 0.0258, 65, 1083, 0)]);
+    }
+
+    #[test]
+    fn uniform_machine_slowdown_passes() {
+        let base = vec![row("a", 0.10, 1, 1, 0), row("b", 1.00, 2, 2, 1), row("c", 4.00, 3, 3, 0)];
+        // Everything exactly 3x slower: a slower runner, not a regression.
+        let fresh =
+            vec![row("a", 0.30, 1, 1, 0), row("b", 3.00, 2, 2, 1), row("c", 12.00, 3, 3, 0)];
+        assert!(check(&base, &fresh).is_empty());
+    }
+
+    #[test]
+    fn single_circuit_regression_fails() {
+        let base = vec![row("a", 0.10, 1, 1, 0), row("b", 1.00, 2, 2, 1), row("c", 4.00, 3, 3, 0)];
+        let fresh = vec![row("a", 0.10, 1, 1, 0), row("b", 1.00, 2, 2, 1), row("c", 8.00, 3, 3, 0)];
+        let failures = check(&base, &fresh);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].starts_with("c: serial time regressed"), "{failures:?}");
+    }
+
+    #[test]
+    fn decision_drift_fails_even_when_faster() {
+        let base = vec![row("a", 0.10, 10, 20, 2), row("b", 0.10, 1, 1, 0)];
+        let fresh = vec![row("a", 0.01, 9, 20, 2), row("b", 0.01, 1, 1, 0)];
+        let failures = check(&base, &fresh);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("decision drift"), "{failures:?}");
+    }
+
+    #[test]
+    fn tiny_times_are_noise_exempt() {
+        let base = vec![row("a", 0.0001, 1, 1, 0), row("b", 1.00, 2, 2, 1), row("c", 1.0, 3, 3, 0)];
+        // 10x ratio on a 0.1 ms circuit is rounding noise, not a regression.
+        let fresh =
+            vec![row("a", 0.0010, 1, 1, 0), row("b", 1.00, 2, 2, 1), row("c", 1.0, 3, 3, 0)];
+        assert!(check(&base, &fresh).is_empty());
+    }
+
+    #[test]
+    fn missing_circuit_fails() {
+        let base = vec![row("a", 0.10, 1, 1, 0), row("b", 0.10, 1, 1, 0)];
+        let fresh = vec![row("a", 0.10, 1, 1, 0)];
+        let failures = check(&base, &fresh);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+}

@@ -181,6 +181,14 @@ fn run() -> Result<(), String> {
             let report =
                 resynthesize_with_budget(&mut c, &opts, &budget).map_err(|e| e.to_string())?;
             println!("{report}");
+            let stats = sft::core::identify_cache_stats();
+            println!(
+                "identify cache: {} hits, {} misses, {} entries ({:.1}% hit rate)",
+                stats.hits,
+                stats.misses,
+                stats.entries,
+                stats.hit_rate() * 100.0
+            );
             print_stop(report.stop_reason);
             save(output, &c)
         }

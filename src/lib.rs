@@ -40,6 +40,9 @@
 /// Truth tables and cubes for functions of up to 7 inputs.
 pub use sft_truth as truth;
 
+/// Permutation-canonical forms and the shared signature memo table.
+pub use sft_canon as canon;
+
 /// The gate-level circuit model, `.bench` I/O, path counting and
 /// structural transforms.
 pub use sft_netlist as netlist;
