@@ -7,6 +7,11 @@
 //! readable reports to `BENCH_resynth.json` and `BENCH_sim.json` (wall
 //! time per thread count, speedup, gate counts, path counts, coverage).
 //!
+//! A third report, `BENCH_edit.json`, measures raw edit throughput on the
+//! transactional netlist: a burst of journaled rewires + appends applied
+//! inside a transaction and rolled back (with maintained views attached),
+//! versus reverting the same burst by discarding a full clone.
+//!
 //! ```text
 //! cargo bench --bench perf             # full suite
 //! cargo bench --bench perf -- --quick  # 3-circuit smoke mode (CI)
@@ -18,7 +23,7 @@
 
 use sft::circuits::{suite, suite_small, SuiteEntry};
 use sft::core::{procedure2, ResynthOptions};
-use sft::netlist::Circuit;
+use sft::netlist::{Circuit, GateKind};
 use sft::par::Jobs;
 use sft::sim::{campaign, fault_list, CampaignConfig, CampaignResult};
 use std::fmt::Write as _;
@@ -182,6 +187,84 @@ fn sim_row(entry: &SuiteEntry, cfg: &Config) -> String {
     ])
 }
 
+/// The deterministic edit burst, sized like one resynthesis candidate: up
+/// to 32 gates are narrowed to a `Not` of their first fanin (always
+/// acyclic — the fanin was already a fanin), with one `Buf` gate appended
+/// per eight rewires. Keeping the burst small relative to the circuit is
+/// the point of the comparison: journal rollback pays per edit, clone
+/// revert pays per circuit node. Returns the number of journaled edits.
+fn edit_burst(c: &mut Circuit) -> usize {
+    const MAX_REWIRES: usize = 32;
+    let len = c.len();
+    let mut rewires = 0;
+    let mut edits = 0;
+    for i in 0..len {
+        if rewires == MAX_REWIRES {
+            break;
+        }
+        let id = sft::netlist::NodeId::from_index(i);
+        let node = c.node(id);
+        if !node.kind().is_gate() || node.fanins().is_empty() {
+            continue;
+        }
+        let first = node.fanins()[0];
+        c.rewire(id, GateKind::Not, vec![first]).expect("existing fanin cannot cycle");
+        rewires += 1;
+        edits += 1;
+        if rewires % 8 == 0 {
+            c.add_gate(GateKind::Buf, vec![first]).expect("fanin exists");
+            edits += 1;
+        }
+    }
+    edits
+}
+
+/// Journal-vs-clone edit throughput on one suite circuit. `secs_1_thread`
+/// carries the journaled time so the shared `bench_check` regression gate
+/// applies to it; `edits`, `nodes` and `restored` are decision fields (they
+/// must be bit-identical run to run).
+fn edit_row(entry: &SuiteEntry, cfg: &Config) -> String {
+    let cycles: u32 = if cfg.quick { 100 } else { 400 };
+    let mut c = entry.circuit.clone();
+    c.enable_views();
+    c.refresh_views();
+
+    // Correctness first: one untimed cycle must restore the circuit (and
+    // report how many edits a cycle journals).
+    let pristine = c.clone();
+    let cp = c.begin_edit();
+    let edits = edit_burst(&mut c);
+    c.rollback_to(cp);
+    let restored = c == pristine;
+
+    let (_, journal_secs) = time(|| {
+        for _ in 0..cycles {
+            let cp = c.begin_edit();
+            let n = edit_burst(&mut c);
+            assert_eq!(n, edits, "{}: edit burst must be deterministic", entry.name);
+            c.rollback_to(cp);
+        }
+    });
+    let (_, clone_secs) = time(|| {
+        for _ in 0..cycles {
+            let mut scratch = entry.circuit.clone();
+            let n = edit_burst(&mut scratch);
+            assert_eq!(n, edits, "{}: edit burst must be deterministic", entry.name);
+            drop(scratch); // revert = discard the clone
+        }
+    });
+    json_object(&[
+        ("name", format!("\"{}\"", json_escape(entry.name))),
+        ("nodes", entry.circuit.len().to_string()),
+        ("edits", edits.to_string()),
+        ("cycles", cycles.to_string()),
+        ("restored", restored.to_string()),
+        ("secs_1_thread", format!("{journal_secs:.4}")),
+        ("secs_clone_revert", format!("{clone_secs:.4}")),
+        ("journal_speedup", format!("{:.3}", clone_secs / journal_secs.max(1e-9))),
+    ])
+}
+
 fn main() {
     let cfg = Config::from_args();
     let entries = cfg.suite();
@@ -223,4 +306,16 @@ fn main() {
     let sim_path = cfg.out_dir.join("BENCH_sim.json");
     std::fs::write(&sim_path, json_report(&meta("sim"), &sim_rows)).expect("write BENCH_sim.json");
     eprintln!("wrote {}", sim_path.display());
+
+    let edit_rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            eprintln!("  edits {}", e.name);
+            edit_row(e, &cfg)
+        })
+        .collect();
+    let edit_path = cfg.out_dir.join("BENCH_edit.json");
+    std::fs::write(&edit_path, json_report(&meta("edit"), &edit_rows))
+        .expect("write BENCH_edit.json");
+    eprintln!("wrote {}", edit_path.display());
 }

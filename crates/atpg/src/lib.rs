@@ -32,6 +32,6 @@ mod podem;
 mod redundancy;
 mod testset;
 
-pub use podem::{generate_test, TestResult};
+pub use podem::{generate_test, generate_test_with, PodemContext, TestResult};
 pub use redundancy::{remove_redundancies, RedundancyReport};
 pub use testset::{generate_test_set, generate_test_set_with_budget, TestSet, TestSetOptions};

@@ -116,52 +116,79 @@ impl TestResult {
     }
 }
 
-struct Podem<'c> {
-    circuit: &'c Circuit,
+/// Per-circuit structural context PODEM needs for every fault: topological
+/// order, deduped gate fanouts, and input positions.
+///
+/// Building it is O(circuit). Callers that prove many faults against the
+/// same structure — redundancy removal, test-set generation, the RAR loop —
+/// build it once per structural change via [`PodemContext::new`] and pass
+/// it to [`generate_test_with`], instead of paying the rebuild on every
+/// fault. When the circuit has maintained views enabled, the fanout lists
+/// are read straight from the view (no fanout-table rebuild); both sources
+/// list consumers in the same `(consumer, pin)` order, so the derived
+/// structures are identical either way.
+pub struct PodemContext {
     order: Vec<NodeId>,
-    fault: Fault,
-    /// The line whose good value must be the complement of the stuck value.
-    activation_line: NodeId,
-    /// PI assignment (by input position).
-    pi_values: Vec<V3>,
     input_pos: Vec<usize>,
-    good: Vec<V3>,
-    bad: Vec<V3>,
     fanouts: Vec<Vec<NodeId>>,
-    backtracks: u64,
-    limit: u64,
 }
 
-impl<'c> Podem<'c> {
-    fn new(circuit: &'c Circuit, fault: Fault) -> Self {
+impl PodemContext {
+    /// Builds the context for `circuit`. Must be rebuilt after any
+    /// structural change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn new(circuit: &Circuit) -> Self {
         let order = circuit.topo_order().expect("combinational circuit");
         let mut input_pos = vec![usize::MAX; circuit.len()];
         for (i, &id) in circuit.inputs().iter().enumerate() {
             input_pos[id.index()] = i;
         }
+        let dedup_consumers = |pairs: &[(NodeId, usize)]| {
+            let mut g: Vec<NodeId> = pairs.iter().map(|&(g, _)| g).collect();
+            g.dedup();
+            g
+        };
+        let fanouts = match circuit.views() {
+            Some(v) => (0..circuit.len())
+                .map(|i| dedup_consumers(v.fanout(NodeId::from_index(i))))
+                .collect(),
+            None => circuit.fanout_table().iter().map(|v| dedup_consumers(v)).collect(),
+        };
+        PodemContext { order, input_pos, fanouts }
+    }
+}
+
+struct Podem<'c> {
+    circuit: &'c Circuit,
+    ctx: &'c PodemContext,
+    fault: Fault,
+    /// The line whose good value must be the complement of the stuck value.
+    activation_line: NodeId,
+    /// PI assignment (by input position).
+    pi_values: Vec<V3>,
+    good: Vec<V3>,
+    bad: Vec<V3>,
+    backtracks: u64,
+    limit: u64,
+}
+
+impl<'c> Podem<'c> {
+    fn new(circuit: &'c Circuit, ctx: &'c PodemContext, fault: Fault) -> Self {
         let activation_line = match fault.site {
             FaultSite::Stem(n) => n,
             FaultSite::Branch { gate, pin } => circuit.node(gate).fanins()[pin as usize],
         };
-        let fanouts = circuit
-            .fanout_table()
-            .into_iter()
-            .map(|v| {
-                let mut g: Vec<NodeId> = v.into_iter().map(|(g, _)| g).collect();
-                g.dedup();
-                g
-            })
-            .collect();
         Podem {
             circuit,
-            order,
+            ctx,
             fault,
             activation_line,
             pi_values: vec![V3::X; circuit.inputs().len()],
-            input_pos,
             good: vec![V3::X; circuit.len()],
             bad: vec![V3::X; circuit.len()],
-            fanouts,
             backtracks: 0,
             limit: 0,
         }
@@ -172,11 +199,11 @@ impl<'c> Podem<'c> {
     fn imply(&mut self) {
         let mut gbuf: Vec<V3> = Vec::with_capacity(8);
         let mut bbuf: Vec<V3> = Vec::with_capacity(8);
-        for &id in &self.order {
+        for &id in &self.ctx.order {
             let node = self.circuit.node(id);
             let (g, mut b) = match node.kind() {
                 GateKind::Input => {
-                    let v = self.pi_values[self.input_pos[id.index()]];
+                    let v = self.pi_values[self.ctx.input_pos[id.index()]];
                     (v, v)
                 }
                 kind => {
@@ -267,7 +294,7 @@ impl<'c> Podem<'c> {
             if output_mask[n.index()] {
                 return true;
             }
-            stack.extend_from_slice(&self.fanouts[n.index()]);
+            stack.extend_from_slice(&self.ctx.fanouts[n.index()]);
         }
         false
     }
@@ -308,7 +335,7 @@ impl<'c> Podem<'c> {
             let node = self.circuit.node(line);
             match node.kind() {
                 GateKind::Input => {
-                    let pos = self.input_pos[line.index()];
+                    let pos = self.ctx.input_pos[line.index()];
                     return if self.pi_values[pos] == V3::X { Some((pos, value)) } else { None };
                 }
                 GateKind::Const0 | GateKind::Const1 => return None,
@@ -395,7 +422,25 @@ impl<'c> Podem<'c> {
 ///
 /// Panics if the circuit is cyclic or the fault references nodes outside it.
 pub fn generate_test(circuit: &Circuit, fault: Fault, backtrack_limit: u64) -> TestResult {
-    let mut engine = Podem::new(circuit, fault);
+    let ctx = PodemContext::new(circuit);
+    generate_test_with(&ctx, circuit, fault, backtrack_limit)
+}
+
+/// Like [`generate_test`], with a caller-provided [`PodemContext`] so the
+/// O(circuit) structural setup is shared across many faults on the same
+/// circuit. The context must have been built from the current structure of
+/// `circuit`; results are identical to [`generate_test`].
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic or the fault references nodes outside it.
+pub fn generate_test_with(
+    ctx: &PodemContext,
+    circuit: &Circuit,
+    fault: Fault,
+    backtrack_limit: u64,
+) -> TestResult {
+    let mut engine = Podem::new(circuit, ctx, fault);
     let result = engine.run(backtrack_limit);
     if let TestResult::Test(test) = &result {
         debug_assert!(

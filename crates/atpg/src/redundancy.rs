@@ -8,7 +8,7 @@
 //! dead-logic sweeping then shrink the circuit. Because one removal can
 //! change the status of other faults, the procedure iterates to a fixpoint.
 
-use crate::podem::{generate_test, TestResult};
+use crate::podem::{generate_test_with, PodemContext, TestResult};
 use sft_netlist::{simplify, Circuit, GateKind, NodeId};
 use sft_sim::{fault_list, Fault, FaultSite};
 
@@ -71,9 +71,16 @@ pub fn remove_redundancies(circuit: &mut Circuit, backtrack_limit: u64) -> Redun
         gates_before: circuit.two_input_gate_count(),
         ..RedundancyReport::default()
     };
+    // Maintained views keep the fanout adjacency patched through every
+    // constant insertion, so the PODEM context rebuilds after a removal
+    // read it instead of re-deriving the fanout table.
+    circuit.enable_views();
     loop {
         report.passes += 1;
         let faults = fault_list(circuit);
+        // One structural context serves every fault until a removal edits
+        // the circuit.
+        let mut ctx = PodemContext::new(circuit);
         let mut removed_this_pass = 0;
         let mut aborted_this_pass = 0;
         for fault in faults {
@@ -91,11 +98,12 @@ pub fn remove_redundancies(circuit: &mut Circuit, backtrack_limit: u64) -> Redun
                     continue;
                 }
             }
-            match generate_test(circuit, fault, backtrack_limit) {
+            match generate_test_with(&ctx, circuit, fault, backtrack_limit) {
                 TestResult::Untestable => {
                     apply_removal(circuit, fault);
                     simplify::propagate_constants(circuit);
                     removed_this_pass += 1;
+                    ctx = PodemContext::new(circuit);
                 }
                 TestResult::Aborted => aborted_this_pass += 1,
                 TestResult::Test(_) => {}
@@ -109,6 +117,7 @@ pub fn remove_redundancies(circuit: &mut Circuit, backtrack_limit: u64) -> Redun
         simplify::normalize(circuit);
     }
     simplify::normalize(circuit);
+    circuit.disable_views();
     report.gates_after = circuit.two_input_gate_count();
     report
 }
@@ -116,6 +125,7 @@ pub fn remove_redundancies(circuit: &mut Circuit, backtrack_limit: u64) -> Redun
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::podem::generate_test;
     use sft_bdd::equivalent;
     use sft_netlist::bench_format::parse;
 

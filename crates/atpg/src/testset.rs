@@ -7,7 +7,7 @@
 //! static compaction pass removes vectors whose detections are covered by
 //! the rest of the set.
 
-use crate::podem::{generate_test, TestResult};
+use crate::podem::{generate_test_with, PodemContext, TestResult};
 use sft_budget::{Budget, StopReason};
 use sft_netlist::Circuit;
 use sft_par::{parallel_map, Jobs};
@@ -179,7 +179,9 @@ pub fn generate_test_set_with_budget(
         block += chunk.len() as u64;
     }
 
-    // Phase 2: deterministic PODEM with fault dropping.
+    // Phase 2: deterministic PODEM with fault dropping. The circuit is
+    // immutable here, so one structural context serves every target.
+    let ctx = PodemContext::new(circuit);
     let mut redundant = 0;
     let mut aborted = 0;
     while let Some(&target) = alive.first() {
@@ -187,7 +189,7 @@ pub fn generate_test_set_with_budget(
             stop = e.into();
             break;
         }
-        match generate_test(circuit, faults[target], options.backtrack_limit) {
+        match generate_test_with(&ctx, circuit, faults[target], options.backtrack_limit) {
             TestResult::Test(vector) => {
                 let alive_faults: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
                 let hit = detects(&mut fsim, &alive_faults, &vector);

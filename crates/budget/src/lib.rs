@@ -24,6 +24,18 @@
 //! are wait-free; `check` reads a monotonic clock only when a deadline is
 //! actually set.
 //!
+//! # Transactional-pass contract
+//!
+//! An engine that mutates a circuit must pair every pass with an edit
+//! transaction: open a checkpoint (`Circuit::begin_edit`) before the pass,
+//! and on any `Err(Exhausted)` surfacing mid-pass roll the circuit back to
+//! it (`Circuit::rollback_to`) before reporting the stop. The journal makes
+//! that rollback O(#edits this pass), so honouring the anytime property no
+//! longer requires keeping a full pre-pass clone of the circuit — clones
+//! are reserved for run boundaries (e.g. keeping the caller's original
+//! while a whole run may be abandoned). Exhaustion between passes needs no
+//! rollback at all: the previous pass was already committed.
+//!
 //! # Examples
 //!
 //! ```

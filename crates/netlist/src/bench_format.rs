@@ -183,6 +183,12 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Circuit, NetlistErro
 
 /// Serializes a circuit to `.bench` text. Unnamed nodes get synthetic
 /// `n<id>` names; the output is parseable by [`parse`].
+///
+/// Gate definitions are emitted in a canonical order — by logic level, ties
+/// broken by signal name — which depends only on the named structure, not
+/// on node-id assignment. Re-parsing and re-writing therefore reproduces
+/// the text bit-for-bit (after one stabilizing round trip when output
+/// aliases have to be materialized as `BUF` gates).
 pub fn write(c: &Circuit) -> String {
     let name_of = |id: NodeId| -> String {
         match c.node(id).name() {
@@ -199,9 +205,12 @@ pub fn write(c: &Circuit) -> String {
         let label = c.output_name(slot).map(str::to_string).unwrap_or_else(|| name_of(o));
         let _ = writeln!(out, "OUTPUT({label})");
     }
-    // Gates in topological order; output aliases handled via BUF when the
-    // output name differs from the driving node's name.
-    let order = c.topo_order().expect("combinational circuit");
+    // Gates in canonical (level, name) order — a topological order, since
+    // every fanin sits at a strictly smaller level. Output aliases are
+    // handled via BUF when the output name differs from the driver's name.
+    let level = c.levels().expect("combinational circuit");
+    let mut order: Vec<NodeId> = (0..c.len()).map(NodeId::from_index).collect();
+    order.sort_by_cached_key(|&id| (level[id.index()], name_of(id)));
     for id in order {
         let node = c.node(id);
         match node.kind() {

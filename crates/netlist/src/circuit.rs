@@ -1,3 +1,5 @@
+use crate::journal::{Journal, UndoOp};
+use crate::views::CircuitViews;
 use crate::{GateKind, NetlistError};
 use std::collections::HashMap;
 use std::fmt;
@@ -32,9 +34,9 @@ impl fmt::Display for NodeId {
 /// A single node of a [`Circuit`]: a primary input, a constant or a gate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
-    kind: GateKind,
-    fanins: Vec<NodeId>,
-    name: Option<String>,
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<NodeId>,
+    pub(crate) name: Option<String>,
 }
 
 impl Node {
@@ -90,14 +92,63 @@ impl NodeMap {
 /// assert_eq!(c.eval_assignment(&[false, true, true]), vec![true]);
 /// # Ok::<(), sft_netlist::NetlistError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// # Transactions and views
+///
+/// Structural mutation can be wrapped in an edit transaction
+/// ([`begin_edit`](Self::begin_edit) / [`commit`](Self::commit) /
+/// [`rollback_to`](Self::rollback_to)) for O(#edits) rollback, and the
+/// circuit can maintain incremental derived views
+/// ([`enable_views`](Self::enable_views)) instead of rebuilding fanout
+/// tables, levels and path labels per call. Neither participates in
+/// [`Clone`] or equality: a clone starts with an empty journal and no
+/// views, and two circuits compare equal on structure alone.
+#[derive(Debug)]
 pub struct Circuit {
-    name: String,
-    nodes: Vec<Node>,
-    inputs: Vec<NodeId>,
-    outputs: Vec<NodeId>,
-    output_names: Vec<Option<String>>,
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<NodeId>,
+    pub(crate) outputs: Vec<NodeId>,
+    pub(crate) output_names: Vec<Option<String>>,
+    pub(crate) journal: Journal,
+    pub(crate) views: Option<Box<CircuitViews>>,
 }
+
+impl Clone for Circuit {
+    fn clone(&self) -> Self {
+        Circuit {
+            name: self.name.clone(),
+            nodes: self.nodes.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            output_names: self.output_names.clone(),
+            journal: Journal::default(),
+            views: None,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.name.clone_from(&source.name);
+        self.nodes.clone_from(&source.nodes);
+        self.inputs.clone_from(&source.inputs);
+        self.outputs.clone_from(&source.outputs);
+        self.output_names.clone_from(&source.output_names);
+        self.journal = Journal::default();
+        self.views = None;
+    }
+}
+
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.nodes == other.nodes
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.output_names == other.output_names
+    }
+}
+
+impl Eq for Circuit {}
 
 impl Circuit {
     /// Creates an empty circuit.
@@ -108,6 +159,8 @@ impl Circuit {
             inputs: Vec::new(),
             outputs: Vec::new(),
             output_names: Vec::new(),
+            journal: Journal::default(),
+            views: None,
         }
     }
 
@@ -118,7 +171,8 @@ impl Circuit {
 
     /// Renames the circuit.
     pub fn set_name(&mut self, name: impl Into<String>) {
-        self.name = name.into();
+        let old = std::mem::replace(&mut self.name, name.into());
+        self.journal.record(UndoOp::CircuitName { name: old });
     }
 
     /// Adds a primary input and returns its id.
@@ -130,6 +184,10 @@ impl Circuit {
             name: Some(name.into()),
         });
         self.inputs.push(id);
+        self.journal.record(UndoOp::PopNode { was_input: true });
+        if let Some(v) = &mut self.views {
+            v.on_add_node(id, &self.nodes[id.index()]);
+        }
         id
     }
 
@@ -138,6 +196,10 @@ impl Circuit {
         let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { kind, fanins: Vec::new(), name: None });
+        self.journal.record(UndoOp::PopNode { was_input: false });
+        if let Some(v) = &mut self.views {
+            v.on_add_node(id, &self.nodes[id.index()]);
+        }
         id
     }
 
@@ -167,6 +229,10 @@ impl Circuit {
         }
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node { kind, fanins, name: None });
+        self.journal.record(UndoOp::PopNode { was_input: false });
+        if let Some(v) = &mut self.views {
+            v.on_add_node(id, &self.nodes[id.index()]);
+        }
         Ok(id)
     }
 
@@ -196,6 +262,10 @@ impl Circuit {
         assert!(node.index() < self.nodes.len(), "output node out of range");
         self.outputs.push(node);
         self.output_names.push(Some(name.into()));
+        self.journal.record(UndoOp::PopOutput);
+        if let Some(v) = &mut self.views {
+            v.on_add_output(node);
+        }
     }
 
     /// Number of nodes (lines) in the circuit, including dead ones.
@@ -243,7 +313,8 @@ impl Circuit {
     ///
     /// Panics if `id` is out of range.
     pub fn set_node_name(&mut self, id: NodeId, name: impl Into<String>) {
-        self.nodes[id.index()].name = Some(name.into());
+        let old = self.nodes[id.index()].name.replace(name.into());
+        self.journal.record(UndoOp::NodeName { id, name: old });
     }
 
     /// Redefines node `id` as a gate of `kind` with `fanins`.
@@ -283,8 +354,13 @@ impl Circuit {
             return Err(NetlistError::Cycle(id));
         }
         let node = &mut self.nodes[id.index()];
+        let old_kind = node.kind;
         node.kind = kind;
-        node.fanins = fanins;
+        let old_fanins = std::mem::replace(&mut node.fanins, fanins);
+        if let Some(v) = &mut self.views {
+            v.on_rewire(id, &old_fanins, self.nodes[id.index()].fanins());
+        }
+        self.journal.record(UndoOp::Rewire { id, kind: old_kind, fanins: old_fanins });
         Ok(())
     }
 
@@ -413,7 +489,13 @@ impl Circuit {
 
     /// Removes dead (unreachable-from-output) non-input nodes and compacts
     /// ids; returns the renumbering map. Primary inputs are always kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edit transaction is open (id compaction cannot be
+    /// journalled; commit or roll back first).
     pub fn sweep(&mut self) -> NodeMap {
+        assert!(!self.journal.recording(), "Circuit::sweep inside an open edit transaction");
         let mut keep = self.live_mask();
         for i in &self.inputs {
             keep[i.index()] = true;
@@ -437,6 +519,9 @@ impl Circuit {
         }
         for o in &mut self.outputs {
             *o = map[o.index()].expect("outputs are live");
+        }
+        if self.views.is_some() {
+            self.rebuild_views();
         }
         NodeMap { map }
     }

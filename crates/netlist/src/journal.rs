@@ -1,0 +1,353 @@
+//! Transactional edit journal: rollback in O(#edits), not O(circuit).
+//!
+//! Every structural mutator of [`Circuit`] records the inverse operation in
+//! an internal journal while an edit transaction is open (between
+//! [`Circuit::begin_edit`] and [`Circuit::commit`] or
+//! [`Circuit::rollback_to`]). Rolling back replays the inverses in reverse
+//! order, so reverting a trial edit costs time proportional to the size of
+//! the *edit*, not the size of the circuit. This is the substrate for the
+//! edit-heavy loops of Procedures 2/3 and the RAMBO baseline, which try
+//! thousands of candidate mutations per run and keep only a few.
+//!
+//! Transactions nest: an inner checkpoint can be rolled back while an outer
+//! one stays open; journal entries are discarded only when the outermost
+//! transaction commits. [`Circuit::sweep`] compacts node ids and cannot be
+//! expressed as a journalable edit, so it panics while a transaction is
+//! open.
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_netlist::{Circuit, GateKind};
+//!
+//! let mut c = Circuit::new("t");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let g = c.add_gate(GateKind::And, vec![a, b])?;
+//! c.add_output(g, "y");
+//!
+//! let before = c.clone();
+//! let cp = c.begin_edit();
+//! c.rewire(g, GateKind::Or, vec![a, b])?;
+//! let extra = c.add_gate(GateKind::Not, vec![g])?;
+//! c.add_output(extra, "z");
+//! c.rollback_to(cp);
+//! assert_eq!(c, before);
+//! # Ok::<(), sft_netlist::NetlistError>(())
+//! ```
+
+use crate::{Circuit, GateKind, NodeId};
+
+/// Inverse of a single structural edit, recorded while a transaction is
+/// open.
+#[derive(Debug, Clone)]
+pub(crate) enum UndoOp {
+    /// Undo `add_input` / `add_const` / `add_gate`: pop the newest node.
+    PopNode {
+        /// Whether the node was also pushed onto the primary-input list.
+        was_input: bool,
+    },
+    /// Undo `add_output`: pop the newest output slot.
+    PopOutput,
+    /// Undo `rewire`: restore the node's previous kind and fanins.
+    Rewire {
+        /// The rewired node.
+        id: NodeId,
+        /// Its kind before the rewire.
+        kind: GateKind,
+        /// Its fanins before the rewire.
+        fanins: Vec<NodeId>,
+    },
+    /// Undo `set_node_name`: restore the previous (possibly absent) name.
+    NodeName {
+        /// The renamed node.
+        id: NodeId,
+        /// Its name before the rename.
+        name: Option<String>,
+    },
+    /// Undo `set_name`: restore the previous circuit name.
+    CircuitName {
+        /// The circuit name before the rename.
+        name: String,
+    },
+}
+
+/// The journal itself: a stack of inverse operations plus the current
+/// transaction nesting depth. Lives inside [`Circuit`]; empty whenever no
+/// transaction is open.
+#[derive(Debug, Default)]
+pub(crate) struct Journal {
+    ops: Vec<UndoOp>,
+    depth: usize,
+}
+
+impl Journal {
+    /// Whether a transaction is open (mutations are being recorded).
+    pub(crate) fn recording(&self) -> bool {
+        self.depth > 0
+    }
+
+    /// Records an inverse operation; a no-op outside a transaction.
+    pub(crate) fn record(&mut self, op: UndoOp) {
+        if self.depth > 0 {
+            self.ops.push(op);
+        }
+    }
+}
+
+/// A position in the edit journal, returned by [`Circuit::begin_edit`].
+///
+/// Pass it back to [`Circuit::commit`] to keep the edits or to
+/// [`Circuit::rollback_to`] to undo them. Checkpoints must be resolved
+/// innermost-first; resolving one out of order panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    ops: usize,
+    depth: usize,
+}
+
+impl Circuit {
+    /// Opens an edit transaction and returns a checkpoint for it.
+    ///
+    /// Until the checkpoint is resolved with [`commit`](Self::commit) or
+    /// [`rollback_to`](Self::rollback_to), every structural mutation records
+    /// its inverse, and [`sweep`](Self::sweep) panics. Transactions nest.
+    pub fn begin_edit(&mut self) -> Checkpoint {
+        self.journal.depth += 1;
+        Checkpoint { ops: self.journal.ops.len(), depth: self.journal.depth }
+    }
+
+    /// Keeps all edits made since `cp` and closes its transaction.
+    ///
+    /// Journal memory is released when the outermost transaction commits;
+    /// an inner commit keeps its entries so an enclosing checkpoint can
+    /// still roll them back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` is not the innermost open checkpoint.
+    pub fn commit(&mut self, cp: Checkpoint) {
+        assert_eq!(cp.depth, self.journal.depth, "commit of a non-innermost checkpoint");
+        debug_assert!(cp.ops <= self.journal.ops.len());
+        self.journal.depth -= 1;
+        if self.journal.depth == 0 {
+            self.journal.ops.clear();
+        }
+    }
+
+    /// Undoes every edit made since `cp` (in reverse order) and closes its
+    /// transaction. Cost is O(#edits since `cp`), independent of circuit
+    /// size; incremental views are patched back along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` is not the innermost open checkpoint.
+    pub fn rollback_to(&mut self, cp: Checkpoint) {
+        assert_eq!(cp.depth, self.journal.depth, "rollback of a non-innermost checkpoint");
+        while self.journal.ops.len() > cp.ops {
+            let op = self.journal.ops.pop().expect("length checked");
+            self.undo(op);
+        }
+        self.journal.depth -= 1;
+    }
+
+    /// Whether an edit transaction is currently open.
+    pub fn in_transaction(&self) -> bool {
+        self.journal.recording()
+    }
+
+    /// Number of journal entries recorded since `cp` — the cost, in
+    /// inverse operations, of rolling back to it.
+    pub fn edits_since(&self, cp: Checkpoint) -> usize {
+        self.journal.ops.len().saturating_sub(cp.ops)
+    }
+
+    /// The node count the circuit had when `cp` was taken.
+    pub fn len_at(&self, cp: Checkpoint) -> usize {
+        let added = self.journal.ops[cp.ops..]
+            .iter()
+            .filter(|op| matches!(op, UndoOp::PopNode { .. }))
+            .count();
+        self.len() - added
+    }
+
+    /// The pre-transaction image (kind and fanins) of every node rewired
+    /// since `cp`, as `(id, kind, fanins)` triples. When a node was rewired
+    /// several times, the *first* recorded image — i.e. its state at the
+    /// checkpoint — wins, so a node rewired away and back reports its
+    /// original image and compares equal to its current state.
+    pub fn pre_images_since(&self, cp: Checkpoint) -> Vec<(NodeId, GateKind, &[NodeId])> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for op in &self.journal.ops[cp.ops..] {
+            if let UndoOp::Rewire { id, kind, fanins } = op {
+                if seen.insert(*id) {
+                    out.push((*id, *kind, fanins.as_slice()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies one inverse operation, patching the incremental views to
+    /// match.
+    fn undo(&mut self, op: UndoOp) {
+        match op {
+            UndoOp::PopNode { was_input } => {
+                let node = self.nodes.pop().expect("journalled node exists");
+                if was_input {
+                    self.inputs.pop();
+                }
+                let id = NodeId(self.nodes.len() as u32);
+                if let Some(v) = &mut self.views {
+                    v.on_pop_node(id, &node);
+                }
+            }
+            UndoOp::PopOutput => {
+                let o = self.outputs.pop().expect("journalled output exists");
+                self.output_names.pop();
+                if let Some(v) = &mut self.views {
+                    v.on_pop_output(o);
+                }
+            }
+            UndoOp::Rewire { id, kind, fanins } => {
+                let node = &mut self.nodes[id.index()];
+                node.kind = kind;
+                let undone = std::mem::replace(&mut node.fanins, fanins);
+                let restored = &self.nodes[id.index()];
+                if let Some(v) = &mut self.views {
+                    v.on_rewire(id, &undone, restored.fanins());
+                }
+            }
+            UndoOp::NodeName { id, name } => {
+                self.nodes[id.index()].name = name;
+            }
+            UndoOp::CircuitName { name } => {
+                self.name = name;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Circuit, GateKind};
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        c.add_output(g, "y");
+        c
+    }
+
+    #[test]
+    fn rollback_restores_every_mutation_kind() {
+        let mut c = sample();
+        let before = c.clone();
+        let cp = c.begin_edit();
+        let a = c.inputs()[0];
+        let g = c.outputs()[0];
+        c.rewire(g, GateKind::Or, vec![a, c.inputs()[1]]).unwrap();
+        let k = c.add_const(true);
+        let n = c.add_gate(GateKind::Not, vec![k]).unwrap();
+        c.add_named_gate(GateKind::Buf, vec![n], "buffered").unwrap();
+        c.add_input("late");
+        c.add_output(n, "z");
+        c.set_node_name(g, "renamed");
+        c.set_name("renamed_circuit");
+        assert!(c.edits_since(cp) > 0);
+        c.rollback_to(cp);
+        assert_eq!(c, before);
+        assert!(!c.in_transaction());
+    }
+
+    #[test]
+    fn commit_keeps_edits_and_clears_journal() {
+        let mut c = sample();
+        let cp = c.begin_edit();
+        let a = c.inputs()[0];
+        let extra = c.add_gate(GateKind::Not, vec![a]).unwrap();
+        c.add_output(extra, "z");
+        c.commit(cp);
+        assert!(!c.in_transaction());
+        assert_eq!(c.outputs().len(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn nested_inner_rollback_preserves_outer_edits() {
+        let mut c = sample();
+        let a = c.inputs()[0];
+        let outer = c.begin_edit();
+        let kept = c.add_gate(GateKind::Not, vec![a]).unwrap();
+        let mid = c.clone();
+        let inner = c.begin_edit();
+        c.add_gate(GateKind::Buf, vec![kept]).unwrap();
+        c.rollback_to(inner);
+        assert_eq!(c, mid);
+        c.rollback_to(outer);
+        assert_eq!(c, sample());
+    }
+
+    #[test]
+    fn nested_inner_commit_can_still_be_rolled_back_by_outer() {
+        let mut c = sample();
+        let a = c.inputs()[0];
+        let outer = c.begin_edit();
+        let inner = c.begin_edit();
+        c.add_gate(GateKind::Not, vec![a]).unwrap();
+        c.commit(inner);
+        c.rollback_to(outer);
+        assert_eq!(c, sample());
+    }
+
+    #[test]
+    fn len_at_and_pre_images_reconstruct_checkpoint_state() {
+        let mut c = sample();
+        let a = c.inputs()[0];
+        let b = c.inputs()[1];
+        let g = c.outputs()[0];
+        let cp = c.begin_edit();
+        assert_eq!(c.len_at(cp), 3);
+        c.rewire(g, GateKind::Or, vec![a, b]).unwrap();
+        c.rewire(g, GateKind::And, vec![a, b]).unwrap(); // back to original
+        c.add_gate(GateKind::Not, vec![a]).unwrap();
+        assert_eq!(c.len_at(cp), 3);
+        let pre = c.pre_images_since(cp);
+        assert_eq!(pre.len(), 1);
+        let (id, kind, fanins) = pre[0];
+        assert_eq!(id, g);
+        assert_eq!(kind, GateKind::And); // first image wins: the checkpoint state
+        assert_eq!(fanins, &[a, b]);
+        c.rollback_to(cp);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep")]
+    fn sweep_panics_inside_transaction() {
+        let mut c = sample();
+        let _cp = c.begin_edit();
+        c.sweep();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-innermost")]
+    fn out_of_order_resolution_panics() {
+        let mut c = sample();
+        let outer = c.begin_edit();
+        let _inner = c.begin_edit();
+        c.rollback_to(outer);
+    }
+
+    #[test]
+    fn clone_does_not_carry_open_transactions() {
+        let mut c = sample();
+        let _cp = c.begin_edit();
+        let a = c.inputs()[0];
+        c.add_gate(GateKind::Not, vec![a]).unwrap();
+        let snap = c.clone();
+        assert!(!snap.in_transaction());
+    }
+}

@@ -14,7 +14,11 @@
 //!   collapsing, duplicate-fanin cleanup, same-kind chain merging,
 //!   structural hashing and dead-logic sweeping;
 //! - cone extraction to truth tables ([`Circuit::cone_function`]), the bridge
-//!   used by comparison-function identification.
+//!   used by comparison-function identification;
+//! - a transactional edit journal ([`Circuit::begin_edit`]) with O(#edits)
+//!   rollback, and incrementally maintained derived views
+//!   ([`Circuit::enable_views`]): fanout adjacency, levels and Procedure 1
+//!   path labels patched per edit instead of rebuilt per call.
 //!
 //! # Examples
 //!
@@ -41,13 +45,17 @@ mod cone;
 mod error;
 pub mod export;
 mod gate;
+mod journal;
 mod paths;
 pub mod simplify;
 mod stats;
 mod synth;
+mod views;
 
 pub use circuit::{Circuit, Node, NodeId, NodeMap};
 pub use error::NetlistError;
 pub use gate::GateKind;
+pub use journal::Checkpoint;
 pub use paths::PathCount;
 pub use stats::{two_input_cost, CircuitStats};
+pub use views::CircuitViews;

@@ -3,6 +3,13 @@
 //! Each pass takes a mutable [`Circuit`] and returns the number of changes it
 //! made, so passes can be iterated to a fixpoint ([`normalize`]). All passes
 //! preserve the circuit function (for every primary-output slot).
+//!
+//! Every structural change here goes through [`Circuit::rewire`], so inside
+//! an open edit transaction the passes journal automatically and are undone
+//! by [`Circuit::rollback_to`]; when maintained views are enabled each
+//! rewire patches them in place. Only [`normalize`] calls [`Circuit::sweep`]
+//! (which compacts ids and therefore refuses to run mid-transaction); the
+//! other passes are safe at any transaction depth.
 
 use crate::{Circuit, GateKind, NodeId};
 use std::collections::HashMap;
@@ -177,7 +184,14 @@ pub fn collapse_buffers(c: &mut Circuit) -> usize {
 pub fn merge_chains(c: &mut Circuit) -> usize {
     let mut total = 0;
     loop {
-        let counts = c.fanout_counts();
+        // The snapshot-per-sweep contract is deliberate: merging decisions
+        // within one sweep are made against the sweep-start counts. When the
+        // maintained view is live we read the same snapshot out of it instead
+        // of re-deriving the fanout table.
+        let counts: Vec<u32> = match c.views() {
+            Some(v) => (0..c.len()).map(|i| v.fanout_count(NodeId::from_index(i))).collect(),
+            None => c.fanout_counts(),
+        };
         let order = c.topo_order().expect("combinational circuit");
         let mut changed = 0;
         for id in order {

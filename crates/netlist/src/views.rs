@@ -1,0 +1,454 @@
+//! Incrementally maintained derived views of a [`Circuit`].
+//!
+//! [`Circuit::fanout_table`], [`Circuit::fanout_counts`],
+//! [`Circuit::levels`] and [`Circuit::path_labels`] all rebuild their answer
+//! from scratch — O(circuit) per call. The edit-heavy loops (Procedures 2/3,
+//! RAMBO, redundancy removal) consult exactly these quantities after every
+//! trial edit, so [`CircuitViews`] keeps them *maintained*: enabled once via
+//! [`Circuit::enable_views`], the views are patched by every structural
+//! mutation (and patched back by journal rollback) instead of rebuilt.
+//!
+//! Two freshness classes:
+//!
+//! - **Eager** — the fanout adjacency and primary-output reference counts
+//!   are exact after every mutation. Each per-node consumer list is kept
+//!   sorted by `(consumer, pin)`, which is byte-identical to the order
+//!   [`Circuit::fanout_table`] produces, so code switching from the rebuilt
+//!   table to the view observes the *same* iteration order (several engines
+//!   make order-sensitive decisions downstream).
+//! - **Lazy** — levels and path labels (Procedure 1's `N_p`) are only
+//!   guaranteed fresh after [`Circuit::refresh_views`], which recomputes the
+//!   downstream closure of all edits since the last refresh in one batched
+//!   topological pass. The engines read these once per pass, not per edit,
+//!   so batching avoids an O(depth) reflow on every rewire.
+//!
+//! Views are deliberately patched only from `&mut Circuit` mutators — never
+//! concurrently. Scoring workers share the circuit (and its views)
+//! immutably; see DESIGN.md "Parallelism & determinism".
+
+use crate::paths::PathCount;
+use crate::{Circuit, GateKind, Node, NodeId};
+
+/// Maintained fanout/level/path-label views of a [`Circuit`]; obtained via
+/// [`Circuit::views`] after [`Circuit::enable_views`].
+///
+/// # Examples
+///
+/// ```
+/// use sft_netlist::{Circuit, GateKind};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let g = c.add_gate(GateKind::And, vec![a, b])?;
+/// c.add_output(g, "y");
+/// c.enable_views();
+///
+/// let v = c.views().unwrap();
+/// assert_eq!(v.fanout(a), &[(g, 0)]);
+/// assert_eq!(v.fanout_count(g), 1); // the primary-output reference
+/// assert!(v.drives_output(g));
+/// assert_eq!(v.level(g), 1);
+/// assert_eq!(v.path_labels(), c.path_labels());
+/// # Ok::<(), sft_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitViews {
+    /// Per-node consumer lists, each sorted by `(consumer, pin)` — the exact
+    /// order a [`Circuit::fanout_table`] rebuild produces. Primary-output
+    /// references are *not* included (matching `fanout_table`).
+    fanout: Vec<Vec<(NodeId, usize)>>,
+    /// Number of primary-output slots referencing each node.
+    po_refs: Vec<u32>,
+    /// Logic level of each node (lazy; fresh after `refresh`).
+    level: Vec<u32>,
+    /// Procedure 1 path label of each node (lazy; fresh after `refresh`).
+    label: Vec<PathCount>,
+    /// Seed queue of nodes whose lazy values may be stale.
+    dirty: Vec<u32>,
+    /// Dedup mask for `dirty`.
+    dirty_flag: Vec<bool>,
+}
+
+impl CircuitViews {
+    /// Builds the views from scratch.
+    pub(crate) fn build(c: &Circuit) -> Self {
+        let n = c.len();
+        let mut v = CircuitViews {
+            fanout: vec![Vec::new(); n],
+            po_refs: vec![0; n],
+            level: vec![0; n],
+            label: vec![PathCount::ZERO; n],
+            dirty: Vec::new(),
+            dirty_flag: vec![false; n],
+        };
+        // Iterating nodes in id order pushes each consumer list already
+        // sorted by (consumer, pin).
+        for (id, node) in c.iter() {
+            for (pin, f) in node.fanins().iter().enumerate() {
+                v.fanout[f.index()].push((id, pin));
+            }
+        }
+        for &o in c.outputs() {
+            v.po_refs[o.index()] += 1;
+        }
+        let order = c.topo_order().expect("views require an acyclic circuit");
+        for id in order {
+            v.recompute_node(c, id);
+        }
+        v
+    }
+
+    /// Recomputes the lazy values of one node from its fanins' current
+    /// values, mirroring [`Circuit::levels`] and
+    /// [`Circuit::path_labels_exact`] exactly.
+    fn recompute_node(&mut self, c: &Circuit, id: NodeId) {
+        let node = c.node(id);
+        self.level[id.index()] = if node.kind().is_gate() {
+            1 + node.fanins().iter().map(|f| self.level[f.index()]).max().unwrap_or(0)
+        } else {
+            0
+        };
+        self.label[id.index()] = match node.kind() {
+            GateKind::Input => PathCount::exact(1),
+            GateKind::Const0 | GateKind::Const1 => PathCount::ZERO,
+            _ => node
+                .fanins()
+                .iter()
+                .fold(PathCount::ZERO, |acc, f| acc.saturating_add(self.label[f.index()])),
+        };
+    }
+
+    fn mark_dirty(&mut self, id: NodeId) {
+        if !self.dirty_flag[id.index()] {
+            self.dirty_flag[id.index()] = true;
+            self.dirty.push(id.0);
+        }
+    }
+
+    /// Patch-in for a freshly appended node (always the highest id, so its
+    /// edges append at the tail of each consumer list, preserving order).
+    pub(crate) fn on_add_node(&mut self, id: NodeId, node: &Node) {
+        debug_assert_eq!(id.index(), self.fanout.len());
+        self.fanout.push(Vec::new());
+        self.po_refs.push(0);
+        self.level.push(0);
+        self.label.push(PathCount::ZERO);
+        self.dirty_flag.push(false);
+        for (pin, f) in node.fanins().iter().enumerate() {
+            self.fanout[f.index()].push((id, pin));
+        }
+        self.mark_dirty(id);
+    }
+
+    /// Patch-out for a node being popped by journal rollback (`id` is the
+    /// new length; the node's edges sit at the tail of each consumer list).
+    pub(crate) fn on_pop_node(&mut self, id: NodeId, node: &Node) {
+        debug_assert_eq!(id.index(), self.fanout.len() - 1);
+        for (pin, f) in node.fanins().iter().enumerate() {
+            let list = &mut self.fanout[f.index()];
+            let p = list
+                .iter()
+                .rposition(|&e| e == (id, pin))
+                .expect("popped node's fanout edges present");
+            list.remove(p);
+        }
+        self.fanout.pop();
+        self.po_refs.pop();
+        self.level.pop();
+        self.label.pop();
+        self.dirty_flag.pop();
+        // `dirty` may retain the popped id; refresh range-checks and skips.
+    }
+
+    /// Patch for a rewire (also used, with roles swapped, by rollback).
+    pub(crate) fn on_rewire(&mut self, id: NodeId, old_fanins: &[NodeId], new_fanins: &[NodeId]) {
+        for (pin, f) in old_fanins.iter().enumerate() {
+            let list = &mut self.fanout[f.index()];
+            match list.binary_search(&(id, pin)) {
+                Ok(p) => {
+                    list.remove(p);
+                }
+                Err(_) => unreachable!("rewired node's old fanout edge present"),
+            }
+        }
+        for (pin, f) in new_fanins.iter().enumerate() {
+            let list = &mut self.fanout[f.index()];
+            let p = list.binary_search(&(id, pin)).unwrap_err();
+            list.insert(p, (id, pin));
+        }
+        self.mark_dirty(id);
+    }
+
+    /// Patch for a new primary-output reference.
+    pub(crate) fn on_add_output(&mut self, id: NodeId) {
+        self.po_refs[id.index()] += 1;
+    }
+
+    /// Patch for a primary-output reference removed by rollback.
+    pub(crate) fn on_pop_output(&mut self, id: NodeId) {
+        self.po_refs[id.index()] -= 1;
+    }
+
+    /// Recomputes the lazy values of the downstream closure of every node
+    /// edited since the last refresh, in one batched topological pass.
+    pub(crate) fn refresh(&mut self, c: &Circuit) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let n = c.len();
+        let mut in_closure = vec![false; n];
+        let mut members: Vec<NodeId> = Vec::new();
+        for i in std::mem::take(&mut self.dirty) {
+            let idx = i as usize;
+            // Stale seeds for since-popped nodes are skipped.
+            if idx < n {
+                self.dirty_flag[idx] = false;
+                if !in_closure[idx] {
+                    in_closure[idx] = true;
+                    members.push(NodeId(i));
+                }
+            }
+        }
+        let mut stack = members.clone();
+        while let Some(x) = stack.pop() {
+            for &(consumer, _) in &self.fanout[x.index()] {
+                if !in_closure[consumer.index()] {
+                    in_closure[consumer.index()] = true;
+                    stack.push(consumer);
+                    members.push(consumer);
+                }
+            }
+        }
+        // Kahn's algorithm restricted to the closure; fanins outside it
+        // keep their (clean) values. The recomputed values are independent
+        // of which valid topological order is used.
+        let mut indeg = vec![0u32; n];
+        for &m in &members {
+            for f in c.node(m).fanins() {
+                if in_closure[f.index()] {
+                    indeg[m.index()] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<NodeId> =
+            members.iter().copied().filter(|m| indeg[m.index()] == 0).collect();
+        let mut processed = 0usize;
+        while let Some(x) = queue.pop() {
+            processed += 1;
+            self.recompute_node(c, x);
+            for &(consumer, _) in &self.fanout[x.index()] {
+                if in_closure[consumer.index()] {
+                    indeg[consumer.index()] -= 1;
+                    if indeg[consumer.index()] == 0 {
+                        queue.push(consumer);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(processed, members.len(), "dirty closure must be acyclic");
+    }
+
+    /// The consumers of `id` as `(consumer, pin)` pairs, sorted exactly as
+    /// [`Circuit::fanout_table`] would list them. Primary-output references
+    /// are not included. Always fresh.
+    pub fn fanout(&self, id: NodeId) -> &[(NodeId, usize)] {
+        &self.fanout[id.index()]
+    }
+
+    /// Total consumer count of `id` including primary-output references —
+    /// the maintained equivalent of [`Circuit::fanout_counts`]`[id]`.
+    /// Always fresh.
+    pub fn fanout_count(&self, id: NodeId) -> u32 {
+        self.fanout[id.index()].len() as u32 + self.po_refs[id.index()]
+    }
+
+    /// Whether `id` is referenced by at least one primary-output slot.
+    /// Always fresh.
+    pub fn drives_output(&self, id: NodeId) -> bool {
+        self.po_refs[id.index()] > 0
+    }
+
+    /// Number of primary-output slots referencing `id`. Always fresh.
+    pub fn po_refs(&self, id: NodeId) -> u32 {
+        self.po_refs[id.index()]
+    }
+
+    /// Whether the lazy values (levels, path labels) are fresh; made true
+    /// by [`Circuit::refresh_views`].
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Logic level of `id`, as [`Circuit::levels`] computes it. Requires
+    /// freshness (see [`is_clean`](Self::is_clean)).
+    pub fn level(&self, id: NodeId) -> u32 {
+        debug_assert!(self.is_clean(), "level read from stale views; call refresh_views()");
+        self.level[id.index()]
+    }
+
+    /// Logic levels of all nodes. Requires freshness.
+    pub fn levels(&self) -> &[u32] {
+        debug_assert!(self.is_clean(), "levels read from stale views; call refresh_views()");
+        &self.level
+    }
+
+    /// Procedure 1 path labels with saturation flags, matching
+    /// [`Circuit::path_labels_exact`]. Requires freshness.
+    pub fn path_labels_exact(&self) -> &[PathCount] {
+        debug_assert!(self.is_clean(), "labels read from stale views; call refresh_views()");
+        &self.label
+    }
+
+    /// Procedure 1 path labels as plain `u128` values, matching
+    /// [`Circuit::path_labels`]. Requires freshness.
+    pub fn path_labels(&self) -> Vec<u128> {
+        debug_assert!(self.is_clean(), "labels read from stale views; call refresh_views()");
+        self.label.iter().map(|l| l.value()).collect()
+    }
+
+    /// The paper's BFS order (nodes sorted by `(level, id)`), matching
+    /// [`Circuit::bfs_order`]. Requires freshness.
+    pub fn bfs_order(&self) -> Vec<NodeId> {
+        debug_assert!(self.is_clean(), "order read from stale views; call refresh_views()");
+        let mut ids: Vec<NodeId> = (0..self.level.len() as u32).map(NodeId).collect();
+        ids.sort_by_key(|id| (self.level[id.index()], id.0));
+        ids
+    }
+}
+
+impl Circuit {
+    /// Builds and attaches the incremental views; a no-op if already
+    /// enabled. From here on every mutation patches them in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn enable_views(&mut self) {
+        if self.views.is_none() {
+            let v = CircuitViews::build(self);
+            self.views = Some(Box::new(v));
+        }
+    }
+
+    /// Detaches the incremental views, returning the circuit to
+    /// rebuild-on-demand behaviour.
+    pub fn disable_views(&mut self) {
+        self.views = None;
+    }
+
+    /// The incremental views, if enabled.
+    pub fn views(&self) -> Option<&CircuitViews> {
+        self.views.as_deref()
+    }
+
+    /// Brings the lazy views (levels, path labels) up to date with the
+    /// current structure. A no-op when views are disabled or already clean.
+    pub fn refresh_views(&mut self) {
+        if let Some(mut v) = self.views.take() {
+            v.refresh(self);
+            self.views = Some(v);
+        }
+    }
+
+    /// Rebuilds the views from scratch (used after id-compacting sweeps).
+    pub(crate) fn rebuild_views(&mut self) {
+        let v = CircuitViews::build(self);
+        self.views = Some(Box::new(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    /// The rebuilt-from-scratch quantities the views must match.
+    fn assert_views_match_rebuild(c: &mut Circuit) {
+        c.refresh_views();
+        let v = c.views().expect("views enabled");
+        let table = c.fanout_table();
+        let counts = c.fanout_counts();
+        let levels = c.levels().unwrap();
+        let labels = c.path_labels_exact();
+        for (id, _) in c.iter() {
+            assert_eq!(v.fanout(id), table[id.index()].as_slice(), "fanout order at {id}");
+            assert_eq!(v.fanout_count(id), counts[id.index()], "fanout count at {id}");
+            assert_eq!(v.level(id), levels[id.index()], "level at {id}");
+            assert_eq!(v.path_labels_exact()[id.index()], labels[id.index()], "label at {id}");
+        }
+        assert_eq!(v.bfs_order(), c.bfs_order().unwrap());
+    }
+
+    fn diamond() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Or, vec![a, g1]).unwrap();
+        let g3 = c.add_gate(GateKind::Xor, vec![g1, g2]).unwrap();
+        c.add_output(g3, "y");
+        c
+    }
+
+    #[test]
+    fn views_match_rebuild_after_every_mutation_kind() {
+        let mut c = diamond();
+        c.enable_views();
+        assert_views_match_rebuild(&mut c);
+
+        let a = c.inputs()[0];
+        let g3 = c.outputs()[0];
+        c.rewire(g3, GateKind::Nand, vec![a, c.inputs()[1]]).unwrap();
+        assert_views_match_rebuild(&mut c);
+
+        let k = c.add_const(false);
+        let n = c.add_gate(GateKind::Not, vec![k]).unwrap();
+        c.add_output(n, "z");
+        c.add_input("late");
+        assert_views_match_rebuild(&mut c);
+
+        c.sweep();
+        assert_views_match_rebuild(&mut c);
+    }
+
+    #[test]
+    fn views_match_rebuild_after_rollback() {
+        let mut c = diamond();
+        c.enable_views();
+        c.refresh_views();
+        let cp = c.begin_edit();
+        let a = c.inputs()[0];
+        let g3 = c.outputs()[0];
+        c.rewire(g3, GateKind::Or, vec![a, a]).unwrap();
+        let n = c.add_gate(GateKind::Not, vec![g3]).unwrap();
+        c.add_output(n, "z");
+        c.rollback_to(cp);
+        assert_views_match_rebuild(&mut c);
+    }
+
+    #[test]
+    fn eager_views_are_fresh_without_refresh() {
+        let mut c = diamond();
+        c.enable_views();
+        let a = c.inputs()[0];
+        let g3 = c.outputs()[0];
+        c.rewire(g3, GateKind::Buf, vec![a]).unwrap();
+        let v = c.views().unwrap();
+        // Adjacency and PO refs are exact immediately after the edit.
+        assert_eq!(c.fanout_table()[a.index()], v.fanout(a));
+        assert_eq!(c.fanout_counts()[a.index()], v.fanout_count(a));
+        assert!(v.drives_output(g3));
+        assert!(!v.is_clean()); // the lazy half is pending a refresh
+    }
+
+    #[test]
+    fn disable_and_reenable() {
+        let mut c = diamond();
+        c.enable_views();
+        c.disable_views();
+        assert!(c.views().is_none());
+        c.enable_views();
+        assert_views_match_rebuild(&mut c);
+    }
+}

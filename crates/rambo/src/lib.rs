@@ -256,27 +256,38 @@ pub fn optimize_with_budget(
         {
             continue; // already connected or would create a cycle
         }
-        // Tentative addition.
-        let mut augmented = circuit.clone();
-        let kind = augmented.node(dest).kind();
-        let mut fanins = augmented.node(dest).fanins().to_vec();
+        // Tentative addition, applied in place inside an edit transaction:
+        // rolling the single rewire back through the journal costs O(1) per
+        // attempt, where cloning the circuit cost O(circuit).
+        let cp = circuit.begin_edit();
+        let kind = circuit.node(dest).kind();
+        let mut fanins = circuit.node(dest).fanins().to_vec();
         fanins.push(source);
         let new_pin = (fanins.len() - 1) as u8;
-        augmented.rewire(dest, kind, fanins)?;
+        if let Err(e) = circuit.rewire(dest, kind, fanins) {
+            circuit.rollback_to(cp);
+            return Err(e.into());
+        }
         // The addition is function-preserving iff the new pin stuck at the
         // gate's non-controlling value is untestable.
         let nc = !kind.controlling_value().expect("and/or family");
         let fault = Fault::branch(dest, new_pin, nc);
-        if !survives_random_filter(&augmented, fault, options.filter_blocks, &mut rng) {
+        let redundant = survives_random_filter(circuit, fault, options.filter_blocks, &mut rng)
+            && matches!(
+                generate_test(circuit, fault, options.backtrack_limit),
+                TestResult::Untestable
+            );
+        circuit.rollback_to(cp);
+        if !redundant {
             continue;
         }
-        match generate_test(&augmented, fault, options.backtrack_limit) {
-            TestResult::Untestable => {}
-            _ => continue,
-        }
         report.proven_redundant += 1;
-        // Removal phase: does the augmented circuit shrink below current?
-        let mut cleaned = augmented;
+        // Removal phase on a boundary clone (removal rewrites wholesale and
+        // is kept only if it wins): does the augmented circuit shrink?
+        let mut cleaned = circuit.clone();
+        let mut fanins = cleaned.node(dest).fanins().to_vec();
+        fanins.push(source);
+        cleaned.rewire(dest, kind, fanins)?;
         remove_redundancies(&mut cleaned, options.backtrack_limit);
         if cleaned.two_input_gate_count() < circuit.two_input_gate_count() {
             *circuit = cleaned;

@@ -1,15 +1,20 @@
-//! `bench_check` — guard against resynthesis performance regressions.
+//! `bench_check` — guard against performance and decision regressions.
 //!
 //! ```text
 //! bench_check <baseline.json> <fresh.json>
 //! ```
 //!
-//! Compares a freshly generated `BENCH_resynth.json` against the committed
-//! baseline and exits non-zero when either
+//! Compares a freshly generated bench report (`BENCH_resynth.json`,
+//! `BENCH_edit.json`, ...) against the committed baseline and exits
+//! non-zero when either
 //!
-//! - a **decision drifted**: `gates_after`, `paths_after`, or
-//!   `replacements` differs for any circuit (resynthesis results must be
-//!   independent of timing, caching, and thread count), or
+//! - a **decision drifted**: any decision field present in a baseline row
+//!   (`gates_after`, `paths_after`, `replacements` for resynthesis;
+//!   `edits`, `nodes`, `restored` for the edit-throughput bench) differs
+//!   for that circuit. Decisions must be independent of timing, caching,
+//!   and thread count. The schema is detected per row: only the decision
+//!   keys a baseline row actually carries are compared, so one binary
+//!   checks every report the perf harness emits. Or,
 //! - a **circuit regressed**: its serial time grew by more than 15% beyond
 //!   the machine-speed factor. The factor is the median of the per-circuit
 //!   fresh/baseline time ratios, so a uniformly slower (or faster) CI
@@ -28,13 +33,17 @@ const TOLERANCE: f64 = 1.15;
 /// Absolute slack (seconds) below which timing noise wins over the ratio.
 const ABS_SLACK: f64 = 0.002;
 
+/// Row fields that are *decisions* (must be bit-identical between runs),
+/// as opposed to timings. A row carries whatever subset its benchmark
+/// emits; comparison is over the baseline row's subset.
+const DECISION_KEYS: &[&str] =
+    &["gates_after", "paths_after", "replacements", "edits", "nodes", "restored"];
+
 #[derive(Debug, PartialEq)]
 struct Row {
     name: String,
     secs: f64,
-    gates_after: u64,
-    paths_after: u128,
-    replacements: u64,
+    decisions: Vec<(String, String)>,
 }
 
 /// Extracts the raw text of `"key": <value>` from a one-line JSON object.
@@ -55,12 +64,17 @@ fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
         }
         let get =
             |key: &str| field(line, key).ok_or_else(|| format!("row missing \"{key}\": {line}"));
+        let decisions: Vec<(String, String)> = DECISION_KEYS
+            .iter()
+            .filter_map(|&k| field(line, k).map(|v| (k.to_string(), v.to_string())))
+            .collect();
+        if decisions.is_empty() {
+            return Err(format!("row carries no decision fields: {line}"));
+        }
         rows.push(Row {
             name: get("name")?.to_string(),
             secs: get("secs_1_thread")?.parse().map_err(|e| format!("secs_1_thread: {e}"))?,
-            gates_after: get("gates_after")?.parse().map_err(|e| format!("gates_after: {e}"))?,
-            paths_after: get("paths_after")?.parse().map_err(|e| format!("paths_after: {e}"))?,
-            replacements: get("replacements")?.parse().map_err(|e| format!("replacements: {e}"))?,
+            decisions,
         });
     }
     if rows.is_empty() {
@@ -90,20 +104,15 @@ fn check(baseline: &[Row], fresh: &[Row]) -> Vec<String> {
             failures.push(format!("{}: missing from fresh report", b.name));
             continue;
         };
-        if (f.gates_after, f.paths_after, f.replacements)
-            != (b.gates_after, b.paths_after, b.replacements)
-        {
-            failures.push(format!(
-                "{}: decision drift: gates_after {} -> {}, paths_after {} -> {}, \
-                 replacements {} -> {}",
-                b.name,
-                b.gates_after,
-                f.gates_after,
-                b.paths_after,
-                f.paths_after,
-                b.replacements,
-                f.replacements
-            ));
+        for (key, bv) in &b.decisions {
+            match f.decisions.iter().find(|(k, _)| k == key) {
+                None => failures
+                    .push(format!("{}: decision field {key} missing from fresh row", b.name)),
+                Some((_, fv)) if fv != bv => {
+                    failures.push(format!("{}: decision drift: {key} {bv} -> {fv}", b.name))
+                }
+                Some(_) => {}
+            }
         }
         // Sub-rounding baseline times carry no ratio information.
         if b.secs > 0.0 {
@@ -167,7 +176,15 @@ mod tests {
     use super::*;
 
     fn row(name: &str, secs: f64, gates: u64, paths: u128, repl: u64) -> Row {
-        Row { name: name.into(), secs, gates_after: gates, paths_after: paths, replacements: repl }
+        Row {
+            name: name.into(),
+            secs,
+            decisions: vec![
+                ("gates_after".into(), gates.to_string()),
+                ("paths_after".into(), paths.to_string()),
+                ("replacements".into(), repl.to_string()),
+            ],
+        }
     }
 
     #[test]
@@ -181,6 +198,49 @@ mod tests {
 }"#;
         let rows = parse_rows(text).unwrap();
         assert_eq!(rows, vec![row("irs_a", 0.0256, 64, 318, 2), row("irs_b", 0.0258, 65, 1083, 0)]);
+    }
+
+    fn edit_row(name: &str, secs: f64, edits: u64, restored: bool) -> Row {
+        Row {
+            name: name.into(),
+            secs,
+            decisions: vec![
+                ("edits".into(), edits.to_string()),
+                ("nodes".into(), "100".into()),
+                ("restored".into(), restored.to_string()),
+            ],
+        }
+    }
+
+    #[test]
+    fn parses_edit_json_rows() {
+        let text = r#"{
+  "benchmark": "edit",
+  "circuits": [
+    {"name": "irs_a", "nodes": 100, "edits": 72, "cycles": 400, "restored": true, "secs_1_thread": 0.0120, "secs_clone_revert": 0.0480, "journal_speedup": 4.000}
+  ]
+}"#;
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "irs_a");
+        assert_eq!(rows[0].secs, 0.0120);
+        assert_eq!(
+            rows[0].decisions,
+            vec![
+                ("edits".to_string(), "72".to_string()),
+                ("nodes".to_string(), "100".to_string()),
+                ("restored".to_string(), "true".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn edit_decision_drift_fails() {
+        let base = vec![edit_row("a", 0.01, 72, true), edit_row("b", 0.01, 9, true)];
+        let fresh = vec![edit_row("a", 0.01, 72, true), edit_row("b", 0.01, 9, false)];
+        let failures = check(&base, &fresh);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("restored true -> false"), "{failures:?}");
     }
 
     #[test]
