@@ -12,6 +12,13 @@
 //! inside a transaction and rolled back (with maintained views attached),
 //! versus reverting the same burst by discarding a full clone.
 //!
+//! A fourth report, `BENCH_serve.json`, saturates the `sft serve` daemon:
+//! a batch of jobs is dropped into a job directory and drained once cold
+//! (empty identification-cache image) and once warm (image persisted by
+//! the cold run), at 1 worker and at all cores, reporting per-job p50/p99
+//! latency and the outcome decision counts. The harness asserts the warm
+//! daemon's result netlists are bit-identical to the cold ones.
+//!
 //! ```text
 //! cargo bench --bench perf             # full suite
 //! cargo bench --bench perf -- --quick  # 3-circuit smoke mode (CI)
@@ -25,9 +32,12 @@ use sft::circuits::{suite, suite_small, SuiteEntry};
 use sft::core::{procedure2, ResynthOptions};
 use sft::netlist::{Circuit, GateKind};
 use sft::par::Jobs;
+use sft::serve::{serve, ServeConfig, ServeSummary};
 use sft::sim::{campaign, fault_list, CampaignConfig, CampaignResult};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 struct Config {
     quick: bool,
@@ -265,6 +275,132 @@ fn edit_row(entry: &SuiteEntry, cfg: &Config) -> String {
     ])
 }
 
+/// One drained daemon run over `n` jobs cycled from the suite. Returns the
+/// final counters, the wall time, per-job latencies (ms, sorted), and the
+/// result netlists keyed by file name (for bit-identity checks).
+fn run_serve(
+    root: PathBuf,
+    cache: &Path,
+    jobs: Jobs,
+    entries: &[SuiteEntry],
+    n: usize,
+) -> (ServeSummary, f64, Vec<u64>, BTreeMap<String, String>) {
+    let incoming = root.join("jobs/incoming");
+    std::fs::create_dir_all(&incoming).expect("create incoming");
+    for i in 0..n {
+        let entry = &entries[i % entries.len()];
+        let text = sft::netlist::bench_format::write(&entry.circuit);
+        std::fs::write(incoming.join(format!("job{i:02}.bench")), text).expect("write bench");
+        std::fs::write(incoming.join(format!("job{i:02}.job")), "objective = gates\n")
+            .expect("write job");
+    }
+    let config = ServeConfig {
+        jobs,
+        queue: n, // no shedding: decision counts must be saturation-invariant
+        once: true,
+        cache: Some(cache.to_path_buf()),
+        handle_signals: false,
+        poll: Duration::from_millis(1),
+        ..ServeConfig::new(&root)
+    };
+    let (summary, secs) = time(|| serve(&config).expect("serve drains"));
+    let mut latencies = Vec::new();
+    let mut outputs = BTreeMap::new();
+    for entry in std::fs::read_dir(root.join("jobs/done")).expect("read done/") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|s| s.to_str()).unwrap_or_default().to_string();
+        let text = std::fs::read_to_string(&path).expect("read result");
+        if name.ends_with(".report.json") {
+            let ms = text
+                .split("\"elapsed_ms\":")
+                .nth(1)
+                .and_then(|rest| {
+                    rest.split(|c: char| !c.is_ascii_digit()).next()?.parse::<u64>().ok()
+                })
+                .expect("report carries elapsed_ms");
+            latencies.push(ms);
+        } else {
+            outputs.insert(name, text);
+        }
+    }
+    latencies.sort_unstable();
+    (summary, secs, latencies, outputs)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Two rows — `serve_cold` and `serve_warm` — each measured serially (for
+/// the regression gate's `secs_1_thread`) and at `cfg.jobs` workers (for
+/// the saturation latencies). The outcome counts are decisions: they must
+/// not depend on timing, cache temperature, or worker count.
+fn serve_rows(entries: &[SuiteEntry], cfg: &Config) -> Vec<String> {
+    let n = if cfg.quick { 6 } else { 24 };
+    let scratch = std::env::temp_dir().join(format!("sft-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch");
+    let image = scratch.join("identify.sigcache");
+    let spare = scratch.join("identify-cold-n.sigcache");
+
+    // Cold: no image on disk, cleared in-process tables. The serial run
+    // persists `image`, which the warm runs below will load.
+    sft::core::identify_cache_clear();
+    let (cold, cold_serial, _, cold_out) =
+        run_serve(scratch.join("cold1"), &image, Jobs::serial(), entries, n);
+    sft::core::identify_cache_clear();
+    let (cold_n, cold_par, cold_lat, cold_out_n) =
+        run_serve(scratch.join("coldn"), &spare, cfg.jobs, entries, n);
+    assert_eq!(
+        (cold.done, cold.failed, cold.shed),
+        (cold_n.done, cold_n.failed, cold_n.shed),
+        "serve outcomes must be worker-count invariant"
+    );
+    assert_eq!(cold_out, cold_out_n, "serve results must be worker-count invariant");
+
+    // Warm: fresh process-state simulation (tables cleared), image loaded.
+    sft::core::identify_cache_clear();
+    let (warm, warm_serial, _, warm_out) =
+        run_serve(scratch.join("warm1"), &image, Jobs::serial(), entries, n);
+    sft::core::identify_cache_clear();
+    let (warm_n, warm_par, warm_lat, warm_out_n) =
+        run_serve(scratch.join("warmn"), &image, cfg.jobs, entries, n);
+    assert!(warm.cache_loads >= 1, "warm run must load the persisted image");
+    assert_eq!(cold_out, warm_out, "warm-cache results must be bit-identical to cold");
+    assert_eq!(cold_out, warm_out_n, "warm-cache results must be bit-identical to cold");
+    assert_eq!(
+        (warm.done, warm.failed, warm.shed),
+        (warm_n.done, warm_n.failed, warm_n.shed),
+        "serve outcomes must be cache-temperature invariant"
+    );
+
+    let row = |name: &str, s: &ServeSummary, serial: f64, par: f64, lat: &[u64]| {
+        json_object(&[
+            ("name", format!("\"{name}\"")),
+            ("jobs_submitted", n.to_string()),
+            ("done", s.done.to_string()),
+            ("failed", s.failed.to_string()),
+            ("shed", s.shed.to_string()),
+            ("cache_hits", s.cache.hits.to_string()),
+            ("cache_misses", s.cache.misses.to_string()),
+            ("cache_loaded_entries", s.cache_loaded_entries.to_string()),
+            ("p50_ms", percentile(lat, 0.50).to_string()),
+            ("p99_ms", percentile(lat, 0.99).to_string()),
+            ("secs_1_thread", format!("{serial:.4}")),
+            ("secs_n_threads", format!("{par:.4}")),
+            ("speedup", format!("{:.3}", serial / par.max(1e-9))),
+        ])
+    };
+    let rows = vec![
+        row("serve_cold", &cold_n, cold_serial, cold_par, &cold_lat),
+        row("serve_warm", &warm_n, warm_serial, warm_par, &warm_lat),
+    ];
+    let _ = std::fs::remove_dir_all(&scratch);
+    rows
+}
+
 fn main() {
     let cfg = Config::from_args();
     let entries = cfg.suite();
@@ -318,4 +454,11 @@ fn main() {
     std::fs::write(&edit_path, json_report(&meta("edit"), &edit_rows))
         .expect("write BENCH_edit.json");
     eprintln!("wrote {}", edit_path.display());
+
+    eprintln!("  serve saturation (cold + warm)");
+    let serve_report_rows = serve_rows(&entries, &cfg);
+    let serve_path = cfg.out_dir.join("BENCH_serve.json");
+    std::fs::write(&serve_path, json_report(&meta("serve"), &serve_report_rows))
+        .expect("write BENCH_serve.json");
+    eprintln!("wrote {}", serve_path.display());
 }

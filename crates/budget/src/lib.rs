@@ -204,6 +204,20 @@ impl Budget {
         Budget { deadline: Some(deadline), ..self }
     }
 
+    /// Tightens the budget to `limit` from now **only if** that is earlier
+    /// than the existing deadline (or none is set). This is the
+    /// request-scoped composition a service needs: a per-request time limit
+    /// can shorten the daemon's default, never extend it.
+    #[must_use]
+    pub fn tightened_by(self, limit: Duration) -> Self {
+        let candidate = Instant::now().checked_add(limit);
+        let deadline = match (self.deadline, candidate) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        Budget { deadline, ..self }
+    }
+
     /// Restricts the budget to `limit` work units (replaces any previous
     /// step limit with a fresh shared counter).
     #[must_use]
@@ -326,6 +340,29 @@ mod tests {
     #[test]
     fn generous_deadline_passes() {
         let b = Budget::unlimited().with_time_limit(Duration::from_secs(3600));
+        assert!(b.check().is_ok());
+    }
+
+    #[test]
+    fn tightened_by_keeps_the_earlier_deadline() {
+        // Tightening an unlimited budget installs the deadline.
+        let b = Budget::unlimited().tightened_by(Duration::ZERO);
+        assert_eq!(b.check(), Err(Exhausted::Deadline));
+        // Tightening can only shorten: a generous request limit does not
+        // extend an already-expired daemon deadline...
+        let b = Budget::unlimited()
+            .with_time_limit(Duration::ZERO)
+            .tightened_by(Duration::from_secs(3600));
+        assert_eq!(b.check(), Err(Exhausted::Deadline));
+        // ...while a short request limit shortens a generous one.
+        let b = Budget::unlimited()
+            .with_time_limit(Duration::from_secs(3600))
+            .tightened_by(Duration::ZERO);
+        assert_eq!(b.check(), Err(Exhausted::Deadline));
+        // And two generous limits stay generous.
+        let b = Budget::unlimited()
+            .with_time_limit(Duration::from_secs(3600))
+            .tightened_by(Duration::from_secs(1800));
         assert!(b.check().is_ok());
     }
 

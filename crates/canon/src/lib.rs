@@ -36,10 +36,12 @@
 
 #![warn(missing_docs)]
 
+pub mod persist;
+
 use sft_truth::{TruthTable, MAX_INPUTS};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The canonical representative of a function's P-class.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -309,6 +311,8 @@ pub struct SigCache<V> {
     shards: Vec<RwLock<HashMap<Signature, V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Shards rebuilt from cold after a panic poisoned their lock.
+    recoveries: AtomicU64,
 }
 
 impl<V: Clone> SigCache<V> {
@@ -318,6 +322,7 @@ impl<V: Clone> SigCache<V> {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
         }
     }
 
@@ -327,9 +332,54 @@ impl<V: Clone> SigCache<V> {
         &self.shards[(mixed >> 48) as usize % self.shards.len()]
     }
 
+    /// Rebuilds a shard whose lock a panicking holder poisoned: the map may
+    /// have been caught mid-mutation, so its entries are dropped (they are
+    /// memoized values — losing them costs recomputation, never
+    /// correctness) and the poison flag is cleared so later requests
+    /// proceed normally.
+    fn recover(&self, shard: &RwLock<HashMap<Signature, V>>) {
+        let mut guard = match shard.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.clear();
+        shard.clear_poison();
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read access that survives a poisoned shard (rebuild, then re-read).
+    fn read_shard<'a>(
+        &'a self,
+        shard: &'a RwLock<HashMap<Signature, V>>,
+    ) -> RwLockReadGuard<'a, HashMap<Signature, V>> {
+        // The poisoned guard must be moved out and dropped *before*
+        // `recover` re-locks the shard: under edition-2021 rules the match
+        // scrutinee temporary (and the guard inside it) would otherwise
+        // live to the end of the match, self-deadlocking `recover`.
+        match shard.read() {
+            Ok(guard) => return guard,
+            Err(poisoned) => drop(poisoned),
+        }
+        self.recover(shard);
+        shard.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Write access that survives a poisoned shard (rebuild, then re-lock).
+    fn write_shard<'a>(
+        &'a self,
+        shard: &'a RwLock<HashMap<Signature, V>>,
+    ) -> RwLockWriteGuard<'a, HashMap<Signature, V>> {
+        match shard.write() {
+            Ok(guard) => return guard,
+            Err(poisoned) => drop(poisoned),
+        }
+        self.recover(shard);
+        shard.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Looks `sig` up, counting a hit or a miss.
     pub fn lookup(&self, sig: &Signature) -> Option<V> {
-        let found = self.shard(sig).read().expect("cache lock").get(sig).cloned();
+        let found = self.read_shard(self.shard(sig)).get(sig).cloned();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -339,7 +389,19 @@ impl<V: Clone> SigCache<V> {
 
     /// Stores a value for `sig`.
     pub fn insert(&self, sig: Signature, value: V) {
-        self.shard(&sig).write().expect("cache lock").insert(sig, value);
+        self.write_shard(self.shard(&sig)).insert(sig, value);
+    }
+
+    /// Runs `f` on the slot stored for `sig` — `None` when the key is
+    /// absent — under the shard's write lock, so concurrent callers observe
+    /// one consistent read-modify-write (unlike
+    /// [`get_or_insert_with`](Self::get_or_insert_with), which may compute
+    /// twice). `f` runs while the lock is held and must be short. A panic
+    /// inside `f` poisons only this shard, and the poison-recovery
+    /// discipline rebuilds it from cold on the next access instead of
+    /// failing every later request.
+    pub fn update<R>(&self, sig: &Signature, f: impl FnOnce(Option<&mut V>) -> R) -> R {
+        f(self.write_shard(self.shard(sig)).get_mut(sig))
     }
 
     /// Returns the cached value, computing and storing it on a miss. The
@@ -362,9 +424,16 @@ impl<V: Clone> SigCache<V> {
         }
     }
 
+    /// Shards rebuilt from cold because a panicking lock holder poisoned
+    /// them. Non-zero means requests panicked mid-access; the cache stayed
+    /// serviceable, at the cost of recomputing the dropped shard.
+    pub fn poison_recoveries(&self) -> u64 {
+        self.recoveries.load(Ordering::Relaxed)
+    }
+
     /// Total entries across shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().expect("cache lock").len()).sum()
+        self.shards.iter().map(|s| self.read_shard(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -375,10 +444,31 @@ impl<V: Clone> SigCache<V> {
     /// Drops every entry and resets the counters.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache lock").clear();
+            self.write_shard(shard).clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of every entry, sorted by key `(bits, inputs, salt)` — a
+    /// deterministic order independent of hash-map iteration, so persisted
+    /// images of equal caches are byte-identical.
+    pub fn export_entries(&self) -> Vec<(Signature, V)> {
+        let mut entries: Vec<(Signature, V)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            entries.extend(self.read_shard(shard).iter().map(|(k, v)| (*k, v.clone())));
+        }
+        entries.sort_by_key(|(sig, _)| (sig.bits, sig.inputs, sig.salt));
+        entries
+    }
+
+    /// Bulk-inserts `entries` (typically a persisted snapshot) without
+    /// touching the hit/miss counters, so a warm restart does not inflate
+    /// the hit rate.
+    pub fn import_entries(&self, entries: impl IntoIterator<Item = (Signature, V)>) {
+        for (sig, value) in entries {
+            self.write_shard(self.shard(&sig)).insert(sig, value);
+        }
     }
 }
 
@@ -484,6 +574,66 @@ mod tests {
         assert_eq!(cache.lookup(&s2), Some(2));
         assert_eq!(cache.lookup(&s3), Some(3));
         assert_eq!(cache.lookup(&s2b), Some(4));
+    }
+
+    /// The satellite regression: a panic while holding a shard's write
+    /// lock (here: inside `update`) must not poison the cache for later
+    /// requests — the shard is rebuilt from cold and every key stays
+    /// serviceable.
+    #[test]
+    fn poisoned_shard_recovers_instead_of_propagating() {
+        let cache: SigCache<u32> = SigCache::new();
+        let sigs: Vec<Signature> =
+            (0..32u128).map(|i| Signature { bits: i, inputs: 5, salt: 0 }).collect();
+        for &sig in &sigs {
+            cache.insert(sig, 1);
+        }
+        assert_eq!(cache.len(), 32);
+        let victim = sigs[0];
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.update(&victim, |_| panic!("mid-insert panic"));
+        }));
+        assert!(panic.is_err(), "the panic must propagate to its own caller");
+        // Subsequent operations on the poisoned shard succeed: the shard
+        // was dropped (cold misses), not wedged.
+        assert_eq!(cache.lookup(&victim), None, "poisoned shard rebuilt from cold");
+        assert_eq!(cache.poison_recoveries(), 1);
+        cache.insert(victim, 2);
+        assert_eq!(cache.lookup(&victim), Some(2), "hits work again after recovery");
+        // Only the one shard lost entries; every key is still queryable.
+        let survivors = sigs.iter().filter(|s| cache.lookup(s).is_some()).count();
+        assert!(survivors > 1, "other shards must keep their entries");
+        assert!(cache.len() < 33, "the poisoned shard's entries were dropped");
+        assert_eq!(cache.poison_recoveries(), 1, "recovery happens once, not per access");
+    }
+
+    #[test]
+    fn update_is_a_locked_read_modify_write() {
+        let cache: SigCache<u32> = SigCache::new();
+        let sig = Signature { bits: 9, inputs: 3, salt: 0 };
+        assert!(!cache.update(&sig, |slot| slot.is_some()));
+        cache.insert(sig, 10);
+        cache.update(&sig, |slot| *slot.expect("present") += 5);
+        assert_eq!(cache.lookup(&sig), Some(15));
+    }
+
+    #[test]
+    fn export_is_sorted_and_import_restores_without_counting() {
+        let cache: SigCache<u8> = SigCache::new();
+        for i in (0..40u64).rev() {
+            cache.insert(Signature { bits: u128::from(i) << 1, inputs: 4, salt: i % 3 }, i as u8);
+        }
+        let exported = cache.export_entries();
+        assert_eq!(exported.len(), 40);
+        let keys: Vec<_> = exported.iter().map(|(s, _)| (s.bits, s.inputs, s.salt)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "export order must be deterministic");
+        let restored: SigCache<u8> = SigCache::new();
+        restored.import_entries(exported.clone());
+        assert_eq!(restored.export_entries(), exported, "round trip preserves entries");
+        let stats = restored.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "import must not count lookups");
     }
 
     #[test]

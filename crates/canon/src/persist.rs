@@ -1,0 +1,461 @@
+//! Crash-safe persistence for warm caches: a versioned, checksummed,
+//! atomically-replaced container file.
+//!
+//! The daemon (`sft serve`) keeps the process-wide identification memo
+//! warm across restarts by serializing it to disk. The failure model is
+//! hostile: the process may be SIGKILLed mid-write, the file may be
+//! truncated by a full disk, bit-flipped by a bad device, or written by a
+//! newer (or older) build with a different payload layout. This module
+//! guarantees that a reader either gets back exactly the bytes a writer
+//! committed, or a typed [`PersistError`] — never a panic, and never
+//! silently corrupt data:
+//!
+//! - **Atomic replace** — [`save`] writes to a sibling temporary file and
+//!   `rename`s it over the target, so a crash leaves either the old image
+//!   or the new one, both complete.
+//! - **Integrity** — the file carries a magic tag, a format [`VERSION`]
+//!   and a trailing FNV-1a checksum over everything before it; [`load`]
+//!   verifies all three before returning a byte of payload.
+//! - **Quarantine** — [`quarantine`] renames a rejected file to a
+//!   `.corrupt-N` sibling so the evidence survives while the writer
+//!   rebuilds from cold.
+//!
+//! The payload is an opaque sequence of *sections* (byte strings); the
+//! caller owns their encoding. [`ByteReader`] and the `put_*` helpers
+//! provide the little-endian primitives both sides use, with every read
+//! bounds-checked into [`PersistError::Truncated`].
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Identifies a cache container file (first 8 bytes).
+pub const MAGIC: &[u8; 8] = b"SFTCACHE";
+
+/// Container format version; bump on any layout change so a skewed reader
+/// rebuilds from cold instead of misparsing.
+pub const VERSION: u32 = 1;
+
+/// Why a persisted cache image was rejected (or could not be touched).
+///
+/// Everything except [`NotFound`](Self::NotFound) on load means the file
+/// existed but cannot be trusted; callers should [`quarantine`] it and
+/// rebuild from cold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The file does not exist (a normal cold start, not corruption).
+    NotFound,
+    /// An I/O operation failed (permissions, disk full, ...).
+    Io(String),
+    /// The file does not begin with [`MAGIC`].
+    BadMagic,
+    /// The file was written by a different format version.
+    VersionSkew {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The file ends before a length-prefixed field it promises.
+    Truncated {
+        /// Bytes the field needed.
+        needed: u64,
+        /// Bytes actually available.
+        have: u64,
+    },
+    /// The trailing checksum does not match the content.
+    Checksum {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the content.
+        computed: u64,
+    },
+    /// The payload decoded to something structurally impossible.
+    Malformed(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::NotFound => write!(f, "cache file not found"),
+            PersistError::Io(e) => write!(f, "cache i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a cache file (bad magic)"),
+            PersistError::VersionSkew { found, expected } => {
+                write!(f, "cache version skew: file v{found}, this build reads v{expected}")
+            }
+            PersistError::Truncated { needed, have } => {
+                write!(f, "cache file truncated: needed {needed} bytes, have {have}")
+            }
+            PersistError::Checksum { stored, computed } => {
+                write!(f, "cache checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+            PersistError::Malformed(what) => write!(f, "cache payload malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Whether the error indicates a present-but-untrustworthy file that
+/// should be quarantined (as opposed to a normal cold start).
+impl PersistError {
+    /// True for every rejection except [`PersistError::NotFound`].
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, PersistError::NotFound)
+    }
+}
+
+/// FNV-1a 64-bit hash — the container checksum. Not cryptographic; it
+/// defends against truncation and bit rot, not adversaries with write
+/// access to the cache directory.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u128` little-endian.
+pub fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked little-endian cursor over a byte slice. Every read
+/// returns [`PersistError::Truncated`] instead of panicking when the
+/// slice runs out.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                needed: n as u64,
+                have: self.remaining() as u64,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a little-endian `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of input.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of input.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `u128`.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Truncated`] at end of input.
+    pub fn u128(&mut self) -> Result<u128, PersistError> {
+        Ok(u128::from_le_bytes(self.bytes(16)?.try_into().expect("16 bytes")))
+    }
+}
+
+/// Encodes `sections` into a complete container image (header, sections,
+/// trailing checksum). [`decode_sections`] inverts it exactly; equal
+/// section lists produce byte-identical images.
+pub fn encode_sections(sections: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        MAGIC.len() + 8 + 8 + sections.iter().map(|s| 8 + s.len()).sum::<usize>(),
+    );
+    out.extend_from_slice(MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u32(&mut out, sections.len() as u32);
+    for section in sections {
+        put_u64(&mut out, section.len() as u64);
+        out.extend_from_slice(section);
+    }
+    let checksum = fnv1a(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
+/// Decodes a container image back into its sections, verifying magic,
+/// version and checksum.
+///
+/// # Errors
+///
+/// [`PersistError::BadMagic`], [`PersistError::VersionSkew`],
+/// [`PersistError::Truncated`] or [`PersistError::Checksum`] — the caller
+/// should treat any of them as "rebuild from cold".
+pub fn decode_sections(bytes: &[u8]) -> Result<Vec<Vec<u8>>, PersistError> {
+    // The checksum seals everything before it; verify first so all later
+    // parsing runs on bytes known to be exactly what the writer produced.
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(PersistError::Truncated {
+            needed: (MAGIC.len() + 8) as u64,
+            have: bytes.len() as u64,
+        });
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let (content, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let computed = fnv1a(content);
+    if stored != computed {
+        return Err(PersistError::Checksum { stored, computed });
+    }
+    let mut reader = ByteReader::new(&content[MAGIC.len()..]);
+    let version = reader.u32()?;
+    if version != VERSION {
+        return Err(PersistError::VersionSkew { found: version, expected: VERSION });
+    }
+    let count = reader.u32()?;
+    let mut sections = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        let len = reader.u64()?;
+        if len > reader.remaining() as u64 {
+            return Err(PersistError::Truncated { needed: len, have: reader.remaining() as u64 });
+        }
+        sections.push(reader.bytes(len as usize)?.to_vec());
+    }
+    if reader.remaining() != 0 {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after the last section",
+            reader.remaining()
+        )));
+    }
+    Ok(sections)
+}
+
+/// Writes `sections` to `path` atomically: the image goes to a sibling
+/// `*.tmp` file first and is `rename`d into place, so a crash at any
+/// instant leaves either the previous complete image or the new one.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on any filesystem failure.
+pub fn save(path: &Path, sections: &[Vec<u8>]) -> Result<(), PersistError> {
+    let io = |e: std::io::Error| PersistError::Io(format!("{}: {e}", path.display()));
+    let image = encode_sections(sections);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, &image).map_err(io)?;
+    std::fs::rename(&tmp, path).map_err(io)
+}
+
+/// Loads and verifies the container at `path`.
+///
+/// # Errors
+///
+/// [`PersistError::NotFound`] for a missing file (cold start); any other
+/// [`PersistError`] means the file is present but untrustworthy and should
+/// be [`quarantine`]d.
+pub fn load(path: &Path) -> Result<Vec<Vec<u8>>, PersistError> {
+    let bytes = std::fs::read(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            PersistError::NotFound
+        } else {
+            PersistError::Io(format!("{}: {e}", path.display()))
+        }
+    })?;
+    decode_sections(&bytes)
+}
+
+/// Moves a rejected cache file aside to `<path>.corrupt-N` (first free N)
+/// so the evidence survives while the caller rebuilds from cold. Returns
+/// the quarantine path.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the rename fails (or no free slot exists).
+pub fn quarantine(path: &Path) -> Result<PathBuf, PersistError> {
+    for n in 0..10_000u32 {
+        let mut name = path.as_os_str().to_owned();
+        name.push(format!(".corrupt-{n}"));
+        let target = PathBuf::from(name);
+        if target.exists() {
+            continue;
+        }
+        return match std::fs::rename(path, &target) {
+            Ok(()) => Ok(target),
+            Err(e) => Err(PersistError::Io(format!("{}: {e}", path.display()))),
+        };
+    }
+    Err(PersistError::Io(format!("{}: no free quarantine slot", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sections() -> Vec<Vec<u8>> {
+        vec![vec![1, 2, 3, 4, 5], Vec::new(), (0..=255u8).collect()]
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sft-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_byte_stable() {
+        let sections = sample_sections();
+        let image = encode_sections(&sections);
+        let decoded = decode_sections(&image).expect("valid image");
+        assert_eq!(decoded, sections);
+        assert_eq!(encode_sections(&decoded), image, "encode∘decode is the identity on images");
+    }
+
+    #[test]
+    fn every_single_flipped_byte_is_detected() {
+        let image = encode_sections(&sample_sections());
+        for i in 0..image.len() {
+            let mut bad = image.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode_sections(&bad).is_err(),
+                "flipping byte {i} of {} must be detected",
+                image.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_eighth_is_detected() {
+        let image = encode_sections(&sample_sections());
+        for octile in 0..8 {
+            let cut = image.len() * octile / 8;
+            assert!(
+                decode_sections(&image[..cut]).is_err(),
+                "truncation to {cut}/{} bytes must be detected",
+                image.len()
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_is_reported_as_such() {
+        let mut image = encode_sections(&sample_sections());
+        // Patch the version field and re-seal the checksum so only the
+        // version differs.
+        image[8] ^= 0xFF;
+        let len = image.len();
+        let checksum = fnv1a(&image[..len - 8]);
+        image[len - 8..].copy_from_slice(&checksum.to_le_bytes());
+        match decode_sections(&image) {
+            Err(PersistError::VersionSkew { expected, .. }) => assert_eq!(expected, VERSION),
+            other => panic!("expected version skew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_before_anything_else() {
+        let mut image = encode_sections(&sample_sections());
+        image[0] = b'X';
+        assert_eq!(decode_sections(&image), Err(PersistError::BadMagic));
+        assert!(decode_sections(b"").is_err());
+        assert!(decode_sections(b"short").is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip_and_atomic_replace() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("cache.bin");
+        let first = sample_sections();
+        save(&path, &first).expect("save");
+        assert_eq!(load(&path).expect("load"), first);
+        // Overwrite with different content: the replace is atomic and the
+        // temp file does not linger.
+        let second = vec![vec![9u8; 100]];
+        save(&path, &second).expect("save again");
+        assert_eq!(load(&path).expect("reload"), second);
+        assert!(!dir.join("cache.bin.tmp").exists(), "temp file must not linger");
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start_not_corruption() {
+        let dir = temp_dir("missing");
+        let err = load(&dir.join("never-written.bin")).unwrap_err();
+        assert_eq!(err, PersistError::NotFound);
+        assert!(!err.is_corruption());
+        assert!(PersistError::BadMagic.is_corruption());
+    }
+
+    #[test]
+    fn quarantine_moves_the_file_aside() {
+        let dir = temp_dir("quarantine");
+        let path = dir.join("cache.bin");
+        std::fs::write(&path, b"garbage").expect("write");
+        let q1 = quarantine(&path).expect("quarantine");
+        assert!(q1.to_string_lossy().contains("corrupt-0"));
+        assert!(!path.exists());
+        std::fs::write(&path, b"more garbage").expect("write");
+        let q2 = quarantine(&path).expect("second quarantine");
+        assert_ne!(q1, q2, "each quarantine gets a fresh slot");
+        assert!(q2.to_string_lossy().contains("corrupt-1"));
+    }
+
+    #[test]
+    fn byte_reader_reports_truncation_not_panic() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert!(matches!(r.u64(), Err(PersistError::Truncated { needed: 8, have: 2 })));
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let text = PersistError::VersionSkew { found: 9, expected: VERSION }.to_string();
+        assert!(text.contains("v9"), "{text}");
+        let text = PersistError::Checksum { stored: 0xdead, computed: 0xbeef }.to_string();
+        assert!(text.contains("0xdead"), "{text}");
+    }
+}

@@ -56,7 +56,10 @@ pub mod unit;
 pub use identify::{
     identify, identify_with_dc, identify_with_polarities, IdentifyMethod, IdentifyOptions,
 };
-pub use memo::{identify_cache_clear, identify_cache_stats, identify_memo};
+pub use memo::{
+    identify_cache_clear, identify_cache_load, identify_cache_poison_recoveries,
+    identify_cache_save, identify_cache_stats, identify_memo,
+};
 pub use resynth::{
     procedure2, procedure3, resynthesize, resynthesize_with_budget, Objective, ResynthError,
     ResynthOptions, ResynthReport,

@@ -43,8 +43,10 @@
 
 use crate::identify::{identify, IdentifyMethod, IdentifyOptions};
 use crate::ComparisonSpec;
+use sft_canon::persist::{self, ByteReader, PersistError};
 use sft_canon::{signature_of, CacheStats, SigCache, Signature};
 use sft_truth::TruthTable;
+use std::path::Path;
 use std::sync::OnceLock;
 
 static CLASS: OnceLock<SigCache<Option<ComparisonSpec>>> = OnceLock::new();
@@ -144,6 +146,126 @@ pub fn identify_cache_clear() {
     exact_cache().clear();
 }
 
+/// Shards of the process-wide tables rebuilt after a panic poisoned their
+/// lock (see [`SigCache::poison_recoveries`]). Surfaced by the daemon's
+/// degradation counters.
+pub fn identify_cache_poison_recoveries() -> u64 {
+    class_cache().poison_recoveries() + exact_cache().poison_recoveries()
+}
+
+/// Encodes one identification table as a byte section: an entry count,
+/// then the entries in the deterministic export order. Two tables with the
+/// same entries encode byte-identically regardless of insertion order.
+fn encode_table(cache: &SigCache<Option<ComparisonSpec>>) -> Vec<u8> {
+    let entries = cache.export_entries();
+    let mut out = Vec::with_capacity(16 + entries.len() * 32);
+    persist::put_u64(&mut out, entries.len() as u64);
+    for (sig, value) in entries {
+        persist::put_u128(&mut out, sig.bits);
+        out.push(sig.inputs);
+        persist::put_u64(&mut out, sig.salt);
+        match value {
+            None => out.push(0),
+            Some(spec) => {
+                out.push(1);
+                out.push(spec.perm.len() as u8);
+                out.extend(spec.perm.iter().map(|&p| p as u8));
+                persist::put_u64(&mut out, spec.lower);
+                persist::put_u64(&mut out, spec.upper);
+                out.push(u8::from(spec.complemented));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a table section, validating every certificate before anything
+/// is returned — a corrupt or hand-edited image yields a typed error,
+/// never a panic or an invalid in-memory certificate.
+fn decode_table(bytes: &[u8]) -> Result<Vec<(Signature, Option<ComparisonSpec>)>, PersistError> {
+    let mut reader = ByteReader::new(bytes);
+    let count = reader.u64()?;
+    let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let bits = reader.u128()?;
+        let inputs = reader.u8()?;
+        let salt = reader.u64()?;
+        let value = match reader.u8()? {
+            0 => None,
+            1 => {
+                let n = reader.u8()? as usize;
+                let perm: Vec<usize> = reader.bytes(n)?.iter().map(|&b| usize::from(b)).collect();
+                let lower = reader.u64()?;
+                let upper = reader.u64()?;
+                let complemented = match reader.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(PersistError::Malformed(format!("bad complement flag {other}")))
+                    }
+                };
+                let spec = if complemented {
+                    ComparisonSpec::new_complemented(perm, lower, upper)
+                } else {
+                    ComparisonSpec::new(perm, lower, upper)
+                }
+                .map_err(|e| PersistError::Malformed(format!("invalid certificate: {e}")))?;
+                Some(spec)
+            }
+            other => return Err(PersistError::Malformed(format!("bad value tag {other}"))),
+        };
+        entries.push((Signature { bits, inputs, salt }, value));
+    }
+    if reader.remaining() != 0 {
+        return Err(PersistError::Malformed(format!(
+            "{} trailing bytes after the last entry",
+            reader.remaining()
+        )));
+    }
+    Ok(entries)
+}
+
+/// Serializes both process-wide identification tables to `path` through
+/// the crash-safe container of [`sft_canon::persist`] (versioned header,
+/// trailing checksum, atomic write-then-rename). The image depends only on
+/// the tables' *contents*: equal tables save byte-identical files.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on filesystem failures.
+pub fn identify_cache_save(path: &Path) -> Result<(), PersistError> {
+    persist::save(path, &[encode_table(class_cache()), encode_table(exact_cache())])
+}
+
+/// Loads a persisted image into the process-wide tables, merging over
+/// whatever they already hold (entries are deterministic per key, so a
+/// collision overwrites with an equal value). The whole image is decoded
+/// and validated **before** the live tables are touched — a file that
+/// fails integrity or structural checks imports nothing. Returns the
+/// number of entries imported.
+///
+/// # Errors
+///
+/// [`PersistError::NotFound`] for a missing file (normal cold start); any
+/// other [`PersistError`] means the file is untrustworthy and should be
+/// quarantined ([`sft_canon::persist::quarantine`]) while the process
+/// rebuilds the tables from cold.
+pub fn identify_cache_load(path: &Path) -> Result<usize, PersistError> {
+    let sections = persist::load(path)?;
+    let [class_bytes, exact_bytes] = sections.as_slice() else {
+        return Err(PersistError::Malformed(format!(
+            "expected 2 table sections, found {}",
+            sections.len()
+        )));
+    };
+    let class = decode_table(class_bytes)?;
+    let exact = decode_table(exact_bytes)?;
+    let count = class.len() + exact.len();
+    class_cache().import_entries(class);
+    exact_cache().import_entries(exact);
+    Ok(count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +311,86 @@ mod tests {
         assert_eq!(sg, identify(&g, &opts).unwrap());
         assert_eq!(sf.to_table(), f);
         assert_eq!(sg.to_table(), g);
+    }
+
+    /// Filling a fresh local table with real identification answers,
+    /// encoding it, importing the bytes into another fresh table and
+    /// re-encoding must reproduce the bytes exactly — the persisted image
+    /// is a pure function of table contents (save→load→save is
+    /// byte-identical).
+    #[test]
+    fn encode_import_encode_is_byte_identical() {
+        let opts = exact();
+        let original: SigCache<Option<ComparisonSpec>> = SigCache::new();
+        let mut rng = 0x9E37_79B9u64;
+        for _ in 0..150 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let f = TruthTable::from_bits(4, u128::from(rng >> 32 & 0xffff));
+            let (sig, _) = signature_of(&f, options_salt(&opts));
+            original.insert(sig, identify(&f, &opts));
+        }
+        let image = encode_table(&original);
+        let decoded = decode_table(&image).expect("decode own encoding");
+        let restored: SigCache<Option<ComparisonSpec>> = SigCache::new();
+        restored.import_entries(decoded);
+        assert_eq!(encode_table(&restored), image, "round trip must be byte-identical");
+    }
+
+    /// Corrupt table payloads are typed errors, never panics, and a bad
+    /// image imports nothing.
+    #[test]
+    fn corrupt_payloads_are_rejected_with_typed_errors() {
+        // Truncation at every 1/8 of a real section.
+        let cache: SigCache<Option<ComparisonSpec>> = SigCache::new();
+        let f = TruthTable::from_minterms(4, &[1, 5, 6, 9, 10, 14]).unwrap();
+        let (sig, _) = signature_of(&f, 0);
+        cache.insert(sig, identify(&f, &exact()));
+        cache.insert(Signature { bits: 77, inputs: 4, salt: 0 }, None);
+        let image = encode_table(&cache);
+        for octile in 1..8 {
+            let cut = image.len() * octile / 8;
+            if cut == image.len() {
+                continue;
+            }
+            assert!(decode_table(&image[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // A structurally invalid certificate (complement flag out of range).
+        let mut bad = image.clone();
+        let len = bad.len();
+        bad[len - 1] = 7;
+        assert!(matches!(decode_table(&bad), Err(PersistError::Malformed(_))));
+
+        // File-level: wrong section count is malformed, garbage is rejected,
+        // and neither path panics or imports anything.
+        let dir = std::env::temp_dir().join(format!("sft-memo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let one_section = dir.join("one-section.bin");
+        persist::save(&one_section, &[encode_table(&cache)]).expect("save");
+        assert!(matches!(identify_cache_load(&one_section), Err(PersistError::Malformed(_))));
+        let garbage = dir.join("garbage.bin");
+        std::fs::write(&garbage, b"not a cache file at all").expect("write");
+        assert!(identify_cache_load(&garbage).unwrap_err().is_corruption());
+        assert!(matches!(
+            identify_cache_load(&dir.join("absent.bin")),
+            Err(PersistError::NotFound)
+        ));
+    }
+
+    /// Saving the process-wide tables and loading them back merges cleanly
+    /// (all keys still answer identically) — the global wrapper over the
+    /// byte-stable core.
+    #[test]
+    fn global_save_load_merges_identically() {
+        let opts = exact();
+        let f = TruthTable::from_minterms(4, &[3, 7, 11, 15]).unwrap();
+        let before = identify_memo(&f, &opts);
+        let dir = std::env::temp_dir().join(format!("sft-memo-global-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cache.bin");
+        identify_cache_save(&path).expect("save");
+        let imported = identify_cache_load(&path).expect("load");
+        assert!(imported >= 1, "the table had at least f's entries");
+        assert_eq!(identify_memo(&f, &opts), before, "merge must not change answers");
     }
 
     /// Non-exact methods bypass the tables entirely: after a capped query,

@@ -34,6 +34,12 @@ use crate::{Circuit, GateKind, NetlistError, NodeId};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Upper bound on the fanins of one parsed gate. Real netlists stay far
+/// below it; an absurd count is either a corrupt file or a parser bomb,
+/// and a daemon-side parser must reject it with a typed error instead of
+/// attempting to build (and later walk) a pathological node.
+pub const MAX_PARSE_FANINS: usize = 1024;
+
 fn gate_kind_from_name(name: &str) -> Option<GateKind> {
     Some(match name.to_ascii_uppercase().as_str() {
         "AND" => GateKind::And,
@@ -111,6 +117,12 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Circuit, NetlistErro
                 .filter(|s| !s.is_empty())
                 .map(str::to_string)
                 .collect();
+            if args.len() > MAX_PARSE_FANINS {
+                return Err(err(
+                    lineno,
+                    format!("gate has {} fanins (limit {MAX_PARSE_FANINS})", args.len()),
+                ));
+            }
             items.push((lineno, Item::Gate { target, kind, args }));
         } else {
             return Err(err(lineno, format!("unrecognized line {line:?}")));
@@ -151,7 +163,12 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Circuit, NetlistErro
                     }
                     continue;
                 }
-                let target_id = by_name[target];
+                // Pass 1 declared every gate target; `.get` (not indexing)
+                // keeps even an internal inconsistency a typed error rather
+                // than a panic on a hostile input path.
+                let &target_id = by_name
+                    .get(target)
+                    .ok_or_else(|| err(*lineno, format!("undeclared gate target {target:?}")))?;
                 let mut fanins = Vec::with_capacity(args.len());
                 for a in args {
                     let &id = by_name
@@ -339,6 +356,56 @@ OUTPUT(23)
     fn cycle_rejected() {
         let bad = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n";
         assert!(parse(bad, "bad").is_err());
+    }
+
+    // --- Adversarial fixtures: a daemon parses untrusted files, so every
+    // malformed shape below must surface as a typed `NetlistError::Parse`
+    // (never a panic, never an index-out-of-bounds).
+
+    #[test]
+    fn truncated_mid_expression_rejected() {
+        // File cut off mid-write: open paren, no close, then EOF.
+        let bad = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a,";
+        assert!(matches!(parse(bad, "trunc"), Err(NetlistError::Parse { line: 4, .. })));
+    }
+
+    #[test]
+    fn truncated_input_declaration_rejected() {
+        let bad = "INPUT(a";
+        assert!(matches!(parse(bad, "trunc"), Err(NetlistError::Parse { line: 1, .. })));
+        let bad = "INPUT(a)\nOUTPUT(y";
+        assert!(matches!(parse(bad, "trunc"), Err(NetlistError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn absurd_fanin_count_rejected() {
+        let mut src = String::from("INPUT(a)\nOUTPUT(y)\n");
+        let args = vec!["a"; MAX_PARSE_FANINS + 1].join(", ");
+        let _ = writeln!(src, "y = AND({args})");
+        match parse(&src, "bomb") {
+            Err(NetlistError::Parse { line: 3, message }) => {
+                assert!(message.contains("fanins"), "unexpected message {message:?}");
+            }
+            other => panic!("expected fanin-cap parse error, got {other:?}"),
+        }
+        // Exactly at the cap is still accepted (the limit is a bomb guard,
+        // not a functional restriction).
+        let mut ok = String::from("INPUT(a)\nOUTPUT(y)\n");
+        let args = vec!["a"; MAX_PARSE_FANINS].join(", ");
+        let _ = writeln!(ok, "y = AND({args})");
+        parse(&ok, "wide").unwrap();
+    }
+
+    #[test]
+    fn binary_garbage_rejected_not_panicking() {
+        let garbage = "\u{0}\u{1}\u{2}=\u{3}(\u{4}\n\nOUTPUT(\n= AND(x)\n";
+        assert!(parse(garbage, "garbage").is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let bad = "INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n";
+        assert!(matches!(parse(bad, "selfloop"), Err(NetlistError::Parse { line: 3, .. })));
     }
 
     #[test]

@@ -44,22 +44,31 @@ fn malformed_sources_all_rejected_with_line_numbers() {
     }
 }
 
-/// A gate whose fanin list is enormous parses without stack overflow or
-/// quadratic death, whether or not the arity is legal for the kind.
+/// A gate whose fanin list is enormous never blows the stack or goes
+/// quadratic: lists up to [`MAX_PARSE_FANINS`] parse, anything wider is a
+/// typed parse error (a parser bomb on a daemon-facing input path), and
+/// both answers arrive fast.
 #[test]
 fn huge_fanin_lists_do_not_blow_up() {
-    // 50k-ary AND over one input is legal in the format (multi-input gates
-    // take n >= 1 fanins), so it must parse...
+    use sft_netlist::bench_format::MAX_PARSE_FANINS;
+    // A maximally wide AND over one input is legal (multi-input gates take
+    // n >= 1 fanins), so it must parse...
     let wide = format!(
         "INPUT(a)\nOUTPUT(y)\ny = AND({})\n",
-        std::iter::repeat_n("a", 50_000).collect::<Vec<_>>().join(", ")
+        std::iter::repeat_n("a", MAX_PARSE_FANINS).collect::<Vec<_>>().join(", ")
     );
     let c = parse(&wide, "wide").expect("wide AND is legal");
     assert_eq!(c.eval_assignment(&[true]), vec![true]);
-    // ...while the same list on a NOT must be an arity error, not a panic.
+    // ...a 50k-ary one is over the bomb guard and must be a typed error...
+    let bomb = format!(
+        "INPUT(a)\nOUTPUT(y)\ny = AND({})\n",
+        std::iter::repeat_n("a", 50_000).collect::<Vec<_>>().join(", ")
+    );
+    assert!(matches!(parse(&bomb, "bomb"), Err(NetlistError::Parse { line: 3, .. })));
+    // ...while a wide list on a NOT must be an arity error, not a panic.
     let wide_not = format!(
         "INPUT(a)\nOUTPUT(y)\ny = NOT({})\n",
-        std::iter::repeat_n("a", 50_000).collect::<Vec<_>>().join(", ")
+        std::iter::repeat_n("a", MAX_PARSE_FANINS).collect::<Vec<_>>().join(", ")
     );
     assert!(parse(&wide_not, "wide_not").is_err());
 }

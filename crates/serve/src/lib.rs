@@ -1,0 +1,65 @@
+//! `sft-serve` — a crash-safe, std-only resynthesis daemon over a job
+//! directory.
+//!
+//! The daemon turns the one-shot `sft resynth` flow into a long-lived
+//! service without taking on a network stack: the filesystem is the API.
+//! Drop a `.bench` netlist and a small `.job` spec into
+//! `<root>/jobs/incoming/` and a result netlist plus a one-line JSON report
+//! appear in `<root>/jobs/done/` (or `<root>/jobs/failed/` with an explicit
+//! outcome). All jobs in one daemon share the process-wide
+//! comparison-function identification memo, which persists across restarts
+//! as a checksummed cache image — a warm daemon answers repeat workloads
+//! without redoing the exponential identification work, and produces
+//! **bit-identical results** to a cold one.
+//!
+//! The three design rules, in priority order:
+//!
+//! 1. **Never take the daemon down for one job.** Panics are contained per
+//!    job (`panicked` outcome), poisoned cache shards rebuild themselves,
+//!    malformed inputs are typed errors.
+//! 2. **Never lose or flap a result.** Every job transition is a rename;
+//!    reports are written atomically and are immutable once present;
+//!    orphaned jobs re-run idempotently after a crash.
+//! 3. **Degrade explicitly, not silently.** Overload sheds jobs with an
+//!    `overloaded` report; budget exhaustion completes with the partial
+//!    verified result and a stop reason; a corrupt cache image is
+//!    quarantined (kept for forensics) and the daemon starts cold.
+//!
+//! See [`daemon`] for the lifecycle and [`outcome`] for the report format;
+//! `DESIGN.md` in the workspace root has the full architecture notes.
+//!
+//! # Example
+//!
+//! ```
+//! use sft_serve::{serve, ServeConfig};
+//! use std::time::Duration;
+//!
+//! let root = std::env::temp_dir().join(format!("sft-serve-doc-{}", std::process::id()));
+//! let incoming = root.join("jobs/incoming");
+//! std::fs::create_dir_all(&incoming)?;
+//! std::fs::write(incoming.join("tiny.bench"), "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n")?;
+//! std::fs::write(incoming.join("tiny.job"), "objective = gates\n")?;
+//!
+//! let config = ServeConfig {
+//!     once: true,                       // drain what's there, then return
+//!     cache: None,                      // no persistent cache for the demo
+//!     handle_signals: false,
+//!     poll: Duration::from_millis(1),
+//!     ..ServeConfig::new(&root)
+//! };
+//! let summary = serve(&config)?;
+//! assert_eq!(summary.done, 1);
+//! assert!(root.join("jobs/done/tiny.report.json").exists());
+//! # std::fs::remove_dir_all(&root)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod outcome;
+pub mod spec;
+
+pub use daemon::{serve, ServeConfig, ServeSummary};
+pub use outcome::{EngineOutcome, JobReport, Outcome};
+pub use spec::{parse_spec, Chaos, JobSpec, SpecError};

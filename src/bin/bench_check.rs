@@ -10,7 +10,8 @@
 //!
 //! - a **decision drifted**: any decision field present in a baseline row
 //!   (`gates_after`, `paths_after`, `replacements` for resynthesis;
-//!   `edits`, `nodes`, `restored` for the edit-throughput bench) differs
+//!   `edits`, `nodes`, `restored` for the edit-throughput bench;
+//!   `done`, `failed`, `shed` for the daemon saturation bench) differs
 //!   for that circuit. Decisions must be independent of timing, caching,
 //!   and thread count. The schema is detected per row: only the decision
 //!   keys a baseline row actually carries are compared, so one binary
@@ -36,8 +37,17 @@ const ABS_SLACK: f64 = 0.002;
 /// Row fields that are *decisions* (must be bit-identical between runs),
 /// as opposed to timings. A row carries whatever subset its benchmark
 /// emits; comparison is over the baseline row's subset.
-const DECISION_KEYS: &[&str] =
-    &["gates_after", "paths_after", "replacements", "edits", "nodes", "restored"];
+const DECISION_KEYS: &[&str] = &[
+    "gates_after",
+    "paths_after",
+    "replacements",
+    "edits",
+    "nodes",
+    "restored",
+    "done",
+    "failed",
+    "shed",
+];
 
 #[derive(Debug, PartialEq)]
 struct Row {
@@ -230,6 +240,27 @@ mod tests {
                 ("edits".to_string(), "72".to_string()),
                 ("nodes".to_string(), "100".to_string()),
                 ("restored".to_string(), "true".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_serve_json_rows() {
+        let text = r#"{
+  "benchmark": "serve",
+  "circuits": [
+    {"name": "serve_cold", "jobs_submitted": 6, "done": 6, "failed": 0, "shed": 0, "cache_hits": 12, "cache_misses": 30, "cache_loaded_entries": 0, "p50_ms": 4, "p99_ms": 9, "secs_1_thread": 0.0412, "secs_n_threads": 0.0151, "speedup": 2.728}
+  ]
+}"#;
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "serve_cold");
+        assert_eq!(
+            rows[0].decisions,
+            vec![
+                ("done".to_string(), "6".to_string()),
+                ("failed".to_string(), "0".to_string()),
+                ("shed".to_string(), "0".to_string()),
             ]
         );
     }

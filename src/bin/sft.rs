@@ -9,6 +9,7 @@
 //! sft techmap    <in.bench>                      map & report literals/depth
 //! sft pdf        <in.bench> [--pairs N]          robust PDF campaign
 //! sft export     <in.bench> (--verilog|--dot)    format conversion
+//! sft serve      <root> [opts]                   job-directory daemon
 //! ```
 //!
 //! Resynthesis options: `--objective gates|paths|combined`, `--k N`,
@@ -23,6 +24,15 @@
 //! `N` worker threads (`0` or `all` = every core; default: all cores).
 //! Results are bit-identical at any value; `--jobs 1` additionally
 //! restores the exact single-threaded execution order.
+//!
+//! `sft serve <root>` watches `<root>/jobs/incoming/` for `.bench`+`.job`
+//! pairs and writes results to `<root>/jobs/done|failed/`. Options:
+//! `--jobs N` concurrent jobs, `--queue N` waiting slots before shedding,
+//! `--once` (drain and exit), `--cache <path>|off` (identification-cache
+//! image; default `<root>/jobs/cache/identify.sigcache`), `--time-limit` /
+//! `--step-limit` default per-job budgets, `--max-attempts N` and
+//! `--stats-every <dur>`. Stop with SIGINT/SIGTERM (once = drain, twice =
+//! cancel in-flight) or by creating `<root>/jobs/control/stop`.
 
 use sft::atpg::{generate_test_set_with_budget, remove_redundancies, TestSetOptions};
 use sft::budget::{Budget, StopReason};
@@ -57,8 +67,19 @@ fn opt(args: &[String], name: &str) -> Option<String> {
 }
 
 /// Options that take a value; their value token is not a positional arg.
-const VALUE_OPTIONS: &[&str] =
-    &["--objective", "--k", "--covers", "--pairs", "--time-limit", "--step-limit", "--jobs"];
+const VALUE_OPTIONS: &[&str] = &[
+    "--objective",
+    "--k",
+    "--covers",
+    "--pairs",
+    "--time-limit",
+    "--step-limit",
+    "--jobs",
+    "--queue",
+    "--cache",
+    "--max-attempts",
+    "--stats-every",
+];
 
 /// Parses `--jobs` (default: all cores; `--jobs 1` = exact serial order).
 fn jobs_from(args: &[String]) -> Result<Jobs, String> {
@@ -141,15 +162,17 @@ fn print_stop(reason: StopReason) {
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        return Err("usage: sft <stats|resynth|redundancy|testgen|equiv|techmap|pdf|export> ...\
-                    \nsee `sft help`"
-            .into());
+        return Err(
+            "usage: sft <stats|resynth|redundancy|testgen|equiv|techmap|pdf|export|serve> \
+                    ...\nsee `sft help`"
+                .into(),
+        );
     };
     let rest = &args[1..];
     match command.as_str() {
         "help" => {
             println!("see the crate README for full usage; commands:");
-            println!("  stats resynth redundancy testgen equiv techmap pdf export");
+            println!("  stats resynth redundancy testgen equiv techmap pdf export serve");
             Ok(())
         }
         "stats" => {
@@ -274,6 +297,39 @@ fn run() -> Result<(), String> {
             } else {
                 return Err("export needs --verilog or --dot".into());
             }
+            Ok(())
+        }
+        "serve" => {
+            let files = positionals(rest);
+            let root = files.first().ok_or("serve needs a root directory")?;
+            let mut config = sft::serve::ServeConfig::new(root.as_str());
+            config.jobs = jobs_from(rest)?;
+            config.once = flag(rest, "--once");
+            if let Some(queue) = opt(rest, "--queue") {
+                config.queue = queue.parse().map_err(|_| format!("bad queue size {queue:?}"))?;
+            }
+            match opt(rest, "--cache").as_deref() {
+                Some("off") => config.cache = None,
+                Some(path) => config.cache = Some(path.into()),
+                None => {}
+            }
+            if let Some(limit) = opt(rest, "--time-limit") {
+                config.default_time_limit = Some(parse_duration(&limit)?);
+            }
+            if let Some(limit) = opt(rest, "--step-limit") {
+                let steps: u64 = limit.parse().map_err(|_| format!("bad step limit {limit:?}"))?;
+                config.default_step_limit = Some(steps);
+            }
+            if let Some(n) = opt(rest, "--max-attempts") {
+                config.max_attempts = n.parse().map_err(|_| format!("bad attempt count {n:?}"))?;
+                if config.max_attempts == 0 {
+                    return Err("--max-attempts must be at least 1".into());
+                }
+            }
+            if let Some(period) = opt(rest, "--stats-every") {
+                config.stats_every = parse_duration(&period)?;
+            }
+            sft::serve::serve(&config).map_err(|e| e.to_string())?;
             Ok(())
         }
         other => Err(format!("unknown command {other:?}; see `sft help`")),

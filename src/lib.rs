@@ -79,6 +79,11 @@ pub use sft_circuits as circuits;
 pub use sft_budget as budget;
 
 /// Fork-join parallelism: the [`Jobs`](sft_par::Jobs) thread-count knob,
-/// order-preserving [`parallel_map`](sft_par::parallel_map), and
-/// counter-based RNG stream derivation.
+/// order-preserving [`parallel_map`](sft_par::parallel_map), admission
+/// control, and counter-based RNG stream derivation.
 pub use sft_par as par;
+
+/// The crash-safe job-directory resynthesis daemon behind `sft serve`:
+/// persistent warm identification cache, per-job panic isolation,
+/// admission control with load shedding, and graceful shutdown.
+pub use sft_serve as serve;
