@@ -19,6 +19,17 @@
 //! latency and the outcome decision counts. The harness asserts the warm
 //! daemon's result netlists are bit-identical to the cold ones.
 //!
+//! A fifth report, `BENCH_scale.json`, runs random-pattern stuck-at
+//! campaigns on the scale tier — generated 10K–100K+ gate circuits (wide
+//! multiplier, ALU datapath, deep random DAG, stitched multi-core
+//! composition) — with two engines: the **classic reference** (one
+//! 64-pattern block at a time, one event-driven cone propagation per
+//! alive fault; reimplemented here so it stays the honest pre-wide-word
+//! baseline) and the production wide-word/fault-dropping engine at
+//! `--jobs` 1, 2, 4 and 8. Both engines must return the bit-identical
+//! `CampaignResult`; the decision columns (`gates`, `faults`, `detected`,
+//! `coverage`) are pinned by `bench_check`, the timings are free.
+//!
 //! ```text
 //! cargo bench --bench perf             # full suite
 //! cargo bench --bench perf -- --quick  # 3-circuit smoke mode (CI)
@@ -28,13 +39,17 @@
 //! The JSON is hand-rolled (the workspace vendors no serde); every row is
 //! flat key/value so downstream tooling can `jq` it directly.
 
-use sft::circuits::{suite, suite_small, SuiteEntry};
+use sft::circuits::random::RandomCircuitConfig;
+use sft::circuits::{gen, suite, suite_small, SuiteEntry};
 use sft::core::{procedure2, ResynthOptions};
-use sft::netlist::{Circuit, GateKind};
+use sft::netlist::{Circuit, GateKind, NodeId};
 use sft::par::Jobs;
 use sft::serve::{serve, ServeConfig, ServeSummary};
-use sft::sim::{campaign, fault_list, CampaignConfig, CampaignResult};
-use std::collections::BTreeMap;
+use sft::sim::{
+    campaign, fault_list, pattern_block, CampaignConfig, CampaignResult, Fault, FaultSite,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -401,6 +416,335 @@ fn serve_rows(entries: &[SuiteEntry], cfg: &Config) -> Vec<String> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Scale tier: generated 10K–100K+ gate circuits, classic engine vs the
+// wide-word/fault-dropping engine across a thread curve.
+
+/// The classic reference fault simulator: 64 patterns per block, good
+/// values recomputed per block by one full topological sweep, and one
+/// event-driven cone propagation per simulated fault (a `BinaryHeap` in
+/// topological order, values overlaid on the good words). This is the
+/// algorithm the production engine replaced; it lives here, reimplemented
+/// against the public netlist API only, so the speedup column always
+/// compares against the real baseline rather than against whatever the
+/// production engine used to be.
+struct ClassicSim {
+    kinds: Vec<GateKind>,
+    fanins: Vec<Vec<u32>>,
+    fanouts: Vec<Vec<u32>>,
+    topo: Vec<u32>,
+    topo_pos: Vec<u32>,
+    is_output: Vec<bool>,
+    good: Vec<u64>,
+    faulty: Vec<u64>,
+    dirty: Vec<bool>,
+    queued: Vec<bool>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    scratch: Vec<u64>,
+}
+
+impl ClassicSim {
+    fn new(circuit: &Circuit) -> ClassicSim {
+        let n = circuit.len();
+        let topo: Vec<u32> =
+            circuit.topo_order().expect("acyclic").iter().map(|id| id.index() as u32).collect();
+        let mut topo_pos = vec![0u32; n];
+        for (pos, &id) in topo.iter().enumerate() {
+            topo_pos[id as usize] = pos as u32;
+        }
+        let mut fanins = Vec::with_capacity(n);
+        let mut kinds = Vec::with_capacity(n);
+        let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, node) in circuit.iter() {
+            kinds.push(node.kind());
+            fanins.push(node.fanins().iter().map(|f| f.index() as u32).collect::<Vec<u32>>());
+            for f in node.fanins() {
+                fanouts[f.index()].push(id.index() as u32);
+            }
+        }
+        for consumers in &mut fanouts {
+            consumers.dedup();
+        }
+        let mut is_output = vec![false; n];
+        for o in circuit.outputs() {
+            is_output[o.index()] = true;
+        }
+        ClassicSim {
+            kinds,
+            fanins,
+            fanouts,
+            topo,
+            topo_pos,
+            is_output,
+            good: vec![0; n],
+            faulty: vec![0; n],
+            dirty: vec![false; n],
+            queued: vec![false; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Loads one 64-pattern block: inputs take their words, everything else
+    /// is recomputed in topological order.
+    fn load_block(&mut self, inputs: &[NodeId], words: &[u64]) {
+        for (&id, &w) in inputs.iter().zip(words) {
+            self.good[id.index()] = w;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for pos in 0..self.topo.len() {
+            let n = self.topo[pos] as usize;
+            if self.kinds[n] == GateKind::Input {
+                continue;
+            }
+            scratch.clear();
+            for &f in &self.fanins[n] {
+                scratch.push(self.good[f as usize]);
+            }
+            self.good[n] = self.kinds[n].eval_words(&scratch);
+        }
+        self.scratch = scratch;
+    }
+
+    fn value(&self, n: usize) -> u64 {
+        if self.dirty[n] {
+            self.faulty[n]
+        } else {
+            self.good[n]
+        }
+    }
+
+    fn set(&mut self, n: usize, v: u64) {
+        if !self.dirty[n] {
+            self.dirty[n] = true;
+            self.touched.push(n as u32);
+        }
+        self.faulty[n] = v;
+    }
+
+    fn schedule(&mut self, n: u32) {
+        if !self.queued[n as usize] {
+            self.queued[n as usize] = true;
+            self.heap.push(Reverse((self.topo_pos[n as usize], n)));
+        }
+    }
+
+    /// Detection mask of one fault under the loaded block.
+    fn detect(&mut self, fault: Fault) -> u64 {
+        let forced = if fault.stuck { !0u64 } else { 0 };
+        let (root, out) = match fault.site {
+            FaultSite::Stem(n) => (n.index(), forced),
+            FaultSite::Branch { gate, pin } => {
+                let g = gate.index();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                scratch.clear();
+                for (p, &f) in self.fanins[g].iter().enumerate() {
+                    scratch.push(if p == pin as usize { forced } else { self.good[f as usize] });
+                }
+                let out = self.kinds[g].eval_words(&scratch);
+                self.scratch = scratch;
+                (g, out)
+            }
+        };
+        if out == self.good[root] {
+            return 0;
+        }
+        self.set(root, out);
+        for i in 0..self.fanouts[root].len() {
+            let c = self.fanouts[root][i];
+            self.schedule(c);
+        }
+        while let Some(Reverse((_, n))) = self.heap.pop() {
+            let n = n as usize;
+            self.queued[n] = false;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            scratch.clear();
+            for &f in &self.fanins[n] {
+                scratch.push(self.value(f as usize));
+            }
+            let out = self.kinds[n].eval_words(&scratch);
+            self.scratch = scratch;
+            if out != self.value(n) {
+                self.set(n, out);
+                for i in 0..self.fanouts[n].len() {
+                    let c = self.fanouts[n][i];
+                    self.schedule(c);
+                }
+            }
+        }
+        let mut detected = 0;
+        for i in 0..self.touched.len() {
+            let t = self.touched[i] as usize;
+            if self.is_output[t] {
+                detected |= self.faulty[t] ^ self.good[t];
+            }
+            self.dirty[t] = false;
+        }
+        self.touched.clear();
+        detected
+    }
+}
+
+/// The classic campaign loop: serial, 64-bit, detected faults dropped
+/// after every block, with the same seeded pattern stream, first-detection
+/// accounting and plateau rule as the production [`campaign`] — so the two
+/// results can be asserted equal field by field.
+fn classic_campaign(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: &CampaignConfig,
+) -> CampaignResult {
+    let inputs = circuit.inputs().to_vec();
+    let mut sim = ClassicSim::new(circuit);
+    let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
+    let mut alive: Vec<u32> = (0..faults.len() as u32).collect();
+    let mut last_effective: Option<u64> = None;
+    let mut applied: u64 = 0;
+    let mut block_index: u64 = 0;
+    while applied < config.max_patterns && !alive.is_empty() {
+        let offset = applied;
+        let size = (config.max_patterns - offset).min(64);
+        let size_mask = if size < 64 { (1u64 << size) - 1 } else { !0 };
+        sim.load_block(&inputs, &pattern_block(config.seed, block_index, inputs.len()));
+        alive.retain(|&fi| {
+            let mask = sim.detect(faults[fi as usize]) & size_mask;
+            if mask == 0 {
+                return true;
+            }
+            let pattern = offset + u64::from(mask.trailing_zeros());
+            detection[fi as usize] = Some(pattern);
+            last_effective = Some(last_effective.map_or(pattern, |l| l.max(pattern)));
+            false
+        });
+        applied = offset + size;
+        block_index += 1;
+        let plateaued = config.plateau > 0
+            && match last_effective {
+                Some(last) => applied - last > config.plateau,
+                None => applied > config.plateau,
+            };
+        if plateaued {
+            break;
+        }
+    }
+    let detected = detection.iter().filter(|d| d.is_some()).count();
+    CampaignResult {
+        total_faults: faults.len(),
+        detected,
+        detection_pattern: detection,
+        last_effective_pattern: last_effective,
+        patterns_applied: applied,
+    }
+}
+
+struct ScaleEntry {
+    name: &'static str,
+    circuit: Circuit,
+    patterns: u64,
+    /// The acceptance row: >= 100K gates, wide engine at `--jobs 4` must
+    /// beat the classic serial engine by at least 2x.
+    headline: bool,
+}
+
+/// The scale suite. Every entry is deterministic in its parameters, so the
+/// decision columns can be pinned across machines. The stitched composition
+/// is the headline: fault cones stay bounded by one core plus its checksum
+/// path, which is exactly the shape where per-fault engines drown and
+/// stem-grouped wide-word simulation pays off.
+fn scale_suite(cfg: &Config) -> Vec<ScaleEntry> {
+    let core = RandomCircuitConfig { inputs: 32, outputs: 16, gates: 260, window: 56, seed: 0xB1 };
+    let entry =
+        |name, circuit, patterns, headline| ScaleEntry { name, circuit, patterns, headline };
+    if cfg.quick {
+        vec![
+            entry("mul32", gen::wide_multiplier(32), 128, false),
+            entry(
+                "dag12k",
+                gen::deep_dag(&RandomCircuitConfig {
+                    inputs: 64,
+                    outputs: 32,
+                    gates: 12_000,
+                    window: 48,
+                    seed: 3,
+                }),
+                64,
+                false,
+            ),
+            entry("stitch48", gen::stitched(48, &core), 128, false),
+        ]
+    } else {
+        vec![
+            entry("mul96", gen::wide_multiplier(96), 1024, false),
+            entry("alu2048", gen::alu(2048), 1024, false),
+            entry(
+                "dag60k",
+                gen::deep_dag(&RandomCircuitConfig {
+                    inputs: 64,
+                    outputs: 32,
+                    gates: 60_000,
+                    window: 48,
+                    seed: 3,
+                }),
+                256,
+                false,
+            ),
+            entry("stitch420", gen::stitched(420, &core), 1024, true),
+        ]
+    }
+}
+
+fn scale_row(entry: &ScaleEntry, cfg: &Config) -> String {
+    let faults = fault_list(&entry.circuit);
+    let campaign_cfg = |jobs: Jobs| CampaignConfig {
+        max_patterns: entry.patterns,
+        plateau: 0,
+        seed: 0x5ca1e,
+        jobs,
+        ..CampaignConfig::default()
+    };
+    let (classic, classic_secs) =
+        time(|| classic_campaign(&entry.circuit, &faults, &campaign_cfg(Jobs::serial())));
+    let mut secs_at = Vec::new();
+    for jobs in [1usize, 2, 4, 8] {
+        let j = if jobs == 1 { Jobs::serial() } else { Jobs::new(jobs) };
+        let (r, secs) = time(|| campaign(&entry.circuit, &faults, &campaign_cfg(j)));
+        assert_eq!(
+            classic, r,
+            "{}: wide engine at {jobs} job(s) must match the classic reference bit for bit",
+            entry.name
+        );
+        secs_at.push(secs);
+    }
+    let gates = entry.circuit.two_input_gate_count();
+    let speedup_jobs_4 = classic_secs / secs_at[2].max(1e-9);
+    if entry.headline {
+        assert!(gates >= 100_000, "{}: headline row shrank to {gates} gates", entry.name);
+        assert!(
+            cfg.quick || speedup_jobs_4 >= 2.0,
+            "{}: wide engine at --jobs 4 is only {speedup_jobs_4:.2}x over the classic \
+             serial engine (need >= 2.0x)",
+            entry.name
+        );
+    }
+    json_object(&[
+        ("name", format!("\"{}\"", json_escape(entry.name))),
+        ("gates", gates.to_string()),
+        ("faults", classic.total_faults.to_string()),
+        ("detected", classic.detected.to_string()),
+        ("coverage", format!("{:.4}", classic.coverage())),
+        ("patterns_applied", classic.patterns_applied.to_string()),
+        ("secs_classic_1_thread", format!("{classic_secs:.4}")),
+        ("secs_1_thread", format!("{:.4}", secs_at[0])),
+        ("secs_2_threads", format!("{:.4}", secs_at[1])),
+        ("secs_4_threads", format!("{:.4}", secs_at[2])),
+        ("secs_8_threads", format!("{:.4}", secs_at[3])),
+        ("speedup_jobs_4", format!("{speedup_jobs_4:.3}")),
+        ("speedup_threads_4", format!("{:.3}", secs_at[0] / secs_at[2].max(1e-9))),
+    ])
+}
+
 fn main() {
     let cfg = Config::from_args();
     let entries = cfg.suite();
@@ -461,4 +805,16 @@ fn main() {
     std::fs::write(&serve_path, json_report(&meta("serve"), &serve_report_rows))
         .expect("write BENCH_serve.json");
     eprintln!("wrote {}", serve_path.display());
+
+    let scale_rows: Vec<String> = scale_suite(&cfg)
+        .iter()
+        .map(|e| {
+            eprintln!("  scale {} ({} patterns)", e.name, e.patterns);
+            scale_row(e, &cfg)
+        })
+        .collect();
+    let scale_path = cfg.out_dir.join("BENCH_scale.json");
+    std::fs::write(&scale_path, json_report(&meta("scale"), &scale_rows))
+        .expect("write BENCH_scale.json");
+    eprintln!("wrote {}", scale_path.display());
 }

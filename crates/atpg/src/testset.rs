@@ -136,7 +136,7 @@ pub fn generate_test_set_with_budget(
             break;
         }
         let chunk: Vec<u64> =
-            (block..(block + options.jobs.get() as u64).min(total_blocks)).collect();
+            (block..block.saturating_add(options.jobs.get() as u64).min(total_blocks)).collect();
         let alive_faults: Vec<Fault> = alive.iter().map(|&i| faults[i]).collect();
         let per_block: Vec<(Vec<u64>, Vec<Option<u32>>)> = match options.jobs.is_serial() {
             true => chunk

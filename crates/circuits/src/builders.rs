@@ -6,7 +6,7 @@
 
 use sft_netlist::{Circuit, GateKind, NodeId};
 
-fn full_adder(c: &mut Circuit, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+pub(crate) fn full_adder(c: &mut Circuit, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
     let axb = c.add_gate(GateKind::Xor, vec![a, b]).expect("valid gate");
     let sum = c.add_gate(GateKind::Xor, vec![axb, cin]).expect("valid gate");
     let t1 = c.add_gate(GateKind::And, vec![a, b]).expect("valid gate");

@@ -1,0 +1,426 @@
+//! Industrial-scale circuit generation (the `sft gen` suite).
+//!
+//! The [`builders`](crate::builders) module produces workloads sized for
+//! exhaustive functional verification (tens to hundreds of gates). This
+//! module produces the **scale tier**: deterministic, seed-parameterized
+//! circuits in the 10K–1M gate range, built with pre-reserved node arenas
+//! and *unnamed* interior nodes (only primary inputs and outputs carry
+//! names), so a million-gate netlist costs a million small structs, not a
+//! million heap strings.
+//!
+//! Four families cover the shapes that stress different hot paths:
+//!
+//! - [`wide_multiplier`]/[`wide_adder`] — arithmetic arrays with deep
+//!   carry/reduction structure (long sensitizable paths, huge path counts);
+//! - [`alu`] — wide ALU datapaths: shared opcode fanout stems driving every
+//!   bit slice (large fanout cones, many equivalent faults);
+//! - [`deep_dag`] — streaming sliding-window random DAGs (reconvergent
+//!   "random logic" à la the irs suite, at three orders of magnitude more
+//!   gates);
+//! - [`stitched`] — compositions of many independent irs-shaped cores whose
+//!   outputs are XOR-checksummed together: total size grows linearly with
+//!   the copy count while every fault cone stays bounded by one core plus
+//!   its checksum path, the shape that separates cone-bounded fault
+//!   simulation from resimulate-the-world engines.
+//!
+//! Every generator is a pure function of its parameters: equal parameters
+//! produce byte-identical circuits on every platform, which the `.bench`
+//! corpus pins in tests.
+
+use crate::builders::full_adder;
+use crate::random::{random_circuit, RandomCircuitConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sft_netlist::{Circuit, GateKind, NodeId};
+
+/// Builds an `n`×`n` unsigned array multiplier into `c` from already-created
+/// operand bits, returning the `2n` product bits (LSB first). Interior nodes
+/// stay unnamed.
+fn multiplier_into(c: &mut Circuit, a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let n = a.len();
+    debug_assert_eq!(n, b.len());
+    // One spare column: the reduction may structurally generate a carry
+    // out of the top column even though it is numerically always 0.
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); 2 * n + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = c.add_gate(GateKind::And, vec![ai, bj]).expect("valid gate");
+            columns[i + j].push(pp);
+        }
+    }
+    let mut outputs = Vec::with_capacity(2 * n);
+    for col in 0..2 * n {
+        while columns[col].len() > 1 {
+            if columns[col].len() >= 3 {
+                let z = columns[col].pop().expect("len >= 3");
+                let y = columns[col].pop().expect("len >= 2");
+                let x = columns[col].pop().expect("len >= 1");
+                let (s, co) = full_adder(c, x, y, z);
+                columns[col].push(s);
+                columns[col + 1].push(co);
+            } else {
+                let y = columns[col].pop().expect("len == 2");
+                let x = columns[col].pop().expect("len == 1");
+                let s = c.add_gate(GateKind::Xor, vec![x, y]).expect("valid gate");
+                let co = c.add_gate(GateKind::And, vec![x, y]).expect("valid gate");
+                columns[col].push(s);
+                columns[col + 1].push(co);
+            }
+        }
+        outputs.push(columns[col].first().copied().unwrap_or_else(|| c.add_const(false)));
+    }
+    outputs
+}
+
+/// An `n`×`n` array multiplier with no width cap: inputs `a0..`, `b0..`
+/// (bit 0 = LSB), outputs `p0..p{2n-1}`. Roughly `6n²` gates — `n = 96`
+/// is ~55K gates, `n = 416` crosses a million.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn wide_multiplier(n: usize) -> Circuit {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut c = Circuit::with_capacity(format!("mul{n}"), 2 * n + 6 * n * n);
+    let a: Vec<_> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect();
+    let products = multiplier_into(&mut c, &a, &b);
+    for (i, o) in products.into_iter().enumerate() {
+        c.add_output(o, format!("p{i}"));
+    }
+    c
+}
+
+/// An `n`-bit ripple-carry adder with a pre-reserved arena: inputs `a0..`,
+/// `b0..`, `cin`; outputs `s0..s{n-1}`, `cout`. Five gates per bit.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn wide_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut c = Circuit::with_capacity(format!("add{n}"), 2 * n + 1 + 5 * n);
+    let a: Vec<_> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect();
+    let mut carry = c.add_input("cin");
+    let mut sums = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, co) = full_adder(&mut c, a[i], b[i], carry);
+        sums.push(s);
+        carry = co;
+    }
+    for (i, s) in sums.into_iter().enumerate() {
+        c.add_output(s, format!("s{i}"));
+    }
+    c.add_output(carry, "cout");
+    c
+}
+
+/// A `width`-bit 4-operation ALU: per-bit operands `a*`/`b*`, carry input
+/// `cin`, shared opcode `op0`/`op1` (00 = AND, 01 = OR, 10 = XOR,
+/// 11 = ADD); outputs `r0..r{width-1}` and `cout`. About 13 gates per bit,
+/// with the opcode stems fanning out to every slice — the high-fanout shape
+/// arithmetic arrays don't exercise.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn alu(width: usize) -> Circuit {
+    assert!(width > 0, "ALU width must be positive");
+    let mut c = Circuit::with_capacity(format!("alu{width}"), 2 * width + 3 + 14 * width);
+    let a: Vec<_> = (0..width).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<_> = (0..width).map(|i| c.add_input(format!("b{i}"))).collect();
+    let cin = c.add_input("cin");
+    let op0 = c.add_input("op0");
+    let op1 = c.add_input("op1");
+    let n0 = c.add_gate(GateKind::Not, vec![op0]).expect("valid gate");
+    let n1 = c.add_gate(GateKind::Not, vec![op1]).expect("valid gate");
+    let mut carry = cin;
+    let mut results = Vec::with_capacity(width);
+    for i in 0..width {
+        let and_ab = c.add_gate(GateKind::And, vec![a[i], b[i]]).expect("valid gate");
+        let or_ab = c.add_gate(GateKind::Or, vec![a[i], b[i]]).expect("valid gate");
+        let xor_ab = c.add_gate(GateKind::Xor, vec![a[i], b[i]]).expect("valid gate");
+        let (sum, cout) = full_adder(&mut c, a[i], b[i], carry);
+        carry = cout;
+        let s00 = c.add_gate(GateKind::And, vec![n1, n0, and_ab]).expect("valid gate");
+        let s01 = c.add_gate(GateKind::And, vec![n1, op0, or_ab]).expect("valid gate");
+        let s10 = c.add_gate(GateKind::And, vec![op1, n0, xor_ab]).expect("valid gate");
+        let s11 = c.add_gate(GateKind::And, vec![op1, op0, sum]).expect("valid gate");
+        results.push(c.add_gate(GateKind::Or, vec![s00, s01, s10, s11]).expect("valid gate"));
+    }
+    for (i, r) in results.into_iter().enumerate() {
+        c.add_output(r, format!("r{i}"));
+    }
+    let cout_gated = c.add_gate(GateKind::And, vec![op1, op0, carry]).expect("valid gate");
+    c.add_output(cout_gated, "cout");
+    c
+}
+
+/// A streaming sliding-window random DAG sized for the scale tier: the
+/// same reconvergent shape as [`random_circuit`], but with a pre-reserved
+/// arena, unnamed interior nodes, and **no normalization pass** — at
+/// hundreds of thousands of gates the generator must not pay a global
+/// simplification sweep, and the raw DAG (with its buffers and
+/// redundancies) is exactly the "unoptimized synthesis output" workload
+/// the testability experiments want.
+///
+/// Deterministic in the config. Small `window` values give deep, highly
+/// reconvergent circuits.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `outputs == 0` or `gates == 0`.
+pub fn deep_dag(config: &RandomCircuitConfig) -> Circuit {
+    assert!(config.inputs > 0 && config.outputs > 0 && config.gates > 0, "empty config");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut c =
+        Circuit::with_capacity(format!("dag_{}", config.seed), config.inputs + config.gates);
+    let mut pool: Vec<NodeId> = (0..config.inputs).map(|i| c.add_input(format!("i{i}"))).collect();
+    pool.reserve(config.gates);
+    let kinds =
+        [GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor, GateKind::And, GateKind::Or];
+    for _ in 0..config.gates {
+        let window = config.window.min(pool.len());
+        let pick = |rng: &mut StdRng, pool: &[NodeId]| {
+            let lo = pool.len() - window;
+            pool[rng.gen_range(lo..pool.len())]
+        };
+        let kind =
+            if rng.gen_ratio(1, 12) { GateKind::Not } else { kinds[rng.gen_range(0..kinds.len())] };
+        let arity = if kind == GateKind::Not {
+            1
+        } else if rng.gen_ratio(1, 4) {
+            3
+        } else {
+            2
+        };
+        let mut fanins = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            fanins.push(pick(&mut rng, &pool));
+        }
+        fanins.dedup();
+        if fanins.is_empty() {
+            continue;
+        }
+        let kind = if fanins.len() == 1 && kind != GateKind::Not { GateKind::Buf } else { kind };
+        let g = c.add_gate(kind, fanins).expect("valid fanins");
+        pool.push(g);
+    }
+    // Outputs: the most recent distinct signals (they dominate the DAG).
+    let take = config.outputs.min(pool.len());
+    for (i, &o) in pool.iter().rev().take(take).enumerate() {
+        c.add_output(o, format!("o{i}"));
+    }
+    c
+}
+
+/// Reduces `nodes` with a balanced XOR2 tree, returning the root (or the
+/// single node unchanged).
+fn xor_tree(c: &mut Circuit, mut layer: Vec<NodeId>) -> NodeId {
+    debug_assert!(!layer.is_empty());
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(c.add_gate(GateKind::Xor, vec![pair[0], pair[1]]).expect("valid gate"));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// A stitched composition of `copies` independent irs-shaped cores.
+///
+/// Each core is [`random_circuit`] with `config`'s shape and seed
+/// `config.seed + k` (the same generator family behind the irs suite,
+/// without the redundancy-removal preparation); core `k`'s inputs are
+/// renamed `c{k}_*`. The cores' primary outputs are combined position by
+/// position with balanced XOR checksum trees into `config.outputs` outputs
+/// named `chk*`.
+///
+/// Total size scales linearly with `copies` while every fault cone stays
+/// bounded by one core plus its checksum path — ~500 copies of the default
+/// shape cross 100K gates and still fault-simulate in bounded cones.
+///
+/// # Panics
+///
+/// Panics if `copies == 0` or the config is empty.
+pub fn stitched(copies: usize, config: &RandomCircuitConfig) -> Circuit {
+    assert!(copies > 0, "need at least one core");
+    let per_core = config.inputs + config.gates;
+    let mut c = Circuit::with_capacity(
+        format!("stitch{copies}x{}_{}", config.gates, config.seed),
+        copies * per_core + copies * config.outputs,
+    );
+    let mut checksum_columns: Vec<Vec<NodeId>> = vec![Vec::new(); config.outputs];
+    for k in 0..copies {
+        let core = random_circuit(&RandomCircuitConfig {
+            seed: config.seed.wrapping_add(k as u64),
+            ..config.clone()
+        });
+        // Append the core in topological order, mapping its ids into the
+        // composite arena. Interior nodes stay unnamed.
+        let mut map: Vec<NodeId> = vec![NodeId::from_index(0); core.len()];
+        for &id in &core.topo_order().expect("generated cores are acyclic") {
+            let node = core.node(id);
+            map[id.index()] = match node.kind() {
+                GateKind::Input => c.add_input(format!("c{k}_{}", node.name().unwrap_or("i"))),
+                kind => {
+                    let fanins = node.fanins().iter().map(|f| map[f.index()]).collect();
+                    c.add_gate(kind, fanins).expect("valid gate")
+                }
+            };
+        }
+        for (j, &o) in core.outputs().iter().enumerate() {
+            checksum_columns[j % config.outputs].push(map[o.index()]);
+        }
+    }
+    for (j, column) in checksum_columns.into_iter().enumerate() {
+        if column.is_empty() {
+            continue;
+        }
+        let root = xor_tree(&mut c, column);
+        c.add_output(root, format!("chk{j}"));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_multiplier_matches_capped_builder_function() {
+        // Same function as builders::array_multiplier on overlapping widths.
+        let wide = wide_multiplier(4);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                let assignment: Vec<bool> = (0..4)
+                    .map(|i| a >> i & 1 == 1)
+                    .chain((0..4).map(|i| b >> i & 1 == 1))
+                    .collect();
+                let out = wide.eval_assignment(&assignment);
+                let num =
+                    out.iter().enumerate().fold(0u64, |acc, (i, &v)| acc | (u64::from(v) << i));
+                assert_eq!(num, a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_adder_adds() {
+        let c = wide_adder(6);
+        for (a, b, cin) in [(0u64, 0u64, 0u64), (63, 63, 1), (21, 42, 0), (17, 48, 1)] {
+            let assignment: Vec<bool> = (0..6)
+                .map(|i| a >> i & 1 == 1)
+                .chain((0..6).map(|i| b >> i & 1 == 1))
+                .chain([cin == 1])
+                .collect();
+            let out = c.eval_assignment(&assignment);
+            let num = out.iter().enumerate().fold(0u64, |acc, (i, &v)| acc | (u64::from(v) << i));
+            assert_eq!(num, a + b + cin, "{a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn alu_computes_all_ops() {
+        let c = alu(5);
+        for (a, b, cin) in [(0u64, 0u64, 0u64), (31, 31, 1), (0b10110, 0b01101, 0)] {
+            for op in 0..4u64 {
+                let assignment: Vec<bool> = (0..5)
+                    .map(|i| a >> i & 1 == 1)
+                    .chain((0..5).map(|i| b >> i & 1 == 1))
+                    .chain([cin == 1, op & 1 == 1, op >> 1 & 1 == 1])
+                    .collect();
+                let out = c.eval_assignment(&assignment);
+                let r = (0..5).fold(0u64, |acc, i| acc | (u64::from(out[i]) << i));
+                let cout = u64::from(out[5]);
+                let (er, ec) = match op {
+                    0 => (a & b, 0),
+                    1 => (a | b, 0),
+                    2 => (a ^ b, 0),
+                    _ => ((a + b + cin) & 31, (a + b + cin) >> 5),
+                };
+                assert_eq!((r, cout), (er, ec), "a={a} b={b} cin={cin} op={op}");
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let cfg = RandomCircuitConfig { gates: 400, ..Default::default() };
+        assert_eq!(deep_dag(&cfg), deep_dag(&cfg));
+        assert_eq!(stitched(4, &cfg), stitched(4, &cfg));
+        assert_eq!(wide_multiplier(12), wide_multiplier(12));
+        assert_ne!(
+            deep_dag(&cfg),
+            deep_dag(&RandomCircuitConfig { seed: cfg.seed + 1, ..cfg.clone() })
+        );
+    }
+
+    #[test]
+    fn interior_nodes_stay_unnamed() {
+        // Only PIs carry node names (outputs are labeled via output slots):
+        // no per-gate String allocations at scale.
+        let cfg = RandomCircuitConfig::default();
+        for c in [deep_dag(&cfg), stitched(3, &cfg), wide_multiplier(8), alu(8), wide_adder(8)] {
+            for (_, node) in c.iter() {
+                assert_eq!(
+                    node.name().is_some(),
+                    node.kind() == GateKind::Input,
+                    "unexpected name on {:?}",
+                    node.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_sizes_are_reached() {
+        let mul = wide_multiplier(48);
+        assert!(mul.len() > 10_000, "mul48 has {} nodes", mul.len());
+        let dag = deep_dag(&RandomCircuitConfig {
+            inputs: 64,
+            outputs: 32,
+            gates: 20_000,
+            window: 48,
+            seed: 3,
+        });
+        assert!(dag.len() > 15_000, "dag has {} nodes", dag.len());
+        mul.validate().unwrap();
+        dag.validate().unwrap();
+    }
+
+    #[test]
+    fn stitched_cones_are_core_bounded() {
+        let cfg = RandomCircuitConfig::default();
+        let copies = 6;
+        let c = stitched(copies, &cfg);
+        c.validate().unwrap();
+        assert_eq!(c.outputs().len(), cfg.outputs);
+        assert_eq!(c.inputs().len(), copies * cfg.inputs);
+        // Every copy must structurally reach the checksum outputs: walk the
+        // transitive fanin of all outputs and collect which copies' inputs
+        // appear in the support.
+        let mut reached = vec![false; c.len()];
+        let mut stack: Vec<NodeId> = c.outputs().to_vec();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut reached[id.index()], true) {
+                continue;
+            }
+            stack.extend_from_slice(c.node(id).fanins());
+        }
+        for k in 0..copies {
+            let prefix = format!("c{k}_");
+            assert!(
+                c.inputs().iter().any(|&i| reached[i.index()]
+                    && c.node(i).name().is_some_and(|n| n.starts_with(&prefix))),
+                "copy {k} does not reach any checksum output"
+            );
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //!   trees, ALU slices and array multipliers;
 //! - [`random`] — a seeded random reconvergent-DAG generator with tunable
 //!   size and shape;
+//! - [`gen`] — the scale tier: deterministic 10K–1M gate circuits (wide
+//!   arithmetic arrays, ALU datapaths, deep random DAGs and stitched
+//!   multi-core compositions) behind the `sft gen` subcommand;
 //! - [`mod@suite`] — the substitute benchmark suite used by every table
 //!   experiment: a fixed set of seeded circuits, each made **irredundant**
 //!   with the workspace's own redundancy-removal pass, mirroring the
@@ -27,6 +30,7 @@
 //! ```
 
 pub mod builders;
+pub mod gen;
 pub mod random;
 pub mod suite;
 

@@ -129,8 +129,11 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Circuit, NetlistErro
         }
     }
 
-    let mut c = Circuit::new(name);
-    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    // Every input/gate item becomes exactly one node: size the arena and
+    // the name map once instead of re-growing them through a 1M-gate file.
+    let node_items = items.iter().filter(|(_, i)| !matches!(i, Item::Output(_))).count();
+    let mut c = Circuit::with_capacity(name, node_items);
+    let mut by_name: HashMap<String, NodeId> = HashMap::with_capacity(node_items);
     // Pass 1: declare inputs and placeholder gates.
     for (lineno, item) in &items {
         match item {
@@ -207,19 +210,31 @@ pub fn parse(text: &str, name: impl Into<String>) -> Result<Circuit, NetlistErro
 /// the text bit-for-bit (after one stabilizing round trip when output
 /// aliases have to be materialized as `BUF` gates).
 pub fn write(c: &Circuit) -> String {
-    let name_of = |id: NodeId| -> String {
-        match c.node(id).name() {
+    // One name per node, materialized once: the old per-use closure
+    // allocated a fresh `String` for every fanin reference, which dominated
+    // serialization time (and memory churn) on 100K+-gate circuits.
+    let names: Vec<String> = c
+        .iter()
+        .map(|(id, node)| match node.name() {
             Some(n) => n.to_string(),
             None => format!("n{}", id.index()),
-        }
-    };
-    let mut out = String::new();
+        })
+        .collect();
+    let name_of = |id: NodeId| -> &str { &names[id.index()] };
+    // Estimate: every node appears once as a target and once per fanin
+    // reference, plus fixed per-line syntax.
+    let name_bytes: usize = names.iter().map(String::len).sum();
+    let fanin_refs: usize = c.iter().map(|(_, n)| n.fanins().len()).sum();
+    let avg_name = name_bytes / c.len().max(1) + 1;
+    let mut out = String::with_capacity(
+        name_bytes + fanin_refs * (avg_name + 2) + 16 * (c.len() + c.outputs().len() + 1),
+    );
     let _ = writeln!(out, "# {}", c.name());
     for &i in c.inputs() {
         let _ = writeln!(out, "INPUT({})", name_of(i));
     }
     for (slot, &o) in c.outputs().iter().enumerate() {
-        let label = c.output_name(slot).map(str::to_string).unwrap_or_else(|| name_of(o));
+        let label = c.output_name(slot).unwrap_or_else(|| name_of(o));
         let _ = writeln!(out, "OUTPUT({label})");
     }
     // Gates in canonical (level, name) order — a topological order, since
@@ -227,7 +242,7 @@ pub fn write(c: &Circuit) -> String {
     // handled via BUF when the output name differs from the driver's name.
     let level = c.levels().expect("combinational circuit");
     let mut order: Vec<NodeId> = (0..c.len()).map(NodeId::from_index).collect();
-    order.sort_by_cached_key(|&id| (level[id.index()], name_of(id)));
+    order.sort_by(|&a, &b| (level[a.index()], name_of(a)).cmp(&(level[b.index()], name_of(b))));
     for id in order {
         let node = c.node(id);
         match node.kind() {
@@ -239,8 +254,14 @@ pub fn write(c: &Circuit) -> String {
                 let _ = writeln!(out, "{} = CONST1", name_of(id));
             }
             kind => {
-                let args: Vec<String> = node.fanins().iter().map(|&f| name_of(f)).collect();
-                let _ = writeln!(out, "{} = {}({})", name_of(id), kind.name(), args.join(", "));
+                let _ = write!(out, "{} = {}(", name_of(id), kind.name());
+                for (i, &f) in node.fanins().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(name_of(f));
+                }
+                out.push_str(")\n");
             }
         }
     }

@@ -164,6 +164,20 @@ impl Circuit {
         }
     }
 
+    /// Creates an empty circuit with room for `nodes` nodes, so generators
+    /// and parsers building 10K–1M-gate circuits do not re-grow the node
+    /// arena logarithmically many times.
+    pub fn with_capacity(name: impl Into<String>, nodes: usize) -> Self {
+        let mut c = Circuit::new(name);
+        c.nodes.reserve(nodes);
+        c
+    }
+
+    /// Reserves capacity for at least `additional` more nodes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.nodes.reserve(additional);
+    }
+
     /// The circuit name.
     pub fn name(&self) -> &str {
         &self.name

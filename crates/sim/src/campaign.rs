@@ -2,24 +2,51 @@
 //!
 //! Campaigns are **thread-parallel and bit-deterministic**: the pattern
 //! words of block `b` are a pure function of `(seed, b)` (counter-based
-//! stream derivation, [`pattern_block`]), consecutive blocks are grouped
-//! into work items of roughly [`CampaignConfig::parallel_grain`] node
-//! evaluations each (one simulator per item, so thread spawns and
-//! simulator setup amortize over many blocks), up to
-//! [`CampaignConfig::jobs`] items run concurrently, and worker results are
-//! merged strictly in block order. The merged result is therefore
-//! bit-identical at any thread count and any grain —
-//! `jobs: Jobs::serial()` additionally runs everything inline with zero
-//! spawned threads, and a remainder too small to fill one work item runs
-//! inline too instead of paying thread-spawn latency.
+//! stream derivation, [`pattern_block`]), and each wide stride sweeps its
+//! blocks once for every live fault with the fault list sliced
+//! *contiguously* across up to [`CampaignConfig::jobs`] workers. The
+//! per-slice detection masks concatenate back in fault order, so the
+//! stride's masks are exactly the single-simulator masks and the merged
+//! result is structurally bit-identical at any thread count. Fault
+//! dropping happens globally after every stride — no worker re-simulates a
+//! fault another slice already killed, which is what lets the parallel
+//! run do the *same total work* as the serial one. `jobs: Jobs::serial()`
+//! runs everything inline with zero spawned threads, and a stride whose
+//! estimated work is below [`CampaignConfig::parallel_grain`] runs inline
+//! too instead of paying thread-spawn latency.
+//!
+//! Campaigns are also **width-deterministic**: with a wide simulation word
+//! ([`CampaignConfig::width`]) the engine sweeps [`SimWord::LANES`]
+//! consecutive 64-pattern blocks per pass, but lane `l` of a wide sweep
+//! carries exactly block `base + l` of the same seeded stream, and merging
+//! still happens per 64-pattern block in strict order — so detection
+//! indices, effective-pattern statistics and plateau stops are bit-identical
+//! at every width, which the tests pin.
 
-use crate::fsim::FaultSimTables;
-use crate::{Fault, FaultSim};
+use crate::fsim::{FaultSimTables, WideFaultSim};
+use crate::word::{SimWord, W256, W512};
+use crate::Fault;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sft_netlist::Circuit;
 use sft_par::{derive_seed, parallel_map, Jobs};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Simulation word width used by [`campaign`] sweeps.
+///
+/// Results are bit-identical at every width; wider words simulate more
+/// pattern blocks per topological sweep (auto-vectorizable `[u64; N]`
+/// lanes), which is what makes 100K-gate campaigns tractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimWidth {
+    /// One 64-pattern block per sweep (the historical engine).
+    W64,
+    /// Four blocks — 256 patterns — per sweep.
+    #[default]
+    W256,
+    /// Eight blocks — 512 patterns — per sweep.
+    W512,
+}
 
 /// Configuration of a random-pattern campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,15 +63,15 @@ pub struct CampaignConfig {
     /// bit-identical at any value; [`Jobs::serial`] (the default) spawns no
     /// threads at all.
     pub jobs: Jobs,
-    /// Approximate node evaluations per parallel work item. Consecutive
-    /// pattern blocks are grouped until a group reaches this much estimated
-    /// work (`alive faults × circuit nodes` per block), so thread spawns
-    /// and per-worker simulator setup amortize over whole groups and
-    /// near-saturated campaigns (few faults alive, microseconds per block)
-    /// stop paying parallel overhead per block. A remainder smaller than
-    /// one work item runs inline on the calling thread. Results are
-    /// bit-identical at any value; `0` restores one block per work item.
+    /// Estimated node evaluations (`alive faults × circuit nodes × blocks`)
+    /// below which a stride runs inline on the calling thread instead of
+    /// slicing its fault list across workers. Near saturation a stride
+    /// costs microseconds and a thread spawn would dominate, so the grain
+    /// keeps the tail of a campaign serial. Results are bit-identical at
+    /// any value; `0` forces slicing whenever `jobs` allows it.
     pub parallel_grain: u64,
+    /// Simulation word width. Results are bit-identical at any value.
+    pub width: SimWidth,
 }
 
 impl Default for CampaignConfig {
@@ -55,6 +82,7 @@ impl Default for CampaignConfig {
             seed: 0x5f7,
             jobs: Jobs::serial(),
             parallel_grain: 2_000_000,
+            width: SimWidth::default(),
         }
     }
 }
@@ -116,42 +144,79 @@ impl CampaignResult {
 ///
 /// Every engine that applies seeded random pattern blocks (the stuck-at
 /// campaign here, the random phase of test-set generation) derives block
-/// words through this function, so any worker — on any thread, in any
-/// order — regenerates exactly the block the single-threaded loop would
-/// have drawn.
+/// words through this function, so any worker — on any thread, at any word
+/// width, in any order — regenerates exactly the block the single-threaded
+/// 64-bit loop would have drawn.
 pub fn pattern_block(seed: u64, block: u64, num_inputs: usize) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(derive_seed(seed, block));
     (0..num_inputs).map(|_| rng.gen()).collect()
+}
+
+/// Simulates up to `W::LANES` consecutive blocks in one wide sweep and
+/// splits the detection masks back into one `Vec<u64>` per 64-pattern block
+/// (outer index follows `block_ids`). Unused lanes are zero-filled and never
+/// read back, so a partial stride is still exact.
+fn detect_stride<W: SimWord>(
+    fsim: &mut WideFaultSim<W>,
+    faults: &[Fault],
+    seed: u64,
+    block_ids: &[u64],
+    num_inputs: usize,
+) -> Vec<Vec<u64>> {
+    debug_assert!(!block_ids.is_empty() && block_ids.len() <= W::LANES);
+    let lanes: Vec<Vec<u64>> =
+        block_ids.iter().map(|&b| pattern_block(seed, b, num_inputs)).collect();
+    let inputs: Vec<W> =
+        (0..num_inputs).map(|i| W::from_lanes(|l| lanes.get(l).map_or(0, |v| v[i]))).collect();
+    let wide = fsim.detect_masks(faults, &inputs);
+    (0..block_ids.len()).map(|l| wide.iter().map(|w| w.lane(l)).collect()).collect()
 }
 
 /// Runs a random-pattern stuck-at campaign over `faults` on `circuit`.
 ///
 /// Patterns are drawn from seeded per-block RNG streams in blocks of 64;
 /// per-fault first detection indices are exact (bit-accurate within each
-/// block). Detected faults are dropped from subsequent blocks, so the cost
-/// per block shrinks as coverage saturates.
+/// block). Detected faults are dropped from subsequent strides, so the cost
+/// per block shrinks as coverage saturates. [`CampaignConfig::width`]
+/// selects how many blocks one topological sweep carries.
 ///
-/// With `config.jobs > 1`, consecutive blocks are grouped into work items
-/// of roughly [`CampaignConfig::parallel_grain`] node evaluations and up
-/// to `jobs` items are simulated concurrently (each worker owns a
-/// [`FaultSim`] for its whole group, sharing precomputed
-/// [`FaultSimTables`]) and merged in block order; the result — including
-/// every detection index, the effective-pattern statistic and the
-/// plateau-rule stopping point — is **bit-identical** to the serial run.
-/// The only cost of parallelism is that blocks simulated concurrently with
-/// the block that triggers a stop are discarded (bounded by the chunk of
-/// blocks in flight).
+/// With `config.jobs > 1`, every stride's live-fault list is sliced
+/// contiguously across up to `jobs` workers (each worker slot keeps a
+/// persistent [`WideFaultSim`] sharing precomputed [`FaultSimTables`]), and
+/// the per-slice masks concatenate back in fault order — exactly the
+/// single-simulator masks. The result — including every detection index,
+/// the effective-pattern statistic and the plateau-rule stopping point —
+/// is therefore **bit-identical** to the serial 64-bit run, and the
+/// parallel run does the same total fault work as the serial one (faults
+/// drop globally after every stride). Strides whose estimated work falls
+/// under [`CampaignConfig::parallel_grain`] run inline.
 ///
 /// # Panics
 ///
 /// Panics if the circuit is cyclic.
 pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) -> CampaignResult {
+    match config.width {
+        SimWidth::W64 => campaign_wide::<u64>(circuit, faults, config),
+        SimWidth::W256 => campaign_wide::<W256>(circuit, faults, config),
+        SimWidth::W512 => campaign_wide::<W512>(circuit, faults, config),
+    }
+}
+
+fn campaign_wide<W: SimWord>(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: &CampaignConfig,
+) -> CampaignResult {
     let num_inputs = circuit.inputs().len();
     let tables = Arc::new(FaultSimTables::new(circuit));
-    // The inline path (serial runs, and chunks too small to parallelize)
-    // keeps one simulator alive across all its blocks; parallel workers
-    // build one per group from the shared tables.
-    let mut inline_fsim: Option<FaultSim> = None;
+    // One simulator for inline strides plus one per worker slot for sliced
+    // strides, all created lazily and kept alive for the whole campaign —
+    // the O(nodes) scratch buffers are the expensive part of simulator
+    // setup. Each parallel work item locks the simulator of its own slice
+    // index, so the locks are never contended.
+    let mut inline_fsim: Option<WideFaultSim<W>> = None;
+    let mut worker_fsims: Vec<Mutex<WideFaultSim<W>>> = Vec::new();
+    let lanes = W::LANES as u64;
 
     let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
     // Global indices of still-undetected faults; compacted as faults fall.
@@ -163,83 +228,54 @@ pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) ->
     let mut stopped = false;
 
     while !stopped && applied < config.max_patterns && !alive.is_empty() {
-        // One chunk: up to `jobs` groups of consecutive blocks over the
-        // same alive set. (offset, size) describe each block's pattern
-        // range. Group size follows the estimated per-block cost (every
-        // alive fault may touch every node) so each work item carries
-        // roughly `parallel_grain` node evaluations — the estimate only
-        // shapes the schedule, never the result.
-        let blocks_left = (config.max_patterns - applied).div_ceil(64);
-        let per_block = (alive.len() as u64).max(1) * (circuit.len() as u64).max(1);
-        let group = (config.parallel_grain / per_block).max(1);
-        // A remainder below one full work item is not worth a thread spawn.
-        let inline = config.jobs.is_serial() || blocks_left <= group;
-        let chunk = if inline {
-            // The serial drop order compacts after every block.
-            1
-        } else {
-            (config.jobs.get() as u64 * group).min(blocks_left)
-        };
+        // One wide stride per iteration: up to `LANES` consecutive blocks
+        // swept together over the current alive set. (offset, size)
+        // describe each block's pattern range. All pattern-count arithmetic
+        // saturates so extreme `max_patterns` values degrade to "stop at
+        // u64::MAX" instead of wrapping.
+        let blocks_left = config.max_patterns.saturating_sub(applied).div_ceil(64);
+        let chunk = lanes.min(blocks_left);
         let blocks: Vec<(u64, u64, u64)> = (0..chunk)
             .map(|i| {
-                let offset = applied + i * 64;
-                (block_index + i, offset, (config.max_patterns - offset).min(64))
+                let offset = applied.saturating_add(i.saturating_mul(64));
+                (block_index + i, offset, config.max_patterns.saturating_sub(offset).min(64))
             })
             .collect();
-        let masks_per_block: Vec<Vec<u64>> = if inline {
-            let fsim = inline_fsim
-                .get_or_insert_with(|| FaultSim::with_tables(circuit, Arc::clone(&tables)));
-            blocks
-                .iter()
-                .map(|&(b, _, _)| {
-                    fsim.detect_masks(&alive_faults, &pattern_block(config.seed, b, num_inputs))
-                })
-                .collect()
+        let ids: Vec<u64> = blocks.iter().map(|&(b, _, _)| b).collect();
+        // Fault-parallel slicing: every worker sweeps the same stride over
+        // its own contiguous slice of the fault list, so the concatenated
+        // masks are exactly the single-simulator masks and the schedule can
+        // never change the result. Contiguous slices also keep the faults
+        // of one fanout-free region in one worker, preserving the shared
+        // observability cache. Strides estimated below the grain run
+        // inline — near saturation a stride costs microseconds and a
+        // thread spawn would dominate.
+        let stride_cost =
+            (alive.len() as u64).saturating_mul(circuit.len() as u64).saturating_mul(chunk.max(1));
+        let workers = config.jobs.get().min(alive_faults.len());
+        let masks_per_block: Vec<Vec<u64>> = if config.jobs.is_serial()
+            || workers <= 1
+            || stride_cost <= config.parallel_grain
+        {
+            let fsim =
+                inline_fsim.get_or_insert_with(|| WideFaultSim::with_tables(Arc::clone(&tables)));
+            detect_stride(fsim, &alive_faults, config.seed, &ids, num_inputs)
         } else {
-            let groups: Vec<&[(u64, u64, u64)]> = blocks.chunks(group as usize).collect();
-            parallel_map(config.jobs, &groups, |_, grp| {
-                let mut fsim = FaultSim::with_tables(circuit, Arc::clone(&tables));
-                // Workers drop faults they have already detected in an
-                // earlier block of their own group: the merge ignores any
-                // later detection of those faults anyway (strict block
-                // order), so the masks may go silent without changing the
-                // result — and the group stops paying for faults that die
-                // in its first blocks, just as the serial loop does.
-                let mut slots: Vec<usize> = (0..alive_faults.len()).collect();
-                let mut local_faults = alive_faults.clone();
-                grp.iter()
-                    .map(|&(b, _, size)| {
-                        let local_masks = fsim.detect_masks(
-                            &local_faults,
-                            &pattern_block(config.seed, b, num_inputs),
-                        );
-                        let mut masks = vec![0u64; alive_faults.len()];
-                        let mut keep_slots = Vec::with_capacity(slots.len());
-                        let mut keep_faults = Vec::with_capacity(slots.len());
-                        let size_mask = if size < 64 { (1u64 << size) - 1 } else { !0 };
-                        for ((&slot, &fault), &mask) in
-                            slots.iter().zip(&local_faults).zip(&local_masks)
-                        {
-                            masks[slot] = mask;
-                            // Only in-range detections count (a tail block
-                            // must not drop on bits past `max_patterns`).
-                            if mask & size_mask == 0 {
-                                keep_slots.push(slot);
-                                keep_faults.push(fault);
-                            }
-                        }
-                        slots = keep_slots;
-                        local_faults = keep_faults;
-                        masks
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+            while worker_fsims.len() < workers {
+                worker_fsims.push(Mutex::new(WideFaultSim::with_tables(Arc::clone(&tables))));
+            }
+            let per = alive_faults.len().div_ceil(workers);
+            let slices: Vec<&[Fault]> = alive_faults.chunks(per).collect();
+            let per_slice: Vec<Vec<Vec<u64>>> = parallel_map(config.jobs, &slices, |si, slice| {
+                let mut fsim = worker_fsims[si].lock().expect("worker simulators never panic");
+                detect_stride(&mut fsim, slice, config.seed, &ids, num_inputs)
+            });
+            (0..ids.len())
+                .map(|b| per_slice.iter().flat_map(|s| s[b].iter().copied()).collect())
+                .collect()
         };
         // Merge strictly in block order. Faults detected by an earlier
-        // block of this chunk are skipped in later blocks (their slot in
+        // block of this stride are skipped in later blocks (their slot in
         // `detection` is already set), reproducing the serial drop order.
         for (&(_, offset, size), masks) in blocks.iter().zip(&masks_per_block) {
             for (slot, &mask) in masks.iter().enumerate() {
@@ -249,12 +285,12 @@ pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) ->
                 }
                 let mask = if size < 64 { mask & ((1u64 << size) - 1) } else { mask };
                 if mask != 0 {
-                    let pattern = offset + u64::from(mask.trailing_zeros());
+                    let pattern = offset.saturating_add(u64::from(mask.trailing_zeros()));
                     detection[fault_idx] = Some(pattern);
                     last_effective = Some(last_effective.map_or(pattern, |l| l.max(pattern)));
                 }
             }
-            applied = offset + size;
+            applied = offset.saturating_add(size);
             block_index += 1;
             let all_dead = detection.iter().all(Option::is_some);
             let plateaued = config.plateau > 0
@@ -263,8 +299,8 @@ pub fn campaign(circuit: &Circuit, faults: &[Fault], config: &CampaignConfig) ->
                     None => applied > config.plateau,
                 };
             if all_dead || plateaued {
-                // Blocks simulated concurrently past this one are
-                // discarded, exactly as the serial loop never runs them.
+                // Later lanes of this stride are discarded, exactly as a
+                // 64-bit loop would never have simulated them.
                 stopped = true;
                 break;
             }
@@ -345,7 +381,7 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         for (max_patterns, plateau) in [(2048, 0), (1 << 14, 256), (100, 0)] {
             let serial = campaign(&c, &faults, &cfg(max_patterns, plateau, 9));
             for jobs in [2, 3, 4, 8] {
-                // grain 0 forces one-block work items (maximal interleaving
+                // grain 0 forces one-stride work items (maximal interleaving
                 // of the merge), the default exercises grouped items, and
                 // the huge grain forces the inline remainder path.
                 for grain in [0, CampaignConfig::default().parallel_grain, u64::MAX] {
@@ -358,12 +394,57 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
                             seed: 9,
                             jobs: Jobs::new(jobs),
                             parallel_grain: grain,
+                            ..CampaignConfig::default()
                         },
                     );
                     assert_eq!(
                         serial, par,
                         "jobs={jobs} grain={grain} max={max_patterns} plateau={plateau}"
                     );
+                }
+            }
+        }
+    }
+
+    /// The width contract: 64-, 256- and 512-bit sweeps produce the
+    /// bit-identical campaign result, serial and parallel alike.
+    #[test]
+    fn word_width_does_not_change_results() {
+        let c = sft_circuits::random::random_circuit(&sft_circuits::random::RandomCircuitConfig {
+            inputs: 12,
+            outputs: 6,
+            gates: 90,
+            window: 16,
+            seed: 21,
+        });
+        let faults = fault_list(&c);
+        for (max_patterns, plateau) in [(1000, 0), (1 << 14, 300)] {
+            let reference = campaign(
+                &c,
+                &faults,
+                &CampaignConfig {
+                    max_patterns,
+                    plateau,
+                    seed: 13,
+                    width: SimWidth::W64,
+                    ..CampaignConfig::default()
+                },
+            );
+            for width in [SimWidth::W64, SimWidth::W256, SimWidth::W512] {
+                for jobs in [Jobs::serial(), Jobs::new(4)] {
+                    let r = campaign(
+                        &c,
+                        &faults,
+                        &CampaignConfig {
+                            max_patterns,
+                            plateau,
+                            seed: 13,
+                            jobs,
+                            width,
+                            ..CampaignConfig::default()
+                        },
+                    );
+                    assert_eq!(reference, r, "width={width:?} jobs={jobs:?} max={max_patterns}");
                 }
             }
         }
@@ -385,6 +466,37 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let r = campaign(&c, &faults, &cfg(1 << 20, 256, 5));
         assert!(r.patterns_applied < 1 << 20);
         assert_eq!(r.remaining(), 0);
+    }
+
+    /// `max_patterns` near `u64::MAX` must not wrap any offset or
+    /// pattern-count statistic — the campaign saturates and stops on the
+    /// plateau rule instead (the at-scale overflow audit).
+    #[test]
+    fn extreme_max_patterns_saturates_instead_of_wrapping() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(a, t)\n";
+        let c = parse(src, "abs").unwrap();
+        let faults = fault_list(&c);
+        for max_patterns in [u64::MAX, u64::MAX - 37] {
+            let serial = campaign(
+                &c,
+                &faults,
+                &CampaignConfig { max_patterns, plateau: 192, seed: 3, ..Default::default() },
+            );
+            assert!(serial.patterns_applied < 1 << 20, "plateau must stop the run");
+            let par = campaign(
+                &c,
+                &faults,
+                &CampaignConfig {
+                    max_patterns,
+                    plateau: 192,
+                    seed: 3,
+                    jobs: Jobs::new(4),
+                    parallel_grain: 0,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(serial, par, "max_patterns={max_patterns}");
+        }
     }
 
     #[test]
@@ -418,27 +530,30 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     }
 
     /// A tail block shorter than 64 patterns must mask detections past the
-    /// configured maximum identically at any thread count.
+    /// configured maximum identically at any thread count and word width.
     #[test]
     fn tail_block_masked_consistently() {
         let c = parse(C17, "c17").unwrap();
         let faults = fault_list(&c);
         for max in [1, 63, 65, 130] {
             let serial = campaign(&c, &faults, &cfg(max, 0, 11));
-            // grain 0 keeps every block its own work item so the tail
-            // block really crosses the parallel merge.
-            let par = campaign(
-                &c,
-                &faults,
-                &CampaignConfig {
-                    max_patterns: max,
-                    plateau: 0,
-                    seed: 11,
-                    jobs: Jobs::new(4),
-                    parallel_grain: 0,
-                },
-            );
-            assert_eq!(serial, par, "max_patterns={max}");
+            for width in [SimWidth::W64, SimWidth::W256, SimWidth::W512] {
+                // grain 0 keeps every stride its own work item so the tail
+                // block really crosses the parallel merge.
+                let par = campaign(
+                    &c,
+                    &faults,
+                    &CampaignConfig {
+                        max_patterns: max,
+                        plateau: 0,
+                        seed: 11,
+                        jobs: Jobs::new(4),
+                        parallel_grain: 0,
+                        width,
+                    },
+                );
+                assert_eq!(serial, par, "max_patterns={max} width={width:?}");
+            }
             assert!(serial.patterns_applied <= max);
             assert!(serial.detection_pattern.iter().flatten().all(|&p| p < max));
         }

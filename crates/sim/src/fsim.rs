@@ -1,31 +1,58 @@
 //! Parallel-pattern single-fault-propagation fault simulation.
 //!
-//! For each 64-pattern block the good machine is simulated once; each fault
-//! is then injected and propagated **only through its fanout cone**, in
-//! topological order, with early exit when the fault effect dies — the
-//! strategy of FSIM \[17\] adapted to a word-parallel gate-level model.
+//! For each pattern block the good machine is simulated once. Faults are
+//! then handled in two phases borrowed from critical-path tracing:
+//!
+//! 1. **Local deviation.** Each fault's effect is computed at its site and
+//!    walked up its fanout-free region (FFR) — every interior node has
+//!    exactly one consumer pin, so the deviation transforms gate by gate
+//!    with no event queue until it reaches the FFR *root* (first fanout
+//!    stem, primary output, or multi-reference node).
+//! 2. **Stem observability.** For each root actually reached, the root is
+//!    flipped outright and the flip is event-propagated through its fanout
+//!    cone once (the strategy of FSIM \[17\]), yielding the per-pattern mask
+//!    of outputs that observe the root. The mask is cached per block, so
+//!    all faults sharing the root share one cone propagation.
+//!
+//! The full-flip cache pays for itself only while many live faults share a
+//! root. Late in a campaign the survivors are hard faults scattered over
+//! distinct roots, and a full flip propagates much further than the fault's
+//! own deviation (through XOR trees it never masks at all) — there the
+//! engine propagates the actual deviation from the root instead, which is
+//! the exact per-pattern detection mask directly. The choice is a pure
+//! performance heuristic: both paths are bit-exact, so campaign results do
+//! not depend on it.
+//!
+//! Because gate evaluation is bitwise, `detected = deviation_at_root AND
+//! observability_of_root` is exact per pattern — the tests pin this against
+//! brute-force faulty-machine simulation.
+//!
+//! The engine is generic over the simulation word ([`SimWord`]): `u64` keeps
+//! the historical 64-pattern block, [`W256`](crate::W256)/
+//! [`W512`](crate::W512) sweep 4/8 blocks at once with bit-identical
+//! per-pattern results.
 
-use crate::{Fault, FaultSite, Simulator};
-use sft_netlist::{Circuit, NodeId};
+use crate::soa::{eval_gate, SoaCircuit, NONE};
+use crate::word::SimWord;
+use crate::{Fault, FaultSite};
+use sft_netlist::Circuit;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// The read-only per-circuit tables a [`FaultSim`] propagates events over:
-/// topological positions, deduplicated fanout lists, and the
-/// primary-output mask.
+/// The read-only per-circuit tables fault simulation propagates events over:
+/// the struct-of-arrays circuit snapshot (packed kinds, flat fanin/fanout
+/// slabs, topological order, FFR links).
 ///
 /// Building these is the expensive part of [`FaultSim::new`]. Parallel
 /// fault-simulation shards (see [`campaign`](crate::campaign)) build the
 /// tables once and hand each worker a cheap clone of the [`Arc`] via
-/// [`FaultSim::with_tables`], so per-worker setup is reduced to scratch
+/// [`WideFaultSim::with_tables`], so per-worker setup is reduced to scratch
 /// allocation.
 #[derive(Debug)]
 pub struct FaultSimTables {
-    /// Topological position of each node.
-    topo_pos: Vec<u32>,
-    /// Fanout table: consumers of each node.
-    fanouts: Vec<Vec<NodeId>>,
-    /// Output slots driven by each node.
-    output_mask: Vec<bool>,
+    pub(crate) soa: SoaCircuit,
 }
 
 impl FaultSimTables {
@@ -35,29 +62,255 @@ impl FaultSimTables {
     ///
     /// Panics if the circuit is cyclic.
     pub fn new(circuit: &Circuit) -> Self {
-        let order = circuit.topo_order().expect("combinational circuit");
-        let mut topo_pos = vec![0u32; circuit.len()];
-        for (pos, &id) in order.iter().enumerate() {
-            topo_pos[id.index()] = pos as u32;
-        }
-        let fanouts: Vec<Vec<NodeId>> = circuit
-            .fanout_table()
-            .into_iter()
-            .map(|v| {
-                let mut gates: Vec<NodeId> = v.into_iter().map(|(g, _)| g).collect();
-                gates.dedup();
-                gates
-            })
-            .collect();
-        let mut output_mask = vec![false; circuit.len()];
-        for &o in circuit.outputs() {
-            output_mask[o.index()] = true;
-        }
-        FaultSimTables { topo_pos, fanouts, output_mask }
+        FaultSimTables { soa: SoaCircuit::new(circuit) }
+    }
+
+    /// The underlying struct-of-arrays snapshot.
+    pub fn soa(&self) -> &SoaCircuit {
+        &self.soa
     }
 }
 
-/// A reusable fault-simulation engine bound to one circuit.
+/// A reusable width-generic fault-simulation engine.
+///
+/// One [`detect_masks`](Self::detect_masks) call simulates `64 * W::LANES`
+/// patterns; lane `l` of every returned mask is exactly what a `u64` engine
+/// would report for lane `l` of the inputs, so campaign results are
+/// bit-identical across word widths.
+#[derive(Debug)]
+pub struct WideFaultSim<W: SimWord> {
+    tables: Arc<FaultSimTables>,
+    /// Scratch: good values for the current block.
+    good: Vec<W>,
+    /// Scratch: faulty values during stem-flip propagation.
+    faulty: Vec<W>,
+    /// Scratch: which nodes currently deviate from the good machine.
+    deviated: Vec<bool>,
+    /// Scratch: nodes to un-deviate after each propagation.
+    dirty: Vec<u32>,
+    /// Event queue ordered by topological position.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Per-root observability masks for the current block (epoch-stamped).
+    obs: Vec<W>,
+    obs_epoch: Vec<u64>,
+    epoch: u64,
+    /// Scratch: live faults per FFR root for the current call.
+    root_share: Vec<u32>,
+    /// Scratch: roots with a nonzero `root_share`, for cheap reset.
+    shared_roots: Vec<u32>,
+}
+
+/// Minimum number of live faults on one FFR root before the cached
+/// full-flip observability beats per-fault deviation propagation. Below
+/// this, surviving faults are usually hard ones whose deviations die within
+/// a few gates, while a full flip sweeps the whole downstream cone.
+const OBS_SHARE_MIN: u32 = 6;
+
+impl<W: SimWord> WideFaultSim<W> {
+    /// Prepares a fault simulator for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn new(circuit: &Circuit) -> Self {
+        Self::with_tables(Arc::new(FaultSimTables::new(circuit)))
+    }
+
+    /// Prepares a fault simulator reusing already-built [`FaultSimTables`].
+    pub fn with_tables(tables: Arc<FaultSimTables>) -> Self {
+        WideFaultSim {
+            tables,
+            good: Vec::new(),
+            faulty: Vec::new(),
+            deviated: Vec::new(),
+            dirty: Vec::new(),
+            heap: BinaryHeap::new(),
+            obs: Vec::new(),
+            obs_epoch: Vec::new(),
+            epoch: 0,
+            root_share: Vec::new(),
+            shared_roots: Vec::new(),
+        }
+    }
+
+    /// The shared propagation tables.
+    pub fn tables(&self) -> &Arc<FaultSimTables> {
+        &self.tables
+    }
+
+    /// Simulates one block of `64 * W::LANES` patterns and returns, for each
+    /// fault, the word whose set bits are the patterns that detect it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn detect_masks(&mut self, faults: &[Fault], input_words: &[W]) -> Vec<W> {
+        let tables = Arc::clone(&self.tables);
+        let soa = &tables.soa;
+        soa.eval_into(input_words, &mut self.good);
+        let n = soa.len();
+        self.faulty.clear();
+        self.faulty.resize(n, W::ZERO);
+        self.deviated.clear();
+        self.deviated.resize(n, false);
+        if self.obs.len() != n {
+            self.obs = vec![W::ZERO; n];
+            self.obs_epoch = vec![0; n];
+            self.epoch = 0;
+            self.root_share = vec![0; n];
+        }
+        self.epoch += 1;
+
+        // How many live faults funnel into each FFR root: the cached
+        // full-flip observability is only worth computing for roots where
+        // the cost is shared widely (see `OBS_SHARE_MIN`).
+        for fault in faults {
+            let site = match fault.site {
+                FaultSite::Stem(s) => s.index(),
+                FaultSite::Branch { gate, .. } => gate.index(),
+            };
+            let r = soa.ffr_root[site] as usize;
+            if self.root_share[r] == 0 {
+                self.shared_roots.push(r as u32);
+            }
+            self.root_share[r] += 1;
+        }
+
+        let mut results = Vec::with_capacity(faults.len());
+        for fault in faults {
+            let forced = if fault.stuck { W::ONES } else { W::ZERO };
+            // Phase 1: the deviation the fault causes at its own site.
+            let (mut node, mut dev) = match fault.site {
+                FaultSite::Stem(s) => {
+                    let i = s.index();
+                    (i as u32, forced.xor(self.good[i]))
+                }
+                FaultSite::Branch { gate, pin } => {
+                    // Recompute the gate with the pin forced.
+                    let g = gate.index();
+                    let out = eval_gate(soa.kinds[g], soa.fanin_slice(g), |p, f| {
+                        if p == pin as usize {
+                            forced
+                        } else {
+                            self.good[f as usize]
+                        }
+                    });
+                    (g as u32, out.xor(self.good[g]))
+                }
+            };
+            // Walk the deviation up the fanout-free chain to the root.
+            while !dev.is_zero() {
+                let head = soa.ffr_head[node as usize];
+                if head == NONE {
+                    break;
+                }
+                let h = head as usize;
+                let flipped = node;
+                let out = eval_gate(soa.kinds[h], soa.fanin_slice(h), |_, f| {
+                    let v = self.good[f as usize];
+                    if f == flipped {
+                        v.xor(dev)
+                    } else {
+                        v
+                    }
+                });
+                dev = out.xor(self.good[h]);
+                node = head;
+            }
+            // Phase 2: detection = deviation at the root gated by the
+            // root's observability. Reuse the cached full-flip mask when it
+            // exists (or enough live faults share the root to amortise it);
+            // otherwise propagating the actual deviation is the detection
+            // mask directly, and dies as early as the deviation does.
+            let detected = if dev.is_zero() {
+                W::ZERO
+            } else {
+                let r = node as usize;
+                if self.obs_epoch[r] == self.epoch {
+                    dev.and(self.obs[r])
+                } else if self.root_share[r] >= OBS_SHARE_MIN {
+                    dev.and(self.stem_obs(soa, node))
+                } else {
+                    self.propagate_deviation(soa, node, dev)
+                }
+            };
+            results.push(detected);
+        }
+        for r in self.shared_roots.drain(..) {
+            self.root_share[r as usize] = 0;
+        }
+        results
+    }
+
+    /// The per-pattern mask of outputs observing a flip of `root`, computed
+    /// by one event-driven propagation of the full flip and cached for the
+    /// current block.
+    fn stem_obs(&mut self, soa: &SoaCircuit, root: u32) -> W {
+        let r = root as usize;
+        if self.obs_epoch[r] == self.epoch {
+            return self.obs[r];
+        }
+        let detected = self.propagate_deviation(soa, root, W::ONES);
+        self.obs[r] = detected;
+        self.obs_epoch[r] = self.epoch;
+        detected
+    }
+
+    /// Event-propagates a deviation of `dev` at `root` through its fanout
+    /// cone and returns the per-pattern mask of outputs that change — the
+    /// exact detection mask of any fault producing `dev` at `root`. With
+    /// `dev = ONES` this is the root's full-flip observability.
+    fn propagate_deviation(&mut self, soa: &SoaCircuit, root: u32, dev: W) -> W {
+        let r = root as usize;
+        let mut detected = W::ZERO;
+        self.faulty[r] = self.good[r].xor(dev);
+        self.deviated[r] = true;
+        self.dirty.push(root);
+        if soa.output_mask[r] {
+            detected = dev;
+        }
+        for &g in soa.fanout_slice(r) {
+            self.heap.push(Reverse((soa.topo_pos[g as usize], g)));
+        }
+        // Propagate events in topological order.
+        while let Some(Reverse((_, id))) = self.heap.pop() {
+            let i = id as usize;
+            // Deduplicate: a node may be queued via several fanins.
+            if self.deviated[i] {
+                continue;
+            }
+            let v = eval_gate(soa.kinds[i], soa.fanin_slice(i), |_, f| {
+                let fi = f as usize;
+                if self.deviated[fi] {
+                    self.faulty[fi]
+                } else {
+                    self.good[fi]
+                }
+            });
+            if v == self.good[i] {
+                continue;
+            }
+            self.faulty[i] = v;
+            self.deviated[i] = true;
+            self.dirty.push(id);
+            if soa.output_mask[i] {
+                detected = detected.or(v.xor(self.good[i]));
+            }
+            for &g in soa.fanout_slice(i) {
+                self.heap.push(Reverse((soa.topo_pos[g as usize], g)));
+            }
+        }
+        for id in self.dirty.drain(..) {
+            self.deviated[id as usize] = false;
+        }
+        detected
+    }
+}
+
+/// A reusable 64-pattern fault-simulation engine bound to one circuit.
+///
+/// This is the `u64` face of [`WideFaultSim`], kept for callers that work a
+/// single 64-pattern block at a time (ATPG, delay simulation).
 ///
 /// # Examples
 ///
@@ -75,15 +328,8 @@ impl FaultSimTables {
 /// ```
 #[derive(Debug)]
 pub struct FaultSim<'c> {
-    sim: Simulator<'c>,
-    /// Shared read-only propagation tables (see [`FaultSimTables`]).
-    tables: Arc<FaultSimTables>,
-    /// Scratch: good values for the current block.
-    good: Vec<u64>,
-    /// Scratch: faulty values (copy-on-write per fault).
-    faulty: Vec<u64>,
-    /// Scratch: which nodes currently deviate from the good machine.
-    deviated: Vec<bool>,
+    inner: WideFaultSim<u64>,
+    _circuit: PhantomData<&'c Circuit>,
 }
 
 impl<'c> FaultSim<'c> {
@@ -101,23 +347,9 @@ impl<'c> FaultSim<'c> {
     /// The tables must have been built from the same (unmodified)
     /// `circuit`; sharing them across threads is what makes per-shard
     /// simulator setup cheap in parallel campaigns.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the circuit is cyclic.
     pub fn with_tables(circuit: &'c Circuit, tables: Arc<FaultSimTables>) -> Self {
-        let sim = Simulator::new(circuit);
-        assert_eq!(
-            tables.topo_pos.len(),
-            circuit.len(),
-            "tables were built from a different circuit"
-        );
-        FaultSim { sim, tables, good: Vec::new(), faulty: Vec::new(), deviated: Vec::new() }
-    }
-
-    /// The underlying good-machine simulator.
-    pub fn simulator(&self) -> &Simulator<'c> {
-        &self.sim
+        assert_eq!(tables.soa.len(), circuit.len(), "tables were built from a different circuit");
+        FaultSim { inner: WideFaultSim::with_tables(tables), _circuit: PhantomData }
     }
 
     /// Simulates one 64-pattern block and reports, for each fault, the
@@ -140,107 +372,18 @@ impl<'c> FaultSim<'c> {
     ///
     /// Panics if `input_words.len()` differs from the number of inputs.
     pub fn detect_masks(&mut self, faults: &[Fault], input_words: &[u64]) -> Vec<u64> {
-        let circuit = self.sim.circuit();
-        let mut good = std::mem::take(&mut self.good);
-        self.sim.eval_into(input_words, &mut good);
-        let mut faulty = std::mem::take(&mut self.faulty);
-        faulty.clear();
-        faulty.resize(circuit.len(), 0);
-        let mut deviated = std::mem::take(&mut self.deviated);
-        deviated.clear();
-        deviated.resize(circuit.len(), false);
-
-        let mut results = Vec::with_capacity(faults.len());
-        // Event queue ordered by topological position.
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, NodeId)>> =
-            std::collections::BinaryHeap::new();
-        let mut dirty: Vec<NodeId> = Vec::new();
-        let mut buf: Vec<u64> = Vec::with_capacity(8);
-
-        for fault in faults {
-            let mut detected: u64 = 0;
-            // Injection: compute the first deviated node and value.
-            let (start_node, start_val) = match fault.site {
-                FaultSite::Stem(n) => {
-                    let v = if fault.stuck { u64::MAX } else { 0 };
-                    (n, v)
-                }
-                FaultSite::Branch { gate, pin } => {
-                    // Recompute the gate with the pin forced.
-                    let node = circuit.node(gate);
-                    buf.clear();
-                    for (i, f) in node.fanins().iter().enumerate() {
-                        let v = if i == pin as usize {
-                            if fault.stuck {
-                                u64::MAX
-                            } else {
-                                0
-                            }
-                        } else {
-                            good[f.index()]
-                        };
-                        buf.push(v);
-                    }
-                    (gate, node.kind().eval_words(&buf))
-                }
-            };
-            if start_val != good[start_node.index()] {
-                faulty[start_node.index()] = start_val;
-                deviated[start_node.index()] = true;
-                dirty.push(start_node);
-                if self.tables.output_mask[start_node.index()] {
-                    detected |= start_val ^ good[start_node.index()];
-                }
-                for &g in &self.tables.fanouts[start_node.index()] {
-                    heap.push(std::cmp::Reverse((self.tables.topo_pos[g.index()], g)));
-                }
-                // Propagate events in topological order.
-                while let Some(std::cmp::Reverse((_, n))) = heap.pop() {
-                    // Deduplicate: a node may be queued via several fanins.
-                    if deviated[n.index()] {
-                        continue;
-                    }
-                    let node = circuit.node(n);
-                    buf.clear();
-                    for f in node.fanins() {
-                        let idx = f.index();
-                        let v = if deviated[idx] { faulty[idx] } else { good[idx] };
-                        buf.push(v);
-                    }
-                    let v = node.kind().eval_words(&buf);
-                    if v == good[n.index()] {
-                        continue;
-                    }
-                    faulty[n.index()] = v;
-                    deviated[n.index()] = true;
-                    dirty.push(n);
-                    if self.tables.output_mask[n.index()] {
-                        detected |= v ^ good[n.index()];
-                    }
-                    for &g in &self.tables.fanouts[n.index()] {
-                        heap.push(std::cmp::Reverse((self.tables.topo_pos[g.index()], g)));
-                    }
-                }
-            }
-            results.push(detected);
-            for n in dirty.drain(..) {
-                deviated[n.index()] = false;
-            }
-            heap.clear();
-        }
-        self.good = good;
-        self.faulty = faulty;
-        self.deviated = deviated;
-        results
+        self.inner.detect_masks(faults, input_words)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault_list;
+    use crate::word::{W256, W512};
+    use crate::{fault_list, pattern_block};
+    use sft_circuits::random::{random_circuit, RandomCircuitConfig};
     use sft_netlist::bench_format::parse;
-    use sft_netlist::GateKind;
+    use sft_netlist::{GateKind, NodeId};
 
     const C17: &str = "\
 INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
@@ -354,5 +497,72 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         // either way; y flips). Both detected via y.
         assert_eq!(det[0], Some(0));
         assert_eq!(det[1], Some(0));
+    }
+
+    #[test]
+    fn stem_grouping_matches_brute_force_on_random_circuits() {
+        // The FFR walk + cached stem observability must be exactly the
+        // per-pattern faulty-machine result, pattern by pattern.
+        for seed in [1u64, 9, 33] {
+            let c = random_circuit(&RandomCircuitConfig {
+                gates: 120,
+                seed,
+                ..RandomCircuitConfig::default()
+            });
+            let faults = fault_list(&c);
+            let num_inputs = c.inputs().len();
+            let words = pattern_block(0xABCD ^ seed, 3, num_inputs);
+            let mut fsim = FaultSim::new(&c);
+            let masks = fsim.detect_masks(&faults, &words);
+            for (fi, &fault) in faults.iter().enumerate() {
+                for bit in 0..64u32 {
+                    let pattern: Vec<bool> =
+                        (0..num_inputs).map(|i| words[i] >> bit & 1 == 1).collect();
+                    let expect = reference_detect(&c, fault, &pattern);
+                    let got = masks[fi] >> bit & 1 == 1;
+                    assert_eq!(got, expect, "seed {seed} fault {fault} bit {bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_words_are_bit_identical_to_u64_blocks() {
+        // One W256 sweep over blocks 4*k..4*k+3 must equal four u64 sweeps,
+        // lane by lane — same for W512 and eight blocks.
+        let c = random_circuit(&RandomCircuitConfig {
+            gates: 250,
+            seed: 5,
+            ..RandomCircuitConfig::default()
+        });
+        let faults = fault_list(&c);
+        let num_inputs = c.inputs().len();
+        let tables = Arc::new(FaultSimTables::new(&c));
+        let mut narrow = WideFaultSim::<u64>::with_tables(Arc::clone(&tables));
+        let mut wide256 = WideFaultSim::<W256>::with_tables(Arc::clone(&tables));
+        let mut wide512 = WideFaultSim::<W512>::with_tables(Arc::clone(&tables));
+
+        let blocks: Vec<Vec<u64>> =
+            (0..W512::LANES as u64).map(|b| pattern_block(0x5f7, b, num_inputs)).collect();
+        let per_block: Vec<Vec<u64>> =
+            blocks.iter().map(|words| narrow.detect_masks(&faults, words)).collect();
+
+        let in256: Vec<W256> =
+            (0..num_inputs).map(|i| W256::from_lanes(|l| blocks[l][i])).collect();
+        let m256 = wide256.detect_masks(&faults, &in256);
+        for (fi, m) in m256.iter().enumerate() {
+            for (l, block) in per_block.iter().enumerate().take(W256::LANES) {
+                assert_eq!(m.lane(l), block[fi], "W256 fault {fi} lane {l}");
+            }
+        }
+
+        let in512: Vec<W512> =
+            (0..num_inputs).map(|i| W512::from_lanes(|l| blocks[l][i])).collect();
+        let m512 = wide512.detect_masks(&faults, &in512);
+        for (fi, m) in m512.iter().enumerate() {
+            for (l, block) in per_block.iter().enumerate().take(W512::LANES) {
+                assert_eq!(m.lane(l), block[fi], "W512 fault {fi} lane {l}");
+            }
+        }
     }
 }

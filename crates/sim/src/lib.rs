@@ -7,15 +7,20 @@
 //! - [`Simulator`] — 64-way bit-parallel good-machine simulation;
 //! - [`Fault`]/[`FaultSite`] — single stuck-at faults on stems and fanout
 //!   branches, with [`fault_list`] and equivalence [`collapse`];
-//! - [`FaultSim`] — parallel-pattern single-fault propagation restricted to
-//!   the fault's fanout cone ([`FaultSimTables`] holds the read-only
-//!   precomputation so concurrent simulators share one copy);
+//! - [`FaultSim`]/[`WideFaultSim`] — parallel-pattern single-fault
+//!   propagation restricted to the fault's fanout cone, with fanout-free
+//!   regions grouped so faults sharing a stem share one cone propagation
+//!   ([`FaultSimTables`] holds the read-only [`SoaCircuit`] precomputation
+//!   so concurrent simulators share one copy);
+//! - [`SimWord`] — the simulation word abstraction: `u64` (64 patterns per
+//!   sweep) or the auto-vectorizable wide blocks [`W256`]/[`W512`];
 //! - [`campaign`] — the random-pattern testability experiment driver used by
 //!   Table 6 of the paper (fault coverage, remaining faults, last effective
 //!   pattern). Campaigns run pattern blocks on
-//!   [`CampaignConfig::jobs`] worker threads with bit-identical results at
-//!   any thread count ([`pattern_block`] derives each block's patterns
-//!   purely from `(seed, block)`).
+//!   [`CampaignConfig::jobs`] worker threads at a configurable word width
+//!   ([`SimWidth`]) with bit-identical results at any thread count and any
+//!   width ([`pattern_block`] derives each block's patterns purely from
+//!   `(seed, block)`).
 //!
 //! # Examples
 //!
@@ -37,9 +42,13 @@ mod fault;
 mod fsim;
 mod logic;
 mod measures;
+mod soa;
+mod word;
 
-pub use campaign::{campaign, pattern_block, CampaignConfig, CampaignResult};
+pub use campaign::{campaign, pattern_block, CampaignConfig, CampaignResult, SimWidth};
 pub use fault::{collapse, fault_list, Fault, FaultSite};
-pub use fsim::{FaultSim, FaultSimTables};
+pub use fsim::{FaultSim, FaultSimTables, WideFaultSim};
 pub use logic::Simulator;
 pub use measures::{cop_measures, CopMeasures};
+pub use soa::{PackedKind, SoaCircuit};
+pub use word::{SimWord, W256, W512};

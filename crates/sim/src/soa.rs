@@ -1,0 +1,446 @@
+//! Struct-of-arrays circuit buffers for campaign-scale simulation.
+//!
+//! [`Circuit`](sft_netlist::Circuit) stores one heap `Vec` of fanins (and an
+//! optional name) per node — the right shape for editing, the wrong shape for
+//! sweeping 100K–1M gates millions of times. [`SoaCircuit`] is a read-only
+//! snapshot built once per fault-simulation campaign: compact `repr(u8)` gate
+//! kinds, flat `u32` fanin/fanout slabs with offset tables, the topological
+//! order, and fanout-free-region (FFR) links used for stem-grouped fault
+//! dropping. The journal/views contract of the mutable netlist is untouched —
+//! this is a derived view, rebuilt from the `Circuit` whenever a campaign
+//! starts.
+
+use crate::word::SimWord;
+use sft_netlist::{Circuit, GateKind};
+
+/// Sentinel for "no node" in the flat `u32` tables.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// A gate kind packed into one byte for cache-dense kind arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PackedKind {
+    /// A primary input.
+    Input = 0,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// A non-inverting buffer.
+    Buf,
+    /// An inverter.
+    Not,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical OR of all fanins.
+    Or,
+    /// Complemented AND.
+    Nand,
+    /// Complemented OR.
+    Nor,
+    /// Parity (XOR) of all fanins.
+    Xor,
+    /// Complemented parity.
+    Xnor,
+}
+
+impl From<GateKind> for PackedKind {
+    fn from(kind: GateKind) -> Self {
+        match kind {
+            GateKind::Input => PackedKind::Input,
+            GateKind::Const0 => PackedKind::Const0,
+            GateKind::Const1 => PackedKind::Const1,
+            GateKind::Buf => PackedKind::Buf,
+            GateKind::Not => PackedKind::Not,
+            GateKind::And => PackedKind::And,
+            GateKind::Or => PackedKind::Or,
+            GateKind::Nand => PackedKind::Nand,
+            GateKind::Nor => PackedKind::Nor,
+            GateKind::Xor => PackedKind::Xor,
+            GateKind::Xnor => PackedKind::Xnor,
+        }
+    }
+}
+
+/// Evaluates one gate over simulation words, fetching fanin values through
+/// `val(pin, node)` so callers can substitute forced pins (branch-fault
+/// injection) or flipped stems without materialising a fanin buffer.
+///
+/// # Panics
+///
+/// Panics if called on [`PackedKind::Input`] — the topological sweep handles
+/// inputs before gate evaluation, mirroring `GateKind::eval_words`.
+#[inline]
+pub(crate) fn eval_gate<W: SimWord>(
+    kind: PackedKind,
+    fanins: &[u32],
+    mut val: impl FnMut(usize, u32) -> W,
+) -> W {
+    match kind {
+        PackedKind::Input => panic!("no gate function for a primary input"),
+        PackedKind::Const0 => W::ZERO,
+        PackedKind::Const1 => W::ONES,
+        PackedKind::Buf => val(0, fanins[0]),
+        PackedKind::Not => val(0, fanins[0]).not(),
+        PackedKind::And | PackedKind::Nand => {
+            let mut acc = W::ONES;
+            for (pin, &f) in fanins.iter().enumerate() {
+                acc = acc.and(val(pin, f));
+            }
+            if kind == PackedKind::Nand {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        PackedKind::Or | PackedKind::Nor => {
+            let mut acc = W::ZERO;
+            for (pin, &f) in fanins.iter().enumerate() {
+                acc = acc.or(val(pin, f));
+            }
+            if kind == PackedKind::Nor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        PackedKind::Xor | PackedKind::Xnor => {
+            let mut acc = W::ZERO;
+            for (pin, &f) in fanins.iter().enumerate() {
+                acc = acc.xor(val(pin, f));
+            }
+            if kind == PackedKind::Xnor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+    }
+}
+
+/// A flat, read-only struct-of-arrays snapshot of a [`Circuit`], built once
+/// per campaign and shared (behind an `Arc`) by every simulation worker.
+///
+/// Beyond the evaluation slabs it carries the fanout-free-region (FFR)
+/// structure: `ffr_head[n]` is the unique consumer of `n` when `n` has
+/// exactly one fanin reference in the whole circuit and drives no primary
+/// output — i.e. when every fault effect at `n` must exit through that
+/// consumer — and a `NONE` sentinel otherwise (making `n` an FFR *root*).
+/// Stem-grouped
+/// fault simulation walks faults up to their root and shares one cone
+/// propagation per root instead of one per fault.
+#[derive(Debug)]
+pub struct SoaCircuit {
+    /// One packed kind byte per node.
+    pub(crate) kinds: Vec<PackedKind>,
+    /// `fanins[fanin_off[n]..fanin_off[n + 1]]` are node `n`'s fanins.
+    pub(crate) fanin_off: Vec<u32>,
+    /// Flat fanin slab (node ids).
+    pub(crate) fanins: Vec<u32>,
+    /// Topological order over all nodes.
+    pub(crate) order: Vec<u32>,
+    /// Position of each node in `order`.
+    pub(crate) topo_pos: Vec<u32>,
+    /// Position of each primary input in the input vector ([`NONE`] if the
+    /// node is not an input).
+    pub(crate) input_pos: Vec<u32>,
+    /// Number of primary inputs.
+    pub(crate) num_inputs: usize,
+    /// Whether each node drives a primary output slot.
+    pub(crate) output_mask: Vec<bool>,
+    /// `fanouts[fanout_off[n]..fanout_off[n + 1]]` are node `n`'s distinct
+    /// consumer gates (deduplicated).
+    pub(crate) fanout_off: Vec<u32>,
+    /// Flat deduplicated fanout slab (node ids).
+    pub(crate) fanouts: Vec<u32>,
+    /// Unique consumer when the node is interior to a fanout-free region,
+    /// else [`NONE`].
+    pub(crate) ffr_head: Vec<u32>,
+    /// The fanout-free-region root reached by following `ffr_head`.
+    pub(crate) ffr_root: Vec<u32>,
+}
+
+impl SoaCircuit {
+    /// Builds the snapshot from `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        assert!(n < NONE as usize, "circuit too large for u32 node ids");
+
+        let mut kinds = Vec::with_capacity(n);
+        let mut fanin_off = Vec::with_capacity(n + 1);
+        let total_fanins: usize = circuit.iter().map(|(_, node)| node.fanins().len()).sum();
+        assert!(total_fanins < NONE as usize, "fanin slab too large for u32 offsets");
+        let mut fanins = Vec::with_capacity(total_fanins);
+        fanin_off.push(0);
+        for (_, node) in circuit.iter() {
+            kinds.push(PackedKind::from(node.kind()));
+            fanins.extend(node.fanins().iter().map(|f| f.index() as u32));
+            fanin_off.push(fanins.len() as u32);
+        }
+
+        let topo = circuit.topo_order().expect("combinational circuit");
+        let mut order = Vec::with_capacity(n);
+        let mut topo_pos = vec![0u32; n];
+        for (pos, &id) in topo.iter().enumerate() {
+            order.push(id.index() as u32);
+            topo_pos[id.index()] = pos as u32;
+        }
+
+        let mut input_pos = vec![NONE; n];
+        for (i, &id) in circuit.inputs().iter().enumerate() {
+            input_pos[id.index()] = i as u32;
+        }
+
+        let mut output_mask = vec![false; n];
+        let mut po_refs = vec![0u32; n];
+        for &o in circuit.outputs() {
+            output_mask[o.index()] = true;
+            po_refs[o.index()] += 1;
+        }
+
+        // Deduplicated consumer lists, flat: count -> prefix-sum -> fill ->
+        // dedup in place. Consumers are filled in increasing gate id, so the
+        // per-driver slices are sorted and duplicates are adjacent.
+        let mut pin_refs = vec![0u32; n];
+        for &f in &fanins {
+            pin_refs[f as usize] += 1;
+        }
+        let mut fanout_off = Vec::with_capacity(n + 1);
+        fanout_off.push(0u32);
+        for &c in &pin_refs {
+            fanout_off.push(fanout_off.last().unwrap() + c);
+        }
+        let mut raw = vec![0u32; total_fanins];
+        let mut cursor: Vec<u32> = fanout_off[..n].to_vec();
+        for g in 0..n {
+            let (a, b) = (fanin_off[g] as usize, fanin_off[g + 1] as usize);
+            for &f in &fanins[a..b] {
+                raw[cursor[f as usize] as usize] = g as u32;
+                cursor[f as usize] += 1;
+            }
+        }
+        let mut fanouts = Vec::with_capacity(total_fanins);
+        let mut dedup_off = Vec::with_capacity(n + 1);
+        dedup_off.push(0u32);
+        for i in 0..n {
+            let (a, b) = (fanout_off[i] as usize, fanout_off[i + 1] as usize);
+            let mut last = NONE;
+            for &g in &raw[a..b] {
+                if g != last {
+                    fanouts.push(g);
+                    last = g;
+                }
+            }
+            dedup_off.push(fanouts.len() as u32);
+        }
+        let fanout_off = dedup_off;
+
+        // FFR links: a node is interior to a fanout-free region exactly when
+        // it has one fanin reference in the whole circuit and no PO slot —
+        // then every fault effect at it must exit through that one consumer
+        // pin. Roots resolve in reverse topological order (the head is
+        // always topologically later).
+        let mut ffr_head = vec![NONE; n];
+        for i in 0..n {
+            if pin_refs[i] == 1 && po_refs[i] == 0 {
+                ffr_head[i] = fanouts[fanout_off[i] as usize];
+            }
+        }
+        let mut ffr_root = vec![NONE; n];
+        for &id in order.iter().rev() {
+            let i = id as usize;
+            let h = ffr_head[i];
+            ffr_root[i] = if h == NONE { id } else { ffr_root[h as usize] };
+        }
+
+        SoaCircuit {
+            kinds,
+            fanin_off,
+            fanins,
+            order,
+            topo_pos,
+            input_pos,
+            num_inputs: circuit.inputs().len(),
+            output_mask,
+            fanout_off,
+            fanouts,
+            ffr_head,
+            ffr_root,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the snapshot has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// The fanout-free-region root that absorbs fault effects at `node`
+    /// (the node itself when it is a root). The number of *distinct* roots
+    /// bounds how many cone propagations a pattern block can cost.
+    pub fn ffr_root(&self, node: usize) -> usize {
+        self.ffr_root[node] as usize
+    }
+
+    /// Node `n`'s fanins as a flat slice.
+    #[inline]
+    pub(crate) fn fanin_slice(&self, n: usize) -> &[u32] {
+        &self.fanins[self.fanin_off[n] as usize..self.fanin_off[n + 1] as usize]
+    }
+
+    /// Node `n`'s deduplicated consumer gates.
+    #[inline]
+    pub(crate) fn fanout_slice(&self, n: usize) -> &[u32] {
+        &self.fanouts[self.fanout_off[n] as usize..self.fanout_off[n + 1] as usize]
+    }
+
+    /// Simulates `64 * W::LANES` patterns in one topological sweep;
+    /// `input_words[i]` carries the values of primary input `i`. Fills
+    /// `values` with one word per node.
+    ///
+    /// Bit-for-bit this matches [`Simulator::eval`](crate::Simulator::eval)
+    /// lane by lane: lane `l` of every word is exactly the 64-bit sweep of
+    /// lane `l` of the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn eval_into<W: SimWord>(&self, input_words: &[W], values: &mut Vec<W>) {
+        assert_eq!(input_words.len(), self.num_inputs, "input word count mismatch");
+        values.clear();
+        values.resize(self.len(), W::ZERO);
+        for &id in &self.order {
+            let i = id as usize;
+            let kind = self.kinds[i];
+            let v = if kind == PackedKind::Input {
+                input_words[self.input_pos[i] as usize]
+            } else {
+                eval_gate(kind, self.fanin_slice(i), |_, f| values[f as usize])
+            };
+            values[i] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::{W256, W512};
+    use crate::Simulator;
+    use sft_circuits::random::{random_circuit, RandomCircuitConfig};
+    use sft_netlist::bench_format::parse;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn eval_matches_simulator_on_random_circuit() {
+        let c = random_circuit(&RandomCircuitConfig {
+            gates: 300,
+            seed: 7,
+            ..RandomCircuitConfig::default()
+        });
+        let soa = SoaCircuit::new(&c);
+        let sim = Simulator::new(&c);
+        let words: Vec<u64> = (0..c.inputs().len())
+            .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))
+            .collect();
+        let reference = sim.eval(&words);
+        let mut values = Vec::new();
+        soa.eval_into(&words, &mut values);
+        assert_eq!(values, reference);
+
+        // Wide evaluation: each lane carries an independent 64-pattern block
+        // and must match a scalar sweep of that lane exactly.
+        let lanes: Vec<Vec<u64>> = (0..W256::LANES)
+            .map(|l| words.iter().map(|&w| w.rotate_left(l as u32 * 11)).collect())
+            .collect();
+        let wide_inputs: Vec<W256> =
+            (0..words.len()).map(|i| W256::from_lanes(|l| lanes[l][i])).collect();
+        let mut wide = Vec::new();
+        soa.eval_into(&wide_inputs, &mut wide);
+        for (l, lane_words) in lanes.iter().enumerate() {
+            let scalar = sim.eval(lane_words);
+            for (i, &w) in wide.iter().enumerate() {
+                assert_eq!(w.lane(l), scalar[i], "node {i} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_widths_agree_lane_for_lane() {
+        let c = parse(C17, "c17").unwrap();
+        let soa = SoaCircuit::new(&c);
+        let base: Vec<u64> = (0..5).map(|i| 0xA5A5_5A5A_F00D_BEEFu64 >> i).collect();
+        let w256: Vec<W256> = base.iter().map(|&w| W256::from_lanes(|l| w ^ l as u64)).collect();
+        let w512: Vec<W512> = base.iter().map(|&w| W512::from_lanes(|l| w ^ l as u64)).collect();
+        let (mut v256, mut v512) = (Vec::new(), Vec::new());
+        soa.eval_into(&w256, &mut v256);
+        soa.eval_into(&w512, &mut v512);
+        for i in 0..soa.len() {
+            for l in 0..W256::LANES {
+                assert_eq!(v256[i].lane(l), v512[i].lane(l), "node {i} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn ffr_links_are_single_exit_chains() {
+        let c = random_circuit(&RandomCircuitConfig {
+            gates: 200,
+            seed: 42,
+            ..RandomCircuitConfig::default()
+        });
+        let soa = SoaCircuit::new(&c);
+        let counts = c.fanout_counts();
+        for (id, _) in c.iter() {
+            let i = id.index();
+            let head = soa.ffr_head[i];
+            if head != NONE {
+                // Interior node: exactly one reference overall and not a PO.
+                assert_eq!(counts[i], 1, "node {i}");
+                assert!(!soa.output_mask[i], "node {i}");
+                assert_eq!(soa.fanout_slice(i), &[head], "node {i}");
+                // The chain terminates at the shared root.
+                assert_eq!(soa.ffr_root[i], soa.ffr_root[head as usize], "node {i}");
+            } else {
+                assert_eq!(soa.ffr_root[i], i as u32, "root must be itself");
+            }
+        }
+    }
+
+    #[test]
+    fn c17_structure() {
+        let c = parse(C17, "c17").unwrap();
+        let soa = SoaCircuit::new(&c);
+        assert_eq!(soa.len(), c.len());
+        assert_eq!(soa.num_inputs(), 5);
+        // Node "10" feeds only gate "22": interior to 22's FFR.
+        let find = |name: &str| {
+            c.iter().find(|(_, n)| n.name() == Some(name)).map(|(id, _)| id.index()).unwrap()
+        };
+        let (n10, n11, n22) = (find("10"), find("11"), find("22"));
+        assert_eq!(soa.ffr_head[n10], n22 as u32);
+        assert_eq!(soa.ffr_root[n10], n22 as u32);
+        // Node "11" fans out to 16 and 19: an FFR root.
+        assert_eq!(soa.ffr_head[n11], NONE);
+        assert_eq!(soa.ffr_root[n11], n11 as u32);
+        // Outputs are their own roots.
+        assert_eq!(soa.ffr_head[n22], NONE);
+    }
+}

@@ -11,8 +11,9 @@
 //! - a **decision drifted**: any decision field present in a baseline row
 //!   (`gates_after`, `paths_after`, `replacements` for resynthesis;
 //!   `edits`, `nodes`, `restored` for the edit-throughput bench;
-//!   `done`, `failed`, `shed` for the daemon saturation bench) differs
-//!   for that circuit. Decisions must be independent of timing, caching,
+//!   `done`, `failed`, `shed` for the daemon saturation bench;
+//!   `gates`, `faults`, `detected`, `coverage` for the fault-simulation
+//!   and scale benches) differs for that circuit. Decisions must be independent of timing, caching,
 //!   and thread count. The schema is detected per row: only the decision
 //!   keys a baseline row actually carries are compared, so one binary
 //!   checks every report the perf harness emits. Or,
@@ -47,6 +48,10 @@ const DECISION_KEYS: &[&str] = &[
     "done",
     "failed",
     "shed",
+    "gates",
+    "faults",
+    "detected",
+    "coverage",
 ];
 
 #[derive(Debug, PartialEq)]
@@ -263,6 +268,37 @@ mod tests {
                 ("shed".to_string(), "0".to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn parses_scale_json_rows() {
+        let text = r#"{
+  "benchmark": "scale",
+  "circuits": [
+    {"name": "stitch400", "gates": 107000, "faults": 479000, "detected": 208000, "coverage": 0.4342, "patterns_applied": 1024, "secs_classic_1_thread": 6.1000, "secs_1_thread": 1.2000, "secs_2_threads": 1.2100, "secs_4_threads": 1.1900, "secs_8_threads": 1.2500, "speedup_jobs_4": 5.126, "speedup_threads_4": 1.008}
+  ]
+}"#;
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].secs, 1.2);
+        // `gates` must not also capture `gates_after`-style keys; the scale
+        // row pins exactly the four campaign decisions.
+        assert_eq!(
+            rows[0].decisions,
+            vec![
+                ("gates".to_string(), "107000".to_string()),
+                ("faults".to_string(), "479000".to_string()),
+                ("detected".to_string(), "208000".to_string()),
+                ("coverage".to_string(), "0.4342".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn gates_key_does_not_match_gates_after() {
+        let row = r#"{"name": "irs_a", "gates_before": 64, "gates_after": 60, "paths_after": 318, "replacements": 2, "secs_1_thread": 0.01}"#;
+        assert_eq!(field(row, "gates"), None);
+        assert_eq!(field(row, "gates_after"), Some("60"));
     }
 
     #[test]

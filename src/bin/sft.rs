@@ -10,7 +10,13 @@
 //! sft pdf        <in.bench> [--pairs N]          robust PDF campaign
 //! sft export     <in.bench> (--verilog|--dot)    format conversion
 //! sft serve      <root> [opts]                   job-directory daemon
+//! sft gen        <kind> <out.bench> [opts]       scale-tier circuit generation
 //! ```
+//!
+//! `sft gen` kinds: `mul`/`adder`/`alu` (arithmetic, `--width N`), `dag`
+//! (sliding-window random DAG, `--inputs/--outputs/--gates/--window/--seed`)
+//! and `stitch` (`--copies N` XOR-checksummed random cores, same shape
+//! options per core). Generation is deterministic in the parameters.
 //!
 //! Resynthesis options: `--objective gates|paths|combined`, `--k N`,
 //! `--negation`, `--covers N`, `--dont-cares`.
@@ -36,6 +42,7 @@
 
 use sft::atpg::{generate_test_set_with_budget, remove_redundancies, TestSetOptions};
 use sft::budget::{Budget, StopReason};
+use sft::circuits::{gen, random::RandomCircuitConfig};
 use sft::core::{resynthesize_with_budget, Objective, ResynthOptions};
 use sft::delay::{pdf_campaign_with_budget, PdfCampaignConfig};
 use sft::netlist::{bench_format, export, Circuit};
@@ -79,6 +86,13 @@ const VALUE_OPTIONS: &[&str] = &[
     "--cache",
     "--max-attempts",
     "--stats-every",
+    "--width",
+    "--inputs",
+    "--outputs",
+    "--gates",
+    "--window",
+    "--seed",
+    "--copies",
 ];
 
 /// Parses `--jobs` (default: all cores; `--jobs 1` = exact serial order).
@@ -163,7 +177,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return Err(
-            "usage: sft <stats|resynth|redundancy|testgen|equiv|techmap|pdf|export|serve> \
+            "usage: sft <stats|resynth|redundancy|testgen|equiv|techmap|pdf|export|serve|gen> \
                     ...\nsee `sft help`"
                 .into(),
         );
@@ -172,7 +186,7 @@ fn run() -> Result<(), String> {
     match command.as_str() {
         "help" => {
             println!("see the crate README for full usage; commands:");
-            println!("  stats resynth redundancy testgen equiv techmap pdf export serve");
+            println!("  stats resynth redundancy testgen equiv techmap pdf export serve gen");
             Ok(())
         }
         "stats" => {
@@ -298,6 +312,49 @@ fn run() -> Result<(), String> {
                 return Err("export needs --verilog or --dot".into());
             }
             Ok(())
+        }
+        "gen" => {
+            let files = positionals(rest);
+            let kind =
+                files.first().ok_or("gen needs a kind: mul, adder, alu, dag or stitch")?.as_str();
+            let output = files.get(1).ok_or("gen needs an output file")?;
+            let num = |name: &str, default: usize| -> Result<usize, String> {
+                match opt(rest, name) {
+                    Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {name}")),
+                    None => Ok(default),
+                }
+            };
+            let seed: u64 = match opt(rest, "--seed") {
+                Some(v) => v.parse().map_err(|_| format!("bad seed {v:?}"))?,
+                None => 1,
+            };
+            let c = match kind {
+                "mul" => gen::wide_multiplier(num("--width", 32)?),
+                "adder" => gen::wide_adder(num("--width", 64)?),
+                "alu" => gen::alu(num("--width", 64)?),
+                "dag" => gen::deep_dag(&RandomCircuitConfig {
+                    inputs: num("--inputs", 64)?,
+                    outputs: num("--outputs", 32)?,
+                    gates: num("--gates", 100_000)?,
+                    window: num("--window", 48)?,
+                    seed,
+                }),
+                "stitch" => gen::stitched(
+                    num("--copies", 100)?,
+                    &RandomCircuitConfig {
+                        inputs: num("--inputs", 32)?,
+                        outputs: num("--outputs", 16)?,
+                        gates: num("--gates", 260)?,
+                        window: num("--window", 56)?,
+                        seed,
+                    },
+                ),
+                other => {
+                    return Err(format!("unknown gen kind {other:?} (mul|adder|alu|dag|stitch)"))
+                }
+            };
+            println!("{}: {}", c.name(), c.stats());
+            save(output, &c)
         }
         "serve" => {
             let files = positionals(rest);
