@@ -1,0 +1,902 @@
+module add64 (
+    input  wire a0,
+    input  wire a1,
+    input  wire a2,
+    input  wire a3,
+    input  wire a4,
+    input  wire a5,
+    input  wire a6,
+    input  wire a7,
+    input  wire a8,
+    input  wire a9,
+    input  wire a10,
+    input  wire a11,
+    input  wire a12,
+    input  wire a13,
+    input  wire a14,
+    input  wire a15,
+    input  wire a16,
+    input  wire a17,
+    input  wire a18,
+    input  wire a19,
+    input  wire a20,
+    input  wire a21,
+    input  wire a22,
+    input  wire a23,
+    input  wire a24,
+    input  wire a25,
+    input  wire a26,
+    input  wire a27,
+    input  wire a28,
+    input  wire a29,
+    input  wire a30,
+    input  wire a31,
+    input  wire a32,
+    input  wire a33,
+    input  wire a34,
+    input  wire a35,
+    input  wire a36,
+    input  wire a37,
+    input  wire a38,
+    input  wire a39,
+    input  wire a40,
+    input  wire a41,
+    input  wire a42,
+    input  wire a43,
+    input  wire a44,
+    input  wire a45,
+    input  wire a46,
+    input  wire a47,
+    input  wire a48,
+    input  wire a49,
+    input  wire a50,
+    input  wire a51,
+    input  wire a52,
+    input  wire a53,
+    input  wire a54,
+    input  wire a55,
+    input  wire a56,
+    input  wire a57,
+    input  wire a58,
+    input  wire a59,
+    input  wire a60,
+    input  wire a61,
+    input  wire a62,
+    input  wire a63,
+    input  wire b0,
+    input  wire b1,
+    input  wire b2,
+    input  wire b3,
+    input  wire b4,
+    input  wire b5,
+    input  wire b6,
+    input  wire b7,
+    input  wire b8,
+    input  wire b9,
+    input  wire b10,
+    input  wire b11,
+    input  wire b12,
+    input  wire b13,
+    input  wire b14,
+    input  wire b15,
+    input  wire b16,
+    input  wire b17,
+    input  wire b18,
+    input  wire b19,
+    input  wire b20,
+    input  wire b21,
+    input  wire b22,
+    input  wire b23,
+    input  wire b24,
+    input  wire b25,
+    input  wire b26,
+    input  wire b27,
+    input  wire b28,
+    input  wire b29,
+    input  wire b30,
+    input  wire b31,
+    input  wire b32,
+    input  wire b33,
+    input  wire b34,
+    input  wire b35,
+    input  wire b36,
+    input  wire b37,
+    input  wire b38,
+    input  wire b39,
+    input  wire b40,
+    input  wire b41,
+    input  wire b42,
+    input  wire b43,
+    input  wire b44,
+    input  wire b45,
+    input  wire b46,
+    input  wire b47,
+    input  wire b48,
+    input  wire b49,
+    input  wire b50,
+    input  wire b51,
+    input  wire b52,
+    input  wire b53,
+    input  wire b54,
+    input  wire b55,
+    input  wire b56,
+    input  wire b57,
+    input  wire b58,
+    input  wire b59,
+    input  wire b60,
+    input  wire b61,
+    input  wire b62,
+    input  wire b63,
+    input  wire cin,
+    output wire s0,
+    output wire s1,
+    output wire s2,
+    output wire s3,
+    output wire s4,
+    output wire s5,
+    output wire s6,
+    output wire s7,
+    output wire s8,
+    output wire s9,
+    output wire s10,
+    output wire s11,
+    output wire s12,
+    output wire s13,
+    output wire s14,
+    output wire s15,
+    output wire s16,
+    output wire s17,
+    output wire s18,
+    output wire s19,
+    output wire s20,
+    output wire s21,
+    output wire s22,
+    output wire s23,
+    output wire s24,
+    output wire s25,
+    output wire s26,
+    output wire s27,
+    output wire s28,
+    output wire s29,
+    output wire s30,
+    output wire s31,
+    output wire s32,
+    output wire s33,
+    output wire s34,
+    output wire s35,
+    output wire s36,
+    output wire s37,
+    output wire s38,
+    output wire s39,
+    output wire s40,
+    output wire s41,
+    output wire s42,
+    output wire s43,
+    output wire s44,
+    output wire s45,
+    output wire s46,
+    output wire s47,
+    output wire s48,
+    output wire s49,
+    output wire s50,
+    output wire s51,
+    output wire s52,
+    output wire s53,
+    output wire s54,
+    output wire s55,
+    output wire s56,
+    output wire s57,
+    output wire s58,
+    output wire s59,
+    output wire s60,
+    output wire s61,
+    output wire s62,
+    output wire s63,
+    output wire cout
+);
+    wire n129;
+    wire n131;
+    wire n134;
+    wire n136;
+    wire n139;
+    wire n141;
+    wire n144;
+    wire n146;
+    wire n149;
+    wire n151;
+    wire n154;
+    wire n156;
+    wire n159;
+    wire n161;
+    wire n164;
+    wire n166;
+    wire n169;
+    wire n171;
+    wire n174;
+    wire n176;
+    wire n179;
+    wire n181;
+    wire n184;
+    wire n186;
+    wire n189;
+    wire n191;
+    wire n194;
+    wire n196;
+    wire n199;
+    wire n201;
+    wire n204;
+    wire n206;
+    wire n209;
+    wire n211;
+    wire n214;
+    wire n216;
+    wire n219;
+    wire n221;
+    wire n224;
+    wire n226;
+    wire n229;
+    wire n231;
+    wire n234;
+    wire n236;
+    wire n239;
+    wire n241;
+    wire n244;
+    wire n246;
+    wire n249;
+    wire n251;
+    wire n254;
+    wire n256;
+    wire n259;
+    wire n261;
+    wire n264;
+    wire n266;
+    wire n269;
+    wire n271;
+    wire n274;
+    wire n276;
+    wire n279;
+    wire n281;
+    wire n284;
+    wire n286;
+    wire n289;
+    wire n291;
+    wire n294;
+    wire n296;
+    wire n299;
+    wire n301;
+    wire n304;
+    wire n306;
+    wire n309;
+    wire n311;
+    wire n314;
+    wire n316;
+    wire n319;
+    wire n321;
+    wire n324;
+    wire n326;
+    wire n329;
+    wire n331;
+    wire n334;
+    wire n336;
+    wire n339;
+    wire n341;
+    wire n344;
+    wire n346;
+    wire n349;
+    wire n351;
+    wire n354;
+    wire n356;
+    wire n359;
+    wire n361;
+    wire n364;
+    wire n366;
+    wire n369;
+    wire n371;
+    wire n374;
+    wire n376;
+    wire n379;
+    wire n381;
+    wire n384;
+    wire n386;
+    wire n389;
+    wire n391;
+    wire n394;
+    wire n396;
+    wire n399;
+    wire n401;
+    wire n404;
+    wire n406;
+    wire n409;
+    wire n411;
+    wire n414;
+    wire n416;
+    wire n419;
+    wire n421;
+    wire n424;
+    wire n426;
+    wire n429;
+    wire n431;
+    wire n434;
+    wire n436;
+    wire n439;
+    wire n441;
+    wire n444;
+    wire n446;
+    wire n130;
+    wire n132;
+    wire n133;
+    wire n135;
+    wire n137;
+    wire n138;
+    wire n140;
+    wire n142;
+    wire n143;
+    wire n145;
+    wire n147;
+    wire n148;
+    wire n150;
+    wire n152;
+    wire n153;
+    wire n155;
+    wire n157;
+    wire n158;
+    wire n160;
+    wire n162;
+    wire n163;
+    wire n165;
+    wire n167;
+    wire n168;
+    wire n170;
+    wire n172;
+    wire n173;
+    wire n175;
+    wire n177;
+    wire n178;
+    wire n180;
+    wire n182;
+    wire n183;
+    wire n185;
+    wire n187;
+    wire n188;
+    wire n190;
+    wire n192;
+    wire n193;
+    wire n195;
+    wire n197;
+    wire n198;
+    wire n200;
+    wire n202;
+    wire n203;
+    wire n205;
+    wire n207;
+    wire n208;
+    wire n210;
+    wire n212;
+    wire n213;
+    wire n215;
+    wire n217;
+    wire n218;
+    wire n220;
+    wire n222;
+    wire n223;
+    wire n225;
+    wire n227;
+    wire n228;
+    wire n230;
+    wire n232;
+    wire n233;
+    wire n235;
+    wire n237;
+    wire n238;
+    wire n240;
+    wire n242;
+    wire n243;
+    wire n245;
+    wire n247;
+    wire n248;
+    wire n250;
+    wire n252;
+    wire n253;
+    wire n255;
+    wire n257;
+    wire n258;
+    wire n260;
+    wire n262;
+    wire n263;
+    wire n265;
+    wire n267;
+    wire n268;
+    wire n270;
+    wire n272;
+    wire n273;
+    wire n275;
+    wire n277;
+    wire n278;
+    wire n280;
+    wire n282;
+    wire n283;
+    wire n285;
+    wire n287;
+    wire n288;
+    wire n290;
+    wire n292;
+    wire n293;
+    wire n295;
+    wire n297;
+    wire n298;
+    wire n300;
+    wire n302;
+    wire n303;
+    wire n305;
+    wire n307;
+    wire n308;
+    wire n310;
+    wire n312;
+    wire n313;
+    wire n315;
+    wire n317;
+    wire n318;
+    wire n320;
+    wire n322;
+    wire n323;
+    wire n325;
+    wire n327;
+    wire n328;
+    wire n330;
+    wire n332;
+    wire n333;
+    wire n335;
+    wire n337;
+    wire n338;
+    wire n340;
+    wire n342;
+    wire n343;
+    wire n345;
+    wire n347;
+    wire n348;
+    wire n350;
+    wire n352;
+    wire n353;
+    wire n355;
+    wire n357;
+    wire n358;
+    wire n360;
+    wire n362;
+    wire n363;
+    wire n365;
+    wire n367;
+    wire n368;
+    wire n370;
+    wire n372;
+    wire n373;
+    wire n375;
+    wire n377;
+    wire n378;
+    wire n380;
+    wire n382;
+    wire n383;
+    wire n385;
+    wire n387;
+    wire n388;
+    wire n390;
+    wire n392;
+    wire n393;
+    wire n395;
+    wire n397;
+    wire n398;
+    wire n400;
+    wire n402;
+    wire n403;
+    wire n405;
+    wire n407;
+    wire n408;
+    wire n410;
+    wire n412;
+    wire n413;
+    wire n415;
+    wire n417;
+    wire n418;
+    wire n420;
+    wire n422;
+    wire n423;
+    wire n425;
+    wire n427;
+    wire n428;
+    wire n430;
+    wire n432;
+    wire n433;
+    wire n435;
+    wire n437;
+    wire n438;
+    wire n440;
+    wire n442;
+    wire n443;
+    wire n445;
+    wire n447;
+    wire n448;
+    xor g0 (n129, a0, b0);
+    and g1 (n131, a0, b0);
+    xor g2 (n134, a1, b1);
+    and g3 (n136, a1, b1);
+    xor g4 (n139, a2, b2);
+    and g5 (n141, a2, b2);
+    xor g6 (n144, a3, b3);
+    and g7 (n146, a3, b3);
+    xor g8 (n149, a4, b4);
+    and g9 (n151, a4, b4);
+    xor g10 (n154, a5, b5);
+    and g11 (n156, a5, b5);
+    xor g12 (n159, a6, b6);
+    and g13 (n161, a6, b6);
+    xor g14 (n164, a7, b7);
+    and g15 (n166, a7, b7);
+    xor g16 (n169, a8, b8);
+    and g17 (n171, a8, b8);
+    xor g18 (n174, a9, b9);
+    and g19 (n176, a9, b9);
+    xor g20 (n179, a10, b10);
+    and g21 (n181, a10, b10);
+    xor g22 (n184, a11, b11);
+    and g23 (n186, a11, b11);
+    xor g24 (n189, a12, b12);
+    and g25 (n191, a12, b12);
+    xor g26 (n194, a13, b13);
+    and g27 (n196, a13, b13);
+    xor g28 (n199, a14, b14);
+    and g29 (n201, a14, b14);
+    xor g30 (n204, a15, b15);
+    and g31 (n206, a15, b15);
+    xor g32 (n209, a16, b16);
+    and g33 (n211, a16, b16);
+    xor g34 (n214, a17, b17);
+    and g35 (n216, a17, b17);
+    xor g36 (n219, a18, b18);
+    and g37 (n221, a18, b18);
+    xor g38 (n224, a19, b19);
+    and g39 (n226, a19, b19);
+    xor g40 (n229, a20, b20);
+    and g41 (n231, a20, b20);
+    xor g42 (n234, a21, b21);
+    and g43 (n236, a21, b21);
+    xor g44 (n239, a22, b22);
+    and g45 (n241, a22, b22);
+    xor g46 (n244, a23, b23);
+    and g47 (n246, a23, b23);
+    xor g48 (n249, a24, b24);
+    and g49 (n251, a24, b24);
+    xor g50 (n254, a25, b25);
+    and g51 (n256, a25, b25);
+    xor g52 (n259, a26, b26);
+    and g53 (n261, a26, b26);
+    xor g54 (n264, a27, b27);
+    and g55 (n266, a27, b27);
+    xor g56 (n269, a28, b28);
+    and g57 (n271, a28, b28);
+    xor g58 (n274, a29, b29);
+    and g59 (n276, a29, b29);
+    xor g60 (n279, a30, b30);
+    and g61 (n281, a30, b30);
+    xor g62 (n284, a31, b31);
+    and g63 (n286, a31, b31);
+    xor g64 (n289, a32, b32);
+    and g65 (n291, a32, b32);
+    xor g66 (n294, a33, b33);
+    and g67 (n296, a33, b33);
+    xor g68 (n299, a34, b34);
+    and g69 (n301, a34, b34);
+    xor g70 (n304, a35, b35);
+    and g71 (n306, a35, b35);
+    xor g72 (n309, a36, b36);
+    and g73 (n311, a36, b36);
+    xor g74 (n314, a37, b37);
+    and g75 (n316, a37, b37);
+    xor g76 (n319, a38, b38);
+    and g77 (n321, a38, b38);
+    xor g78 (n324, a39, b39);
+    and g79 (n326, a39, b39);
+    xor g80 (n329, a40, b40);
+    and g81 (n331, a40, b40);
+    xor g82 (n334, a41, b41);
+    and g83 (n336, a41, b41);
+    xor g84 (n339, a42, b42);
+    and g85 (n341, a42, b42);
+    xor g86 (n344, a43, b43);
+    and g87 (n346, a43, b43);
+    xor g88 (n349, a44, b44);
+    and g89 (n351, a44, b44);
+    xor g90 (n354, a45, b45);
+    and g91 (n356, a45, b45);
+    xor g92 (n359, a46, b46);
+    and g93 (n361, a46, b46);
+    xor g94 (n364, a47, b47);
+    and g95 (n366, a47, b47);
+    xor g96 (n369, a48, b48);
+    and g97 (n371, a48, b48);
+    xor g98 (n374, a49, b49);
+    and g99 (n376, a49, b49);
+    xor g100 (n379, a50, b50);
+    and g101 (n381, a50, b50);
+    xor g102 (n384, a51, b51);
+    and g103 (n386, a51, b51);
+    xor g104 (n389, a52, b52);
+    and g105 (n391, a52, b52);
+    xor g106 (n394, a53, b53);
+    and g107 (n396, a53, b53);
+    xor g108 (n399, a54, b54);
+    and g109 (n401, a54, b54);
+    xor g110 (n404, a55, b55);
+    and g111 (n406, a55, b55);
+    xor g112 (n409, a56, b56);
+    and g113 (n411, a56, b56);
+    xor g114 (n414, a57, b57);
+    and g115 (n416, a57, b57);
+    xor g116 (n419, a58, b58);
+    and g117 (n421, a58, b58);
+    xor g118 (n424, a59, b59);
+    and g119 (n426, a59, b59);
+    xor g120 (n429, a60, b60);
+    and g121 (n431, a60, b60);
+    xor g122 (n434, a61, b61);
+    and g123 (n436, a61, b61);
+    xor g124 (n439, a62, b62);
+    and g125 (n441, a62, b62);
+    xor g126 (n444, a63, b63);
+    and g127 (n446, a63, b63);
+    xor g128 (n130, n129, cin);
+    and g129 (n132, n129, cin);
+    or g130 (n133, n131, n132);
+    buf g131 (s0, n130);
+    xor g132 (n135, n134, n133);
+    and g133 (n137, n134, n133);
+    or g134 (n138, n136, n137);
+    buf g135 (s1, n135);
+    xor g136 (n140, n139, n138);
+    and g137 (n142, n139, n138);
+    or g138 (n143, n141, n142);
+    buf g139 (s2, n140);
+    xor g140 (n145, n144, n143);
+    and g141 (n147, n144, n143);
+    or g142 (n148, n146, n147);
+    buf g143 (s3, n145);
+    xor g144 (n150, n149, n148);
+    and g145 (n152, n149, n148);
+    or g146 (n153, n151, n152);
+    buf g147 (s4, n150);
+    xor g148 (n155, n154, n153);
+    and g149 (n157, n154, n153);
+    or g150 (n158, n156, n157);
+    buf g151 (s5, n155);
+    xor g152 (n160, n159, n158);
+    and g153 (n162, n159, n158);
+    or g154 (n163, n161, n162);
+    buf g155 (s6, n160);
+    xor g156 (n165, n164, n163);
+    and g157 (n167, n164, n163);
+    or g158 (n168, n166, n167);
+    buf g159 (s7, n165);
+    xor g160 (n170, n169, n168);
+    and g161 (n172, n169, n168);
+    or g162 (n173, n171, n172);
+    buf g163 (s8, n170);
+    xor g164 (n175, n174, n173);
+    and g165 (n177, n174, n173);
+    or g166 (n178, n176, n177);
+    buf g167 (s9, n175);
+    xor g168 (n180, n179, n178);
+    and g169 (n182, n179, n178);
+    or g170 (n183, n181, n182);
+    buf g171 (s10, n180);
+    xor g172 (n185, n184, n183);
+    and g173 (n187, n184, n183);
+    or g174 (n188, n186, n187);
+    buf g175 (s11, n185);
+    xor g176 (n190, n189, n188);
+    and g177 (n192, n189, n188);
+    or g178 (n193, n191, n192);
+    buf g179 (s12, n190);
+    xor g180 (n195, n194, n193);
+    and g181 (n197, n194, n193);
+    or g182 (n198, n196, n197);
+    buf g183 (s13, n195);
+    xor g184 (n200, n199, n198);
+    and g185 (n202, n199, n198);
+    or g186 (n203, n201, n202);
+    buf g187 (s14, n200);
+    xor g188 (n205, n204, n203);
+    and g189 (n207, n204, n203);
+    or g190 (n208, n206, n207);
+    buf g191 (s15, n205);
+    xor g192 (n210, n209, n208);
+    and g193 (n212, n209, n208);
+    or g194 (n213, n211, n212);
+    buf g195 (s16, n210);
+    xor g196 (n215, n214, n213);
+    and g197 (n217, n214, n213);
+    or g198 (n218, n216, n217);
+    buf g199 (s17, n215);
+    xor g200 (n220, n219, n218);
+    and g201 (n222, n219, n218);
+    or g202 (n223, n221, n222);
+    buf g203 (s18, n220);
+    xor g204 (n225, n224, n223);
+    and g205 (n227, n224, n223);
+    or g206 (n228, n226, n227);
+    buf g207 (s19, n225);
+    xor g208 (n230, n229, n228);
+    and g209 (n232, n229, n228);
+    or g210 (n233, n231, n232);
+    buf g211 (s20, n230);
+    xor g212 (n235, n234, n233);
+    and g213 (n237, n234, n233);
+    or g214 (n238, n236, n237);
+    buf g215 (s21, n235);
+    xor g216 (n240, n239, n238);
+    and g217 (n242, n239, n238);
+    or g218 (n243, n241, n242);
+    buf g219 (s22, n240);
+    xor g220 (n245, n244, n243);
+    and g221 (n247, n244, n243);
+    or g222 (n248, n246, n247);
+    buf g223 (s23, n245);
+    xor g224 (n250, n249, n248);
+    and g225 (n252, n249, n248);
+    or g226 (n253, n251, n252);
+    buf g227 (s24, n250);
+    xor g228 (n255, n254, n253);
+    and g229 (n257, n254, n253);
+    or g230 (n258, n256, n257);
+    buf g231 (s25, n255);
+    xor g232 (n260, n259, n258);
+    and g233 (n262, n259, n258);
+    or g234 (n263, n261, n262);
+    buf g235 (s26, n260);
+    xor g236 (n265, n264, n263);
+    and g237 (n267, n264, n263);
+    or g238 (n268, n266, n267);
+    buf g239 (s27, n265);
+    xor g240 (n270, n269, n268);
+    and g241 (n272, n269, n268);
+    or g242 (n273, n271, n272);
+    buf g243 (s28, n270);
+    xor g244 (n275, n274, n273);
+    and g245 (n277, n274, n273);
+    or g246 (n278, n276, n277);
+    buf g247 (s29, n275);
+    xor g248 (n280, n279, n278);
+    and g249 (n282, n279, n278);
+    or g250 (n283, n281, n282);
+    buf g251 (s30, n280);
+    xor g252 (n285, n284, n283);
+    and g253 (n287, n284, n283);
+    or g254 (n288, n286, n287);
+    buf g255 (s31, n285);
+    xor g256 (n290, n289, n288);
+    and g257 (n292, n289, n288);
+    or g258 (n293, n291, n292);
+    buf g259 (s32, n290);
+    xor g260 (n295, n294, n293);
+    and g261 (n297, n294, n293);
+    or g262 (n298, n296, n297);
+    buf g263 (s33, n295);
+    xor g264 (n300, n299, n298);
+    and g265 (n302, n299, n298);
+    or g266 (n303, n301, n302);
+    buf g267 (s34, n300);
+    xor g268 (n305, n304, n303);
+    and g269 (n307, n304, n303);
+    or g270 (n308, n306, n307);
+    buf g271 (s35, n305);
+    xor g272 (n310, n309, n308);
+    and g273 (n312, n309, n308);
+    or g274 (n313, n311, n312);
+    buf g275 (s36, n310);
+    xor g276 (n315, n314, n313);
+    and g277 (n317, n314, n313);
+    or g278 (n318, n316, n317);
+    buf g279 (s37, n315);
+    xor g280 (n320, n319, n318);
+    and g281 (n322, n319, n318);
+    or g282 (n323, n321, n322);
+    buf g283 (s38, n320);
+    xor g284 (n325, n324, n323);
+    and g285 (n327, n324, n323);
+    or g286 (n328, n326, n327);
+    buf g287 (s39, n325);
+    xor g288 (n330, n329, n328);
+    and g289 (n332, n329, n328);
+    or g290 (n333, n331, n332);
+    buf g291 (s40, n330);
+    xor g292 (n335, n334, n333);
+    and g293 (n337, n334, n333);
+    or g294 (n338, n336, n337);
+    buf g295 (s41, n335);
+    xor g296 (n340, n339, n338);
+    and g297 (n342, n339, n338);
+    or g298 (n343, n341, n342);
+    buf g299 (s42, n340);
+    xor g300 (n345, n344, n343);
+    and g301 (n347, n344, n343);
+    or g302 (n348, n346, n347);
+    buf g303 (s43, n345);
+    xor g304 (n350, n349, n348);
+    and g305 (n352, n349, n348);
+    or g306 (n353, n351, n352);
+    buf g307 (s44, n350);
+    xor g308 (n355, n354, n353);
+    and g309 (n357, n354, n353);
+    or g310 (n358, n356, n357);
+    buf g311 (s45, n355);
+    xor g312 (n360, n359, n358);
+    and g313 (n362, n359, n358);
+    or g314 (n363, n361, n362);
+    buf g315 (s46, n360);
+    xor g316 (n365, n364, n363);
+    and g317 (n367, n364, n363);
+    or g318 (n368, n366, n367);
+    buf g319 (s47, n365);
+    xor g320 (n370, n369, n368);
+    and g321 (n372, n369, n368);
+    or g322 (n373, n371, n372);
+    buf g323 (s48, n370);
+    xor g324 (n375, n374, n373);
+    and g325 (n377, n374, n373);
+    or g326 (n378, n376, n377);
+    buf g327 (s49, n375);
+    xor g328 (n380, n379, n378);
+    and g329 (n382, n379, n378);
+    or g330 (n383, n381, n382);
+    buf g331 (s50, n380);
+    xor g332 (n385, n384, n383);
+    and g333 (n387, n384, n383);
+    or g334 (n388, n386, n387);
+    buf g335 (s51, n385);
+    xor g336 (n390, n389, n388);
+    and g337 (n392, n389, n388);
+    or g338 (n393, n391, n392);
+    buf g339 (s52, n390);
+    xor g340 (n395, n394, n393);
+    and g341 (n397, n394, n393);
+    or g342 (n398, n396, n397);
+    buf g343 (s53, n395);
+    xor g344 (n400, n399, n398);
+    and g345 (n402, n399, n398);
+    or g346 (n403, n401, n402);
+    buf g347 (s54, n400);
+    xor g348 (n405, n404, n403);
+    and g349 (n407, n404, n403);
+    or g350 (n408, n406, n407);
+    buf g351 (s55, n405);
+    xor g352 (n410, n409, n408);
+    and g353 (n412, n409, n408);
+    or g354 (n413, n411, n412);
+    buf g355 (s56, n410);
+    xor g356 (n415, n414, n413);
+    and g357 (n417, n414, n413);
+    or g358 (n418, n416, n417);
+    buf g359 (s57, n415);
+    xor g360 (n420, n419, n418);
+    and g361 (n422, n419, n418);
+    or g362 (n423, n421, n422);
+    buf g363 (s58, n420);
+    xor g364 (n425, n424, n423);
+    and g365 (n427, n424, n423);
+    or g366 (n428, n426, n427);
+    buf g367 (s59, n425);
+    xor g368 (n430, n429, n428);
+    and g369 (n432, n429, n428);
+    or g370 (n433, n431, n432);
+    buf g371 (s60, n430);
+    xor g372 (n435, n434, n433);
+    and g373 (n437, n434, n433);
+    or g374 (n438, n436, n437);
+    buf g375 (s61, n435);
+    xor g376 (n440, n439, n438);
+    and g377 (n442, n439, n438);
+    or g378 (n443, n441, n442);
+    buf g379 (s62, n440);
+    xor g380 (n445, n444, n443);
+    and g381 (n447, n444, n443);
+    or g382 (n448, n446, n447);
+    buf g383 (s63, n445);
+    buf g384 (cout, n448);
+endmodule

@@ -1,0 +1,991 @@
+//! ASCII and binary AIGER (And-Inverter Graph) import/export.
+//!
+//! AIGER is the interchange format of the hardware model-checking and
+//! SAT-sweeping world (ABC, the HWMCC benchmark sets). A file describes a
+//! graph of two-input AND nodes over possibly-complemented edges: literal
+//! `2v` is variable `v`, literal `2v+1` is its complement, and literals `0`
+//! and `1` are constant false/true. This module handles the combinational
+//! subset (latch count must be zero, mirroring the `.bench` parser's `DFF`
+//! rejection) in both encodings:
+//!
+//! * **ASCII** (`aag` header): inputs, outputs and AND triples as decimal
+//!   lines — order-independent, forward references allowed;
+//! * **binary** (`aig` header): inputs implicit, AND operands
+//!   delta-compressed as 7-bit variable-length integers — compact and
+//!   strictly topologically ordered.
+//!
+//! **Import** absorbs inverters instead of materializing one `NOT` gate per
+//! complemented edge: an AND variable referenced *only* complemented
+//! becomes a single `NAND` gate, one referenced both ways becomes an `AND`
+//! plus one shared `NOT`. **Export** decomposes every gate kind into AND
+//! legs with complement bits (De Morgan for `OR`/`NOR`, the four-AND
+//! expansion for `XOR`/`XNOR`) under structural hashing, walking the output
+//! cones in a canonical depth-first order so emission is byte-deterministic
+//! and parse → write reaches a byte fixpoint by the second write. Dead
+//! logic is not representable in AIGER, so only the primary-input /
+//! primary-output boundary fault sites are preserved (see
+//! `docs/formats.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_io::aiger;
+//! use sft_netlist::bench_format;
+//!
+//! let c = bench_format::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", "x")?;
+//! let aag = aiger::write_ascii(&c)?;
+//! let text = std::str::from_utf8(&aag).unwrap();
+//! assert!(text.starts_with("aag ")); // header: M I L O A
+//! let back = aiger::parse(&aag, "x")?;
+//! assert_eq!(back.eval_assignment(&[true, false]), vec![true]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::{sanitize, unique_name, IoError};
+use sft_netlist::{Circuit, GateKind, NetlistError, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Upper bound on the variable count (`M` in the header) an imported file
+/// may declare. Like `bench_format::MAX_PARSE_FANINS` this is a bomb
+/// guard, not a functional limit: a header claiming more variables than
+/// any real benchmark is a corrupt file or an allocation bomb, and must be
+/// rejected with a typed error before the parser sizes anything by it.
+pub const MAX_VARS: u64 = 1 << 23;
+
+/// Upper bound on the primary-input count of an imported file. Binary
+/// AIGER declares inputs implicitly (no file bytes back them), so a size
+/// cap is the only defense against a tiny file demanding millions of
+/// input nodes.
+pub const MAX_IMPORT_INPUTS: u64 = 1 << 20;
+
+fn perr(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+fn berr(offset: usize, message: impl Into<String>) -> IoError {
+    IoError::Binary { offset, message: message.into() }
+}
+
+/// One parsed AND definition: `lhs = rhs0 & rhs1` as literals, plus the
+/// source line (ASCII) or 0 (binary) for error reporting.
+struct AndDef {
+    lhs: u32,
+    rhs0: u32,
+    rhs1: u32,
+    line: usize,
+}
+
+/// Format-independent contents of an AIGER file, produced by the two
+/// front-ends and consumed by [`build`].
+struct AigFile {
+    /// Input literals in declaration order (always `2, 4, …` for binary).
+    inputs: Vec<u32>,
+    /// Output literals in slot order, with source lines.
+    outputs: Vec<(u32, usize)>,
+    ands: Vec<AndDef>,
+    input_syms: HashMap<usize, String>,
+    output_syms: HashMap<usize, String>,
+    comment_name: Option<String>,
+}
+
+struct Header {
+    binary: bool,
+    max_var: u64,
+    num_inputs: u64,
+    num_outputs: u64,
+    num_ands: u64,
+}
+
+fn parse_header(line: &str) -> Result<Header, IoError> {
+    let mut it = line.split_ascii_whitespace();
+    let magic = it.next().ok_or_else(|| perr(1, "empty AIGER header"))?;
+    let binary = match magic {
+        "aag" => false,
+        "aig" => true,
+        other => return Err(perr(1, format!("not an AIGER file (header {other:?})"))),
+    };
+    let mut field = |name: &str| -> Result<u64, IoError> {
+        it.next()
+            .ok_or_else(|| perr(1, format!("AIGER header missing {name}")))?
+            .parse::<u64>()
+            .map_err(|_| perr(1, format!("AIGER header field {name} is not a number")))
+    };
+    let max_var = field("M")?;
+    let num_inputs = field("I")?;
+    let num_latches = field("L")?;
+    let num_outputs = field("O")?;
+    let num_ands = field("A")?;
+    if it.next().is_some() {
+        return Err(perr(1, "trailing tokens in AIGER header"));
+    }
+    if num_latches != 0 {
+        return Err(perr(
+            1,
+            format!(
+                "{num_latches} latches not supported; extract the combinational core \
+                 (this workspace models fully-scanned circuits)"
+            ),
+        ));
+    }
+    if max_var > MAX_VARS {
+        return Err(perr(1, format!("{max_var} variables exceeds the import limit {MAX_VARS}")));
+    }
+    if num_inputs > MAX_IMPORT_INPUTS {
+        return Err(perr(
+            1,
+            format!("{num_inputs} inputs exceeds the import limit {MAX_IMPORT_INPUTS}"),
+        ));
+    }
+    if num_inputs + num_ands > max_var {
+        return Err(perr(
+            1,
+            format!("header claims I + A = {} variables but M = {max_var}", num_inputs + num_ands),
+        ));
+    }
+    Ok(Header { binary, max_var, num_inputs, num_outputs, num_ands })
+}
+
+/// Parses the symbol table and comment section shared by both encodings.
+/// `lines` yields `(lineno, text)` for everything after the AND section.
+fn parse_symbols<'a>(
+    lines: impl Iterator<Item = (usize, &'a str)>,
+    file: &mut AigFile,
+) -> Result<(), IoError> {
+    let mut in_comment = false;
+    for (lineno, line) in lines {
+        if in_comment {
+            if file.comment_name.is_none() && !line.trim().is_empty() {
+                file.comment_name = Some(line.trim().to_string());
+            }
+            continue;
+        }
+        if line == "c" {
+            in_comment = true;
+            continue;
+        }
+        let (tag, name) = line
+            .split_once(' ')
+            .ok_or_else(|| perr(lineno, format!("malformed symbol line {line:?}")))?;
+        let (kind, pos) = tag.split_at(1);
+        let pos: usize =
+            pos.parse().map_err(|_| perr(lineno, format!("malformed symbol position {tag:?}")))?;
+        let (table, count) = match kind {
+            "i" => (&mut file.input_syms, file.inputs.len()),
+            "o" => (&mut file.output_syms, file.outputs.len()),
+            other => {
+                return Err(perr(lineno, format!("unsupported symbol kind {other:?}")));
+            }
+        };
+        if pos >= count {
+            return Err(perr(lineno, format!("symbol {tag} out of range (count {count})")));
+        }
+        if table.insert(pos, name.to_string()).is_some() {
+            return Err(perr(lineno, format!("duplicate symbol {tag}")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_ascii(text: &str) -> Result<AigFile, IoError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, header_line) = lines.next().ok_or_else(|| perr(1, "empty AIGER file"))?;
+    let header = parse_header(header_line)?;
+    let lit_limit = 2 * header.max_var + 1;
+    let mut file = AigFile {
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        ands: Vec::new(),
+        input_syms: HashMap::new(),
+        output_syms: HashMap::new(),
+        comment_name: None,
+    };
+    let mut next = |what: &str| -> Result<(usize, &str), IoError> {
+        lines.next().ok_or_else(|| perr(text.lines().count() + 1, format!("missing {what} line")))
+    };
+    let parse_lit = |lineno: usize, tok: &str| -> Result<u32, IoError> {
+        let v: u64 =
+            tok.parse().map_err(|_| perr(lineno, format!("literal {tok:?} is not a number")))?;
+        if v > lit_limit {
+            return Err(perr(lineno, format!("literal {v} exceeds 2M+1 = {lit_limit}")));
+        }
+        Ok(v as u32)
+    };
+    for _ in 0..header.num_inputs {
+        let (lineno, line) = next("input")?;
+        let lit = parse_lit(lineno, line.trim())?;
+        if lit < 2 || lit % 2 != 0 {
+            return Err(perr(lineno, format!("input literal {lit} must be even and non-constant")));
+        }
+        file.inputs.push(lit);
+    }
+    for _ in 0..header.num_outputs {
+        let (lineno, line) = next("output")?;
+        let lit = parse_lit(lineno, line.trim())?;
+        file.outputs.push((lit, lineno));
+    }
+    for _ in 0..header.num_ands {
+        let (lineno, line) = next("AND")?;
+        let mut toks = line.split_ascii_whitespace();
+        let mut tok = |name: &str| -> Result<u32, IoError> {
+            parse_lit(lineno, toks.next().ok_or_else(|| perr(lineno, format!("missing {name}")))?)
+        };
+        let lhs = tok("AND lhs")?;
+        let rhs0 = tok("AND rhs0")?;
+        let rhs1 = tok("AND rhs1")?;
+        if toks.next().is_some() {
+            return Err(perr(lineno, "trailing tokens after AND triple"));
+        }
+        if lhs < 2 || lhs % 2 != 0 {
+            return Err(perr(lineno, format!("AND lhs {lhs} must be even and non-constant")));
+        }
+        file.ands.push(AndDef { lhs, rhs0, rhs1, line: lineno });
+    }
+    parse_symbols(lines, &mut file)?;
+    Ok(file)
+}
+
+fn parse_binary(bytes: &[u8], header: Header) -> Result<AigFile, IoError> {
+    let header_end = bytes.iter().position(|&b| b == b'\n').expect("caller located header") + 1;
+    let lit_limit = 2 * header.max_var + 1;
+    let mut pos = header_end;
+    let read_line = |pos: &mut usize, what: &str| -> Result<String, IoError> {
+        let start = *pos;
+        let end = bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| start + i)
+            .ok_or_else(|| berr(start, format!("truncated file: missing {what} line")))?;
+        let line = std::str::from_utf8(&bytes[start..end])
+            .map_err(|_| berr(start, format!("{what} line is not valid text")))?;
+        *pos = end + 1;
+        Ok(line.to_string())
+    };
+    let mut file = AigFile {
+        inputs: (1..=header.num_inputs as u32).map(|v| 2 * v).collect(),
+        outputs: Vec::new(),
+        ands: Vec::new(),
+        input_syms: HashMap::new(),
+        output_syms: HashMap::new(),
+        comment_name: None,
+    };
+    for _ in 0..header.num_outputs {
+        let at = pos;
+        let line = read_line(&mut pos, "output")?;
+        let v: u64 = line
+            .trim()
+            .parse()
+            .map_err(|_| berr(at, format!("output literal {:?} is not a number", line.trim())))?;
+        if v > lit_limit {
+            return Err(berr(at, format!("output literal {v} exceeds 2M+1 = {lit_limit}")));
+        }
+        file.outputs.push((v as u32, 0));
+    }
+    // Delta-compressed ANDs: lhs is implicit (2(I+i+1)); each operand pair
+    // is stored as (lhs - rhs0, rhs0 - rhs1) in 7-bit little-endian
+    // variable-length chunks with a continuation bit.
+    let decode = |pos: &mut usize, what: &str| -> Result<u64, IoError> {
+        let start = *pos;
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let &byte = bytes
+                .get(*pos)
+                .ok_or_else(|| berr(start, format!("truncated file inside {what} delta")))?;
+            *pos += 1;
+            if shift >= 35 {
+                return Err(berr(start, format!("{what} delta overflows 5 bytes")));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    };
+    for i in 0..header.num_ands {
+        let lhs = 2 * (header.num_inputs + i + 1);
+        let at = pos;
+        let delta0 = decode(&mut pos, "rhs0")?;
+        let delta1 = decode(&mut pos, "rhs1")?;
+        if delta0 == 0 || delta0 > lhs {
+            return Err(berr(at, format!("AND {lhs}: rhs0 delta {delta0} out of range")));
+        }
+        let rhs0 = lhs - delta0;
+        if delta1 > rhs0 {
+            return Err(berr(at, format!("AND {lhs}: rhs1 delta {delta1} out of range")));
+        }
+        let rhs1 = rhs0 - delta1;
+        file.ands.push(AndDef { lhs: lhs as u32, rhs0: rhs0 as u32, rhs1: rhs1 as u32, line: 0 });
+    }
+    if pos < bytes.len() {
+        let tail = std::str::from_utf8(&bytes[pos..])
+            .map_err(|_| berr(pos, "symbol section is not valid text"))?;
+        parse_symbols(tail.lines().map(|l| (0, l)), &mut file)?;
+    }
+    Ok(file)
+}
+
+/// Where a defined AIGER variable lives.
+#[derive(Clone, Copy)]
+enum Def {
+    Input(usize),
+    And(usize),
+}
+
+fn build(file: AigFile, fallback_name: &str) -> Result<Circuit, IoError> {
+    // Pass 1: map variables to their definitions; detect redefinitions.
+    let mut defs: HashMap<u32, Def> = HashMap::with_capacity(file.inputs.len() + file.ands.len());
+    for (k, &lit) in file.inputs.iter().enumerate() {
+        if defs.insert(lit / 2, Def::Input(k)).is_some() {
+            return Err(perr(1, format!("variable {} defined twice", lit / 2)));
+        }
+    }
+    for (k, a) in file.ands.iter().enumerate() {
+        if defs.insert(a.lhs / 2, Def::And(k)).is_some() {
+            return Err(perr(a.line.max(1), format!("variable {} defined twice", a.lhs / 2)));
+        }
+    }
+    // Pass 2: polarity usage, reference validation, constant usage.
+    let mut pos_used: HashSet<u32> = HashSet::new();
+    let mut neg_used: HashSet<u32> = HashSet::new();
+    let mut const_used = [false, false];
+    {
+        let mut mark = |lit: u32, line: usize| -> Result<(), IoError> {
+            if lit <= 1 {
+                const_used[lit as usize] = true;
+                return Ok(());
+            }
+            let var = lit / 2;
+            if !defs.contains_key(&var) {
+                return Err(perr(
+                    line.max(1),
+                    format!("literal {lit} references undefined variable {var}"),
+                ));
+            }
+            if lit.is_multiple_of(2) {
+                pos_used.insert(var);
+            } else {
+                neg_used.insert(var);
+            }
+            Ok(())
+        };
+        for a in &file.ands {
+            mark(a.rhs0, a.line)?;
+            mark(a.rhs1, a.line)?;
+        }
+        for &(lit, line) in &file.outputs {
+            mark(lit, line)?;
+        }
+    }
+    // A variable used only complemented becomes one NAND gate; used both
+    // ways it becomes an AND plus one shared NOT.
+    let nand_var = |var: u32| -> bool { !pos_used.contains(&var) && neg_used.contains(&var) };
+
+    // Pass 3: build the circuit. Node order is deterministic: inputs,
+    // constants, one placeholder per AND in file order, then the shared
+    // inverters (inputs first, then ANDs in file order).
+    let name = file.comment_name.clone().unwrap_or_else(|| fallback_name.to_string());
+    let mut c = Circuit::with_capacity(name, file.inputs.len() + file.ands.len());
+    let mut used_names: HashSet<String> = HashSet::new();
+    let mut input_nodes = Vec::with_capacity(file.inputs.len());
+    for k in 0..file.inputs.len() {
+        let base = match file.input_syms.get(&k) {
+            Some(sym) => sanitize(sym),
+            None => format!("i{k}"),
+        };
+        input_nodes.push(c.add_input(unique_name(&mut used_names, base)));
+    }
+    let const_nodes =
+        [const_used[0].then(|| c.add_const(false)), const_used[1].then(|| c.add_const(true))];
+    let and_nodes: Vec<NodeId> = file.ands.iter().map(|_| c.add_const(false)).collect();
+    let mut not_nodes: HashMap<u32, NodeId> = HashMap::new();
+    for (k, &lit) in file.inputs.iter().enumerate() {
+        let var = lit / 2;
+        if neg_used.contains(&var) {
+            let n = c.add_gate(GateKind::Not, vec![input_nodes[k]]).expect("unary gate");
+            not_nodes.insert(var, n);
+        }
+    }
+    for (k, a) in file.ands.iter().enumerate() {
+        let var = a.lhs / 2;
+        if pos_used.contains(&var) && neg_used.contains(&var) {
+            let n = c.add_gate(GateKind::Not, vec![and_nodes[k]]).expect("unary gate");
+            not_nodes.insert(var, n);
+        }
+    }
+    let node_of = |lit: u32, line: usize| -> Result<NodeId, IoError> {
+        if lit <= 1 {
+            return Ok(const_nodes[lit as usize].expect("constant usage pre-scanned"));
+        }
+        let var = lit / 2;
+        let def = defs[&var];
+        if lit.is_multiple_of(2) {
+            Ok(match def {
+                Def::Input(k) => input_nodes[k],
+                Def::And(k) => and_nodes[k],
+            })
+        } else if matches!(def, Def::And(_)) && nand_var(var) {
+            // The whole variable lives complemented: its node IS the NAND.
+            Ok(match def {
+                Def::And(k) => and_nodes[k],
+                Def::Input(_) => unreachable!(),
+            })
+        } else {
+            not_nodes
+                .get(&var)
+                .copied()
+                .ok_or_else(|| perr(line.max(1), format!("internal: no inverter for {lit}")))
+        }
+    };
+    for (k, a) in file.ands.iter().enumerate() {
+        let var = a.lhs / 2;
+        let kind = if nand_var(var) { GateKind::Nand } else { GateKind::And };
+        // Store fanins in increasing-literal order. Binary AIGER mandates
+        // rhs0 >= rhs1, while the export DFS numbers variables in fanin
+        // order — flipping to (low, high) here makes re-export assign the
+        // low operand the smaller variable again, so the literal ordering
+        // (and hence the written bytes) is a fixpoint.
+        let (lo, hi) = if a.rhs0 <= a.rhs1 { (a.rhs0, a.rhs1) } else { (a.rhs1, a.rhs0) };
+        let fanins = vec![node_of(lo, a.line)?, node_of(hi, a.line)?];
+        c.rewire(and_nodes[k], kind, fanins).map_err(|e| match e {
+            NetlistError::Cycle(_) => {
+                perr(a.line.max(1), format!("combinational cycle through variable {var}"))
+            }
+            other => IoError::from(other),
+        })?;
+    }
+    for (slot, &(lit, line)) in file.outputs.iter().enumerate() {
+        let driver = node_of(lit, line)?;
+        let existing: Option<String> = c.node(driver).name().map(str::to_string);
+        let label = match (file.output_syms.get(&slot), existing.as_deref()) {
+            (Some(sym), Some(existing)) if sanitize(sym) == existing => existing.to_string(),
+            (Some(sym), Some(_)) => unique_name(&mut used_names, sanitize(sym)),
+            (Some(sym), None) => {
+                let name = unique_name(&mut used_names, sanitize(sym));
+                c.set_node_name(driver, name.clone());
+                name
+            }
+            (None, Some(existing)) => existing.to_string(),
+            (None, None) => {
+                let name = unique_name(&mut used_names, format!("o{slot}"));
+                c.set_node_name(driver, name.clone());
+                name
+            }
+        };
+        c.add_output(driver, label);
+    }
+    Ok(c)
+}
+
+/// Parses AIGER bytes (either encoding — the `aag`/`aig` magic decides)
+/// into a [`Circuit`].
+///
+/// `fallback_name` names the circuit when the file carries no comment
+/// section; otherwise the first comment line is used.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] (ASCII, with line numbers) or
+/// [`IoError::Binary`] (binary, with byte offsets) for malformed headers,
+/// truncated data, out-of-range or redefined literals, undefined
+/// references, combinational cycles, latches, and headers exceeding
+/// [`MAX_VARS`]/[`MAX_IMPORT_INPUTS`].
+///
+/// ```
+/// use sft_io::aiger;
+///
+/// // y = a AND b, with symbol names.
+/// let src = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 y\n";
+/// let c = aiger::parse(src.as_bytes(), "and2")?;
+/// assert_eq!(c.inputs().len(), 2);
+/// assert_eq!(c.eval_assignment(&[true, true]), vec![true]);
+/// # Ok::<(), sft_io::IoError>(())
+/// ```
+pub fn parse(bytes: &[u8], fallback_name: &str) -> Result<Circuit, IoError> {
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| perr(1, "missing AIGER header line"))?;
+    let header_line = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| perr(1, "AIGER header is not valid text"))?;
+    let header = parse_header(header_line)?;
+    let file = if header.binary {
+        parse_binary(bytes, header)?
+    } else {
+        let text = std::str::from_utf8(bytes).map_err(|e| {
+            perr(
+                1 + bytes[..e.valid_up_to()].iter().filter(|&&b| b == b'\n').count(),
+                "ASCII AIGER input is not valid UTF-8",
+            )
+        })?;
+        parse_ascii(text)?
+    };
+    build(file, fallback_name)
+}
+
+/// An and-inverter graph extracted from a [`Circuit`], shared by the two
+/// writers.
+struct Aig {
+    num_inputs: usize,
+    /// `(rhs0, rhs1)` per AND, rhs0 ≥ rhs1; lhs is `2(num_inputs + i + 1)`.
+    ands: Vec<(u32, u32)>,
+    outputs: Vec<u32>,
+    input_names: Vec<Option<String>>,
+    output_names: Vec<Option<String>>,
+    name: String,
+}
+
+/// Structural-hashing AND allocator: every distinct `(rhs0, rhs1)` pair is
+/// created once, numbered in creation order.
+struct AndBuilder {
+    num_inputs: usize,
+    hash: HashMap<(u32, u32), u32>,
+    ands: Vec<(u32, u32)>,
+}
+
+impl AndBuilder {
+    fn and2(&mut self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 || a == (b ^ 1) {
+            return 0;
+        }
+        if a == 1 || a == b {
+            return b;
+        }
+        if b == 1 {
+            return a;
+        }
+        let key = if a >= b { (a, b) } else { (b, a) };
+        if let Some(&lit) = self.hash.get(&key) {
+            return lit;
+        }
+        self.ands.push(key);
+        let lit = 2 * (self.num_inputs + self.ands.len()) as u32;
+        self.hash.insert(key, lit);
+        lit
+    }
+
+    fn or2(&mut self, a: u32, b: u32) -> u32 {
+        self.and2(a ^ 1, b ^ 1) ^ 1
+    }
+
+    fn xor2(&mut self, a: u32, b: u32) -> u32 {
+        let t0 = self.and2(a, b ^ 1);
+        let t1 = self.and2(a ^ 1, b);
+        self.and2(t0 ^ 1, t1 ^ 1) ^ 1
+    }
+
+    fn fold(&mut self, lits: &[u32], op: fn(&mut Self, u32, u32) -> u32) -> u32 {
+        let mut acc = lits[0];
+        for &l in &lits[1..] {
+            acc = op(self, acc, l);
+        }
+        acc
+    }
+}
+
+/// Translates the cone of `root` into AND literals via an iterative
+/// post-order DFS. Creation order (and hence the whole byte stream) is a
+/// function of the reachable DAG structure alone — node ids never enter —
+/// which is what makes re-import → re-export a byte fixpoint.
+fn lit_of(c: &Circuit, root: NodeId, memo: &mut [Option<u32>], b: &mut AndBuilder) -> u32 {
+    enum Task {
+        Visit(NodeId),
+        Emit(NodeId),
+    }
+    let mut stack = vec![Task::Visit(root)];
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Visit(id) => {
+                if memo[id.index()].is_some() {
+                    continue;
+                }
+                stack.push(Task::Emit(id));
+                for &f in c.node(id).fanins().iter().rev() {
+                    stack.push(Task::Visit(f));
+                }
+            }
+            Task::Emit(id) => {
+                if memo[id.index()].is_some() {
+                    continue;
+                }
+                let node = c.node(id);
+                let lits: Vec<u32> =
+                    node.fanins().iter().map(|f| memo[f.index()].expect("post-order")).collect();
+                let lit = match node.kind() {
+                    GateKind::Input => unreachable!("inputs pre-assigned"),
+                    GateKind::Const0 => 0,
+                    GateKind::Const1 => 1,
+                    GateKind::Buf => lits[0],
+                    GateKind::Not => lits[0] ^ 1,
+                    GateKind::And => b.fold(&lits, AndBuilder::and2),
+                    GateKind::Nand => b.fold(&lits, AndBuilder::and2) ^ 1,
+                    GateKind::Or => b.fold(&lits, AndBuilder::or2),
+                    GateKind::Nor => b.fold(&lits, AndBuilder::or2) ^ 1,
+                    GateKind::Xor => b.fold(&lits, AndBuilder::xor2),
+                    GateKind::Xnor => b.fold(&lits, AndBuilder::xor2) ^ 1,
+                };
+                memo[id.index()] = Some(lit);
+            }
+        }
+    }
+    memo[root.index()].expect("root emitted")
+}
+
+fn build_aig(c: &Circuit) -> Result<Aig, IoError> {
+    // Reject cyclic circuits up front with a typed error (the DFS below
+    // assumes acyclicity).
+    c.topo_order().map_err(IoError::from)?;
+    let mut memo: Vec<Option<u32>> = vec![None; c.len()];
+    let num_inputs = c.inputs().len();
+    for (k, &i) in c.inputs().iter().enumerate() {
+        memo[i.index()] = Some(2 * (k as u32 + 1));
+    }
+    let mut builder = AndBuilder { num_inputs, hash: HashMap::new(), ands: Vec::new() };
+    let outputs: Vec<u32> =
+        c.outputs().iter().map(|&o| lit_of(c, o, &mut memo, &mut builder)).collect();
+    let ands = builder.ands;
+    let input_names = c.inputs().iter().map(|&i| c.node(i).name().map(str::to_string)).collect();
+    let output_names = (0..c.outputs().len())
+        .map(|slot| {
+            c.output_name(slot)
+                .map(str::to_string)
+                .or_else(|| c.node(c.outputs()[slot]).name().map(str::to_string))
+        })
+        .collect();
+    Ok(Aig { num_inputs, ands, outputs, input_names, output_names, name: c.name().to_string() })
+}
+
+fn push_symbols_and_comment(out: &mut String, aig: &Aig) {
+    for (k, name) in aig.input_names.iter().enumerate() {
+        if let Some(name) = name {
+            let _ = writeln!(out, "i{k} {name}");
+        }
+    }
+    for (k, name) in aig.output_names.iter().enumerate() {
+        if let Some(name) = name {
+            let _ = writeln!(out, "o{k} {name}");
+        }
+    }
+    if !aig.name.is_empty() {
+        let _ = writeln!(out, "c");
+        let _ = writeln!(out, "{}", aig.name);
+    }
+}
+
+/// Serializes a circuit as ASCII AIGER (`aag`).
+///
+/// Input/output names travel in the symbol table and the circuit name in
+/// the comment section, so a round trip through [`parse`] preserves them.
+/// Only the output cones are representable; dead logic is dropped.
+///
+/// # Errors
+///
+/// Returns [`IoError::Netlist`] if the circuit is cyclic.
+pub fn write_ascii(c: &Circuit) -> Result<Vec<u8>, IoError> {
+    let aig = build_aig(c)?;
+    let max_var = aig.num_inputs + aig.ands.len();
+    let mut out = String::with_capacity(16 * (max_var + aig.outputs.len()) + 64);
+    let _ = writeln!(
+        out,
+        "aag {max_var} {} 0 {} {}",
+        aig.num_inputs,
+        aig.outputs.len(),
+        aig.ands.len()
+    );
+    for k in 0..aig.num_inputs {
+        let _ = writeln!(out, "{}", 2 * (k + 1));
+    }
+    for &o in &aig.outputs {
+        let _ = writeln!(out, "{o}");
+    }
+    for (i, &(rhs0, rhs1)) in aig.ands.iter().enumerate() {
+        let _ = writeln!(out, "{} {rhs0} {rhs1}", 2 * (aig.num_inputs + i + 1));
+    }
+    push_symbols_and_comment(&mut out, &aig);
+    Ok(out.into_bytes())
+}
+
+/// Serializes a circuit as binary AIGER (`aig`): implicit input literals
+/// and delta-compressed AND operands — the compact encoding the AIGER
+/// benchmark sets distribute.
+///
+/// # Errors
+///
+/// Returns [`IoError::Netlist`] if the circuit is cyclic.
+pub fn write_binary(c: &Circuit) -> Result<Vec<u8>, IoError> {
+    let aig = build_aig(c)?;
+    let max_var = aig.num_inputs + aig.ands.len();
+    let mut header = String::new();
+    let _ = writeln!(
+        header,
+        "aig {max_var} {} 0 {} {}",
+        aig.num_inputs,
+        aig.outputs.len(),
+        aig.ands.len()
+    );
+    let mut out = header.into_bytes();
+    for &o in &aig.outputs {
+        out.extend_from_slice(format!("{o}\n").as_bytes());
+    }
+    let encode = |out: &mut Vec<u8>, mut x: u64| {
+        while x & !0x7f != 0 {
+            out.push((x & 0x7f) as u8 | 0x80);
+            x >>= 7;
+        }
+        out.push(x as u8);
+    };
+    for (i, &(rhs0, rhs1)) in aig.ands.iter().enumerate() {
+        let lhs = 2 * (aig.num_inputs + i + 1) as u64;
+        encode(&mut out, lhs - u64::from(rhs0));
+        encode(&mut out, u64::from(rhs0) - u64::from(rhs1));
+    }
+    let mut tail = String::new();
+    push_symbols_and_comment(&mut tail, &aig);
+    out.extend_from_slice(tail.as_bytes());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format;
+
+    fn same_function(a: &Circuit, b: &Circuit) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let n = a.inputs().len();
+        assert!(n <= 12);
+        for m in 0..1u64 << n {
+            let v: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(a.eval_assignment(&v), b.eval_assignment(&v), "minterm {m}");
+        }
+    }
+
+    const GATES: &str = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\nOUTPUT(w)\n\
+        t1 = NAND(a, b)\nt2 = NOR(t1, c)\ny = XOR(t1, t2)\nz = XNOR(a, c)\nk = CONST1\n\
+        w = OR(z, k)\n";
+
+    #[test]
+    fn ascii_round_trip_all_gate_kinds() {
+        let c = bench_format::parse(GATES, "gates").unwrap();
+        let bytes = write_ascii(&c).unwrap();
+        let back = parse(&bytes, "ignored").unwrap();
+        assert_eq!(back.name(), "gates");
+        same_function(&c, &back);
+    }
+
+    #[test]
+    fn binary_round_trip_all_gate_kinds() {
+        let c = bench_format::parse(GATES, "gates").unwrap();
+        let bytes = write_binary(&c).unwrap();
+        assert!(bytes.starts_with(b"aig "));
+        let back = parse(&bytes, "ignored").unwrap();
+        same_function(&c, &back);
+    }
+
+    #[test]
+    fn write_reaches_byte_fixpoint_by_second_write() {
+        // The first round trip may renumber AND variables (the XOR
+        // expansion is re-discovered in DFS order); from then on the byte
+        // stream is a fixpoint of parse → write.
+        let c = bench_format::parse(GATES, "gates").unwrap();
+        for write in [write_ascii as fn(&Circuit) -> _, write_binary] {
+            let w1 = write(&c).unwrap();
+            let back1 = parse(&w1, "x").unwrap();
+            same_function(&c, &back1);
+            let w2 = write(&back1).unwrap();
+            let back2 = parse(&w2, "x").unwrap();
+            let w3 = write(&back2).unwrap();
+            assert_eq!(w2, w3, "parse -> write must be a fixpoint from the second write");
+        }
+    }
+
+    #[test]
+    fn ascii_and_binary_agree() {
+        let c = bench_format::parse(GATES, "gates").unwrap();
+        let a = parse(&write_ascii(&c).unwrap(), "x").unwrap();
+        let b = parse(&write_binary(&c).unwrap(), "x").unwrap();
+        same_function(&a, &b);
+    }
+
+    #[test]
+    fn inverter_absorption_shapes() {
+        // y = NOT(AND(a, b)): the AND variable is used only complemented,
+        // so the import produces a single NAND — no NOT chain.
+        let src = "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\ni0 a\ni1 b\no0 y\n";
+        let c = parse(src.as_bytes(), "t").unwrap();
+        let nands = c.iter().filter(|(_, n)| n.kind() == GateKind::Nand).count();
+        let nots = c.iter().filter(|(_, n)| n.kind() == GateKind::Not).count();
+        assert_eq!((nands, nots), (1, 0));
+        assert_eq!(c.eval_assignment(&[true, true]), vec![false]);
+        assert_eq!(c.eval_assignment(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn shared_not_for_both_polarities() {
+        // Variable 3 is used both plain (output 6) and complemented
+        // (operand 7): one AND node plus exactly one shared NOT. Variable 4
+        // is used only complemented (output 9): a NAND, no NOT.
+        let src = "aag 5 2 0 2 3\n2\n4\n6\n9\n6 2 4\n8 7 2\n10 2 2\no0 y\no1 z\n";
+        let c = parse(src.as_bytes(), "t").unwrap();
+        let nots = c.iter().filter(|(_, n)| n.kind() == GateKind::Not).count();
+        let nands = c.iter().filter(|(_, n)| n.kind() == GateKind::Nand).count();
+        assert_eq!((nots, nands), (1, 1));
+    }
+
+    #[test]
+    fn constants_and_input_outputs() {
+        // Outputs: constant true, constant false, an input, a complemented input.
+        let src = "aag 1 1 0 4 0\n2\n1\n0\n2\n3\ni0 a\n";
+        let c = parse(src.as_bytes(), "t").unwrap();
+        assert_eq!(c.eval_assignment(&[true]), vec![true, false, true, false]);
+        assert_eq!(c.eval_assignment(&[false]), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn forward_references_allowed_in_ascii() {
+        let src = "aag 4 2 0 1 2\n2\n4\n8\n8 6 2\n6 2 4\n";
+        let c = parse(src.as_bytes(), "t").unwrap();
+        // 6 = a&b; 8 = 6&a = a&b.
+        assert_eq!(c.eval_assignment(&[true, true]), vec![true]);
+        assert_eq!(c.eval_assignment(&[true, false]), vec![false]);
+    }
+
+    // --- Adversarial fixtures: untrusted bytes must yield typed errors.
+
+    #[test]
+    fn latches_rejected() {
+        let src = "aag 3 1 1 1 0\n2\n4 2\n4\n";
+        match parse(src.as_bytes(), "t") {
+            Err(IoError::Parse { line: 1, message }) => assert!(message.contains("latch")),
+            other => panic!("expected latch rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_allocation() {
+        let m = MAX_VARS + 1;
+        let src = format!("aag {m} {m} 0 0 0\n");
+        assert!(matches!(parse(src.as_bytes(), "t"), Err(IoError::Parse { line: 1, .. })));
+        // Binary input bomb: inputs are implicit, so the cap must fire.
+        let i = MAX_IMPORT_INPUTS + 1;
+        let src = format!("aig {} {i} 0 0 0\n", i + 1);
+        assert!(matches!(parse(src.as_bytes(), "t"), Err(IoError::Parse { line: 1, .. })));
+        // I + A > M is inconsistent.
+        let src = "aag 2 2 0 0 2\n";
+        assert!(matches!(parse(src.as_bytes(), "t"), Err(IoError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn truncated_ascii_rejected() {
+        let src = "aag 3 2 0 1 1\n2\n4\n6\n";
+        assert!(matches!(parse(src.as_bytes(), "t"), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn truncated_binary_rejected() {
+        let c = bench_format::parse(GATES, "gates").unwrap();
+        let full = write_binary(&c).unwrap();
+        // Find the start of the AND-delta section (after the header line
+        // and one line per output): cutting one byte past it truncates the
+        // mandatory deltas. Cutting only the trailing symbol table would be
+        // legal, so the cut must land before it.
+        let mut newlines = 0usize;
+        let mut delta_start = 0usize;
+        for (i, &b) in full.iter().enumerate() {
+            if b == b'\n' {
+                newlines += 1;
+                if newlines == 1 + c.outputs().len() {
+                    delta_start = i + 1;
+                    break;
+                }
+            }
+        }
+        for cut in [3, 10, delta_start + 1] {
+            let err = parse(&full[..cut], "t").unwrap_err();
+            assert!(
+                matches!(err, IoError::Binary { .. } | IoError::Parse { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_delta_underflow_rejected() {
+        // One AND (lhs 4) claiming rhs0 delta 0 (self-reference) or a
+        // delta larger than lhs.
+        for bad in [&[0x00u8, 0x00][..], &[0x7f, 0x00]] {
+            let mut bytes = b"aig 2 1 0 1 1\n4\n".to_vec();
+            bytes.extend_from_slice(bad);
+            assert!(matches!(parse(&bytes, "t"), Err(IoError::Binary { .. })));
+        }
+    }
+
+    #[test]
+    fn unterminated_varint_rejected() {
+        let mut bytes = b"aig 2 1 0 0 1\n".to_vec();
+        bytes.extend_from_slice(&[0x80; 8]);
+        match parse(&bytes, "t") {
+            Err(IoError::Binary { message, .. }) => {
+                assert!(message.contains("overflow") || message.contains("truncated"))
+            }
+            other => panic!("expected binary error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_literal_rejected() {
+        let src = "aag 3 1 0 1 0\n2\n6\n";
+        match parse(src.as_bytes(), "t") {
+            Err(IoError::Parse { message, .. }) => assert!(message.contains("undefined")),
+            other => panic!("expected undefined-literal error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redefined_variable_rejected() {
+        let src = "aag 3 1 0 1 2\n2\n4\n4 2 2\n4 2 2\n";
+        assert!(matches!(parse(src.as_bytes(), "t"), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn ascii_cycle_rejected() {
+        let src = "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n";
+        match parse(src.as_bytes(), "t") {
+            Err(IoError::Parse { message, .. }) => assert!(message.contains("cycle")),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_rejected_not_panicking() {
+        for bytes in [
+            &b"\x00\x01\x02\x03"[..],
+            b"aig",
+            b"aag 1 2 3\n",
+            b"aag x y z w v\n",
+            b"aig 1 0 0 0 1\n\xff\xff",
+        ] {
+            assert!(parse(bytes, "t").is_err());
+        }
+    }
+
+    #[test]
+    fn symbol_table_out_of_range_rejected() {
+        let src = "aag 1 1 0 1 0\n2\n2\ni5 ghost\n";
+        assert!(matches!(parse(src.as_bytes(), "t"), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn names_preserved_through_round_trip() {
+        let c = bench_format::parse(GATES, "gates").unwrap();
+        let back = parse(&write_binary(&c).unwrap(), "x").unwrap();
+        let names: Vec<_> =
+            back.inputs().iter().map(|&i| back.node(i).name().unwrap().to_string()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(back.output_name(0), Some("y"));
+        assert_eq!(back.output_name(2), Some("w"));
+        assert_eq!(back.name(), "gates");
+    }
+}

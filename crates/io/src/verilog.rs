@@ -1,0 +1,981 @@
+//! Gate-level structural Verilog import/export.
+//!
+//! The accepted dialect is the flat netlist subset every logic-synthesis
+//! tool emits: one `module` with scalar ports, `wire` declarations, the
+//! eight gate primitives (`and`, `or`, `nand`, `nor`, `xor`, `xnor`,
+//! `not`, `buf` — any arity, first terminal(s) output), and `assign`
+//! statements whose right-hand side is a net or a `1'b0`/`1'b1` constant.
+//! Comments (`//`, `/* */`) and attributes (`(* … *)`) are skipped. Both
+//! ANSI (`module m (input wire a, output wire y);`) and non-ANSI
+//! (`module m (a, y); input a; output y;`) port styles parse. Everything
+//! else — vectors, `reg`/`always` blocks, escaped identifiers, module
+//! hierarchy — is rejected with a typed, line-numbered error: this
+//! workspace models the combinational core of fully-scanned circuits.
+//!
+//! **Export** mirrors the `.bench` writer's canonical contract: nets are
+//! sanitized and deterministically uniquified, gate instances are emitted
+//! in (logic level, net name) order, and an output port is driven directly
+//! by its gate when the names agree or via a trailing `assign` alias
+//! otherwise — so parse → write reaches a textual fixpoint by the second
+//! write, and every gate of the circuit (dead logic included) appears in
+//! the output. The gate-for-gate mapping preserves the complete stuck-at
+//! fault universe (see `docs/formats.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_io::verilog;
+//!
+//! let src = "\
+//! module votes (input wire a, input wire b, input wire c, output wire y);
+//!     wire t1;
+//!     and g0 (t1, a, b);
+//!     or  g1 (y, t1, c);
+//! endmodule
+//! ";
+//! let c = verilog::parse(src)?;
+//! assert_eq!(c.name(), "votes");
+//! assert_eq!(c.eval_assignment(&[false, false, true]), vec![true]);
+//! let text = verilog::write(&c)?;
+//! assert!(text.contains("or g1 (y, t1, c);"));
+//! # Ok::<(), sft_io::IoError>(())
+//! ```
+
+use crate::{sanitize, unique_name, IoError};
+use sft_netlist::bench_format::MAX_PARSE_FANINS;
+use sft_netlist::{Circuit, GateKind, NetlistError, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// Verilog words that can never be used as net names in emitted text; the
+/// writer appends `_` to any sanitized name that collides.
+const KEYWORDS: [&str; 16] = [
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "assign",
+    "reg",
+    "and",
+    "or",
+    "nand",
+    "nor",
+    "xor",
+    "xnor",
+    "not",
+    "buf",
+];
+
+fn perr(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse { line, message: message.into() }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Const(bool),
+    LParen,
+    RParen,
+    Comma,
+    Semi,
+    Eq,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s:?}"),
+            Tok::Const(b) => write!(f, "1'b{}", u8::from(*b)),
+            Tok::LParen => f.write_str("'('"),
+            Tok::RParen => f.write_str("')'"),
+            Tok::Comma => f.write_str("','"),
+            Tok::Semi => f.write_str("';'"),
+            Tok::Eq => f.write_str("'='"),
+        }
+    }
+}
+
+fn lex(text: &str) -> Result<Vec<(usize, Tok)>, IoError> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(perr(start, "unterminated /* comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' if bytes.get(i + 1) == Some(&b'*') => {
+                // Synthesis attribute `(* … *)`: skip.
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(perr(start, "unterminated (* attribute"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        i += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => {
+                toks.push((line, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                toks.push((line, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                toks.push((line, Tok::Comma));
+                i += 1;
+            }
+            b';' => {
+                toks.push((line, Tok::Semi));
+                i += 1;
+            }
+            b'=' => {
+                toks.push((line, Tok::Eq));
+                i += 1;
+            }
+            b'\\' => {
+                return Err(perr(line, "escaped identifiers are not supported"));
+            }
+            b'[' | b']' => {
+                return Err(perr(line, "vector nets are not supported (flatten to scalars)"));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'$')
+                {
+                    i += 1;
+                }
+                toks.push((line, Tok::Ident(text[start..i].to_string())));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'\'' || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let lit = &text[start..i];
+                match lit {
+                    "1'b0" => toks.push((line, Tok::Const(false))),
+                    "1'b1" => toks.push((line, Tok::Const(true))),
+                    other => {
+                        return Err(perr(
+                            line,
+                            format!("unsupported literal {other:?} (only 1'b0/1'b1)"),
+                        ));
+                    }
+                }
+            }
+            other => {
+                return Err(perr(line, format!("unexpected character {:?}", other as char)));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Input,
+    Output,
+}
+
+struct GateItem {
+    line: usize,
+    kind: GateKind,
+    target: String,
+    fanins: Vec<String>,
+}
+
+enum Rhs {
+    Net(String),
+    Const(bool),
+}
+
+struct AssignItem {
+    line: usize,
+    lhs: String,
+    rhs: Rhs,
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    last_line: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn next(&mut self) -> Result<(usize, Tok), IoError> {
+        let tok = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| perr(self.last_line, "unexpected end of file"))?;
+        self.pos += 1;
+        self.last_line = tok.0;
+        Ok(tok)
+    }
+
+    fn expect_sym(&mut self, want: Tok) -> Result<usize, IoError> {
+        let (line, tok) = self.next()?;
+        if tok == want {
+            Ok(line)
+        } else {
+            Err(perr(line, format!("expected {want}, found {tok}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(usize, String), IoError> {
+        let (line, tok) = self.next()?;
+        match tok {
+            Tok::Ident(s) => Ok((line, s)),
+            other => Err(perr(line, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<usize, IoError> {
+        let (line, name) = self.expect_ident()?;
+        if name == kw {
+            Ok(line)
+        } else {
+            Err(perr(line, format!("expected {kw:?}, found {name:?}")))
+        }
+    }
+}
+
+fn gate_kind(prim: &str) -> Option<GateKind> {
+    match prim {
+        "and" => Some(GateKind::And),
+        "or" => Some(GateKind::Or),
+        "nand" => Some(GateKind::Nand),
+        "nor" => Some(GateKind::Nor),
+        "xor" => Some(GateKind::Xor),
+        "xnor" => Some(GateKind::Xnor),
+        "not" => Some(GateKind::Not),
+        "buf" => Some(GateKind::Buf),
+        _ => None,
+    }
+}
+
+/// Parses structural Verilog text into a [`Circuit`] named after its
+/// `module`.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] with a 1-based line number for syntax
+/// errors, undeclared or multiply-driven nets, undriven outputs, fanin
+/// lists beyond `MAX_PARSE_FANINS`, combinational loops, and unsupported
+/// constructs (vectors, `reg`/`always`, hierarchy).
+///
+/// ```
+/// use sft_io::{verilog, IoError};
+///
+/// let bad = "module m (input a, output y);\n  reg y;\nendmodule\n";
+/// match verilog::parse(bad) {
+///     Err(IoError::Parse { line: 2, message }) => assert!(message.contains("sequential")),
+///     other => panic!("expected typed error, got {other:?}"),
+/// }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, IoError> {
+    let toks = lex(text)?;
+    let mut p = Parser { toks, pos: 0, last_line: 1 };
+    p.expect_kw("module")?;
+    let (_, module_name) = p.expect_ident()?;
+    p.expect_sym(Tok::LParen)?;
+
+    // Port list: ANSI (directions inline) or plain names.
+    let mut ports: Vec<(usize, String)> = Vec::new();
+    let mut dirs: HashMap<String, Dir> = HashMap::new();
+    let ansi = p.peek_kw("input") || p.peek_kw("output") || p.peek_kw("inout");
+    if !matches!(p.peek(), Some(Tok::RParen)) {
+        let mut current_dir: Option<Dir> = None;
+        loop {
+            if ansi && (p.peek_kw("input") || p.peek_kw("output") || p.peek_kw("inout")) {
+                let (line, kw) = p.expect_ident()?;
+                current_dir = Some(match kw.as_str() {
+                    "input" => Dir::Input,
+                    "output" => Dir::Output,
+                    _ => return Err(perr(line, "inout ports are not supported")),
+                });
+                if p.peek_kw("wire") {
+                    p.expect_ident()?;
+                }
+            }
+            let (line, name) = p.expect_ident()?;
+            if dirs.contains_key(&name) || ports.iter().any(|(_, n)| n == &name) {
+                return Err(perr(line, format!("duplicate port {name:?}")));
+            }
+            if let Some(d) = current_dir {
+                dirs.insert(name.clone(), d);
+            }
+            ports.push((line, name));
+            match p.next()? {
+                (_, Tok::Comma) => continue,
+                (_, Tok::RParen) => break,
+                (l, other) => return Err(perr(l, format!("expected ',' or ')', found {other}"))),
+            }
+        }
+    } else {
+        p.expect_sym(Tok::RParen)?;
+    }
+    p.expect_sym(Tok::Semi)?;
+
+    // Body statements.
+    let mut wires: HashSet<String> = HashSet::new();
+    let mut gates: Vec<GateItem> = Vec::new();
+    let mut assigns: Vec<AssignItem> = Vec::new();
+    loop {
+        let (line, tok) = p.next()?;
+        let head = match tok {
+            Tok::Ident(s) => s,
+            other => return Err(perr(line, format!("expected statement, found {other}"))),
+        };
+        match head.as_str() {
+            "endmodule" => break,
+            "wire" => loop {
+                let (wline, name) = p.expect_ident()?;
+                // A redundant `wire` declaration of a port is legal
+                // Verilog; a second declaration of the same plain wire is
+                // not.
+                if !wires.insert(name.clone()) && !ports.iter().any(|(_, n)| n == &name) {
+                    return Err(perr(wline, format!("duplicate wire {name:?}")));
+                }
+                match p.next()? {
+                    (_, Tok::Comma) => continue,
+                    (_, Tok::Semi) => break,
+                    (l, other) => {
+                        return Err(perr(l, format!("expected ',' or ';', found {other}")))
+                    }
+                }
+            },
+            "input" | "output" => {
+                let dir = if head == "input" { Dir::Input } else { Dir::Output };
+                if p.peek_kw("wire") {
+                    p.expect_ident()?;
+                }
+                loop {
+                    let (dline, name) = p.expect_ident()?;
+                    if !ports.iter().any(|(_, n)| n == &name) {
+                        return Err(perr(
+                            dline,
+                            format!("direction declared for non-port net {name:?}"),
+                        ));
+                    }
+                    if dirs.insert(name.clone(), dir).is_some() {
+                        return Err(perr(dline, format!("duplicate direction for port {name:?}")));
+                    }
+                    match p.next()? {
+                        (_, Tok::Comma) => continue,
+                        (_, Tok::Semi) => break,
+                        (l, other) => {
+                            return Err(perr(l, format!("expected ',' or ';', found {other}")))
+                        }
+                    }
+                }
+            }
+            "assign" => {
+                let (_, lhs) = p.expect_ident()?;
+                p.expect_sym(Tok::Eq)?;
+                let rhs = match p.next()? {
+                    (_, Tok::Ident(s)) => Rhs::Net(s),
+                    (_, Tok::Const(b)) => Rhs::Const(b),
+                    (l, other) => {
+                        return Err(perr(
+                            l,
+                            format!("assign right-hand side must be a net or 1'bX, found {other}"),
+                        ))
+                    }
+                };
+                p.expect_sym(Tok::Semi)?;
+                assigns.push(AssignItem { line, lhs, rhs });
+            }
+            "reg" | "always" | "initial" | "posedge" | "negedge" => {
+                return Err(perr(
+                    line,
+                    format!(
+                        "sequential construct {head:?} not supported; extract the \
+                         combinational core"
+                    ),
+                ));
+            }
+            prim => {
+                let kind = gate_kind(prim).ok_or_else(|| {
+                    perr(line, format!("unsupported statement or module instance {prim:?}"))
+                })?;
+                // Optional instance name.
+                if matches!(p.peek(), Some(Tok::Ident(_))) {
+                    p.expect_ident()?;
+                }
+                p.expect_sym(Tok::LParen)?;
+                let mut conns: Vec<String> = Vec::new();
+                loop {
+                    let (_, name) = p.expect_ident()?;
+                    if conns.len() > MAX_PARSE_FANINS {
+                        return Err(perr(
+                            line,
+                            format!("gate has more than {MAX_PARSE_FANINS} connections"),
+                        ));
+                    }
+                    conns.push(name);
+                    match p.next()? {
+                        (_, Tok::Comma) => continue,
+                        (_, Tok::RParen) => break,
+                        (l, other) => {
+                            return Err(perr(l, format!("expected ',' or ')', found {other}")))
+                        }
+                    }
+                }
+                p.expect_sym(Tok::Semi)?;
+                if matches!(kind, GateKind::Not | GateKind::Buf) && conns.len() > 1 {
+                    // Verilog not/buf: the LAST terminal is the input, all
+                    // preceding terminals are outputs.
+                    let input = conns.pop().expect("nonempty");
+                    for target in conns {
+                        gates.push(GateItem { line, kind, target, fanins: vec![input.clone()] });
+                    }
+                } else {
+                    let target = conns.remove(0);
+                    gates.push(GateItem { line, kind, target, fanins: conns });
+                }
+            }
+        }
+    }
+    if p.pos < p.toks.len() {
+        let (line, tok) = p.next()?;
+        return Err(perr(line, format!("unexpected {tok} after endmodule")));
+    }
+
+    // Semantic checks and two-pass construction.
+    for (line, name) in &ports {
+        if !dirs.contains_key(name) {
+            return Err(perr(*line, format!("port {name:?} has no direction declaration")));
+        }
+    }
+    let declared: HashSet<&str> =
+        ports.iter().map(|(_, n)| n.as_str()).chain(wires.iter().map(String::as_str)).collect();
+    let mut fanin_use: HashSet<&str> = HashSet::new();
+    for g in &gates {
+        for f in &g.fanins {
+            fanin_use.insert(f);
+        }
+    }
+    for a in &assigns {
+        if let Rhs::Net(n) = &a.rhs {
+            fanin_use.insert(n);
+        }
+    }
+
+    let mut c = Circuit::with_capacity(module_name, ports.len() + gates.len() + assigns.len());
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    for (_, name) in &ports {
+        if dirs[name.as_str()] == Dir::Input {
+            by_name.insert(name.clone(), c.add_input(name.clone()));
+        }
+    }
+    // An `assign` to an output port that nothing reads back is a pure
+    // output alias: it labels an output slot instead of materializing a
+    // BUF node (mirroring how the writer emits aliases).
+    let mut aliases: HashMap<&str, (&str, usize)> = HashMap::new();
+    let mut driven: HashSet<&str> = HashSet::new();
+    let declare_driver = |target: &str, line: usize| {
+        if !declared.contains(target) {
+            return Err(perr(line, format!("undeclared net {target:?}")));
+        }
+        if dirs.get(target) == Some(&Dir::Input) {
+            return Err(perr(line, format!("input port {target:?} cannot be driven")));
+        }
+        Ok(())
+    };
+    for g in &gates {
+        declare_driver(&g.target, g.line)?;
+        if !driven.insert(&g.target) {
+            return Err(perr(g.line, format!("multiple drivers for net {:?}", g.target)));
+        }
+        let id = c.add_const(false);
+        c.set_node_name(id, g.target.clone());
+        by_name.insert(g.target.clone(), id);
+    }
+    for a in &assigns {
+        declare_driver(&a.lhs, a.line)?;
+        if !driven.insert(&a.lhs) {
+            return Err(perr(a.line, format!("multiple drivers for net {:?}", a.lhs)));
+        }
+        let pure_alias = dirs.get(a.lhs.as_str()) == Some(&Dir::Output)
+            && matches!(a.rhs, Rhs::Net(_))
+            && !fanin_use.contains(a.lhs.as_str());
+        if pure_alias {
+            if let Rhs::Net(rhs) = &a.rhs {
+                aliases.insert(&a.lhs, (rhs, a.line));
+            }
+        } else {
+            let id = c.add_const(false);
+            c.set_node_name(id, a.lhs.clone());
+            by_name.insert(a.lhs.clone(), id);
+        }
+    }
+    let resolve = |by_name: &HashMap<String, NodeId>, net: &str, line: usize| {
+        by_name.get(net).copied().ok_or_else(|| {
+            if declared.contains(net) {
+                perr(line, format!("net {net:?} is never driven"))
+            } else {
+                perr(line, format!("undeclared net {net:?}"))
+            }
+        })
+    };
+    let map_rewire_err = |line: usize, target: &str, e: NetlistError| match e {
+        NetlistError::Cycle(_) => perr(line, format!("combinational cycle through {target:?}")),
+        NetlistError::Arity { kind, got } => {
+            perr(line, format!("gate {kind} cannot take {got} inputs"))
+        }
+        other => IoError::from(other),
+    };
+    for g in &gates {
+        let target_id = by_name[g.target.as_str()];
+        let mut fanins = Vec::with_capacity(g.fanins.len());
+        for f in &g.fanins {
+            fanins.push(resolve(&by_name, f, g.line)?);
+        }
+        c.rewire(target_id, g.kind, fanins).map_err(|e| map_rewire_err(g.line, &g.target, e))?;
+    }
+    for a in &assigns {
+        if aliases.contains_key(a.lhs.as_str()) {
+            continue;
+        }
+        let target_id = by_name[a.lhs.as_str()];
+        match &a.rhs {
+            Rhs::Const(b) => {
+                let kind = if *b { GateKind::Const1 } else { GateKind::Const0 };
+                c.rewire(target_id, kind, Vec::new())
+                    .map_err(|e| map_rewire_err(a.line, &a.lhs, e))?;
+            }
+            Rhs::Net(rhs) => {
+                let src = resolve(&by_name, rhs, a.line)?;
+                c.rewire(target_id, GateKind::Buf, vec![src])
+                    .map_err(|e| map_rewire_err(a.line, &a.lhs, e))?;
+            }
+        }
+    }
+    for (line, name) in &ports {
+        if dirs[name.as_str()] != Dir::Output {
+            continue;
+        }
+        let driver = if let Some(&(rhs, aline)) = aliases.get(name.as_str()) {
+            resolve(&by_name, rhs, aline)?
+        } else if let Some(&id) = by_name.get(name.as_str()) {
+            id
+        } else {
+            return Err(perr(*line, format!("output port {name:?} is never driven")));
+        };
+        c.add_output(driver, name.clone());
+    }
+    Ok(c)
+}
+
+/// Serializes a circuit as canonical structural Verilog.
+///
+/// Net names are sanitized ([`sanitize`]), keyword collisions get a `_`
+/// suffix, and remaining duplicates are uniquified deterministically in
+/// node-id order. Gate instances are emitted in (logic level, net name)
+/// order with sequential instance names, so the text depends only on the
+/// named structure — re-parsing and re-writing reproduces it byte for
+/// byte once names are collision-free (by the second write at the
+/// latest). Every node of the circuit is emitted, including logic not
+/// reachable from the outputs.
+///
+/// # Errors
+///
+/// Returns [`IoError::Netlist`] if the circuit is cyclic.
+pub fn write(c: &Circuit) -> Result<String, IoError> {
+    let level = c.levels().map_err(IoError::from)?;
+    let mut used: HashSet<String> = HashSet::new();
+    let names: Vec<String> = c
+        .iter()
+        .map(|(id, node)| {
+            let mut base = match node.name() {
+                Some(n) => sanitize(n),
+                None => format!("n{}", id.index()),
+            };
+            if KEYWORDS.contains(&base.as_str()) {
+                base.push('_');
+            }
+            unique_name(&mut used, base)
+        })
+        .collect();
+    let name_of = |id: NodeId| -> &str { &names[id.index()] };
+
+    // Output ports: direct-drive when the label matches the driver net
+    // (and the driver is not an input), alias via `assign` otherwise.
+    let mut labels: Vec<String> = Vec::with_capacity(c.outputs().len());
+    let mut direct: Vec<bool> = Vec::with_capacity(c.outputs().len());
+    let mut direct_nets: HashSet<NodeId> = HashSet::new();
+    for (slot, &o) in c.outputs().iter().enumerate() {
+        let desired = c.output_name(slot).map(|n| {
+            let mut s = sanitize(n);
+            if KEYWORDS.contains(&s.as_str()) {
+                s.push('_');
+            }
+            s
+        });
+        let driver_is_input = c.node(o).kind() == GateKind::Input;
+        let can_direct = !driver_is_input && !direct_nets.contains(&o);
+        match desired {
+            Some(d) if can_direct && d == name_of(o) => {
+                direct_nets.insert(o);
+                direct.push(true);
+                labels.push(d);
+            }
+            None if can_direct => {
+                direct_nets.insert(o);
+                direct.push(true);
+                labels.push(name_of(o).to_string());
+            }
+            Some(d) => {
+                direct.push(false);
+                labels.push(unique_name(&mut used, d));
+            }
+            None => {
+                direct.push(false);
+                labels.push(unique_name(&mut used, name_of(o).to_string()));
+            }
+        }
+    }
+
+    let mut module = sanitize(c.name());
+    if KEYWORDS.contains(&module.as_str()) {
+        module.push('_');
+    }
+    let mut out = String::new();
+    let mut ports: Vec<String> =
+        c.inputs().iter().map(|&i| format!("    input  wire {}", name_of(i))).collect();
+    ports.extend(labels.iter().map(|l| format!("    output wire {l}")));
+    if ports.is_empty() {
+        let _ = writeln!(out, "module {module} ();");
+    } else {
+        let _ = writeln!(out, "module {module} (");
+        let _ = writeln!(out, "{}", ports.join(",\n"));
+        let _ = writeln!(out, ");");
+    }
+
+    // Canonical gate order, exactly as the .bench writer: by logic level,
+    // ties broken by net name.
+    let mut order: Vec<NodeId> = (0..c.len()).map(NodeId::from_index).collect();
+    order.sort_by(|&a, &b| (level[a.index()], name_of(a)).cmp(&(level[b.index()], name_of(b))));
+    for &id in &order {
+        let node = c.node(id);
+        if node.kind() != GateKind::Input && !direct_nets.contains(&id) {
+            let _ = writeln!(out, "    wire {};", name_of(id));
+        }
+    }
+    let mut seq = 0usize;
+    for &id in &order {
+        let node = c.node(id);
+        match node.kind() {
+            GateKind::Input => {}
+            GateKind::Const0 => {
+                let _ = writeln!(out, "    assign {} = 1'b0;", name_of(id));
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, "    assign {} = 1'b1;", name_of(id));
+            }
+            kind => {
+                let prim = match kind {
+                    GateKind::And => "and",
+                    GateKind::Or => "or",
+                    GateKind::Nand => "nand",
+                    GateKind::Nor => "nor",
+                    GateKind::Xor => "xor",
+                    GateKind::Xnor => "xnor",
+                    GateKind::Not => "not",
+                    GateKind::Buf => "buf",
+                    _ => unreachable!("inputs/constants handled above"),
+                };
+                let _ = write!(out, "    {prim} g{seq} ({}", name_of(id));
+                seq += 1;
+                for &f in node.fanins() {
+                    let _ = write!(out, ", {}", name_of(f));
+                }
+                out.push_str(");\n");
+            }
+        }
+    }
+    for (slot, &o) in c.outputs().iter().enumerate() {
+        if !direct[slot] {
+            let _ = writeln!(out, "    assign {} = {};", labels[slot], name_of(o));
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format;
+
+    fn same_function(a: &Circuit, b: &Circuit) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let n = a.inputs().len();
+        assert!(n <= 12);
+        for m in 0..1u64 << n {
+            let v: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(a.eval_assignment(&v), b.eval_assignment(&v), "minterm {m}");
+        }
+    }
+
+    const SRC: &str = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+        t1 = NAND(a, b)\nt2 = NOR(t1, c)\ny = XOR(t1, t2)\nk = CONST1\nz = XNOR(c, k)\n";
+
+    #[test]
+    fn round_trip_preserves_function_and_gates() {
+        let c = bench_format::parse(SRC, "demo").unwrap();
+        let text = write(&c).unwrap();
+        let back = parse(&text).unwrap();
+        assert_eq!(back.name(), "demo");
+        same_function(&c, &back);
+        // Gate-for-gate: same number of nodes of every kind.
+        for kind in [GateKind::Nand, GateKind::Nor, GateKind::Xor, GateKind::Xnor] {
+            let a = c.iter().filter(|(_, n)| n.kind() == kind).count();
+            let b = back.iter().filter(|(_, n)| n.kind() == kind).count();
+            assert_eq!(a, b, "{kind}");
+        }
+    }
+
+    #[test]
+    fn write_is_textual_fixpoint_from_second_write() {
+        let c = bench_format::parse(SRC, "demo").unwrap();
+        let w1 = write(&c).unwrap();
+        let c1 = parse(&w1).unwrap();
+        let w2 = write(&c1).unwrap();
+        assert_eq!(w1, w2, "clean names: fixpoint from the first write");
+        let c2 = parse(&w2).unwrap();
+        assert_eq!(w2, write(&c2).unwrap());
+    }
+
+    #[test]
+    fn dead_logic_is_preserved() {
+        let c =
+            bench_format::parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ndead = BUF(a)\n", "d").unwrap();
+        let text = write(&c).unwrap();
+        assert!(text.contains("buf"));
+        let back = parse(&text).unwrap();
+        assert!(back.iter().any(|(_, n)| n.name() == Some("dead")));
+    }
+
+    #[test]
+    fn non_ansi_ports_and_plain_styles() {
+        let src = "\
+            module m (a, b, y);\n\
+            input a, b;\n\
+            output y;\n\
+            wire t;\n\
+            and g0 (t, a, b);\n\
+            buf g1 (y, t);\n\
+            endmodule\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.eval_assignment(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn ansi_direction_inheritance() {
+        let src = "module m (input a, b, output y);\n  nand g (y, a, b);\nendmodule\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.eval_assignment(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn comments_and_attributes_skipped() {
+        let src = "// top\nmodule m (input a, /* inline */ output y);\n\
+            (* keep = 1 *) not g (y, a);\nendmodule // done\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.eval_assignment(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn multi_output_buf_expands() {
+        let src = "module m (input a, output y, output z);\n  not g (y, z, a);\nendmodule\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.eval_assignment(&[true]), vec![false, false]);
+    }
+
+    #[test]
+    fn assign_aliases_and_constants() {
+        let src = "module m (input a, output y, output k);\n  wire t;\n\
+            and g (t, a, a);\n  assign y = t;\n  assign k = 1'b1;\nendmodule\n";
+        let c = parse(src).unwrap();
+        assert_eq!(c.output_name(0), Some("y"));
+        assert_eq!(c.eval_assignment(&[true]), vec![true, true]);
+        assert_eq!(c.eval_assignment(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn input_driven_output_round_trips() {
+        let c = bench_format::parse("INPUT(a)\nOUTPUT(a)\n", "t").unwrap();
+        let text = write(&c).unwrap();
+        assert!(text.contains("assign a_2 = a;"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.eval_assignment(&[true]), vec![true]);
+        assert_eq!(write(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn keyword_and_collision_names_are_rewritten() {
+        let c = bench_format::parse(
+            "INPUT(wire)\nINPUT(a_b)\nINPUT(a.b)\nOUTPUT(y)\ny = AND(wire, a_b, a.b)\n",
+            "module",
+        )
+        .unwrap();
+        let text = write(&c).unwrap();
+        assert!(text.contains("module module_ ("));
+        assert!(text.contains("wire_"));
+        assert!(text.contains("a_b_2"));
+        let back = parse(&text).unwrap();
+        same_function(&c, &back);
+        assert_eq!(write(&back).unwrap(), text);
+    }
+
+    // --- Adversarial fixtures.
+
+    #[test]
+    fn undeclared_nets_rejected() {
+        let bad = "module m (input a, output y);\n  and g (y, a, ghost);\nendmodule\n";
+        match parse(bad) {
+            Err(IoError::Parse { line: 2, message }) => assert!(message.contains("ghost")),
+            other => panic!("expected undeclared-net error, got {other:?}"),
+        }
+        let bad = "module m (input a, output y);\n  wire t;\n  and g (y, a, t);\nendmodule\n";
+        match parse(bad) {
+            Err(IoError::Parse { line: 3, message }) => assert!(message.contains("driven")),
+            other => panic!("expected undriven-net error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fanin_bomb_rejected() {
+        let args = vec!["a"; MAX_PARSE_FANINS + 2].join(", ");
+        let src = format!("module m (input a, output y);\n  and g (y, {args});\nendmodule\n");
+        match parse(&src) {
+            Err(IoError::Parse { line: 2, message }) => assert!(message.contains("connections")),
+            other => panic!("expected fanin-bomb error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_rejected() {
+        for bad in [
+            "module m (input a, output y);\n  and g (y, a,",
+            "module m (input a, output y);",
+            "module m (input a output y);\nendmodule",
+            "module m;\nendmodule",
+            "\u{0}\u{1}\u{2}",
+            "module m (input a, output y);\n  and g (y, a);\nendmodule\nmodule n ();\nendmodule",
+            "module m (input a, output y[3]);\nendmodule",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let bad = "module m (input a, output y);\n  not g0 (y, a);\n  buf g1 (y, a);\nendmodule\n";
+        match parse(bad) {
+            Err(IoError::Parse { line: 3, message }) => {
+                assert!(message.contains("multiple drivers"))
+            }
+            other => panic!("expected multiple-driver error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let bad = "module m (input a, output y);\nendmodule\n";
+        assert!(matches!(parse(bad), Err(IoError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn combinational_loop_rejected() {
+        let bad = "module m (input a, output y);\n  wire t;\n  and g0 (t, y, a);\n\
+            and g1 (y, t, a);\nendmodule\n";
+        match parse(bad) {
+            Err(IoError::Parse { message, .. }) => assert!(message.contains("cycle")),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_constructs_rejected() {
+        for bad in [
+            "module m (input a, output y);\n  reg y;\nendmodule\n",
+            "module m (input clk, output y);\n  always (posedge clk) y = clk;\nendmodule\n",
+        ] {
+            match parse(bad) {
+                Err(IoError::Parse { message, .. }) => assert!(message.contains("sequential")),
+                other => panic!("expected sequential rejection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_literals_and_vectors_rejected() {
+        let bad = "module m (input a, output y);\n  assign y = 8'hff;\nendmodule\n";
+        assert!(matches!(parse(bad), Err(IoError::Parse { line: 2, .. })));
+        let bad = "module m (input a, output y);\n  wire [3:0] t;\nendmodule\n";
+        assert!(matches!(parse(bad), Err(IoError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn input_port_cannot_be_driven() {
+        let bad = "module m (input a, output y);\n  not g (a, y);\nendmodule\n";
+        match parse(bad) {
+            Err(IoError::Parse { line: 2, message }) => assert!(message.contains("input port")),
+            other => panic!("expected input-drive error, got {other:?}"),
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! Structural Verilog and Graphviz DOT export.
+//! Graphviz DOT export.
 //!
-//! Both writers are for downstream consumption (synthesis handoff,
-//! visualization); neither is read back by this workspace.
+//! The DOT writer is for visualization only and is never read back.
+//! Structural Verilog import/export lives in the `sft-io` crate, whose
+//! canonical writer supersedes the one that used to live here.
 
 use crate::{Circuit, GateKind, NodeId};
 use std::fmt::Write as _;
@@ -26,65 +27,6 @@ fn signal_name(c: &Circuit, id: NodeId) -> String {
         Some(n) => sanitize(n),
         None => format!("n{}", id.index()),
     }
-}
-
-/// Serializes the circuit as a structural Verilog module using
-/// `and/or/nand/nor/xor/xnor/not/buf` primitives (wide gates emit wide
-/// primitive instances, which Verilog permits).
-///
-/// # Panics
-///
-/// Panics if the circuit is cyclic.
-pub fn write_verilog(c: &Circuit) -> String {
-    let mut out = String::new();
-    let module = sanitize(c.name());
-    let inputs: Vec<String> = c.inputs().iter().map(|&i| signal_name(c, i)).collect();
-    let outputs: Vec<String> = (0..c.outputs().len())
-        .map(|slot| sanitize(c.output_name(slot).unwrap_or(&format!("out{slot}"))))
-        .collect();
-    let _ = writeln!(out, "module {module} (");
-    let mut ports: Vec<String> = inputs.iter().map(|p| format!("    input  wire {p}")).collect();
-    ports.extend(outputs.iter().map(|p| format!("    output wire {p}")));
-    let _ = writeln!(out, "{}", ports.join(",\n"));
-    let _ = writeln!(out, ");");
-
-    let order = c.topo_order().expect("combinational circuit");
-    for id in order {
-        let node = c.node(id);
-        if !node.kind().is_gate() && !matches!(node.kind(), GateKind::Const0 | GateKind::Const1) {
-            continue;
-        }
-        let name = signal_name(c, id);
-        let _ = writeln!(out, "    wire {name};");
-        match node.kind() {
-            GateKind::Const0 => {
-                let _ = writeln!(out, "    assign {name} = 1'b0;");
-            }
-            GateKind::Const1 => {
-                let _ = writeln!(out, "    assign {name} = 1'b1;");
-            }
-            kind => {
-                let prim = match kind {
-                    GateKind::And => "and",
-                    GateKind::Or => "or",
-                    GateKind::Nand => "nand",
-                    GateKind::Nor => "nor",
-                    GateKind::Xor => "xor",
-                    GateKind::Xnor => "xnor",
-                    GateKind::Not => "not",
-                    GateKind::Buf => "buf",
-                    _ => unreachable!("inputs/constants handled above"),
-                };
-                let args: Vec<String> = node.fanins().iter().map(|&f| signal_name(c, f)).collect();
-                let _ = writeln!(out, "    {prim} g{} ({name}, {});", id.index(), args.join(", "));
-            }
-        }
-    }
-    for (slot, &o) in c.outputs().iter().enumerate() {
-        let _ = writeln!(out, "    assign {} = {};", outputs[slot], signal_name(c, o));
-    }
-    let _ = writeln!(out, "endmodule");
-    out
 }
 
 /// Serializes the circuit as a Graphviz DOT digraph (inputs as boxes,
@@ -126,31 +68,6 @@ mod tests {
     const SRC: &str = "\
 INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n\
 t1 = NAND(a, b)\ny = NOT(t1)\nk = CONST1\nz = XOR(t1, k)\n";
-
-    #[test]
-    fn verilog_structure() {
-        let c = parse(SRC, "demo").unwrap();
-        let v = write_verilog(&c);
-        assert!(v.starts_with("module demo ("));
-        assert!(v.contains("input  wire a"));
-        assert!(v.contains("output wire y"));
-        assert!(v.contains("nand g"));
-        assert!(v.contains("assign k = 1'b1;"));
-        assert!(v.trim_end().ends_with("endmodule"));
-        // One primitive instance per gate.
-        let gates = v.matches("    nand ").count()
-            + v.matches("    not ").count()
-            + v.matches("    xor ").count();
-        assert_eq!(gates, 3);
-    }
-
-    #[test]
-    fn verilog_sanitizes_names() {
-        let c = parse("INPUT(1)\nOUTPUT(2)\n2 = NOT(1)\n", "1bad-name").unwrap();
-        let v = write_verilog(&c);
-        assert!(v.contains("module n1bad_name"));
-        assert!(v.contains("input  wire n1"));
-    }
 
     #[test]
     fn dot_structure() {

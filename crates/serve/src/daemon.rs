@@ -3,14 +3,17 @@
 //! # Job lifecycle
 //!
 //! A request is two files dropped into `<root>/jobs/incoming/`: the netlist
-//! `<stem>.bench` and the spec `<stem>.job` (write the `.bench` first — the
-//! `.job` file is the commit point the scanner keys on). From there:
+//! payload `<stem>.<ext>` and the spec `<stem>.job` (write the payload
+//! first — the `.job` file is the commit point the scanner keys on). The
+//! payload may be any circuit format `sft-io` reads — `.bench`, structural
+//! Verilog `.v`, ASCII/binary AIGER `.aag`/`.aig`, or a `.lut` covering —
+//! and the result netlist is written back in the *same* format. From there:
 //!
 //! ```text
-//! incoming/ --claim (rename)--> running/ --success--> done/   (.bench + .report.json)
+//! incoming/ --claim (rename)--> running/ --success--> done/   (payload + .report.json)
 //!     ^                           |
 //!     |        retryable failure, |  terminal failure / panic / shed
-//!     +------- attempts left -----+--------> failed/ (.job [+ .bench] + .report.json)
+//!     +------- attempts left -----+--------> failed/ (.job [+ payload] + .report.json)
 //! ```
 //!
 //! Every transition is a `rename` on the same filesystem, so a job is in
@@ -50,7 +53,7 @@ use sft_core::{
     identify_cache_load, identify_cache_poison_recoveries, identify_cache_save,
     identify_cache_stats, resynthesize_with_budget, ResynthReport,
 };
-use sft_netlist::bench_format;
+use sft_io::{Format, WriteOptions};
 use sft_par::{Admission, Jobs};
 use std::collections::HashMap;
 use std::io;
@@ -312,21 +315,32 @@ fn scan_incoming(dirs: &Dirs) -> io::Result<Vec<String>> {
     Ok(stems)
 }
 
-/// Claims `stem` by renaming its `.job` out of `incoming/`; the `.bench`
-/// follows if present. Returns `false` when someone else won the rename.
+/// Payload extensions the daemon accepts, in claim-precedence order.
+/// Mirrors [`Format::ALL`]; the first payload found wins when a stem has
+/// several.
+fn payload_extensions() -> impl Iterator<Item = &'static str> {
+    Format::ALL.iter().map(|f| f.extension())
+}
+
+/// Claims `stem` by renaming its `.job` out of `incoming/`; any payload
+/// file follows if present. Returns `false` when someone else won the
+/// rename.
 fn claim(dirs: &Dirs, stem: &str) -> bool {
     let job = format!("{stem}.job");
     if std::fs::rename(dirs.incoming.join(&job), dirs.running.join(&job)).is_err() {
         return false;
     }
-    let bench = format!("{stem}.bench");
-    let _ = std::fs::rename(dirs.incoming.join(&bench), dirs.running.join(&bench));
+    for ext in payload_extensions() {
+        let payload = format!("{stem}.{ext}");
+        let _ = std::fs::rename(dirs.incoming.join(&payload), dirs.running.join(&payload));
+    }
     true
 }
 
-/// Renames both job files from `from` into `to`, ignoring missing files.
+/// Renames the spec and every payload variant from `from` into `to`,
+/// ignoring missing files.
 fn move_job_files(from: &Path, to: &Path, stem: &str) {
-    for ext in ["bench", "job"] {
+    for ext in std::iter::once("job").chain(payload_extensions()) {
         let name = format!("{stem}.{ext}");
         let _ = std::fs::rename(from.join(&name), to.join(&name));
     }
@@ -406,16 +420,20 @@ fn run_attempt(
     ctx: Ctx<'_>,
     stem: &str,
     attempt: u32,
-) -> Result<(ResynthReport, String), JobFailure> {
+) -> Result<(ResynthReport, Format, Vec<u8>), JobFailure> {
     let job_path = ctx.dirs.running.join(format!("{stem}.job"));
-    let bench_path = ctx.dirs.running.join(format!("{stem}.bench"));
     let spec_text = std::fs::read_to_string(&job_path)
         .map_err(|e| JobFailure::Retryable(format!("read {}: {e}", job_path.display())))?;
     let spec =
         parse_spec(&spec_text).map_err(|e| JobFailure::Terminal(Outcome::Failed, e.to_string()))?;
-    let bench_text = std::fs::read_to_string(&bench_path)
-        .map_err(|e| JobFailure::Retryable(format!("read {}: {e}", bench_path.display())))?;
-    let mut circuit = bench_format::parse(&bench_text, stem)
+    let (format, payload_path) = Format::ALL
+        .iter()
+        .map(|&f| (f, ctx.dirs.running.join(format!("{stem}.{}", f.extension()))))
+        .find(|(_, path)| path.exists())
+        .ok_or_else(|| JobFailure::Retryable(format!("{stem}: no payload netlist found")))?;
+    let payload = std::fs::read(&payload_path)
+        .map_err(|e| JobFailure::Retryable(format!("read {}: {e}", payload_path.display())))?;
+    let mut circuit = sft_io::parse_bytes(&payload, format, stem)
         .map_err(|e| JobFailure::Terminal(Outcome::Failed, e.to_string()))?;
 
     match spec.chaos {
@@ -450,7 +468,11 @@ fn run_attempt(
     match outcome {
         Err(payload) => Err(JobFailure::Terminal(Outcome::Panicked, panic_message(payload))),
         Ok(Err(e)) => Err(JobFailure::Terminal(Outcome::Failed, format!("resynthesis: {e}"))),
-        Ok(Ok(report)) => Ok((report, bench_format::write(&circuit))),
+        Ok(Ok(report)) => {
+            let bytes = sft_io::write_bytes(&circuit, format, &WriteOptions::default())
+                .map_err(|e| JobFailure::Terminal(Outcome::Failed, e.to_string()))?;
+            Ok((report, format, bytes))
+        }
     }
 }
 
@@ -482,13 +504,14 @@ fn process(ctx: Ctx<'_>, stem: &str, attempt: u32) {
     let result = run_attempt(ctx, stem, attempt);
     let elapsed_ms = t0.elapsed().as_millis().min(u64::MAX as u128) as u64;
     match result {
-        Ok((engine_report, bench_text)) => {
+        Ok((engine_report, format, result_bytes)) => {
             // Result first, then the report: the report is the commit
             // point consumers watch for, so its presence must imply the
-            // result netlist is in place.
-            let bench_path = ctx.dirs.done.join(format!("{stem}.bench"));
-            if let Err(e) = write_new(&bench_path, bench_text.as_bytes()) {
-                eprintln!("serve: writing {}: {e}", bench_path.display());
+            // result netlist is in place. The result keeps the payload's
+            // format and extension.
+            let result_path = ctx.dirs.done.join(format!("{stem}.{}", format.extension()));
+            if let Err(e) = write_new(&result_path, &result_bytes) {
+                eprintln!("serve: writing {}: {e}", result_path.display());
             }
             let mut report = base_report(stem, Outcome::Done, attempt, elapsed_ms);
             report.engine = Some(EngineOutcome {
@@ -501,7 +524,7 @@ fn process(ctx: Ctx<'_>, stem: &str, attempt: u32) {
                 paths_after: engine_report.paths_after.to_string(),
             });
             write_report(&ctx.dirs.done, stem, &report);
-            for ext in ["bench", "job"] {
+            for ext in std::iter::once("job").chain(payload_extensions()) {
                 let _ = std::fs::remove_file(ctx.dirs.running.join(format!("{stem}.{ext}")));
             }
             lock_retry(ctx.retry).remove(stem);
@@ -712,6 +735,32 @@ mod tests {
         // Nothing left behind in the transient directories.
         assert!(scan_incoming(&Dirs::ensure(&root).unwrap()).unwrap().is_empty());
         assert_eq!(std::fs::read_dir(root.join("jobs").join("running")).unwrap().count(), 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn multi_format_payloads_round_trip() {
+        let root = temp_root("formats");
+        let incoming = root.join("jobs").join("incoming");
+        std::fs::create_dir_all(&incoming).unwrap();
+        let c = sft_netlist::bench_format::parse(TINY, "tiny").unwrap();
+        let formats = [Format::Verilog, Format::AigerAscii, Format::AigerBinary];
+        for f in formats {
+            let stem = format!("job_{}", f.extension());
+            let bytes = sft_io::write_bytes(&c, f, &WriteOptions::default()).unwrap();
+            std::fs::write(incoming.join(format!("{stem}.{}", f.extension())), bytes).unwrap();
+            std::fs::write(incoming.join(format!("{stem}.job")), "objective = gates\n").unwrap();
+        }
+        let summary = serve(&quick_config(&root)).unwrap();
+        assert_eq!((summary.done, summary.failed), (3, 0));
+        let done = root.join("jobs").join("done");
+        for f in formats {
+            let ext = f.extension();
+            let path = done.join(format!("job_{ext}.{ext}"));
+            assert!(path.exists(), "result should keep the payload format: {ext}");
+            let bytes = std::fs::read(&path).unwrap();
+            sft_io::parse_bytes(&bytes, f, "result").unwrap();
+        }
         std::fs::remove_dir_all(&root).unwrap();
     }
 

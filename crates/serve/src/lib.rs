@@ -3,10 +3,11 @@
 //!
 //! The daemon turns the one-shot `sft resynth` flow into a long-lived
 //! service without taking on a network stack: the filesystem is the API.
-//! Drop a `.bench` netlist and a small `.job` spec into
-//! `<root>/jobs/incoming/` and a result netlist plus a one-line JSON report
-//! appear in `<root>/jobs/done/` (or `<root>/jobs/failed/` with an explicit
-//! outcome). All jobs in one daemon share the process-wide
+//! Drop a netlist — `.bench`, structural Verilog `.v`, ASCII/binary AIGER
+//! `.aag`/`.aig`, or a `.lut` covering, see `docs/formats.md` — and a small
+//! `.job` spec into `<root>/jobs/incoming/` and a result netlist in the
+//! same format plus a one-line JSON report appear in `<root>/jobs/done/`
+//! (or `<root>/jobs/failed/` with an explicit outcome). All jobs in one daemon share the process-wide
 //! comparison-function identification memo, which persists across restarts
 //! as a checksummed cache image — a warm daemon answers repeat workloads
 //! without redoing the exponential identification work, and produces

@@ -26,10 +26,18 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+//!
+//! Beyond the standard-cell flow, [`cover_luts`] provides an FPGA-style
+//! **LUT-k covering**: the netlist is cut into *k*-input truth-table nodes
+//! ([`Lut`]) that round-trip losslessly through `sft-truth` — the substrate
+//! of the `.lut` interchange format in `sft-io`.
+
 mod library;
+pub mod lut;
 mod mapper;
 mod subject;
 
 pub use library::{Cell, Library, Pattern};
+pub use lut::{cover_luts, Lut, LutNetwork, MAX_LUT_INPUTS, MIN_LUT_INPUTS};
 pub use mapper::{map_circuit, MappedStats};
 pub use subject::SubjectGraph;

@@ -1,0 +1,396 @@
+//! LUT-*k* covering: cut the netlist into *k*-input truth-table nodes.
+//!
+//! FPGA-style technology mapping views the circuit not as standard cells but
+//! as *k*-input lookup tables: any single-output function of at most `k`
+//! variables costs exactly one LUT. This module covers a [`Circuit`] with
+//! such nodes:
+//!
+//! 1. gates wider than `k` inputs are decomposed into balanced same-kind
+//!    trees (associative for AND/OR/XOR; the complemented kinds keep their
+//!    inversion at the tree root), so every gate is *k*-feasible;
+//! 2. a deterministic greedy pass over the topological order grows each
+//!    gate's cut by merging its fanin cuts while the union stays within `k`
+//!    leaves, sealing fanins as LUT roots when it would not;
+//! 3. every root's function over its cut is extracted as an
+//!    [`sft_truth::TruthTable`] via [`Circuit::cone_function`] — the same
+//!    bridge resynthesis uses — so a covering round-trips losslessly
+//!    through `sft-truth`.
+//!
+//! The result is a [`LutNetwork`]: the (possibly decomposed) circuit the
+//! node ids refer to, plus one [`Lut`] per root in topological order.
+//! [`LutNetwork::expand`] synthesizes the tables back into gates, which is
+//! how the `.lut` interchange format (crate `sft-io`) imports coverings.
+//!
+//! # Examples
+//!
+//! ```
+//! use sft_netlist::bench_format::parse;
+//! use sft_techmap::cover_luts;
+//!
+//! let c = parse(
+//!     "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(t, c)\n",
+//!     "demo",
+//! )?;
+//! let net = cover_luts(&c, 4)?;
+//! // Both gates fit one 3-input LUT: y = ab + c.
+//! assert_eq!(net.luts.len(), 1);
+//! assert_eq!(net.luts[0].inputs.len(), 3);
+//! let back = net.expand()?;
+//! assert_eq!(back.eval_assignment(&[true, true, false]), vec![true]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use sft_netlist::{Circuit, GateKind, NetlistError, NodeId};
+use sft_truth::{TruthTable, MAX_INPUTS};
+
+/// Smallest supported LUT input count. A 1-LUT can only buffer or invert,
+/// which makes the greedy covering degenerate; `k = 2` is the classical
+/// lower bound.
+pub const MIN_LUT_INPUTS: usize = 2;
+
+/// Largest supported LUT input count, bounded by the truth-table width of
+/// `sft-truth` ([`MAX_INPUTS`] = 7, i.e. 128-entry tables in a `u128`).
+pub const MAX_LUT_INPUTS: usize = MAX_INPUTS;
+
+/// One lookup-table node of a covering: a root line, its ordered cut, and
+/// the function of the root over the cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lut {
+    /// The circuit line this LUT implements.
+    pub root: NodeId,
+    /// The cut leaves, in ascending id order. Leaf 0 is the most
+    /// significant minterm bit of [`table`](Self::table), matching the
+    /// workspace-wide MSB-first convention of [`TruthTable`].
+    pub inputs: Vec<NodeId>,
+    /// The function of `root` over `inputs`.
+    pub table: TruthTable,
+}
+
+/// A complete LUT-*k* covering of a circuit.
+///
+/// `luts` is in topological order (a LUT's leaves are primary inputs,
+/// constants, or roots of earlier LUTs), so a single forward pass can
+/// rebuild or serialize the network.
+#[derive(Debug)]
+pub struct LutNetwork {
+    /// The circuit the [`Lut`] node ids refer to. This is a clone of the
+    /// covered circuit in which gates wider than `k` inputs were decomposed
+    /// into balanced trees; circuits that are already *k*-feasible are
+    /// copied unchanged.
+    pub circuit: Circuit,
+    /// The LUT input limit the covering was built for.
+    pub k: usize,
+    /// The covering, in topological order.
+    pub luts: Vec<Lut>,
+}
+
+impl LutNetwork {
+    /// Synthesizes every LUT back into AND/OR/NOT gates (shared-inverter
+    /// sum-of-products per table) and returns the resulting circuit. The
+    /// primary inputs keep their names and order; internal nodes are fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if a table cannot be synthesized over its
+    /// leaves (impossible for coverings produced by [`cover_luts`]).
+    pub fn expand(&self) -> Result<Circuit, NetlistError> {
+        let src = &self.circuit;
+        let mut out = Circuit::with_capacity(src.name(), src.len());
+        let mut map: Vec<Option<NodeId>> = vec![None; src.len()];
+        for &i in src.inputs() {
+            let name = src.node(i).name().unwrap_or_default().to_string();
+            map[i.index()] = Some(out.add_input(name));
+        }
+        let leaf = |out: &mut Circuit, map: &mut Vec<Option<NodeId>>, id: NodeId| {
+            if map[id.index()].is_none() {
+                // Only constants can be unmapped leaves: LUT cuts contain
+                // inputs (mapped above), earlier roots (mapped below) and
+                // constants.
+                let value = src.node(id).kind() == GateKind::Const1;
+                map[id.index()] = Some(out.add_const(value));
+            }
+            map[id.index()].expect("leaf mapped")
+        };
+        for lut in &self.luts {
+            let ins: Vec<NodeId> =
+                lut.inputs.iter().map(|&l| leaf(&mut out, &mut map, l)).collect();
+            let root = out.synthesize_sop(&ins, &lut.table)?;
+            map[lut.root.index()] = Some(root);
+        }
+        for (slot, &o) in src.outputs().iter().enumerate() {
+            let driver = leaf(&mut out, &mut map, o);
+            let name = src.output_name(slot).unwrap_or_default().to_string();
+            out.add_output(driver, name);
+        }
+        Ok(out)
+    }
+
+    /// Number of LUTs in the covering (the FPGA-style area metric).
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+
+    /// The widest cut actually used (≤ `k`).
+    pub fn max_cut_width(&self) -> usize {
+        self.luts.iter().map(|l| l.inputs.len()).max().unwrap_or(0)
+    }
+
+    /// LUT depth of the network: the longest chain of LUTs from any leaf to
+    /// any primary output (the FPGA-style delay metric).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.circuit.len()];
+        for lut in &self.luts {
+            let max_in = lut.inputs.iter().map(|l| d[l.index()]).max().unwrap_or(0);
+            d[lut.root.index()] = max_in + 1;
+        }
+        self.circuit.outputs().iter().map(|o| d[o.index()]).max().unwrap_or(0)
+    }
+}
+
+/// Splits every gate with more than `k` fanins into a balanced tree of
+/// same-kind gates of at most `k` fanins. The complemented kinds
+/// (NAND/NOR/XNOR) keep the inversion at the rewired root; interior tree
+/// nodes use the uncomplemented base kind, so the function is unchanged.
+fn decompose_wide(c: &mut Circuit, k: usize) -> Result<(), NetlistError> {
+    let original = c.len();
+    for idx in 0..original {
+        let id = NodeId::from_index(idx);
+        let node = c.node(id);
+        let kind = node.kind();
+        if node.fanins().len() <= k {
+            continue;
+        }
+        let base = match kind {
+            GateKind::And | GateKind::Nand => GateKind::And,
+            GateKind::Or | GateKind::Nor => GateKind::Or,
+            GateKind::Xor | GateKind::Xnor => GateKind::Xor,
+            // Buf/Not take one fanin; inputs and constants take none.
+            other => unreachable!("{other} cannot have more than {k} fanins"),
+        };
+        let mut layer = node.fanins().to_vec();
+        while layer.len() > k {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(k));
+            for chunk in layer.chunks(k) {
+                next.push(match chunk {
+                    [single] => *single,
+                    _ => c.add_gate(base, chunk.to_vec())?,
+                });
+            }
+            layer = next;
+        }
+        c.rewire(id, kind, layer)?;
+    }
+    Ok(())
+}
+
+/// Covers `circuit` with *k*-input LUTs.
+///
+/// The covering is deterministic: wide gates are decomposed in id order,
+/// the greedy merge walks one topological order, and cut leaves are kept
+/// id-sorted. Logic duplication is allowed (a gate merged into one
+/// consumer's cone may later be sealed as a root for another consumer),
+/// exactly as in classical FPGA mapping.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cone`] if `k` is outside
+/// [`MIN_LUT_INPUTS`]`..=`[`MAX_LUT_INPUTS`], and propagates structural
+/// errors ([`NetlistError::Cyclic`], malformed arities) from the circuit.
+///
+/// # Examples
+///
+/// ```
+/// use sft_netlist::bench_format::parse;
+/// use sft_techmap::cover_luts;
+///
+/// // A 16-bit parity tree collapses into ceil(15/3)-ish 4-input LUTs.
+/// let mut src = String::new();
+/// for i in 0..16 {
+///     src.push_str(&format!("INPUT(x{i})\n"));
+/// }
+/// src.push_str("OUTPUT(p)\np = XOR(");
+/// src.push_str(&(0..16).map(|i| format!("x{i}")).collect::<Vec<_>>().join(", "));
+/// src.push_str(")\n");
+/// let c = parse(&src, "par16")?;
+/// let net = cover_luts(&c, 4)?;
+/// assert_eq!(net.depth(), 2); // 16 -> 4 -> 1 with 4-input LUTs
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn cover_luts(circuit: &Circuit, k: usize) -> Result<LutNetwork, NetlistError> {
+    if !(MIN_LUT_INPUTS..=MAX_LUT_INPUTS).contains(&k) {
+        return Err(NetlistError::Cone(format!(
+            "LUT input limit {k} outside {MIN_LUT_INPUTS}..={MAX_LUT_INPUTS}"
+        )));
+    }
+    let mut c = circuit.clone();
+    decompose_wide(&mut c, k)?;
+    let order = c.topo_order()?;
+    let live = c.live_mask();
+    let mut cut: Vec<Vec<NodeId>> = vec![Vec::new(); c.len()];
+    let mut is_root = vec![false; c.len()];
+    for &o in c.outputs() {
+        if c.node(o).kind().is_gate() {
+            is_root[o.index()] = true;
+        }
+    }
+    for &id in &order {
+        let node = c.node(id);
+        if !node.kind().is_gate() || !live[id.index()] {
+            continue;
+        }
+        // Merge fanin cuts while the union fits; a fanin that is a leaf by
+        // nature (input/constant) or already sealed contributes itself.
+        let mut merged: Vec<NodeId> = Vec::new();
+        for &f in node.fanins() {
+            let fanin_is_leaf = !c.node(f).kind().is_gate() || is_root[f.index()];
+            let leaves: &[NodeId] =
+                if fanin_is_leaf { std::slice::from_ref(&f) } else { &cut[f.index()] };
+            for &l in leaves {
+                if !merged.contains(&l) {
+                    merged.push(l);
+                }
+            }
+        }
+        if merged.len() <= k {
+            merged.sort();
+            cut[id.index()] = merged;
+        } else {
+            // Overflow: seal every gate fanin as a LUT root and restart
+            // this node's cone at its immediate fanins.
+            let mut leaves: Vec<NodeId> = Vec::with_capacity(node.fanins().len());
+            for &f in node.fanins() {
+                if c.node(f).kind().is_gate() {
+                    is_root[f.index()] = true;
+                }
+                if !leaves.contains(&f) {
+                    leaves.push(f);
+                }
+            }
+            leaves.sort();
+            cut[id.index()] = leaves;
+        }
+    }
+    let mut luts = Vec::new();
+    for &id in &order {
+        if !is_root[id.index()] {
+            continue;
+        }
+        let inputs = cut[id.index()].clone();
+        let table = c.cone_function(id, &inputs)?;
+        luts.push(Lut { root: id, inputs, table });
+    }
+    Ok(LutNetwork { circuit: c, k, luts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_netlist::bench_format::parse;
+
+    fn same_function(a: &Circuit, b: &Circuit) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let n = a.inputs().len();
+        assert!(n <= 16, "test helper is exhaustive");
+        for m in 0..1u64 << n {
+            let v: Vec<bool> = (0..n).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(a.eval_assignment(&v), b.eval_assignment(&v), "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn single_gate_is_one_lut() {
+        let c = parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n", "t").unwrap();
+        let net = cover_luts(&c, 4).unwrap();
+        assert_eq!(net.lut_count(), 1);
+        assert_eq!(net.depth(), 1);
+        assert_eq!(net.luts[0].table.on_set().collect::<Vec<_>>(), vec![0, 1, 2]);
+        same_function(&c, &net.expand().unwrap());
+    }
+
+    #[test]
+    fn chain_merges_into_one_lut() {
+        let c = parse(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+             t1 = AND(a, b)\nt2 = OR(t1, c)\ny = XOR(t2, d)\n",
+            "t",
+        )
+        .unwrap();
+        let net = cover_luts(&c, 4).unwrap();
+        assert_eq!(net.lut_count(), 1, "whole cone fits a 4-LUT");
+        assert_eq!(net.luts[0].inputs.len(), 4);
+        same_function(&c, &net.expand().unwrap());
+    }
+
+    #[test]
+    fn overflow_seals_roots() {
+        // 6 distinct inputs through a 2-level cone cannot fit one 4-LUT.
+        let c = parse(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nOUTPUT(y)\n\
+             t1 = AND(a, b, c)\nt2 = OR(d, e, f)\ny = XOR(t1, t2)\n",
+            "t",
+        )
+        .unwrap();
+        let net = cover_luts(&c, 4).unwrap();
+        assert_eq!(net.lut_count(), 3);
+        assert_eq!(net.depth(), 2);
+        same_function(&c, &net.expand().unwrap());
+    }
+
+    #[test]
+    fn wide_gates_decompose() {
+        let mut src = String::new();
+        for i in 0..13 {
+            src.push_str(&format!("INPUT(x{i})\n"));
+        }
+        src.push_str("OUTPUT(y)\ny = NOR(");
+        src.push_str(&(0..13).map(|i| format!("x{i}")).collect::<Vec<_>>().join(", "));
+        src.push_str(")\n");
+        let c = parse(&src, "wide").unwrap();
+        for k in MIN_LUT_INPUTS..=MAX_LUT_INPUTS {
+            let net = cover_luts(&c, k).unwrap();
+            assert!(net.max_cut_width() <= k, "k={k}");
+            same_function(&c, &net.expand().unwrap());
+        }
+    }
+
+    #[test]
+    fn constants_survive() {
+        let c = parse("INPUT(a)\nOUTPUT(y)\nk = CONST1\ny = AND(a, k)\n", "t").unwrap();
+        let net = cover_luts(&c, 2).unwrap();
+        same_function(&c, &net.expand().unwrap());
+    }
+
+    #[test]
+    fn output_driven_by_input_or_constant() {
+        let c = parse("INPUT(a)\nOUTPUT(a)\nOUTPUT(z)\nz = CONST0\n", "t").unwrap();
+        let net = cover_luts(&c, 3).unwrap();
+        assert_eq!(net.lut_count(), 0);
+        let back = net.expand().unwrap();
+        assert_eq!(back.eval_assignment(&[true]), vec![true, false]);
+    }
+
+    #[test]
+    fn bad_k_rejected() {
+        let c = parse("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n", "t").unwrap();
+        assert!(matches!(cover_luts(&c, 1), Err(NetlistError::Cone(_))));
+        assert!(matches!(cover_luts(&c, 8), Err(NetlistError::Cone(_))));
+    }
+
+    #[test]
+    fn shared_fanout_duplicates_or_seals_consistently() {
+        // t fans out to two consumers; whatever the covering chooses, the
+        // function is preserved and every cut respects k.
+        let c = parse(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\nOUTPUT(z)\n\
+             t = XOR(a, b)\ny = AND(t, c, d, e)\nz = OR(t, c)\n",
+            "t",
+        )
+        .unwrap();
+        for k in [2, 3, 4, 5] {
+            let net = cover_luts(&c, k).unwrap();
+            assert!(net.max_cut_width() <= k);
+            same_function(&c, &net.expand().unwrap());
+        }
+    }
+}

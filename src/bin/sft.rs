@@ -1,17 +1,26 @@
 //! `sft` — command-line driver for the synthesis-for-testability flow.
 //!
 //! ```text
-//! sft stats      <in.bench>                      circuit statistics
-//! sft resynth    <in.bench> <out.bench> [opts]   Procedures 2/3
-//! sft redundancy <in.bench> <out.bench>          redundancy removal
-//! sft testgen    <in.bench>                      compact stuck-at test set
-//! sft equiv      <a.bench> <b.bench>             BDD equivalence check
-//! sft techmap    <in.bench>                      map & report literals/depth
-//! sft pdf        <in.bench> [--pairs N]          robust PDF campaign
-//! sft export     <in.bench> (--verilog|--dot)    format conversion
+//! sft stats      <in>                            circuit statistics
+//! sft resynth    <in> <out> [opts]               Procedures 2/3
+//! sft redundancy <in> <out>                      redundancy removal
+//! sft testgen    <in>                            compact stuck-at test set
+//! sft equiv      <a> <b>                         BDD equivalence check
+//! sft techmap    <in>                            map & report literals/depth
+//! sft pdf        <in> [--pairs N]                robust PDF campaign
+//! sft convert    <in> <out>                      circuit format conversion
+//! sft export     <in> (--verilog|--dot)          one-shot stdout export
 //! sft serve      <root> [opts]                   job-directory daemon
-//! sft gen        <kind> <out.bench> [opts]       scale-tier circuit generation
+//! sft gen        <kind> <out> [opts]             scale-tier circuit generation
 //! ```
+//!
+//! Every command that reads or writes a circuit file speaks all the
+//! formats of `docs/formats.md`: ISCAS-89 `.bench`, structural Verilog
+//! (`.v`), ASCII/binary AIGER (`.aag`/`.aig`) and LUT-k coverings
+//! (`.lut`). The format is chosen by file extension (unknown extensions
+//! default to `.bench`) and can be forced with `--from <fmt>` for inputs
+//! and `--to <fmt>` for outputs; `--lut-k N` sets the cut width of `.lut`
+//! output. `sft convert a.bench b.aig` is the dedicated converter.
 //!
 //! `sft gen` kinds: `mul`/`adder`/`alu` (arithmetic, `--width N`), `dag`
 //! (sliding-window random DAG, `--inputs/--outputs/--gates/--window/--seed`)
@@ -45,24 +54,47 @@ use sft::budget::{Budget, StopReason};
 use sft::circuits::{gen, random::RandomCircuitConfig};
 use sft::core::{resynthesize_with_budget, Objective, ResynthOptions};
 use sft::delay::{pdf_campaign_with_budget, PdfCampaignConfig};
-use sft::netlist::{bench_format, export, Circuit};
+use sft::io::{Format, WriteOptions};
+use sft::netlist::{export, Circuit};
 use sft::par::Jobs;
 use sft::techmap::{map_circuit, Library};
 use std::process::ExitCode;
 use std::time::Duration;
 
-fn load(path: &str) -> Result<Circuit, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+/// Resolves the circuit format for `path`: an explicit `--from`/`--to`
+/// name wins, otherwise the file extension decides, defaulting to
+/// `.bench` for unknown extensions.
+fn format_for(path: &str, forced: Option<&str>) -> Result<Format, String> {
+    match forced {
+        Some(name) => Format::from_name(name).ok_or_else(|| {
+            format!("unknown format {name:?} (use bench, verilog, aag, aig or lut)")
+        }),
+        None => Ok(Format::from_path(std::path::Path::new(path)).unwrap_or(Format::Bench)),
+    }
+}
+
+/// Reads a circuit in the format named by `--from` or the extension.
+fn load(path: &str, args: &[String]) -> Result<Circuit, String> {
+    let format = format_for(path, opt(args, "--from").as_deref())?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit")
         .to_string();
-    bench_format::parse(&text, name).map_err(|e| format!("{path}: {e}"))
+    sft::io::parse_bytes(&bytes, format, &name).map_err(|e| format!("{path}: {e}"))
 }
 
-fn save(path: &str, circuit: &Circuit) -> Result<(), String> {
-    std::fs::write(path, bench_format::write(circuit)).map_err(|e| format!("{path}: {e}"))
+/// Writes a circuit in the format named by `--to` or the extension.
+fn save(path: &str, circuit: &Circuit, args: &[String]) -> Result<(), String> {
+    let format = format_for(path, opt(args, "--to").as_deref())?;
+    let mut options = WriteOptions::default();
+    if let Some(k) = opt(args, "--lut-k") {
+        options.lut_k = k.parse().map_err(|_| format!("bad --lut-k value {k:?}"))?;
+    }
+    let bytes =
+        sft::io::write_bytes(circuit, format, &options).map_err(|e| format!("{path}: {e}"))?;
+    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
 }
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -93,6 +125,9 @@ const VALUE_OPTIONS: &[&str] = &[
     "--window",
     "--seed",
     "--copies",
+    "--from",
+    "--to",
+    "--lut-k",
 ];
 
 /// Parses `--jobs` (default: all cores; `--jobs 1` = exact serial order).
@@ -177,7 +212,7 @@ fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         return Err(
-            "usage: sft <stats|resynth|redundancy|testgen|equiv|techmap|pdf|export|serve|gen> \
+            "usage: sft <stats|resynth|redundancy|testgen|equiv|techmap|pdf|convert|export|serve|gen> \
                     ...\nsee `sft help`"
                 .into(),
         );
@@ -186,11 +221,14 @@ fn run() -> Result<(), String> {
     match command.as_str() {
         "help" => {
             println!("see the crate README for full usage; commands:");
-            println!("  stats resynth redundancy testgen equiv techmap pdf export serve gen");
+            println!(
+                "  stats resynth redundancy testgen equiv techmap pdf convert export serve gen"
+            );
             Ok(())
         }
         "stats" => {
-            let c = load(rest.first().ok_or("stats needs an input file")?)?;
+            let files = positionals(rest);
+            let c = load(files.first().ok_or("stats needs an input file")?, rest)?;
             println!("{}: {}", c.name(), c.stats());
             Ok(())
         }
@@ -198,7 +236,7 @@ fn run() -> Result<(), String> {
             let files = positionals(rest);
             let input = files.first().ok_or("resynth needs input and output files")?;
             let output = files.get(1).ok_or("resynth needs an output file")?;
-            let mut c = load(input)?;
+            let mut c = load(input, rest)?;
             let objective = match opt(rest, "--objective").as_deref() {
                 None | Some("gates") => Objective::Gates,
                 Some("paths") => Objective::Paths,
@@ -227,22 +265,23 @@ fn run() -> Result<(), String> {
                 stats.hit_rate() * 100.0
             );
             print_stop(report.stop_reason);
-            save(output, &c)
+            save(output, &c, rest)
         }
         "redundancy" => {
-            let input = rest.first().ok_or("redundancy needs input and output files")?;
-            let output = rest.get(1).ok_or("redundancy needs an output file")?;
-            let mut c = load(input)?;
+            let files = positionals(rest);
+            let input = files.first().ok_or("redundancy needs input and output files")?;
+            let output = files.get(1).ok_or("redundancy needs an output file")?;
+            let mut c = load(input, rest)?;
             let report = remove_redundancies(&mut c, 50_000);
             println!(
                 "{} removed, {} aborted, gates {} -> {}",
                 report.removed, report.aborted, report.gates_before, report.gates_after
             );
-            save(output, &c)
+            save(output, &c, rest)
         }
         "testgen" => {
             let files = positionals(rest);
-            let c = load(files.first().ok_or("testgen needs an input file")?)?;
+            let c = load(files.first().ok_or("testgen needs an input file")?, rest)?;
             let budget = budget_from(rest)?;
             let opts = TestSetOptions { jobs: jobs_from(rest)?, ..TestSetOptions::default() };
             let set = generate_test_set_with_budget(&c, &opts, &budget);
@@ -264,8 +303,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "equiv" => {
-            let a = load(rest.first().ok_or("equiv needs two files")?)?;
-            let b = load(rest.get(1).ok_or("equiv needs two files")?)?;
+            let files = positionals(rest);
+            let a = load(files.first().ok_or("equiv needs two files")?, rest)?;
+            let b = load(files.get(1).ok_or("equiv needs two files")?, rest)?;
             match sft::bdd::equivalent(&a, &b).map_err(|e| e.to_string())? {
                 sft::bdd::CheckResult::Equivalent => {
                     println!("equivalent");
@@ -278,13 +318,14 @@ fn run() -> Result<(), String> {
             }
         }
         "techmap" => {
-            let c = load(rest.first().ok_or("techmap needs an input file")?)?;
+            let files = positionals(rest);
+            let c = load(files.first().ok_or("techmap needs an input file")?, rest)?;
             println!("{}", map_circuit(&c, &Library::standard()));
             Ok(())
         }
         "pdf" => {
             let files = positionals(rest);
-            let c = load(files.first().ok_or("pdf needs an input file")?)?;
+            let c = load(files.first().ok_or("pdf needs an input file")?, rest)?;
             let cfg = PdfCampaignConfig {
                 max_pairs: opt(rest, "--pairs").and_then(|v| v.parse().ok()).unwrap_or(1 << 14),
                 jobs: jobs_from(rest)?,
@@ -302,10 +343,26 @@ fn run() -> Result<(), String> {
             print_stop(r.stop_reason);
             Ok(())
         }
+        "convert" => {
+            let files = positionals(rest);
+            let input = files.first().ok_or("convert needs input and output files")?;
+            let output = files.get(1).ok_or("convert needs an output file")?;
+            let c = load(input, rest)?;
+            save(output, &c, rest)?;
+            println!(
+                "{}: {} -> {} ({})",
+                c.name(),
+                format_for(input, opt(rest, "--from").as_deref())?,
+                format_for(output, opt(rest, "--to").as_deref())?,
+                c.stats()
+            );
+            Ok(())
+        }
         "export" => {
-            let c = load(rest.first().ok_or("export needs an input file")?)?;
+            let files = positionals(rest);
+            let c = load(files.first().ok_or("export needs an input file")?, rest)?;
             if flag(rest, "--verilog") {
-                print!("{}", export::write_verilog(&c));
+                print!("{}", sft::io::verilog::write(&c).map_err(|e| e.to_string())?);
             } else if flag(rest, "--dot") {
                 print!("{}", export::write_dot(&c));
             } else {
@@ -354,7 +411,7 @@ fn run() -> Result<(), String> {
                 }
             };
             println!("{}: {}", c.name(), c.stats());
-            save(output, &c)
+            save(output, &c, rest)
         }
         "serve" => {
             let files = positionals(rest);

@@ -83,6 +83,11 @@ pub use sft_budget as budget;
 /// control, and counter-based RNG stream derivation.
 pub use sft_par as par;
 
+/// Multi-format circuit I/O behind one [`Format`](sft_io::Format)-dispatched
+/// API: `.bench`, canonical structural Verilog, ASCII/binary AIGER, and
+/// LUT-`k` coverings. See `docs/formats.md` for the formats contract.
+pub use sft_io as io;
+
 /// The crash-safe job-directory resynthesis daemon behind `sft serve`:
 /// persistent warm identification cache, per-job panic isolation,
 /// admission control with load shedding, and graceful shutdown.

@@ -204,3 +204,102 @@ fn jobs_flag_rejects_missing_and_garbage_values() {
         assert!(err.contains("--jobs"), "{err}");
     }
 }
+
+#[test]
+fn convert_round_trips_through_verilog_and_aiger() {
+    let input = write_bench("conv.bench", DEMO);
+    let dir = input.parent().unwrap().to_path_buf();
+    for (mid, back) in [("conv.v", "conv_v.bench"), ("conv.aig", "conv_a.bench")] {
+        let mid = dir.join(mid);
+        let back = dir.join(back);
+        let out = sft()
+            .args(["convert", input.to_str().unwrap(), mid.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{out:?}");
+        let out = sft()
+            .args(["convert", mid.to_str().unwrap(), back.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{out:?}");
+        let eq = sft()
+            .args(["equiv", input.to_str().unwrap(), back.to_str().unwrap()])
+            .output()
+            .expect("spawn");
+        assert!(eq.status.success(), "{eq:?}");
+        assert!(String::from_utf8_lossy(&eq.stdout).contains("equivalent"));
+    }
+}
+
+#[test]
+fn convert_honours_from_to_and_lut_k() {
+    let input = write_bench("conv_force.txt", DEMO); // unknown extension
+    let dir = input.parent().unwrap().to_path_buf();
+    let lut = dir.join("conv_force.lut");
+    let out = sft()
+        .args([
+            "convert",
+            input.to_str().unwrap(),
+            lut.to_str().unwrap(),
+            "--from",
+            "bench",
+            "--to",
+            "lut",
+            "--lut-k",
+            "3",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&lut).unwrap();
+    assert!(text.contains("K 3"), "{text}");
+
+    let bad = sft()
+        .args(["convert", input.to_str().unwrap(), lut.to_str().unwrap(), "--from", "edif"])
+        .output()
+        .expect("spawn");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown format"));
+}
+
+#[test]
+fn convert_rejects_malformed_inputs_with_typed_errors() {
+    let truncated = write_bench("broken.aag", "aag 3 2 0 1 1\n2\n4\n6\n");
+    let out_path = write_bench("broken_out.bench", "");
+    let out = sft()
+        .args(["convert", truncated.to_str().unwrap(), out_path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line"), "{err}");
+
+    let undeclared = write_bench(
+        "ghost.v",
+        "module m (input a, output y);\n  and g (y, a, ghost);\nendmodule\n",
+    );
+    let out = sft()
+        .args(["convert", undeclared.to_str().unwrap(), out_path.to_str().unwrap()])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ghost"), "{err}");
+}
+
+#[test]
+fn gen_emits_any_format_by_extension() {
+    let dir = std::env::temp_dir().join("sft-cli-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    for name in ["gen8.aag", "gen8.v", "gen8.lut"] {
+        let path = dir.join(name);
+        let out = sft()
+            .args(["gen", "adder", path.to_str().unwrap(), "--width", "8"])
+            .output()
+            .expect("spawn");
+        assert!(out.status.success(), "{name}: {out:?}");
+        let stats = sft().args(["stats", path.to_str().unwrap()]).output().expect("spawn");
+        assert!(stats.status.success(), "{name}: {stats:?}");
+        assert!(String::from_utf8_lossy(&stats.stdout).contains("in=17"), "{name}");
+    }
+}
