@@ -1,0 +1,97 @@
+//! Dominator checks on the irs substitute suite: the CHK pass and the
+//! maintained view must match the brute-force delete-a-node definition on
+//! every prepared suite circuit, and the maintained view must track
+//! journaled edits and rollback on real (irredundant) structures, not just
+//! proptest DAGs.
+
+use sft_circuits::suite;
+use sft_netlist::{Circuit, GateKind, NodeId};
+
+/// Brute-force immediate dominators from the definition: `d` dominates `n`
+/// iff deleting `d` cuts every path from `n` to the outputs; the immediate
+/// one is the dominator nearest `n` (minimum topological position).
+fn brute_force_idoms(c: &Circuit) -> Vec<Option<NodeId>> {
+    let n = c.len();
+    let order = c.topo_order().expect("acyclic");
+    let fanouts = c.fanout_table();
+    let mut po = vec![false; n];
+    for &o in c.outputs() {
+        po[o.index()] = true;
+    }
+    let reaches = |banned: Option<NodeId>| -> Vec<bool> {
+        let mut r = vec![false; n];
+        for &id in order.iter().rev() {
+            if Some(id) == banned {
+                continue;
+            }
+            r[id.index()] =
+                po[id.index()] || fanouts[id.index()].iter().any(|&(cns, _)| r[cns.index()]);
+        }
+        r
+    };
+    let base = reaches(None);
+    let mut pos = vec![0usize; n];
+    for (p, &id) in order.iter().enumerate() {
+        pos[id.index()] = p;
+    }
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    for d in (0..n).map(NodeId::from_index) {
+        let r = reaches(Some(d));
+        for x in (0..n).map(NodeId::from_index) {
+            if x != d
+                && base[x.index()]
+                && !r[x.index()]
+                && idom[x.index()].is_none_or(|cur| pos[d.index()] < pos[cur.index()])
+            {
+                idom[x.index()] = Some(d);
+            }
+        }
+    }
+    idom
+}
+
+fn assert_idoms_match_brute_force(c: &mut Circuit, ctx: &str) {
+    let oracle = brute_force_idoms(c);
+    assert_eq!(c.immediate_dominators(), oracle, "{ctx}: CHK diverged from brute force");
+    c.refresh_views();
+    let v = c.views().expect("views enabled");
+    for (i, want) in oracle.iter().enumerate() {
+        assert_eq!(v.idom(NodeId::from_index(i)), *want, "{ctx}: view idom diverged at n{i}");
+    }
+}
+
+#[test]
+fn suite_dominators_match_brute_force_and_survive_edits() {
+    for entry in suite() {
+        let mut c = entry.circuit;
+        c.enable_views();
+        assert_idoms_match_brute_force(&mut c, entry.name);
+        let baseline = c.immediate_dominators();
+
+        // Deterministic journaled edits: rewire a spread of gates to
+        // fresh fanins with smaller ids (stays acyclic), check mid-edit,
+        // then roll back and check the view landed exactly where it began.
+        let cp = c.begin_edit();
+        let gate_ids: Vec<NodeId> =
+            c.iter().filter(|(_, node)| node.kind().is_gate()).map(|(id, _)| id).collect();
+        for (k, &g) in gate_ids.iter().step_by(gate_ids.len() / 7 + 1).enumerate() {
+            let t = g.index();
+            if t == 0 {
+                continue;
+            }
+            let a = NodeId::from_index((t * 7 + k) % t);
+            let b = NodeId::from_index((t * 13 + 3 * k) % t);
+            c.rewire(g, if k % 2 == 0 { GateKind::And } else { GateKind::Nor }, vec![a, b])
+                .expect("smaller-id fanins cannot cycle");
+        }
+        assert_idoms_match_brute_force(&mut c, &format!("{} mid-edit", entry.name));
+        c.rollback_to(cp);
+        assert_idoms_match_brute_force(&mut c, &format!("{} post-rollback", entry.name));
+        assert_eq!(
+            c.immediate_dominators(),
+            baseline,
+            "{}: rollback changed dominators",
+            entry.name
+        );
+    }
+}

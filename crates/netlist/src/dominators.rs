@@ -1,0 +1,203 @@
+//! Immediate dominators over the fanout graph (toward the outputs).
+//!
+//! A node `d` *dominates* a node `n` when every path from `n` to any
+//! primary-output slot passes through `d`. Domination is defined over the
+//! fanout adjacency graph extended with a virtual sink that every
+//! PO-referenced node feeds, so "reaches an output" and "reaches the sink"
+//! coincide. The *immediate* dominator `idom(n)` is the first dominator
+//! every such path hits — the unique gate through which **all** fault
+//! effects at `n` must funnel, which is what lets fault simulation gate a
+//! stem's observability at one downstream point instead of propagating to
+//! the outputs (see `sft-sim`'s critical-path-tracing engine).
+//!
+//! [`Circuit::immediate_dominators`] rebuilds the whole table in one
+//! reverse-topological Cooper–Harvey–Kennedy pass; the maintained
+//! equivalent lives in [`CircuitViews`](crate::CircuitViews) and is patched
+//! per edit (and per journal rollback) from dirty seeds, exactly like the
+//! level/path-label views.
+
+use crate::{Circuit, NodeId};
+
+/// Sentinel index for the virtual sink (the common observation point all
+/// primary-output slots feed).
+pub const SINK: u32 = u32::MAX;
+/// Sentinel index for nodes with no path to any output: nothing dominates
+/// them because no observation path exists at all.
+pub const UNREACHABLE: u32 = u32::MAX - 1;
+
+/// Walks two dominator-tree fingers up to their nearest common ancestor.
+/// `key` must order every node strictly before its immediate dominator
+/// (any topological key works; the sink compares greatest).
+pub fn intersect(
+    mut a: u32,
+    mut b: u32,
+    idom: &[u32],
+    key: &mut impl FnMut(u32) -> (u32, u32),
+) -> u32 {
+    while a != b {
+        // The sink is the dominator-tree root and compares greatest.
+        if b == SINK || (a != SINK && key(a) < key(b)) {
+            a = idom[a as usize];
+        } else {
+            b = idom[b as usize];
+        }
+    }
+    a
+}
+
+/// Recomputes `idom[n]` from its successors' current immediate dominators.
+/// Successors are the distinct consumer gates plus the virtual sink when
+/// the node is referenced by a primary-output slot. Unreachable successors
+/// contribute nothing: paths through them never reach an output.
+pub fn recompute_idom(
+    successors: impl Iterator<Item = u32>,
+    drives_output: bool,
+    idom: &[u32],
+    key: &mut impl FnMut(u32) -> (u32, u32),
+) -> u32 {
+    let mut new = if drives_output { SINK } else { UNREACHABLE };
+    for s in successors {
+        if idom[s as usize] == UNREACHABLE {
+            continue;
+        }
+        new = if new == UNREACHABLE { s } else { intersect(new, s, idom, key) };
+    }
+    new
+}
+
+impl Circuit {
+    /// The immediate dominator of every node over the fanout graph:
+    /// `Some(d)` when all paths from the node to any primary output pass
+    /// through gate `d`, `None` when no proper gate dominator exists —
+    /// either the node's paths diverge all the way to the outputs (the
+    /// virtual sink is its only dominator) or the node reaches no output
+    /// at all.
+    ///
+    /// One full-rebuild reverse-topological pass; the incrementally
+    /// maintained equivalent is
+    /// [`CircuitViews::idom`](crate::CircuitViews::idom).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sft_netlist::{Circuit, GateKind};
+    ///
+    /// let mut c = Circuit::new("reconv");
+    /// let a = c.add_input("a");
+    /// let b = c.add_input("b");
+    /// let g1 = c.add_gate(GateKind::And, vec![a, b])?;
+    /// let g2 = c.add_gate(GateKind::Or, vec![a, b])?;
+    /// let y = c.add_gate(GateKind::Xor, vec![g1, g2])?;
+    /// c.add_output(y, "y");
+    ///
+    /// // Both of a's paths reconverge at y: y is a's immediate dominator.
+    /// let idom = c.immediate_dominators();
+    /// assert_eq!(idom[a.index()], Some(y));
+    /// // y drives the output directly: no proper dominator.
+    /// assert_eq!(idom[y.index()], None);
+    /// # Ok::<(), sft_netlist::NetlistError>(())
+    /// ```
+    pub fn immediate_dominators(&self) -> Vec<Option<NodeId>> {
+        let n = self.len();
+        let order = self.topo_order().expect("dominators require an acyclic circuit");
+        let mut pos = vec![0u32; n];
+        for (p, &id) in order.iter().enumerate() {
+            pos[id.index()] = p as u32;
+        }
+        // Distinct consumer gates per node (sorted ascending, deduplicated).
+        let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, node) in self.iter() {
+            for f in node.fanins() {
+                fanouts[f.index()].push(id.index() as u32);
+            }
+        }
+        for list in &mut fanouts {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut po = vec![false; n];
+        for &o in self.outputs() {
+            po[o.index()] = true;
+        }
+
+        let mut idom = vec![UNREACHABLE; n];
+        let mut key = |x: u32| (pos[x as usize], 0);
+        for &id in order.iter().rev() {
+            let i = id.index();
+            idom[i] = recompute_idom(fanouts[i].iter().copied(), po[i], &idom, &mut key);
+        }
+        idom.iter()
+            .map(|&d| if d == SINK || d == UNREACHABLE { None } else { Some(NodeId(d)) })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn chain_dominators() {
+        // a -> g1 -> g2 -> y: each node's idom is its single consumer.
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let g1 = c.add_gate(GateKind::Not, vec![a]).unwrap();
+        let g2 = c.add_gate(GateKind::Buf, vec![g1]).unwrap();
+        c.add_output(g2, "y");
+        let idom = c.immediate_dominators();
+        assert_eq!(idom[a.index()], Some(g1));
+        assert_eq!(idom[g1.index()], Some(g2));
+        assert_eq!(idom[g2.index()], None);
+    }
+
+    #[test]
+    fn divergent_paths_have_no_proper_dominator() {
+        // a feeds two separate outputs: only the sink dominates a.
+        let mut c = Circuit::new("div");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Or, vec![a, b]).unwrap();
+        c.add_output(g1, "y");
+        c.add_output(g2, "z");
+        let idom = c.immediate_dominators();
+        assert_eq!(idom[a.index()], None);
+        assert_eq!(idom[b.index()], None);
+    }
+
+    #[test]
+    fn dead_node_is_unreachable() {
+        let mut c = Circuit::new("dead");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let dead = c.add_gate(GateKind::Or, vec![a, b]).unwrap();
+        c.add_output(g1, "y");
+        let idom = c.immediate_dominators();
+        assert_eq!(idom[dead.index()], None);
+        // a still reaches the output through g1 only... and through dead?
+        // dead has no consumers, so a's only observation path is g1.
+        assert_eq!(idom[a.index()], Some(g1));
+    }
+
+    #[test]
+    fn po_ref_on_interior_node_caps_the_dominator() {
+        // a -> g1 -> g2 -> y, but g1 also drives an output slot: a's
+        // effects still funnel through g1, while g1 itself observes
+        // directly at its own output (no proper dominator).
+        let mut c = Circuit::new("tap");
+        let a = c.add_input("a");
+        let g1 = c.add_gate(GateKind::Not, vec![a]).unwrap();
+        let g2 = c.add_gate(GateKind::Buf, vec![g1]).unwrap();
+        c.add_output(g1, "t");
+        c.add_output(g2, "y");
+        let idom = c.immediate_dominators();
+        assert_eq!(idom[a.index()], Some(g1));
+        assert_eq!(idom[g1.index()], None);
+    }
+}

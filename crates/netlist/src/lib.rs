@@ -17,8 +17,10 @@
 //!   used by comparison-function identification;
 //! - a transactional edit journal ([`Circuit::begin_edit`]) with O(#edits)
 //!   rollback, and incrementally maintained derived views
-//!   ([`Circuit::enable_views`]): fanout adjacency, levels and Procedure 1
-//!   path labels patched per edit instead of rebuilt per call.
+//!   ([`Circuit::enable_views`]): fanout adjacency, levels, Procedure 1
+//!   path labels and immediate dominators over the fanout graph
+//!   ([`Circuit::immediate_dominators`]) patched per edit instead of
+//!   rebuilt per call.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 pub mod bench_format;
 mod circuit;
 mod cone;
+pub mod dominators;
 mod error;
 pub mod export;
 mod gate;

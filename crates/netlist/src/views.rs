@@ -16,16 +16,21 @@
 //!   [`Circuit::fanout_table`] produces, so code switching from the rebuilt
 //!   table to the view observes the *same* iteration order (several engines
 //!   make order-sensitive decisions downstream).
-//! - **Lazy** — levels and path labels (Procedure 1's `N_p`) are only
-//!   guaranteed fresh after [`Circuit::refresh_views`], which recomputes the
-//!   downstream closure of all edits since the last refresh in one batched
-//!   topological pass. The engines read these once per pass, not per edit,
-//!   so batching avoids an O(depth) reflow on every rewire.
+//! - **Lazy** — levels, path labels (Procedure 1's `N_p`) and immediate
+//!   dominators over the fanout graph are only guaranteed fresh after
+//!   [`Circuit::refresh_views`], which recomputes the affected closure of
+//!   all edits since the last refresh in one batched topological pass:
+//!   levels/labels reflow the *downstream* closure (they depend on fanins),
+//!   dominators reflow the *upstream* fanin-cone closure of every node
+//!   whose consumer set changed (a node's dominator depends only on the
+//!   subgraph reachable from it). The engines read these once per pass,
+//!   not per edit, so batching avoids an O(depth) reflow on every rewire.
 //!
 //! Views are deliberately patched only from `&mut Circuit` mutators — never
 //! concurrently. Scoring workers share the circuit (and its views)
 //! immutably; see DESIGN.md "Parallelism & determinism".
 
+use crate::dominators::{self, SINK, UNREACHABLE};
 use crate::paths::PathCount;
 use crate::{Circuit, GateKind, Node, NodeId};
 
@@ -64,10 +69,18 @@ pub struct CircuitViews {
     level: Vec<u32>,
     /// Procedure 1 path label of each node (lazy; fresh after `refresh`).
     label: Vec<PathCount>,
+    /// Immediate dominator of each node over the fanout graph, with the
+    /// sentinels of [`crate::dominators`] (lazy; fresh after `refresh`).
+    idom: Vec<u32>,
     /// Seed queue of nodes whose lazy values may be stale.
     dirty: Vec<u32>,
     /// Dedup mask for `dirty`.
     dirty_flag: Vec<bool>,
+    /// Seed queue of nodes whose *successor set* changed, i.e. whose
+    /// upstream fanin cone may hold stale dominators.
+    dom_seed: Vec<u32>,
+    /// Dedup mask for `dom_seed`.
+    dom_seed_flag: Vec<bool>,
 }
 
 impl CircuitViews {
@@ -79,8 +92,11 @@ impl CircuitViews {
             po_refs: vec![0; n],
             level: vec![0; n],
             label: vec![PathCount::ZERO; n],
+            idom: vec![UNREACHABLE; n],
             dirty: Vec::new(),
             dirty_flag: vec![false; n],
+            dom_seed: Vec::new(),
+            dom_seed_flag: vec![false; n],
         };
         // Iterating nodes in id order pushes each consumer list already
         // sorted by (consumer, pin).
@@ -93,8 +109,13 @@ impl CircuitViews {
             v.po_refs[o.index()] += 1;
         }
         let order = c.topo_order().expect("views require an acyclic circuit");
-        for id in order {
+        for &id in &order {
             v.recompute_node(c, id);
+        }
+        // Dominators flow against the topology; levels are fresh by now, so
+        // `(level, id)` is a valid topological key for the intersections.
+        for &id in order.iter().rev() {
+            v.recompute_dom_node(id.index());
         }
         v
     }
@@ -119,10 +140,34 @@ impl CircuitViews {
         };
     }
 
+    /// Recomputes the immediate dominator of one node from its successors'
+    /// current dominators, mirroring [`Circuit::immediate_dominators`].
+    /// Requires fresh levels: `(level, id)` serves as the topological key.
+    fn recompute_dom_node(&mut self, i: usize) {
+        let level = &self.level;
+        let mut key = |x: u32| (level[x as usize], x);
+        // Consumer lists are sorted by (consumer, pin); a one-element
+        // lookback deduplicates multi-pin consumers.
+        let mut last = u32::MAX;
+        let succ = self.fanout[i].iter().map(|&(c, _)| c.0).filter(|&s| {
+            let dup = s == last;
+            last = s;
+            !dup
+        });
+        self.idom[i] = dominators::recompute_idom(succ, self.po_refs[i] > 0, &self.idom, &mut key);
+    }
+
     fn mark_dirty(&mut self, id: NodeId) {
         if !self.dirty_flag[id.index()] {
             self.dirty_flag[id.index()] = true;
             self.dirty.push(id.0);
+        }
+    }
+
+    fn mark_dom_dirty(&mut self, id: NodeId) {
+        if !self.dom_seed_flag[id.index()] {
+            self.dom_seed_flag[id.index()] = true;
+            self.dom_seed.push(id.0);
         }
     }
 
@@ -134,11 +179,17 @@ impl CircuitViews {
         self.po_refs.push(0);
         self.level.push(0);
         self.label.push(PathCount::ZERO);
+        self.idom.push(UNREACHABLE);
         self.dirty_flag.push(false);
+        self.dom_seed_flag.push(false);
         for (pin, f) in node.fanins().iter().enumerate() {
             self.fanout[f.index()].push((id, pin));
         }
         self.mark_dirty(id);
+        self.mark_dom_dirty(id);
+        for &f in node.fanins() {
+            self.mark_dom_dirty(f); // its consumer set grew
+        }
     }
 
     /// Patch-out for a node being popped by journal rollback (`id` is the
@@ -153,12 +204,18 @@ impl CircuitViews {
                 .expect("popped node's fanout edges present");
             list.remove(p);
         }
+        for &f in node.fanins() {
+            self.mark_dom_dirty(f); // its consumer set shrank
+        }
         self.fanout.pop();
         self.po_refs.pop();
         self.level.pop();
         self.label.pop();
+        self.idom.pop();
         self.dirty_flag.pop();
-        // `dirty` may retain the popped id; refresh range-checks and skips.
+        self.dom_seed_flag.pop();
+        // `dirty`/`dom_seed` may retain the popped id; refresh range-checks
+        // and skips.
     }
 
     /// Patch for a rewire (also used, with roles swapped, by rollback).
@@ -178,21 +235,38 @@ impl CircuitViews {
             list.insert(p, (id, pin));
         }
         self.mark_dirty(id);
+        // Only the former and current fanins saw their consumer sets
+        // change; `id`'s own successors are untouched by a rewire.
+        for &f in old_fanins.iter().chain(new_fanins) {
+            self.mark_dom_dirty(f);
+        }
     }
 
     /// Patch for a new primary-output reference.
     pub(crate) fn on_add_output(&mut self, id: NodeId) {
         self.po_refs[id.index()] += 1;
+        self.mark_dom_dirty(id); // gained a virtual-sink edge
     }
 
     /// Patch for a primary-output reference removed by rollback.
     pub(crate) fn on_pop_output(&mut self, id: NodeId) {
         self.po_refs[id.index()] -= 1;
+        self.mark_dom_dirty(id); // lost a virtual-sink edge
     }
 
-    /// Recomputes the lazy values of the downstream closure of every node
-    /// edited since the last refresh, in one batched topological pass.
+    /// Recomputes every lazy value affected by the edits since the last
+    /// refresh: levels/labels over the downstream closure of the edited
+    /// nodes, then dominators over the upstream closure of every node whose
+    /// successor set changed (dominator intersections key on fresh levels,
+    /// hence the order).
     pub(crate) fn refresh(&mut self, c: &Circuit) {
+        self.refresh_levels(c);
+        self.refresh_doms(c);
+    }
+
+    /// Level/label half of [`refresh`](Self::refresh): one batched
+    /// topological pass over the downstream closure of the dirty seeds.
+    fn refresh_levels(&mut self, c: &Circuit) {
         if self.dirty.is_empty() {
             return;
         }
@@ -249,6 +323,47 @@ impl CircuitViews {
         debug_assert_eq!(processed, members.len(), "dirty closure must be acyclic");
     }
 
+    /// Dominator half of [`refresh`](Self::refresh). A node's immediate
+    /// dominator depends only on the subgraph *reachable from it*, so an
+    /// edge change between `f` and its consumer can only disturb nodes that
+    /// reach `f` — the upstream fanin-cone closure of the seeds. The whole
+    /// closure is recomputed in strictly decreasing `(level, id)` order (a
+    /// reverse-topological order once levels are fresh), so every
+    /// intersection walks pointers that are already current.
+    fn refresh_doms(&mut self, c: &Circuit) {
+        if self.dom_seed.is_empty() {
+            return;
+        }
+        let n = c.len();
+        let mut in_closure = vec![false; n];
+        let mut members: Vec<u32> = Vec::new();
+        for i in std::mem::take(&mut self.dom_seed) {
+            let idx = i as usize;
+            // Stale seeds for since-popped nodes are skipped.
+            if idx < n {
+                self.dom_seed_flag[idx] = false;
+                if !in_closure[idx] {
+                    in_closure[idx] = true;
+                    members.push(i);
+                }
+            }
+        }
+        let mut stack = members.clone();
+        while let Some(x) = stack.pop() {
+            for f in c.node(NodeId(x)).fanins() {
+                if !in_closure[f.index()] {
+                    in_closure[f.index()] = true;
+                    stack.push(f.0);
+                    members.push(f.0);
+                }
+            }
+        }
+        members.sort_unstable_by_key(|&i| std::cmp::Reverse((self.level[i as usize], i)));
+        for &i in &members {
+            self.recompute_dom_node(i as usize);
+        }
+    }
+
     /// The consumers of `id` as `(consumer, pin)` pairs, sorted exactly as
     /// [`Circuit::fanout_table`] would list them. Primary-output references
     /// are not included. Always fresh.
@@ -274,10 +389,10 @@ impl CircuitViews {
         self.po_refs[id.index()]
     }
 
-    /// Whether the lazy values (levels, path labels) are fresh; made true
-    /// by [`Circuit::refresh_views`].
+    /// Whether the lazy values (levels, path labels, dominators) are fresh;
+    /// made true by [`Circuit::refresh_views`].
     pub fn is_clean(&self) -> bool {
-        self.dirty.is_empty()
+        self.dirty.is_empty() && self.dom_seed.is_empty()
     }
 
     /// Logic level of `id`, as [`Circuit::levels`] computes it. Requires
@@ -305,6 +420,19 @@ impl CircuitViews {
     pub fn path_labels(&self) -> Vec<u128> {
         debug_assert!(self.is_clean(), "labels read from stale views; call refresh_views()");
         self.label.iter().map(|l| l.value()).collect()
+    }
+
+    /// Immediate dominator of `id` over the fanout graph, matching
+    /// [`Circuit::immediate_dominators`]`[id]`: `Some(d)` when every path
+    /// from `id` to any primary output passes through gate `d`, `None` when
+    /// the paths diverge all the way to the outputs or `id` reaches no
+    /// output at all. Requires freshness.
+    pub fn idom(&self, id: NodeId) -> Option<NodeId> {
+        debug_assert!(self.is_clean(), "idom read from stale views; call refresh_views()");
+        match self.idom[id.index()] {
+            SINK | UNREACHABLE => None,
+            d => Some(NodeId(d)),
+        }
     }
 
     /// The paper's BFS order (nodes sorted by `(level, id)`), matching
@@ -371,11 +499,13 @@ mod tests {
         let counts = c.fanout_counts();
         let levels = c.levels().unwrap();
         let labels = c.path_labels_exact();
+        let idoms = c.immediate_dominators();
         for (id, _) in c.iter() {
             assert_eq!(v.fanout(id), table[id.index()].as_slice(), "fanout order at {id}");
             assert_eq!(v.fanout_count(id), counts[id.index()], "fanout count at {id}");
             assert_eq!(v.level(id), levels[id.index()], "level at {id}");
             assert_eq!(v.path_labels_exact()[id.index()], labels[id.index()], "label at {id}");
+            assert_eq!(v.idom(id), idoms[id.index()], "idom at {id}");
         }
         assert_eq!(v.bfs_order(), c.bfs_order().unwrap());
     }

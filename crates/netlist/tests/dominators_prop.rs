@@ -1,0 +1,187 @@
+//! Dominator property tests: the Cooper–Harvey–Kennedy pass
+//! (`Circuit::immediate_dominators`) and the incrementally maintained view
+//! (`CircuitViews::idom`) must both agree with a brute-force definition of
+//! domination — `d` dominates `n` iff deleting `d` disconnects `n` from
+//! every primary output — on random DAGs, including mid-edit, after journal
+//! rollback and after commit.
+
+use proptest::prelude::*;
+use sft_netlist::{Circuit, GateKind, NodeId};
+
+/// Brute-force immediate dominators straight from the definition. For each
+/// candidate `d`, one reverse-topological reachability pass with `d`
+/// deleted finds every node it dominates; the immediate dominator of `n`
+/// is its dominator closest to `n` (minimum topological position — proper
+/// dominators of a node form a chain).
+fn brute_force_idoms(c: &Circuit) -> Vec<Option<NodeId>> {
+    let n = c.len();
+    let order = c.topo_order().expect("acyclic");
+    let fanouts = c.fanout_table();
+    let mut po = vec![false; n];
+    for &o in c.outputs() {
+        po[o.index()] = true;
+    }
+    let reaches = |banned: Option<NodeId>| -> Vec<bool> {
+        let mut r = vec![false; n];
+        for &id in order.iter().rev() {
+            if Some(id) == banned {
+                continue;
+            }
+            r[id.index()] =
+                po[id.index()] || fanouts[id.index()].iter().any(|&(cns, _)| r[cns.index()]);
+        }
+        r
+    };
+    let base = reaches(None);
+    let mut pos = vec![0usize; n];
+    for (p, &id) in order.iter().enumerate() {
+        pos[id.index()] = p;
+    }
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    for d in (0..n).map(NodeId::from_index) {
+        let r = reaches(Some(d));
+        for x in (0..n).map(NodeId::from_index) {
+            if x != d && base[x.index()] && !r[x.index()] {
+                // d dominates x; keep the candidate nearest to x.
+                if idom[x.index()].is_none_or(|cur| pos[d.index()] < pos[cur.index()]) {
+                    idom[x.index()] = Some(d);
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// Asserts the CHK rebuild and (when views are enabled) the maintained view
+/// both equal the brute-force oracle.
+fn assert_idoms_match_brute_force(c: &mut Circuit) {
+    let oracle = brute_force_idoms(c);
+    let chk = c.immediate_dominators();
+    assert_eq!(chk, oracle, "CHK dominators diverged from brute force");
+    c.refresh_views();
+    if let Some(v) = c.views() {
+        for (i, want) in oracle.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            assert_eq!(v.idom(id), *want, "maintained idom diverged at n{i}");
+        }
+    }
+}
+
+/// Maps a selector to a multi-input gate kind.
+fn wide_kind(sel: usize) -> GateKind {
+    match sel % 6 {
+        0 => GateKind::And,
+        1 => GateKind::Or,
+        2 => GateKind::Nand,
+        3 => GateKind::Nor,
+        4 => GateKind::Xor,
+        _ => GateKind::Xnor,
+    }
+}
+
+/// Picks the `k`-th fanin id below `bound` out of a packed seed.
+fn pick(seed: u64, k: usize, bound: usize) -> NodeId {
+    NodeId::from_index(((seed >> (16 * (k % 4))) % bound as u64) as usize)
+}
+
+/// Deterministically builds a DAG from sampled raw material (same scheme as
+/// the journal property tests: fanins always draw from already-present
+/// nodes, so construction is acyclic).
+fn build_dag(n_inputs: usize, gates: &[(usize, usize, u64)], out_picks: &[u64]) -> Circuit {
+    let mut c = Circuit::new("domprop");
+    for i in 0..n_inputs {
+        c.add_input(format!("i{i}"));
+    }
+    for &(kind_sel, arity, seed) in gates {
+        let len = c.len();
+        if kind_sel % 8 >= 6 {
+            let unary = if kind_sel % 2 == 0 { GateKind::Buf } else { GateKind::Not };
+            c.add_gate(unary, vec![pick(seed, 0, len)])
+        } else {
+            let fanins = (0..arity).map(|k| pick(seed, k, len)).collect();
+            c.add_gate(wide_kind(kind_sel), fanins)
+        }
+        .expect("append-only construction cannot cycle");
+    }
+    for (k, &p) in out_picks.iter().enumerate() {
+        c.add_output(NodeId::from_index((p % c.len() as u64) as usize), format!("o{k}"));
+    }
+    c
+}
+
+/// Applies a sampled edit sequence (appends, rewires to smaller ids, output
+/// registrations) — the mutation kinds that disturb the fanout graph.
+fn apply_edits(c: &mut Circuit, ops: &[(usize, u64, u64)]) {
+    for (i, &(sel, a, b)) in ops.iter().enumerate() {
+        let len = c.len();
+        match sel % 6 {
+            0 => {
+                c.add_input(format!("pi{i}"));
+            }
+            1 => {
+                let arity = 1 + (a % 3) as usize;
+                let fanins = (0..arity).map(|k| pick(b, k, len)).collect();
+                c.add_gate(wide_kind(a as usize), fanins).expect("appended fanins exist");
+            }
+            2 => {
+                c.add_output(NodeId::from_index((a % len as u64) as usize), format!("po{i}"));
+            }
+            _ => {
+                let t = (a % len as u64) as usize;
+                let target = NodeId::from_index(t);
+                if c.node(target).kind() == GateKind::Input {
+                    continue;
+                }
+                if t == 0 || b % 5 == 0 {
+                    let kind = if b % 2 == 0 { GateKind::Const0 } else { GateKind::Const1 };
+                    c.rewire(target, kind, Vec::new()).expect("constants never cycle");
+                } else {
+                    let arity = 1 + (b % 3) as usize;
+                    let fanins = (0..arity).map(|k| pick(b, k, t)).collect();
+                    c.rewire(target, wide_kind(b as usize), fanins)
+                        .expect("strictly-smaller fanin ids cannot cycle");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On a freshly built random DAG, CHK and the maintained view agree
+    /// with the delete-a-node brute force.
+    #[test]
+    fn dominators_match_brute_force_on_random_dags(
+        n_inputs in 1usize..5,
+        gates in proptest::collection::vec((0usize..8, 1usize..4, any::<u64>()), 1..30),
+        out_picks in proptest::collection::vec(any::<u64>(), 1..5),
+    ) {
+        let mut c = build_dag(n_inputs, &gates, &out_picks);
+        c.enable_views();
+        assert_idoms_match_brute_force(&mut c);
+    }
+
+    /// Through a journaled edit transaction — mid-edit, after rollback and
+    /// after a committed replay — the incrementally patched dominator view
+    /// keeps matching the brute force on the *current* structure.
+    #[test]
+    fn dominator_view_tracks_journaled_edits_and_rollback(
+        n_inputs in 1usize..5,
+        gates in proptest::collection::vec((0usize..8, 1usize..4, any::<u64>()), 1..20),
+        out_picks in proptest::collection::vec(any::<u64>(), 1..4),
+        ops in proptest::collection::vec((0usize..6, any::<u64>(), any::<u64>()), 1..25),
+    ) {
+        let mut c = build_dag(n_inputs, &gates, &out_picks);
+        c.enable_views();
+        let cp = c.begin_edit();
+        apply_edits(&mut c, &ops);
+        assert_idoms_match_brute_force(&mut c);
+        c.rollback_to(cp);
+        assert_idoms_match_brute_force(&mut c);
+        let cp = c.begin_edit();
+        apply_edits(&mut c, &ops);
+        c.commit(cp);
+        assert_idoms_match_brute_force(&mut c);
+    }
+}

@@ -120,6 +120,10 @@ fn assert_views_match_rebuild(c: &mut Circuit) {
         assert_eq!(v.po_refs(id), po, "po refs diverged at n{i}");
         assert_eq!(v.drives_output(id), po > 0);
     }
+    let idoms = c.immediate_dominators();
+    for (i, want) in idoms.iter().enumerate() {
+        assert_eq!(v.idom(NodeId::from_index(i)), *want, "idom diverged at n{i}");
+    }
     assert_eq!(v.levels(), &c.levels().expect("acyclic")[..], "levels diverged");
     assert_eq!(v.path_labels_exact(), &c.path_labels_exact()[..], "path labels diverged");
     assert_eq!(v.bfs_order(), c.bfs_order().expect("acyclic"), "bfs order diverged");

@@ -23,6 +23,7 @@
 //! indices, effective-pattern statistics and plateau stops are bit-identical
 //! at every width, which the tests pin.
 
+use crate::ctrace::SimEngine;
 use crate::fsim::{FaultSimTables, WideFaultSim};
 use crate::word::{SimWord, W256, W512};
 use crate::Fault;
@@ -72,6 +73,12 @@ pub struct CampaignConfig {
     pub parallel_grain: u64,
     /// Simulation word width. Results are bit-identical at any value.
     pub width: SimWidth,
+    /// Detection engine. Results are bit-identical at any value; `Ctrace`
+    /// (the default) derives FFR-internal detections from one backward
+    /// sensitization sweep per stem and gates stem observability at
+    /// immediate dominators, `Wide` keeps the explicit per-fault
+    /// propagation of PR 6 as an escape hatch.
+    pub engine: SimEngine,
 }
 
 impl Default for CampaignConfig {
@@ -83,6 +90,7 @@ impl Default for CampaignConfig {
             jobs: Jobs::serial(),
             parallel_grain: 2_000_000,
             width: SimWidth::default(),
+            engine: SimEngine::default(),
         }
     }
 }
@@ -153,23 +161,26 @@ pub fn pattern_block(seed: u64, block: u64, num_inputs: usize) -> Vec<u64> {
 }
 
 /// Simulates up to `W::LANES` consecutive blocks in one wide sweep and
-/// splits the detection masks back into one `Vec<u64>` per 64-pattern block
-/// (outer index follows `block_ids`). Unused lanes are zero-filled and never
-/// read back, so a partial stride is still exact.
+/// returns one wide detection mask per fault; lane `l` of a mask is the
+/// 64-pattern mask of block `block_ids[l]`. Unused lanes are zero-filled
+/// and never read back, so a partial stride is still exact. The masks stay
+/// in wide form — the merge loop extracts lanes on the fly instead of
+/// materializing a per-block `Vec<u64>` split (which would cost an extra
+/// multi-megabyte allocation and a full pass per stride on scale fault
+/// lists, paid identically by every engine).
 fn detect_stride<W: SimWord>(
     fsim: &mut WideFaultSim<W>,
     faults: &[Fault],
     seed: u64,
     block_ids: &[u64],
     num_inputs: usize,
-) -> Vec<Vec<u64>> {
+) -> Vec<W> {
     debug_assert!(!block_ids.is_empty() && block_ids.len() <= W::LANES);
     let lanes: Vec<Vec<u64>> =
         block_ids.iter().map(|&b| pattern_block(seed, b, num_inputs)).collect();
     let inputs: Vec<W> =
         (0..num_inputs).map(|i| W::from_lanes(|l| lanes.get(l).map_or(0, |v| v[i]))).collect();
-    let wide = fsim.detect_masks(faults, &inputs);
-    (0..block_ids.len()).map(|l| wide.iter().map(|w| w.lane(l)).collect()).collect()
+    fsim.detect_masks(faults, &inputs)
 }
 
 /// Runs a random-pattern stuck-at campaign over `faults` on `circuit`.
@@ -253,36 +264,38 @@ fn campaign_wide<W: SimWord>(
         let stride_cost =
             (alive.len() as u64).saturating_mul(circuit.len() as u64).saturating_mul(chunk.max(1));
         let workers = config.jobs.get().min(alive_faults.len());
-        let masks_per_block: Vec<Vec<u64>> = if config.jobs.is_serial()
-            || workers <= 1
-            || stride_cost <= config.parallel_grain
-        {
-            let fsim =
-                inline_fsim.get_or_insert_with(|| WideFaultSim::with_tables(Arc::clone(&tables)));
-            detect_stride(fsim, &alive_faults, config.seed, &ids, num_inputs)
-        } else {
-            while worker_fsims.len() < workers {
-                worker_fsims.push(Mutex::new(WideFaultSim::with_tables(Arc::clone(&tables))));
-            }
-            let per = alive_faults.len().div_ceil(workers);
-            let slices: Vec<&[Fault]> = alive_faults.chunks(per).collect();
-            let per_slice: Vec<Vec<Vec<u64>>> = parallel_map(config.jobs, &slices, |si, slice| {
-                let mut fsim = worker_fsims[si].lock().expect("worker simulators never panic");
-                detect_stride(&mut fsim, slice, config.seed, &ids, num_inputs)
-            });
-            (0..ids.len())
-                .map(|b| per_slice.iter().flat_map(|s| s[b].iter().copied()).collect())
-                .collect()
-        };
-        // Merge strictly in block order. Faults detected by an earlier
-        // block of this stride are skipped in later blocks (their slot in
-        // `detection` is already set), reproducing the serial drop order.
-        for (&(_, offset, size), masks) in blocks.iter().zip(&masks_per_block) {
-            for (slot, &mask) in masks.iter().enumerate() {
+        let masks: Vec<W> =
+            if config.jobs.is_serial() || workers <= 1 || stride_cost <= config.parallel_grain {
+                let fsim = inline_fsim.get_or_insert_with(|| {
+                    WideFaultSim::with_tables(Arc::clone(&tables)).with_engine(config.engine)
+                });
+                detect_stride(fsim, &alive_faults, config.seed, &ids, num_inputs)
+            } else {
+                while worker_fsims.len() < workers {
+                    worker_fsims.push(Mutex::new(
+                        WideFaultSim::with_tables(Arc::clone(&tables)).with_engine(config.engine),
+                    ));
+                }
+                let per = alive_faults.len().div_ceil(workers);
+                let slices: Vec<&[Fault]> = alive_faults.chunks(per).collect();
+                let per_slice: Vec<Vec<W>> = parallel_map(config.jobs, &slices, |si, slice| {
+                    let mut fsim = worker_fsims[si].lock().expect("worker simulators never panic");
+                    detect_stride(&mut fsim, slice, config.seed, &ids, num_inputs)
+                });
+                // Contiguous slices concatenate back in fault order.
+                per_slice.into_iter().flatten().collect()
+            };
+        // Merge strictly in block (lane) order. Faults detected by an
+        // earlier block of this stride are skipped in later blocks (their
+        // slot in `detection` is already set), reproducing the serial drop
+        // order.
+        for (l, &(_, offset, size)) in blocks.iter().enumerate() {
+            for (slot, wide) in masks.iter().enumerate() {
                 let fault_idx = alive[slot] as usize;
                 if detection[fault_idx].is_some() {
                     continue;
                 }
+                let mask = wide.lane(l);
                 let mask = if size < 64 { mask & ((1u64 << size) - 1) } else { mask };
                 if mask != 0 {
                     let pattern = offset.saturating_add(u64::from(mask.trailing_zeros()));
@@ -305,16 +318,18 @@ fn campaign_wide<W: SimWord>(
                 break;
             }
         }
-        let mut keep_idx = Vec::with_capacity(alive.len());
-        let mut keep_faults = Vec::with_capacity(alive.len());
-        for (slot, &fault_idx) in alive.iter().enumerate() {
+        // Compact the alive lists in place — no per-stride reallocation.
+        let mut kept = 0;
+        for slot in 0..alive.len() {
+            let fault_idx = alive[slot];
             if detection[fault_idx as usize].is_none() {
-                keep_idx.push(fault_idx);
-                keep_faults.push(alive_faults[slot]);
+                alive[kept] = fault_idx;
+                alive_faults[kept] = alive_faults[slot];
+                kept += 1;
             }
         }
-        alive = keep_idx;
-        alive_faults = keep_faults;
+        alive.truncate(kept);
+        alive_faults.truncate(kept);
     }
 
     let detected = detection.iter().filter(|d| d.is_some()).count();
@@ -550,6 +565,7 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
                         jobs: Jobs::new(4),
                         parallel_grain: 0,
                         width,
+                        ..CampaignConfig::default()
                     },
                 );
                 assert_eq!(serial, par, "max_patterns={max} width={width:?}");

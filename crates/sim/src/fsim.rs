@@ -32,6 +32,7 @@
 //! [`W512`](crate::W512) sweep 4/8 blocks at once with bit-identical
 //! per-pattern results.
 
+use crate::ctrace::SimEngine;
 use crate::soa::{eval_gate, SoaCircuit, NONE};
 use crate::word::SimWord;
 use crate::{Fault, FaultSite};
@@ -80,31 +81,67 @@ impl FaultSimTables {
 #[derive(Debug)]
 pub struct WideFaultSim<W: SimWord> {
     tables: Arc<FaultSimTables>,
+    /// Which detection algorithm [`detect_masks`](Self::detect_masks) runs;
+    /// both are bit-exact, so this is purely a performance dial.
+    pub(crate) engine: SimEngine,
     /// Scratch: good values for the current block.
-    good: Vec<W>,
+    pub(crate) good: Vec<W>,
     /// Scratch: faulty values during stem-flip propagation.
-    faulty: Vec<W>,
+    pub(crate) faulty: Vec<W>,
     /// Scratch: which nodes currently deviate from the good machine.
-    deviated: Vec<bool>,
+    pub(crate) deviated: Vec<bool>,
     /// Scratch: nodes to un-deviate after each propagation.
-    dirty: Vec<u32>,
+    pub(crate) dirty: Vec<u32>,
     /// Event queue ordered by topological position.
-    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    pub(crate) heap: BinaryHeap<Reverse<(u32, u32)>>,
     /// Per-root observability masks for the current block (epoch-stamped).
-    obs: Vec<W>,
-    obs_epoch: Vec<u64>,
-    epoch: u64,
+    pub(crate) obs: Vec<W>,
+    pub(crate) obs_epoch: Vec<u64>,
+    pub(crate) epoch: u64,
     /// Scratch: live faults per FFR root for the current call.
-    root_share: Vec<u32>,
+    pub(crate) root_share: Vec<u32>,
     /// Scratch: roots with a nonzero `root_share`, for cheap reset.
-    shared_roots: Vec<u32>,
+    pub(crate) shared_roots: Vec<u32>,
+    /// Scratch: per-node FFR sensitization masks (ctrace engine),
+    /// valid for nodes whose root carries the current epoch stamp.
+    pub(crate) sens: Vec<W>,
+    /// Per-FFR-root epoch stamps for `sens`.
+    pub(crate) sens_epoch: Vec<u64>,
+    /// Scratch: the uncached suffix of a dominator chain being resolved.
+    pub(crate) chain: Vec<u32>,
+    /// Scratch (ctrace): `(root, node)` excitations deferred at FFR entry
+    /// points during the current propagation.
+    pub(crate) entries: Vec<(u32, u32)>,
+    /// Scratch (ctrace): whether a root's resolve event is queued.
+    pub(crate) ffr_pending: Vec<bool>,
+    /// Scratch (ctrace): whether a node is already recorded in `entries`
+    /// for the current propagation.
+    pub(crate) entered: Vec<bool>,
+    /// Scratch (ctrace): whether a plain event for a node is already in the
+    /// heap. Converging fanins would otherwise queue the node once per
+    /// exciting fanin; deduplicating at push time halves the heap traffic.
+    pub(crate) queued: Vec<bool>,
+    /// Scratch (ctrace): per-level excitation buckets. Nodes at one level
+    /// never depend on each other, so a level sweep replaces the priority
+    /// queue's `O(log n)` push/pop with vector appends.
+    pub(crate) buckets: Vec<Vec<u32>>,
+    /// Scratch (ctrace): per-level region-resolve buckets, processed after
+    /// the same level's excitations (the fold-before-resolve tie-break).
+    pub(crate) rbuckets: Vec<Vec<u32>>,
+    /// Scratch (ctrace): the nonempty levels, in ascending order.
+    pub(crate) lheap: BinaryHeap<Reverse<u32>>,
+    /// Scratch (ctrace): whether a level is already queued in `lheap`.
+    pub(crate) ldirty: Vec<bool>,
+    /// Scratch (ctrace): the in-region event queue of a multi-touch
+    /// resolution.
+    pub(crate) rheap: BinaryHeap<Reverse<(u32, u32)>>,
 }
 
 /// Minimum number of live faults on one FFR root before the cached
 /// full-flip observability beats per-fault deviation propagation. Below
 /// this, surviving faults are usually hard ones whose deviations die within
 /// a few gates, while a full flip sweeps the whole downstream cone.
-const OBS_SHARE_MIN: u32 = 6;
+pub(crate) const OBS_SHARE_MIN: u32 = 6;
 
 impl<W: SimWord> WideFaultSim<W> {
     /// Prepares a fault simulator for `circuit`.
@@ -120,6 +157,7 @@ impl<W: SimWord> WideFaultSim<W> {
     pub fn with_tables(tables: Arc<FaultSimTables>) -> Self {
         WideFaultSim {
             tables,
+            engine: SimEngine::default(),
             good: Vec::new(),
             faulty: Vec::new(),
             deviated: Vec::new(),
@@ -130,7 +168,36 @@ impl<W: SimWord> WideFaultSim<W> {
             epoch: 0,
             root_share: Vec::new(),
             shared_roots: Vec::new(),
+            sens: Vec::new(),
+            sens_epoch: Vec::new(),
+            chain: Vec::new(),
+            entries: Vec::new(),
+            ffr_pending: Vec::new(),
+            entered: Vec::new(),
+            queued: Vec::new(),
+            buckets: Vec::new(),
+            rbuckets: Vec::new(),
+            lheap: BinaryHeap::new(),
+            ldirty: Vec::new(),
+            rheap: BinaryHeap::new(),
         }
+    }
+
+    /// Selects the detection engine (builder style). Both engines return
+    /// bit-identical masks; see [`SimEngine`].
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the detection engine in place.
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.engine = engine;
+    }
+
+    /// The engine currently selected.
+    pub fn engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// The shared propagation tables.
@@ -138,19 +205,22 @@ impl<W: SimWord> WideFaultSim<W> {
         &self.tables
     }
 
-    /// Simulates one block of `64 * W::LANES` patterns and returns, for each
-    /// fault, the word whose set bits are the patterns that detect it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `input_words.len()` differs from the number of inputs.
-    pub fn detect_masks(&mut self, faults: &[Fault], input_words: &[W]) -> Vec<W> {
-        let tables = Arc::clone(&self.tables);
-        let soa = &tables.soa;
+    /// Per-block prologue shared by both engines: good-machine evaluation,
+    /// scratch sizing, epoch bump, and the live-fault share count per FFR
+    /// root (the cached observability is only worth computing for roots
+    /// where the cost is shared widely — see `OBS_SHARE_MIN`).
+    pub(crate) fn begin_block(&mut self, soa: &SoaCircuit, faults: &[Fault], input_words: &[W]) {
         soa.eval_into(input_words, &mut self.good);
         let n = soa.len();
+        // `faulty` starts as a copy of the good values (same O(n) fill the
+        // old zero-init paid): the ctrace engine reads `faulty` directly as
+        // "the current value" — branchless, one load per pin — and every
+        // propagation restores its dirty entries, keeping the invariant
+        // `faulty[x] == good[x]` for non-deviated `x`. The wide engine
+        // gates reads on `deviated` and never reads an undeviated `faulty`
+        // slot, so the init value is indifferent to it.
         self.faulty.clear();
-        self.faulty.resize(n, W::ZERO);
+        self.faulty.extend_from_slice(&self.good);
         self.deviated.clear();
         self.deviated.resize(n, false);
         if self.obs.len() != n {
@@ -158,12 +228,18 @@ impl<W: SimWord> WideFaultSim<W> {
             self.obs_epoch = vec![0; n];
             self.epoch = 0;
             self.root_share = vec![0; n];
+            self.sens = vec![W::ZERO; n];
+            self.sens_epoch = vec![0; n];
+            self.ffr_pending = vec![false; n];
+            self.entered = vec![false; n];
+            self.queued = vec![false; n];
+            let levels = soa.num_levels as usize;
+            self.buckets = (0..levels).map(|_| Vec::new()).collect();
+            self.rbuckets = (0..levels).map(|_| Vec::new()).collect();
+            self.ldirty = vec![false; levels];
         }
         self.epoch += 1;
 
-        // How many live faults funnel into each FFR root: the cached
-        // full-flip observability is only worth computing for roots where
-        // the cost is shared widely (see `OBS_SHARE_MIN`).
         for fault in faults {
             let site = match fault.site {
                 FaultSite::Stem(s) => s.index(),
@@ -175,29 +251,66 @@ impl<W: SimWord> WideFaultSim<W> {
             }
             self.root_share[r] += 1;
         }
+    }
 
+    /// Per-block epilogue shared by both engines.
+    pub(crate) fn end_block(&mut self) {
+        for r in self.shared_roots.drain(..) {
+            self.root_share[r as usize] = 0;
+        }
+    }
+
+    /// The local deviation a fault causes at the output of its own site
+    /// gate, before any propagation.
+    #[inline]
+    pub(crate) fn site_deviation(&self, soa: &SoaCircuit, fault: &Fault) -> (u32, W) {
+        let forced = if fault.stuck { W::ONES } else { W::ZERO };
+        match fault.site {
+            FaultSite::Stem(s) => {
+                let i = s.index();
+                (i as u32, forced.xor(self.good[i]))
+            }
+            FaultSite::Branch { gate, pin } => {
+                // Recompute the gate with the pin forced.
+                let g = gate.index();
+                let out = eval_gate(soa.kinds[g], soa.fanin_slice(g), |p, f| {
+                    if p == pin as usize {
+                        forced
+                    } else {
+                        self.good[f as usize]
+                    }
+                });
+                (g as u32, out.xor(self.good[g]))
+            }
+        }
+    }
+
+    /// Simulates one block of `64 * W::LANES` patterns and returns, for each
+    /// fault, the word whose set bits are the patterns that detect it.
+    ///
+    /// Dispatches on the configured [`SimEngine`]; the two engines return
+    /// bit-identical masks (pinned by the tests), differing only in cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn detect_masks(&mut self, faults: &[Fault], input_words: &[W]) -> Vec<W> {
+        match self.engine {
+            SimEngine::Wide => self.detect_masks_wide(faults, input_words),
+            SimEngine::Ctrace => self.detect_masks_ctrace(faults, input_words),
+        }
+    }
+
+    /// The PR 6 algorithm: per-fault FFR walk, then full-flip or
+    /// actual-deviation propagation per root.
+    fn detect_masks_wide(&mut self, faults: &[Fault], input_words: &[W]) -> Vec<W> {
+        let tables = Arc::clone(&self.tables);
+        let soa = &tables.soa;
+        self.begin_block(soa, faults, input_words);
         let mut results = Vec::with_capacity(faults.len());
         for fault in faults {
-            let forced = if fault.stuck { W::ONES } else { W::ZERO };
             // Phase 1: the deviation the fault causes at its own site.
-            let (mut node, mut dev) = match fault.site {
-                FaultSite::Stem(s) => {
-                    let i = s.index();
-                    (i as u32, forced.xor(self.good[i]))
-                }
-                FaultSite::Branch { gate, pin } => {
-                    // Recompute the gate with the pin forced.
-                    let g = gate.index();
-                    let out = eval_gate(soa.kinds[g], soa.fanin_slice(g), |p, f| {
-                        if p == pin as usize {
-                            forced
-                        } else {
-                            self.good[f as usize]
-                        }
-                    });
-                    (g as u32, out.xor(self.good[g]))
-                }
-            };
+            let (mut node, mut dev) = self.site_deviation(soa, fault);
             // Walk the deviation up the fanout-free chain to the root.
             while !dev.is_zero() {
                 let head = soa.ffr_head[node as usize];
@@ -236,16 +349,14 @@ impl<W: SimWord> WideFaultSim<W> {
             };
             results.push(detected);
         }
-        for r in self.shared_roots.drain(..) {
-            self.root_share[r as usize] = 0;
-        }
+        self.end_block();
         results
     }
 
     /// The per-pattern mask of outputs observing a flip of `root`, computed
     /// by one event-driven propagation of the full flip and cached for the
     /// current block.
-    fn stem_obs(&mut self, soa: &SoaCircuit, root: u32) -> W {
+    pub(crate) fn stem_obs(&mut self, soa: &SoaCircuit, root: u32) -> W {
         let r = root as usize;
         if self.obs_epoch[r] == self.epoch {
             return self.obs[r];
@@ -260,7 +371,7 @@ impl<W: SimWord> WideFaultSim<W> {
     /// cone and returns the per-pattern mask of outputs that change — the
     /// exact detection mask of any fault producing `dev` at `root`. With
     /// `dev = ONES` this is the root's full-flip observability.
-    fn propagate_deviation(&mut self, soa: &SoaCircuit, root: u32, dev: W) -> W {
+    pub(crate) fn propagate_deviation(&mut self, soa: &SoaCircuit, root: u32, dev: W) -> W {
         let r = root as usize;
         let mut detected = W::ZERO;
         self.faulty[r] = self.good[r].xor(dev);
@@ -350,6 +461,18 @@ impl<'c> FaultSim<'c> {
     pub fn with_tables(circuit: &'c Circuit, tables: Arc<FaultSimTables>) -> Self {
         assert_eq!(tables.soa.len(), circuit.len(), "tables were built from a different circuit");
         FaultSim { inner: WideFaultSim::with_tables(tables), _circuit: PhantomData }
+    }
+
+    /// Selects the detection engine (builder style); both engines return
+    /// bit-identical results — see [`SimEngine`].
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.inner.set_engine(engine);
+        self
+    }
+
+    /// Selects the detection engine in place.
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.inner.set_engine(engine);
     }
 
     /// Simulates one 64-pattern block and reports, for each fault, the

@@ -11,7 +11,11 @@
 //!   propagation restricted to the fault's fanout cone, with fanout-free
 //!   regions grouped so faults sharing a stem share one cone propagation
 //!   ([`FaultSimTables`] holds the read-only [`SoaCircuit`] precomputation
-//!   so concurrent simulators share one copy);
+//!   so concurrent simulators share one copy). Two bit-identical engines
+//!   ([`SimEngine`]): the default critical-path-tracing engine derives all
+//!   FFR-internal detections from one backward sensitization sweep per
+//!   stem and gates stem observability at immediate dominators, while
+//!   `wide` keeps the explicit per-fault propagation as an escape hatch;
 //! - [`SimWord`] — the simulation word abstraction: `u64` (64 patterns per
 //!   sweep) or the auto-vectorizable wide blocks [`W256`]/[`W512`];
 //! - [`campaign`] — the random-pattern testability experiment driver used by
@@ -38,6 +42,7 @@
 //! ```
 
 mod campaign;
+mod ctrace;
 mod fault;
 mod fsim;
 mod logic;
@@ -46,6 +51,7 @@ mod soa;
 mod word;
 
 pub use campaign::{campaign, pattern_block, CampaignConfig, CampaignResult, SimWidth};
+pub use ctrace::SimEngine;
 pub use fault::{collapse, fault_list, Fault, FaultSite};
 pub use fsim::{FaultSim, FaultSimTables, WideFaultSim};
 pub use logic::Simulator;

@@ -11,7 +11,7 @@
 //! starts.
 
 use crate::word::SimWord;
-use sft_netlist::{Circuit, GateKind};
+use sft_netlist::{dominators, Circuit, GateKind};
 
 /// Sentinel for "no node" in the flat `u32` tables.
 pub(crate) const NONE: u32 = u32::MAX;
@@ -43,6 +43,8 @@ pub enum PackedKind {
     /// Complemented parity.
     Xnor,
 }
+
+impl PackedKind {}
 
 impl From<GateKind> for PackedKind {
     fn from(kind: GateKind) -> Self {
@@ -141,6 +143,13 @@ pub struct SoaCircuit {
     pub(crate) order: Vec<u32>,
     /// Position of each node in `order`.
     pub(crate) topo_pos: Vec<u32>,
+    /// Logic level of each node: 0 for sources, `1 + max(fanin levels)` for
+    /// gates. Nodes at the same level never depend on each other, which is
+    /// what lets the ctrace engine process events level by level instead of
+    /// through a priority queue.
+    pub(crate) level: Vec<u32>,
+    /// `max(level) + 1` — the number of level buckets an event queue needs.
+    pub(crate) num_levels: u32,
     /// Position of each primary input in the input vector ([`NONE`] if the
     /// node is not an input).
     pub(crate) input_pos: Vec<u32>,
@@ -158,6 +167,21 @@ pub struct SoaCircuit {
     pub(crate) ffr_head: Vec<u32>,
     /// The fanout-free-region root reached by following `ffr_head`.
     pub(crate) ffr_root: Vec<u32>,
+    /// `ffr_members[ffr_off[r]..ffr_off[r + 1]]` are the nodes whose
+    /// `ffr_root` is `r` (the root itself first, then interiors in
+    /// decreasing topological position, so every node appears after its
+    /// head). Non-root nodes own empty ranges.
+    pub(crate) ffr_off: Vec<u32>,
+    /// Whether the ctrace engine defers excitations of this node to its
+    /// region's resolution (interior of a large-enough region).
+    pub(crate) ffr_defer: Vec<bool>,
+    /// Flat FFR membership slab (node ids).
+    pub(crate) ffr_members: Vec<u32>,
+    /// Immediate dominator of each node over the fanout graph
+    /// ([`Circuit::immediate_dominators`]), or [`NONE`] when the node has
+    /// no proper gate dominator — its paths diverge all the way to the
+    /// outputs, or it reaches no output at all.
+    pub(crate) idom: Vec<u32>,
 }
 
 impl SoaCircuit {
@@ -189,6 +213,16 @@ impl SoaCircuit {
             order.push(id.index() as u32);
             topo_pos[id.index()] = pos as u32;
         }
+
+        let mut level = vec![0u32; n];
+        for &id in &order {
+            let i = id as usize;
+            let (a, b) = (fanin_off[i] as usize, fanin_off[i + 1] as usize);
+            for &f in &fanins[a..b] {
+                level[i] = level[i].max(level[f as usize] + 1);
+            }
+        }
+        let num_levels = level.iter().max().map_or(1, |&m| m + 1);
 
         let mut input_pos = vec![NONE; n];
         for (i, &id) in circuit.inputs().iter().enumerate() {
@@ -257,12 +291,79 @@ impl SoaCircuit {
             ffr_root[i] = if h == NONE { id } else { ffr_root[h as usize] };
         }
 
+        // FFR membership lists, grouped by root. Filling in reverse
+        // topological order puts the root first and every interior node
+        // after its head — exactly the order a backward sensitization
+        // sweep needs.
+        let mut ffr_count = vec![0u32; n];
+        for i in 0..n {
+            ffr_count[ffr_root[i] as usize] += 1;
+        }
+        let mut ffr_off = Vec::with_capacity(n + 1);
+        ffr_off.push(0u32);
+        for &c in &ffr_count {
+            ffr_off.push(ffr_off.last().unwrap() + c);
+        }
+        let mut member_cursor: Vec<u32> = ffr_off[..n].to_vec();
+        let mut ffr_members = vec![0u32; n];
+        for &id in order.iter().rev() {
+            let r = ffr_root[id as usize] as usize;
+            ffr_members[member_cursor[r] as usize] = id;
+            member_cursor[r] += 1;
+        }
+
+        // Deferral eligibility: the ctrace engine hands deviations entering
+        // a fanout-free region to a per-region resolution instead of
+        // walking the chain gate by gate — a win only when the region is
+        // deep enough to amortise the resolution bookkeeping. Small
+        // regions evaluate inline like any other node.
+        let ffr_defer: Vec<bool> = (0..n)
+            .map(|i| {
+                if ffr_head[i] == NONE {
+                    return false;
+                }
+                let r = ffr_root[i] as usize;
+                ffr_off[r + 1] - ffr_off[r] >= crate::ctrace::DEFER_MIN_REGION
+            })
+            .collect();
+
+        // Immediate dominators over the fanout graph: the funnel point of
+        // every node's fault effects, used by the critical-path-tracing
+        // engine to gate stem observability regionally. One reverse
+        // topological Cooper-Harvey-Kennedy pass over the deduplicated
+        // fanout slab already in hand — re-deriving the graph through
+        // `Circuit::immediate_dominators` would cost a second topological
+        // sort plus a per-node fanout allocation, a measurable slice of
+        // campaign setup on 100K-gate circuits.
+        let mut idom = vec![dominators::UNREACHABLE; n];
+        let mut key = |x: u32| (topo_pos[x as usize], 0);
+        for &id in order.iter().rev() {
+            let i = id as usize;
+            let (a, b) = (fanout_off[i] as usize, fanout_off[i + 1] as usize);
+            let d = dominators::recompute_idom(
+                fanouts[a..b].iter().copied(),
+                po_refs[i] > 0,
+                &idom,
+                &mut key,
+            );
+            idom[i] = d;
+        }
+        // Both sentinels (virtual sink, unreachable) mean "no proper gate
+        // dominator" to the engine.
+        for d in &mut idom {
+            if *d == dominators::SINK || *d == dominators::UNREACHABLE {
+                *d = NONE;
+            }
+        }
+
         SoaCircuit {
             kinds,
             fanin_off,
             fanins,
             order,
             topo_pos,
+            level,
+            num_levels,
             input_pos,
             num_inputs: circuit.inputs().len(),
             output_mask,
@@ -270,6 +371,10 @@ impl SoaCircuit {
             fanouts,
             ffr_head,
             ffr_root,
+            ffr_off,
+            ffr_members,
+            ffr_defer,
+            idom,
         }
     }
 
@@ -293,6 +398,23 @@ impl SoaCircuit {
     /// bounds how many cone propagations a pattern block can cost.
     pub fn ffr_root(&self, node: usize) -> usize {
         self.ffr_root[node] as usize
+    }
+
+    /// Whether `node` is interior to a fanout-free region — its detection
+    /// is resolved by the critical-path-tracing backward sweep instead of
+    /// its own forward propagation.
+    pub fn ffr_interior(&self, node: usize) -> bool {
+        self.ffr_head[node] != NONE
+    }
+
+    /// The immediate dominator of `node` over the fanout graph, if a
+    /// proper gate dominator exists (see
+    /// [`Circuit::immediate_dominators`]).
+    pub fn idom(&self, node: usize) -> Option<usize> {
+        match self.idom[node] {
+            NONE => None,
+            d => Some(d as usize),
+        }
     }
 
     /// Node `n`'s fanins as a flat slice.

@@ -1,0 +1,50 @@
+//! Manual timing probe for the engine comparison (not part of CI):
+//!
+//! ```text
+//! cargo test -p sft-sim --release --test engine_perf_probe -- --ignored --nocapture
+//! ```
+//!
+//! Prints the single-thread campaign wall time of both engines on the
+//! stitched scale circuits and asserts the results are bit-identical. The
+//! gated version of this measurement lives in `benches/perf.rs`
+//! (`speedup_ctrace_vs_wide_1t`).
+
+use sft_circuits::random::RandomCircuitConfig;
+use sft_sim::{campaign, fault_list, CampaignConfig, SimEngine};
+use std::time::Instant;
+
+fn compare(copies: usize) {
+    let core = RandomCircuitConfig { inputs: 32, outputs: 16, gates: 260, window: 56, seed: 0xB1 };
+    let c = sft_circuits::gen::stitched(copies, &core);
+    let faults = fault_list(&c);
+    eprintln!("stitch{copies}: gates={} faults={}", c.two_input_gate_count(), faults.len());
+    let mut reference = None;
+    for engine in [SimEngine::Wide, SimEngine::Ctrace] {
+        let cfg = CampaignConfig {
+            max_patterns: 1024,
+            plateau: 0,
+            seed: 0x5ca1e,
+            engine,
+            ..CampaignConfig::default()
+        };
+        let start = Instant::now();
+        let r = campaign(&c, &faults, &cfg);
+        eprintln!("  {engine}: {:.3}s coverage={:.4}", start.elapsed().as_secs_f64(), r.coverage());
+        match &reference {
+            None => reference = Some(r),
+            Some(reference) => assert_eq!(reference, &r),
+        }
+    }
+}
+
+#[test]
+#[ignore = "manual timing probe"]
+fn stitched120_engine_comparison() {
+    compare(120);
+}
+
+#[test]
+#[ignore = "manual timing probe"]
+fn stitched420_engine_comparison() {
+    compare(420);
+}

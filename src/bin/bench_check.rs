@@ -13,7 +13,8 @@
 //!   `edits`, `nodes`, `restored` for the edit-throughput bench;
 //!   `done`, `failed`, `shed` for the daemon saturation bench;
 //!   `gates`, `faults`, `detected`, `coverage` for the fault-simulation
-//!   and scale benches) differs for that circuit. Decisions must be independent of timing, caching,
+//!   bench, plus `fault_classes`, `faults_ctrace`, `faults_dom` for the
+//!   scale bench) differs for that circuit. Decisions must be independent of timing, caching,
 //!   and thread count. The schema is detected per row: only the decision
 //!   keys a baseline row actually carries are compared, so one binary
 //!   checks every report the perf harness emits. Or,
@@ -50,6 +51,9 @@ const DECISION_KEYS: &[&str] = &[
     "shed",
     "gates",
     "faults",
+    "fault_classes",
+    "faults_ctrace",
+    "faults_dom",
     "detected",
     "coverage",
 ];
@@ -275,19 +279,25 @@ mod tests {
         let text = r#"{
   "benchmark": "scale",
   "circuits": [
-    {"name": "stitch400", "gates": 107000, "faults": 479000, "detected": 208000, "coverage": 0.4342, "patterns_applied": 1024, "secs_classic_1_thread": 6.1000, "secs_1_thread": 1.2000, "secs_2_threads": 1.2100, "secs_4_threads": 1.1900, "secs_8_threads": 1.2500, "speedup_jobs_4": 5.126, "speedup_threads_4": 1.008}
+    {"name": "stitch400", "gates": 107000, "faults": 479000, "fault_classes": 301000, "faults_ctrace": 352000, "faults_dom": 410000, "detected": 208000, "coverage": 0.4342, "patterns_applied": 1024, "secs_classic_1_thread": 6.1000, "secs_wide_1_thread": 1.2000, "secs_1_thread": 0.7000, "secs_2_threads": 0.4100, "secs_4_threads": 0.2400, "secs_8_threads": 0.1900, "speedup_wide_vs_classic_1t": 5.083, "speedup_ctrace_vs_wide_1t": 1.714, "scaling_4_threads": 2.917}
   ]
 }"#;
         let rows = parse_rows(text).unwrap();
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].secs, 1.2);
-        // `gates` must not also capture `gates_after`-style keys; the scale
-        // row pins exactly the four campaign decisions.
+        // The regression gate reads the ctrace serial time, not the wide
+        // or classic reference timings.
+        assert_eq!(rows[0].secs, 0.7);
+        // `gates` must not also capture `gates_after`-style keys, and
+        // `faults` must not capture `faults_ctrace`/`faults_dom`; the
+        // scale row pins exactly the seven campaign decisions.
         assert_eq!(
             rows[0].decisions,
             vec![
                 ("gates".to_string(), "107000".to_string()),
                 ("faults".to_string(), "479000".to_string()),
+                ("fault_classes".to_string(), "301000".to_string()),
+                ("faults_ctrace".to_string(), "352000".to_string()),
+                ("faults_dom".to_string(), "410000".to_string()),
                 ("detected".to_string(), "208000".to_string()),
                 ("coverage".to_string(), "0.4342".to_string()),
             ]

@@ -6,7 +6,7 @@ use sft::bdd::{circuit_bdds, Manager};
 use sft::circuits::builders;
 use sft::delay::{enumerate_paths, robust_count_for_pair, robust_detection_masks, TwoPatternSim};
 use sft::netlist::{Circuit, GateKind};
-use sft::sim::{campaign, fault_list, CampaignConfig};
+use sft::sim::{campaign, fault_list, CampaignConfig, SimEngine};
 use sft::truth::TruthTable;
 
 /// PODEM and exhaustive random simulation agree on which faults are
@@ -49,6 +49,19 @@ fn irs_h_undetected_faults_are_random_resistant_not_redundant() {
         &faults,
         &CampaignConfig { max_patterns: 1 << 16, plateau: 0, seed: 0x5f7, ..Default::default() },
     );
+    // Both fault-simulation engines must agree on the full Table-6 run.
+    let wide = campaign(
+        &entry.circuit,
+        &faults,
+        &CampaignConfig {
+            max_patterns: 1 << 16,
+            plateau: 0,
+            seed: 0x5f7,
+            engine: SimEngine::Wide,
+            ..Default::default()
+        },
+    );
+    assert_eq!(r, wide, "ctrace and wide engines must agree on irs_h");
     let undetected: Vec<_> = faults
         .iter()
         .zip(&r.detection_pattern)
