@@ -35,6 +35,16 @@
 //! `faults_ctrace`, `faults_dom`, `detected`, `coverage`) are pinned by
 //! `bench_check`, the timings are free.
 //!
+//! A sixth report, `BENCH_arena.json`, measures the flat-arena storage
+//! layer on the scale-tier circuits: circuit construction time, the
+//! Circuit→SoA campaign-entry conversion (legacy rebuild walk vs the
+//! flat-pool fast path, and cold fault-table build vs the version-keyed
+//! warm snapshot every campaign now enters through), and one step-budgeted
+//! resynthesis pass. The warm snapshot must beat the cold per-campaign
+//! build by >= 5x on the headline circuit; the arena shape columns
+//! (`nodes`, `fanin_refs`, `interned_names`) and the resynthesis decisions
+//! are pinned by `bench_check`.
+//!
 //! ```text
 //! cargo bench --bench perf             # full suite
 //! cargo bench --bench perf -- --quick  # 3-circuit smoke mode (CI)
@@ -44,15 +54,16 @@
 //! The JSON is hand-rolled (the workspace vendors no serde); every row is
 //! flat key/value so downstream tooling can `jq` it directly.
 
+use sft::budget::Budget;
 use sft::circuits::random::RandomCircuitConfig;
 use sft::circuits::{gen, suite, suite_small, SuiteEntry};
-use sft::core::{procedure2, ResynthOptions};
+use sft::core::{procedure2, resynthesize_with_budget, ResynthOptions};
 use sft::netlist::{Circuit, GateKind, NodeId};
 use sft::par::Jobs;
 use sft::serve::{serve, ServeConfig, ServeSummary};
 use sft::sim::{
     campaign, collapse, fault_list, pattern_block, CampaignConfig, CampaignResult, Fault,
-    FaultSite, SimEngine, SoaCircuit,
+    FaultSimTables, FaultSite, SimEngine, SoaCircuit,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -817,6 +828,129 @@ fn scale_row(entry: &ScaleEntry, cfg: &Config) -> String {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Arena tier: flat-arena construction and the campaign-entry conversion.
+
+/// Times `f` over `runs` runs and reports the fastest, discarding results
+/// (for conversions whose output type carries no `PartialEq`).
+fn best_secs<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let (r, secs) = time(&mut f);
+        std::hint::black_box(&r);
+        best = best.min(secs);
+    }
+    best
+}
+
+/// One arena row: build the circuit (timed — construction is pure arena
+/// appends plus one normalize/sweep), measure the Circuit→SoA conversion
+/// both ways, measure the campaign-entry cost cold (a full fault-table
+/// build, what every campaign used to pay) and warm (the version-keyed
+/// snapshot campaigns now enter through), and run one step-budgeted serial
+/// resynthesis pass over the arena.
+///
+/// `secs_1_thread` carries the resynthesis-pass time (the longest, most
+/// stable timing) for the shared `bench_check` regression gate; the
+/// conversion columns ride along, and the headline row hard-asserts the
+/// >= 5x campaign-entry win.
+fn arena_row(name: &str, build: impl Fn() -> Circuit, headline: bool, cfg: &Config) -> String {
+    let (circuit, build_secs) = time(&build);
+    let mem = circuit.memory_stats();
+    assert!(circuit.fanin_spans_flat(), "{name}: generators end swept, pool must be flat");
+
+    let runs = 3;
+    let soa_rebuild_secs = best_secs(runs, || SoaCircuit::rebuild(&circuit));
+    let soa_new_secs = best_secs(runs, || SoaCircuit::new(&circuit));
+    let entry_cold_secs = best_secs(runs, || FaultSimTables::new(&circuit));
+    // Prime the snapshot slot, then measure the warm path campaigns hit.
+    let primed = FaultSimTables::snapshot(&circuit);
+    const WARM_CALLS: usize = 512;
+    let (_, warm_total) = time(|| {
+        for _ in 0..WARM_CALLS {
+            std::hint::black_box(FaultSimTables::snapshot(&circuit));
+        }
+    });
+    let entry_warm_secs = warm_total / WARM_CALLS as f64;
+    drop(primed);
+    let speedup_entry = entry_cold_secs / entry_warm_secs.max(1e-12);
+    if headline {
+        assert!(
+            speedup_entry >= 5.0,
+            "{name}: warm campaign entry is only {speedup_entry:.2}x over the cold \
+             per-campaign build (need >= 5.0x)"
+        );
+    }
+
+    let mut c = circuit.clone();
+    let opts = ResynthOptions {
+        max_candidates_per_gate: 20,
+        jobs: Jobs::serial(),
+        ..ResynthOptions::default()
+    };
+    let budget = Budget::unlimited().with_step_limit(if cfg.quick { 2_000 } else { 20_000 });
+    let (report, resynth_secs) =
+        time(|| resynthesize_with_budget(&mut c, &opts, &budget).expect("resynth verifies"));
+
+    json_object(&[
+        ("name", format!("\"{}\"", json_escape(name))),
+        ("nodes", mem.nodes.to_string()),
+        ("fanin_refs", mem.pool_live.to_string()),
+        ("interned_names", mem.interned_names.to_string()),
+        ("bytes_per_node", format!("{:.1}", mem.bytes_per_node())),
+        ("replacements", report.replacements.to_string()),
+        ("gates_after", report.gates_after.to_string()),
+        ("secs_build", format!("{build_secs:.4}")),
+        ("secs_soa_rebuild", format!("{soa_rebuild_secs:.4}")),
+        ("secs_soa_new", format!("{soa_new_secs:.4}")),
+        ("secs_entry_cold", format!("{entry_cold_secs:.4}")),
+        ("secs_entry_warm", format!("{entry_warm_secs:.9}")),
+        ("speedup_entry_warm_vs_cold", format!("{speedup_entry:.1}")),
+        ("secs_1_thread", format!("{resynth_secs:.4}")),
+    ])
+}
+
+fn arena_rows(cfg: &Config) -> Vec<String> {
+    let core = RandomCircuitConfig { inputs: 32, outputs: 16, gates: 260, window: 56, seed: 0xB1 };
+    if cfg.quick {
+        vec![
+            arena_row(
+                "dag12k",
+                || {
+                    gen::deep_dag(&RandomCircuitConfig {
+                        inputs: 256,
+                        outputs: 32,
+                        gates: 12_000,
+                        window: 2000,
+                        seed: 3,
+                    })
+                },
+                false,
+                cfg,
+            ),
+            arena_row("stitch48", || gen::stitched(48, &core), true, cfg),
+        ]
+    } else {
+        vec![
+            arena_row(
+                "dag60k",
+                || {
+                    gen::deep_dag(&RandomCircuitConfig {
+                        inputs: 64,
+                        outputs: 32,
+                        gates: 60_000,
+                        window: 48,
+                        seed: 3,
+                    })
+                },
+                false,
+                cfg,
+            ),
+            arena_row("stitch420", || gen::stitched(420, &core), true, cfg),
+        ]
+    }
+}
+
 fn main() {
     let cfg = Config::from_args();
     let entries = cfg.suite();
@@ -889,4 +1023,11 @@ fn main() {
     std::fs::write(&scale_path, json_report(&meta("scale"), &scale_rows))
         .expect("write BENCH_scale.json");
     eprintln!("wrote {}", scale_path.display());
+
+    eprintln!("  arena (build + campaign-entry conversion + budgeted resynth)");
+    let arena_report_rows = arena_rows(&cfg);
+    let arena_path = cfg.out_dir.join("BENCH_arena.json");
+    std::fs::write(&arena_path, json_report(&meta("arena"), &arena_report_rows))
+        .expect("write BENCH_arena.json");
+    eprintln!("wrote {}", arena_path.display());
 }

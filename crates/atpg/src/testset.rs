@@ -122,7 +122,7 @@ pub fn generate_test_set_with_budget(
 ) -> TestSet {
     assert!(!circuit.inputs().is_empty(), "circuit must have inputs");
     let faults = fault_list(circuit);
-    let tables = Arc::new(FaultSimTables::new(circuit));
+    let tables = FaultSimTables::snapshot(circuit);
     let mut fsim = FaultSim::with_tables(circuit, Arc::clone(&tables)).with_engine(options.engine);
     let mut alive: Vec<usize> = (0..faults.len()).collect();
     let mut vectors: Vec<Vec<bool>> = Vec::new();

@@ -1,0 +1,84 @@
+//! Arena invariants on the irs suite: the same journal/sweep contract the
+//! random-DAG property tests pin, exercised on the irredundant benchmark
+//! circuits every experiment actually runs on.
+
+use sft_circuits::suite::suite_small;
+use sft_netlist::{Circuit, GateKind, NodeId};
+
+/// Deterministically rewires every `stride`-th gate to a NAND of two
+/// strictly-smaller nodes. Returns the rewired targets.
+fn rewire_some(c: &mut Circuit, stride: usize) -> Vec<NodeId> {
+    let targets: Vec<NodeId> = c
+        .iter()
+        .filter(|(id, n)| n.kind().is_gate() && id.index() >= 2 && id.index() % stride == 0)
+        .map(|(id, _)| id)
+        .collect();
+    for &t in &targets {
+        let i = t.index();
+        let fanins = vec![NodeId::from_index(i / 2), NodeId::from_index(i - 1)];
+        c.rewire(t, GateKind::Nand, fanins).expect("strictly-smaller fanin ids cannot cycle");
+    }
+    targets
+}
+
+fn all_false(c: &Circuit) -> Vec<bool> {
+    vec![false; c.inputs().len()]
+}
+
+fn alternating(c: &Circuit) -> Vec<bool> {
+    (0..c.inputs().len()).map(|i| i % 2 == 0).collect()
+}
+
+#[test]
+fn journaled_rewires_roll_back_physically_on_the_suite() {
+    for entry in suite_small() {
+        let mut c = entry.circuit;
+        let before = c.clone();
+        let pool_before = c.fanin_pool_len();
+        let was_flat = c.fanin_spans_flat();
+
+        let cp = c.begin_edit();
+        let targets = rewire_some(&mut c, 7);
+        assert!(!targets.is_empty(), "{}: no rewire targets", entry.name);
+        assert!(!c.fanin_spans_flat(), "{}: rewires must fragment", entry.name);
+        c.rollback_to(cp);
+
+        assert_eq!(c.fanin_pool_len(), pool_before, "{}: pool not reclaimed", entry.name);
+        assert_eq!(c.fanin_spans_flat(), was_flat, "{}: flat flag not restored", entry.name);
+        assert!(c == before, "{}: rollback diverged", entry.name);
+    }
+}
+
+#[test]
+fn sweep_compacts_and_translates_on_the_suite() {
+    for entry in suite_small() {
+        let mut c = entry.circuit;
+        rewire_some(&mut c, 9);
+        let pre = c.clone();
+        let out_lo = c.eval_assignment(&all_false(&c));
+        let out_hi = c.eval_assignment(&alternating(&c));
+
+        let map = c.sweep();
+
+        assert!(c.fanin_spans_flat(), "{}: sweep must flatten", entry.name);
+        assert_eq!(c.fanin_pool_len(), c.fanin_count(), "{}: pool garbage", entry.name);
+        assert_eq!(c.eval_assignment(&all_false(&c)), out_lo, "{}", entry.name);
+        assert_eq!(c.eval_assignment(&alternating(&c)), out_hi, "{}", entry.name);
+
+        let mut survivors = 0;
+        for (old_id, old_node) in pre.iter() {
+            let Some(new_id) = map.get(old_id) else { continue };
+            survivors += 1;
+            let new_node = c.node(new_id);
+            assert_eq!(old_node.kind(), new_node.kind(), "{}", entry.name);
+            assert_eq!(old_node.name(), new_node.name(), "{}", entry.name);
+            let translated: Vec<NodeId> = old_node
+                .fanins()
+                .iter()
+                .map(|&f| map.get(f).expect("live fanin survives"))
+                .collect();
+            assert_eq!(&translated[..], new_node.fanins(), "{}", entry.name);
+        }
+        assert_eq!(survivors, c.len(), "{}: NodeMap must cover every node", entry.name);
+    }
+}

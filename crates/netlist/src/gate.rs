@@ -9,6 +9,7 @@ use std::fmt;
 /// and [`Buf`](GateKind::Buf) take exactly one fanin; constants and
 /// [`Input`](GateKind::Input) take none.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
 pub enum GateKind {
     /// A primary input.
     Input,

@@ -9,11 +9,19 @@
 //! edit-heavy loops of Procedures 2/3 and the RAMBO baseline, which try
 //! thousands of candidate mutations per run and keep only a few.
 //!
+//! With the flat-arena node storage every inverse is O(1) in size: a
+//! rewire's inverse is the node's previous `(kind, span)` pair — the old
+//! fanins stay where they are in the pooled buffer (the pool is
+//! append-only between sweeps), so nothing is cloned into the journal.
+//! Rollback truncates the pool tail as it unwinds (each transactional
+//! append sits at the tail by the time its inverse runs), so a rolled-back
+//! transaction reclaims every pool byte it appended.
+//!
 //! Transactions nest: an inner checkpoint can be rolled back while an outer
 //! one stays open; journal entries are discarded only when the outermost
-//! transaction commits. [`Circuit::sweep`] compacts node ids and cannot be
-//! expressed as a journalable edit, so it panics while a transaction is
-//! open.
+//! transaction commits. [`Circuit::sweep`] compacts node ids and the pool
+//! and cannot be expressed as a journalable edit, so it panics while a
+//! transaction is open.
 //!
 //! # Examples
 //!
@@ -36,34 +44,39 @@
 //! # Ok::<(), sft_netlist::NetlistError>(())
 //! ```
 
+use crate::circuit::Span;
 use crate::{Circuit, GateKind, NodeId};
 
 /// Inverse of a single structural edit, recorded while a transaction is
-/// open.
+/// open. Every variant is fixed-size: fanin pre-images are `(offset, len)`
+/// spans into the circuit's pooled fanin buffer, not cloned vectors.
 #[derive(Debug, Clone)]
 pub(crate) enum UndoOp {
-    /// Undo `add_input` / `add_const` / `add_gate`: pop the newest node.
+    /// Undo `add_input` / `add_const` / `add_gate`: pop the newest node
+    /// (and truncate its pool tail).
     PopNode {
         /// Whether the node was also pushed onto the primary-input list.
         was_input: bool,
     },
     /// Undo `add_output`: pop the newest output slot.
     PopOutput,
-    /// Undo `rewire`: restore the node's previous kind and fanins.
+    /// Undo `rewire`: restore the node's previous kind and fanin span.
     Rewire {
         /// The rewired node.
         id: NodeId,
         /// Its kind before the rewire.
         kind: GateKind,
-        /// Its fanins before the rewire.
-        fanins: Vec<NodeId>,
+        /// Its fanin span before the rewire (the storage is still in the
+        /// pool — it is only reclaimed by `sweep`).
+        span: Span,
     },
-    /// Undo `set_node_name`: restore the previous (possibly absent) name.
+    /// Undo `set_node_name`: restore the previous interned name id.
     NodeName {
         /// The renamed node.
         id: NodeId,
-        /// Its name before the rename.
-        name: Option<String>,
+        /// Its interned name id before the rename (`NO_NAME` sentinel when
+        /// it was unnamed).
+        name_id: u32,
     },
     /// Undo `set_name`: restore the previous circuit name.
     CircuitName {
@@ -104,6 +117,10 @@ impl Journal {
 pub struct Checkpoint {
     ops: usize,
     depth: usize,
+    /// Arena layout flags at checkpoint time, restored on rollback (the
+    /// pool is fully unwound by then, so they are exact again).
+    flat: bool,
+    topo_ids: bool,
 }
 
 impl Circuit {
@@ -114,7 +131,8 @@ impl Circuit {
     /// its inverse, and [`sweep`](Self::sweep) panics. Transactions nest.
     pub fn begin_edit(&mut self) -> Checkpoint {
         self.journal.depth += 1;
-        Checkpoint { ops: self.journal.ops.len(), depth: self.journal.depth }
+        let (flat, topo_ids) = self.layout_flags();
+        Checkpoint { ops: self.journal.ops.len(), depth: self.journal.depth, flat, topo_ids }
     }
 
     /// Keeps all edits made since `cp` and closes its transaction.
@@ -137,7 +155,8 @@ impl Circuit {
 
     /// Undoes every edit made since `cp` (in reverse order) and closes its
     /// transaction. Cost is O(#edits since `cp`), independent of circuit
-    /// size; incremental views are patched back along the way.
+    /// size; incremental views are patched back along the way, and every
+    /// pool append made inside the transaction is truncated away.
     ///
     /// # Panics
     ///
@@ -149,6 +168,9 @@ impl Circuit {
             self.undo(op);
         }
         self.journal.depth -= 1;
+        // All transactional pool appends are unwound now; the layout flags
+        // captured at begin_edit are exact again.
+        self.restore_layout(cp.flat, cp.topo_ids);
     }
 
     /// Whether an edit transaction is currently open.
@@ -175,14 +197,16 @@ impl Circuit {
     /// since `cp`, as `(id, kind, fanins)` triples. When a node was rewired
     /// several times, the *first* recorded image — i.e. its state at the
     /// checkpoint — wins, so a node rewired away and back reports its
-    /// original image and compares equal to its current state.
+    /// original image and compares equal to its current state. The fanin
+    /// slices resolve the journalled spans against the pool, whose
+    /// pre-image storage is untouched while the transaction is open.
     pub fn pre_images_since(&self, cp: Checkpoint) -> Vec<(NodeId, GateKind, &[NodeId])> {
         let mut seen = std::collections::HashSet::new();
         let mut out = Vec::new();
         for op in &self.journal.ops[cp.ops..] {
-            if let UndoOp::Rewire { id, kind, fanins } = op {
+            if let UndoOp::Rewire { id, kind, span } = op {
                 if seen.insert(*id) {
-                    out.push((*id, *kind, fanins.as_slice()));
+                    out.push((*id, *kind, self.span_slice(*span)));
                 }
             }
         }
@@ -193,37 +217,20 @@ impl Circuit {
     /// match.
     fn undo(&mut self, op: UndoOp) {
         match op {
-            UndoOp::PopNode { was_input } => {
-                let node = self.nodes.pop().expect("journalled node exists");
-                if was_input {
-                    self.inputs.pop();
-                }
-                let id = NodeId(self.nodes.len() as u32);
-                if let Some(v) = &mut self.views {
-                    v.on_pop_node(id, &node);
-                }
-            }
+            UndoOp::PopNode { was_input } => self.undo_pop_node(was_input),
             UndoOp::PopOutput => {
                 let o = self.outputs.pop().expect("journalled output exists");
                 self.output_names.pop();
                 if let Some(v) = &mut self.views {
                     v.on_pop_output(o);
                 }
+                self.touch();
             }
-            UndoOp::Rewire { id, kind, fanins } => {
-                let node = &mut self.nodes[id.index()];
-                node.kind = kind;
-                let undone = std::mem::replace(&mut node.fanins, fanins);
-                let restored = &self.nodes[id.index()];
-                if let Some(v) = &mut self.views {
-                    v.on_rewire(id, &undone, restored.fanins());
-                }
-            }
-            UndoOp::NodeName { id, name } => {
-                self.nodes[id.index()].name = name;
-            }
+            UndoOp::Rewire { id, kind, span } => self.undo_rewire(id, kind, span),
+            UndoOp::NodeName { id, name_id } => self.undo_node_name(id, name_id),
             UndoOp::CircuitName { name } => {
                 self.name = name;
+                self.touch();
             }
         }
     }

@@ -60,5 +60,5 @@ pub use error::NetlistError;
 pub use gate::GateKind;
 pub use journal::Checkpoint;
 pub use paths::PathCount;
-pub use stats::{two_input_cost, CircuitStats};
+pub use stats::{two_input_cost, CircuitStats, MemoryStats};
 pub use views::CircuitViews;

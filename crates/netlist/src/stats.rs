@@ -57,7 +57,87 @@ pub fn two_input_cost(kind: GateKind, arity: usize) -> u64 {
     }
 }
 
+/// Arena memory footprint of a [`Circuit`], as reported by `sft stats`.
+///
+/// Produced by [`Circuit::memory_stats`]. All byte counts measure the flat
+/// arena columns, not allocator overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes in the per-node columns (kind, fanin span, name id).
+    pub node_bytes: usize,
+    /// Bytes in the pooled fanin buffer, including garbage spans left by
+    /// committed rewires (reclaimed by [`Circuit::sweep`]).
+    pub pool_bytes: usize,
+    /// Bytes in the interned name table (string contents plus per-string
+    /// bookkeeping columns).
+    pub name_bytes: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Live fanin references (entries the current spans actually address).
+    pub pool_live: usize,
+    /// Total fanin pool entries, including garbage.
+    pub pool_len: usize,
+    /// Number of distinct interned name strings.
+    pub interned_names: usize,
+}
+
+impl MemoryStats {
+    /// Total arena bytes across all three regions.
+    pub fn total_bytes(&self) -> usize {
+        self.node_bytes + self.pool_bytes + self.name_bytes
+    }
+
+    /// Average arena bytes per node (all regions / node count).
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.nodes as f64
+        }
+    }
+
+    /// Fraction of the fanin pool addressed by live spans (1.0 when flat;
+    /// drops as committed rewires strand garbage until the next sweep).
+    pub fn pool_occupancy(&self) -> f64 {
+        if self.pool_len == 0 {
+            1.0
+        } else {
+            self.pool_live as f64 / self.pool_len as f64
+        }
+    }
+}
+
+impl fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arena={}B ({:.1}B/node) node-cols={}B pool={}B ({:.0}% live) names={}B ({} interned)",
+            self.total_bytes(),
+            self.bytes_per_node(),
+            self.node_bytes,
+            self.pool_bytes,
+            self.pool_occupancy() * 100.0,
+            self.name_bytes,
+            self.interned_names,
+        )
+    }
+}
+
 impl Circuit {
+    /// Arena memory footprint; see [`MemoryStats`].
+    pub fn memory_stats(&self) -> MemoryStats {
+        let (node_bytes, pool_bytes, name_bytes) = self.memory_footprint();
+        MemoryStats {
+            node_bytes,
+            pool_bytes,
+            name_bytes,
+            nodes: self.len(),
+            pool_live: self.fanin_count(),
+            pool_len: self.fanin_pool_len(),
+            interned_names: self.interned_names(),
+        }
+    }
+
     /// Equivalent 2-input gate count over live logic (the paper's area
     /// metric; see [`two_input_cost`]).
     pub fn two_input_gate_count(&self) -> u64 {
@@ -145,6 +225,39 @@ mod tests {
         assert_eq!(s.paths, PathCount::exact(2));
         assert_eq!(s.depth, 2);
         assert!(s.to_string().contains("eq2=1"));
+    }
+
+    #[test]
+    fn memory_stats_track_pool_garbage() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        c.add_output(g, "y");
+        let fresh = c.memory_stats();
+        assert_eq!(fresh.nodes, 3);
+        assert_eq!(fresh.pool_live, 2);
+        assert_eq!(fresh.pool_len, 2);
+        assert!((fresh.pool_occupancy() - 1.0).abs() < 1e-9);
+        assert!(fresh.bytes_per_node() > 0.0);
+        // Named nodes "a", "b" intern two strings; the output name lives in
+        // the output table, not the node name column.
+        assert_eq!(fresh.interned_names, 2);
+
+        // A committed rewire strands the old span in the pool.
+        c.rewire(g, GateKind::Or, vec![b, a]).unwrap();
+        let frag = c.memory_stats();
+        assert_eq!(frag.pool_live, 2);
+        assert_eq!(frag.pool_len, 4);
+        assert!(frag.pool_occupancy() < 1.0);
+
+        // Sweep reclaims it.
+        c.sweep();
+        let swept = c.memory_stats();
+        assert_eq!(swept.pool_len, swept.pool_live);
+        let line = swept.to_string();
+        assert!(line.contains("B/node"), "{line}");
+        assert!(line.contains("100% live"), "{line}");
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 use crate::dominators::{self, SINK, UNREACHABLE};
 use crate::paths::PathCount;
-use crate::{Circuit, GateKind, Node, NodeId};
+use crate::{Circuit, GateKind, NodeId};
 
 /// Maintained fanout/level/path-label views of a [`Circuit`]; obtained via
 /// [`Circuit::views`] after [`Circuit::enable_views`].
@@ -173,7 +173,7 @@ impl CircuitViews {
 
     /// Patch-in for a freshly appended node (always the highest id, so its
     /// edges append at the tail of each consumer list, preserving order).
-    pub(crate) fn on_add_node(&mut self, id: NodeId, node: &Node) {
+    pub(crate) fn on_add_node(&mut self, id: NodeId, fanins: &[NodeId]) {
         debug_assert_eq!(id.index(), self.fanout.len());
         self.fanout.push(Vec::new());
         self.po_refs.push(0);
@@ -182,21 +182,21 @@ impl CircuitViews {
         self.idom.push(UNREACHABLE);
         self.dirty_flag.push(false);
         self.dom_seed_flag.push(false);
-        for (pin, f) in node.fanins().iter().enumerate() {
+        for (pin, f) in fanins.iter().enumerate() {
             self.fanout[f.index()].push((id, pin));
         }
         self.mark_dirty(id);
         self.mark_dom_dirty(id);
-        for &f in node.fanins() {
+        for &f in fanins {
             self.mark_dom_dirty(f); // its consumer set grew
         }
     }
 
     /// Patch-out for a node being popped by journal rollback (`id` is the
     /// new length; the node's edges sit at the tail of each consumer list).
-    pub(crate) fn on_pop_node(&mut self, id: NodeId, node: &Node) {
+    pub(crate) fn on_pop_node(&mut self, id: NodeId, fanins: &[NodeId]) {
         debug_assert_eq!(id.index(), self.fanout.len() - 1);
-        for (pin, f) in node.fanins().iter().enumerate() {
+        for (pin, f) in fanins.iter().enumerate() {
             let list = &mut self.fanout[f.index()];
             let p = list
                 .iter()
@@ -204,7 +204,7 @@ impl CircuitViews {
                 .expect("popped node's fanout edges present");
             list.remove(p);
         }
-        for &f in node.fanins() {
+        for &f in fanins {
             self.mark_dom_dirty(f); // its consumer set shrank
         }
         self.fanout.pop();

@@ -219,7 +219,7 @@ fn campaign_wide<W: SimWord>(
     config: &CampaignConfig,
 ) -> CampaignResult {
     let num_inputs = circuit.inputs().len();
-    let tables = Arc::new(FaultSimTables::new(circuit));
+    let tables = FaultSimTables::snapshot(circuit);
     // One simulator for inline strides plus one per worker slot for sliced
     // strides, all created lazily and kept alive for the whole campaign —
     // the O(nodes) scratch buffers are the expensive part of simulator

@@ -66,6 +66,22 @@ impl FaultSimTables {
         FaultSimTables { soa: SoaCircuit::new(circuit) }
     }
 
+    /// The shared per-structural-state tables for `circuit`: a cache hit on
+    /// the circuit's version-stamped [`derived`](Circuit::derived) slot when
+    /// the structure has not mutated since the last snapshot, a
+    /// [`new`](Self::new) build (stored back into the slot) otherwise.
+    ///
+    /// Campaign entry goes through here, so repeated campaigns, test-set
+    /// compactions and serve jobs on an unchanged circuit stop paying the
+    /// Circuit→SoA translation entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn snapshot(circuit: &Circuit) -> Arc<Self> {
+        circuit.derived(FaultSimTables::new)
+    }
+
     /// The underlying struct-of-arrays snapshot.
     pub fn soa(&self) -> &SoaCircuit {
         &self.soa
@@ -150,7 +166,7 @@ impl<W: SimWord> WideFaultSim<W> {
     ///
     /// Panics if the circuit is cyclic.
     pub fn new(circuit: &Circuit) -> Self {
-        Self::with_tables(Arc::new(FaultSimTables::new(circuit)))
+        Self::with_tables(FaultSimTables::snapshot(circuit))
     }
 
     /// Prepares a fault simulator reusing already-built [`FaultSimTables`].
@@ -450,7 +466,7 @@ impl<'c> FaultSim<'c> {
     ///
     /// Panics if the circuit is cyclic.
     pub fn new(circuit: &'c Circuit) -> Self {
-        Self::with_tables(circuit, Arc::new(FaultSimTables::new(circuit)))
+        Self::with_tables(circuit, FaultSimTables::snapshot(circuit))
     }
 
     /// Prepares a fault simulator reusing already-built [`FaultSimTables`].

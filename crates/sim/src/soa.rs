@@ -120,6 +120,48 @@ pub(crate) fn eval_gate<W: SimWord>(
     }
 }
 
+/// Kahn's algorithm over the flat fanin CSR — no per-node heap vectors: a
+/// counting pass materialises the raw fanout CSR, then zero-indegree nodes
+/// peel off a stack. Used by [`SoaCircuit::new`] when a rewire has
+/// invalidated identity order.
+fn flat_topo_order(n: usize, fanin_off: &[u32], fanins: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut pin_refs = vec![0u32; n];
+    for &f in fanins {
+        pin_refs[f as usize] += 1;
+    }
+    let mut out_off = Vec::with_capacity(n + 1);
+    out_off.push(0u32);
+    for &c in &pin_refs {
+        out_off.push(out_off.last().unwrap() + c);
+    }
+    let mut raw = vec![0u32; fanins.len()];
+    let mut cursor: Vec<u32> = out_off[..n].to_vec();
+    for g in 0..n {
+        for &f in &fanins[fanin_off[g] as usize..fanin_off[g + 1] as usize] {
+            raw[cursor[f as usize] as usize] = g as u32;
+            cursor[f as usize] += 1;
+        }
+    }
+    let mut indeg: Vec<u32> = (0..n).map(|i| fanin_off[i + 1] - fanin_off[i]).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &o in &raw[out_off[i as usize] as usize..out_off[i as usize + 1] as usize] {
+            indeg[o as usize] -= 1;
+            if indeg[o as usize] == 0 {
+                queue.push(o);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "combinational circuit");
+    let mut topo_pos = vec![0u32; n];
+    for (pos, &id) in order.iter().enumerate() {
+        topo_pos[id as usize] = pos as u32;
+    }
+    (order, topo_pos)
+}
+
 /// A flat, read-only struct-of-arrays snapshot of a [`Circuit`], built once
 /// per campaign and shared (behind an `Arc`) by every simulation worker.
 ///
@@ -185,12 +227,74 @@ pub struct SoaCircuit {
 }
 
 impl SoaCircuit {
-    /// Builds the snapshot from `circuit`.
+    /// Builds the snapshot from `circuit` via the arena fast path.
+    ///
+    /// The flat-arena `Circuit` already stores kinds as a dense column and
+    /// fanins as `(offset, len)` spans over one pool, so on the canonical
+    /// layout (fresh construction, or after `sweep`) the fanin CSR is a
+    /// single pool copy and — when id order is topological, which
+    /// append-only construction guarantees — the topological sort
+    /// disappears entirely. Fragmented or rewired circuits fall back to a
+    /// span-walk copy and a flat Kahn pass over the CSR; no path touches
+    /// per-node heap vectors or the name table. Differentially tested
+    /// against [`rebuild`](Self::rebuild).
     ///
     /// # Panics
     ///
     /// Panics if the circuit is cyclic.
     pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        assert!(n < NONE as usize, "circuit too large for u32 node ids");
+        let total_fanins = circuit.fanin_count();
+        assert!(total_fanins < NONE as usize, "fanin slab too large for u32 offsets");
+
+        let mut kinds = Vec::with_capacity(n);
+        let mut fanin_off = Vec::with_capacity(n + 1);
+        let mut fanins = Vec::with_capacity(total_fanins);
+        fanin_off.push(0u32);
+        if let Some(pool) = circuit.fanin_pool_flat() {
+            // Canonical layout: the pool *is* the CSR payload.
+            fanins.extend(pool.iter().map(|f| f.index() as u32));
+            let mut off = 0u32;
+            for i in 0..n {
+                let id = sft_netlist::NodeId::from_index(i);
+                kinds.push(PackedKind::from(circuit.kind(id)));
+                off += circuit.fanins(id).len() as u32;
+                fanin_off.push(off);
+            }
+        } else {
+            for i in 0..n {
+                let id = sft_netlist::NodeId::from_index(i);
+                kinds.push(PackedKind::from(circuit.kind(id)));
+                fanins.extend(circuit.fanins(id).iter().map(|f| f.index() as u32));
+                fanin_off.push(fanins.len() as u32);
+            }
+        }
+
+        let (order, topo_pos) = if circuit.ids_topological() {
+            // Append-only construction keeps every fanin id below its node
+            // id, so id order is already topological.
+            let identity: Vec<u32> = (0..n as u32).collect();
+            (identity.clone(), identity)
+        } else {
+            flat_topo_order(n, &fanin_off, &fanins)
+        };
+
+        Self::finish(circuit, kinds, fanin_off, fanins, order, topo_pos)
+    }
+
+    /// Builds the snapshot from `circuit` through the pre-arena algorithm:
+    /// a per-node walk through [`Circuit::iter`] and a from-scratch
+    /// [`Circuit::topo_order`] (which allocates per-node fanout vectors).
+    ///
+    /// Kept as the differential-testing oracle for [`new`](Self::new) and
+    /// as the campaign-entry baseline the arena speedup is measured
+    /// against; engines never call it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is cyclic.
+    pub fn rebuild(circuit: &Circuit) -> Self {
         let n = circuit.len();
         assert!(n < NONE as usize, "circuit too large for u32 node ids");
 
@@ -214,6 +318,23 @@ impl SoaCircuit {
             topo_pos[id.index()] = pos as u32;
         }
 
+        Self::finish(circuit, kinds, fanin_off, fanins, order, topo_pos)
+    }
+
+    /// Shared tail of [`new`](Self::new) and [`rebuild`](Self::rebuild):
+    /// levels, fanout CSR, FFR structure and dominators from the fanin CSR
+    /// plus a valid topological order. Every derived quantity here is
+    /// independent of *which* valid topological order was supplied.
+    fn finish(
+        circuit: &Circuit,
+        kinds: Vec<PackedKind>,
+        fanin_off: Vec<u32>,
+        fanins: Vec<u32>,
+        order: Vec<u32>,
+        topo_pos: Vec<u32>,
+    ) -> Self {
+        let n = kinds.len();
+        let total_fanins = fanins.len();
         let mut level = vec![0u32; n];
         for &id in &order {
             let i = id as usize;
@@ -544,6 +665,119 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
                 assert_eq!(soa.ffr_root[i], i as u32, "root must be itself");
             }
         }
+    }
+
+    /// Semantic equivalence of two snapshots: every order-independent field
+    /// is bit-identical, and each snapshot's `order` is a valid topological
+    /// order with `topo_pos` as its inverse and FFR membership correctly
+    /// grouped (root first, every member after its head). The fast arena
+    /// path may pick a different — equally valid — topological order than
+    /// the legacy rebuild, which changes no engine result.
+    fn assert_soa_equiv(a: &SoaCircuit, b: &SoaCircuit) {
+        assert_eq!(a.kinds, b.kinds);
+        assert_eq!(a.fanin_off, b.fanin_off);
+        assert_eq!(a.fanins, b.fanins);
+        assert_eq!(a.level, b.level);
+        assert_eq!(a.num_levels, b.num_levels);
+        assert_eq!(a.input_pos, b.input_pos);
+        assert_eq!(a.num_inputs, b.num_inputs);
+        assert_eq!(a.output_mask, b.output_mask);
+        assert_eq!(a.fanout_off, b.fanout_off);
+        assert_eq!(a.fanouts, b.fanouts);
+        assert_eq!(a.ffr_head, b.ffr_head);
+        assert_eq!(a.ffr_root, b.ffr_root);
+        assert_eq!(a.ffr_off, b.ffr_off);
+        assert_eq!(a.ffr_defer, b.ffr_defer);
+        assert_eq!(a.idom, b.idom);
+        for s in [a, b] {
+            let n = s.len();
+            assert_eq!(s.order.len(), n);
+            for (pos, &id) in s.order.iter().enumerate() {
+                assert_eq!(s.topo_pos[id as usize], pos as u32, "topo_pos inverse");
+            }
+            for i in 0..n {
+                for &f in s.fanin_slice(i) {
+                    assert!(s.topo_pos[f as usize] < s.topo_pos[i], "order is topological");
+                }
+            }
+            let mut pos_in_region = vec![usize::MAX; n];
+            for r in 0..n {
+                let (lo, hi) = (s.ffr_off[r] as usize, s.ffr_off[r + 1] as usize);
+                if lo == hi {
+                    continue;
+                }
+                assert_eq!(s.ffr_members[lo] as usize, r, "root leads its region");
+                for (k, &m) in s.ffr_members[lo..hi].iter().enumerate() {
+                    assert_eq!(s.ffr_root[m as usize] as usize, r);
+                    pos_in_region[m as usize] = k;
+                }
+                for &m in &s.ffr_members[lo + 1..hi] {
+                    let h = s.ffr_head[m as usize] as usize;
+                    assert!(pos_in_region[h] < pos_in_region[m as usize], "member after its head");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_legacy_rebuild_across_layouts() {
+        use sft_netlist::GateKind;
+        let mut c = random_circuit(&RandomCircuitConfig {
+            gates: 400,
+            seed: 11,
+            ..RandomCircuitConfig::default()
+        });
+        // Post-normalize the pool is flat; ids need not be topological
+        // (normalize's rewires can leave forward edges that survive sweep's
+        // order-preserving renumber), so this may take either order path.
+        assert!(c.fanin_spans_flat());
+        assert_soa_equiv(&SoaCircuit::new(&c), &SoaCircuit::rebuild(&c));
+
+        // Fragmented pool after committed rewires (fallback CSR walk).
+        let gates: Vec<_> =
+            c.iter().filter(|(_, n)| n.kind().is_gate()).map(|(id, _)| id).collect();
+        let inputs = c.inputs().to_vec();
+        for (k, &g) in gates.iter().enumerate().take(40) {
+            c.rewire(
+                g,
+                GateKind::Nand,
+                vec![inputs[k % inputs.len()], inputs[(k + 1) % inputs.len()]],
+            )
+            .unwrap();
+        }
+        assert!(!c.fanin_spans_flat());
+        assert_soa_equiv(&SoaCircuit::new(&c), &SoaCircuit::rebuild(&c));
+
+        // A forward edge (fanin id above node id) forces the Kahn fallback.
+        let lo = gates[0];
+        let hi = *gates.last().unwrap();
+        assert!(lo < hi);
+        if !c.reaches(lo, &[hi]) {
+            c.rewire(lo, GateKind::Buf, vec![hi]).unwrap();
+            assert!(!c.ids_topological());
+            assert_soa_equiv(&SoaCircuit::new(&c), &SoaCircuit::rebuild(&c));
+        }
+
+        // Sweep restores the canonical layout and the fast path.
+        c.sweep();
+        assert!(c.fanin_spans_flat());
+        assert_soa_equiv(&SoaCircuit::new(&c), &SoaCircuit::rebuild(&c));
+    }
+
+    #[test]
+    fn identity_order_fast_path_matches_rebuild() {
+        use sft_netlist::{Circuit, GateKind};
+        // Append-only construction never creates forward edges, so the
+        // conversion can reuse node ids as the topological order directly.
+        let mut c = Circuit::new("ident");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(GateKind::And, vec![a, b]).unwrap();
+        let g2 = c.add_gate(GateKind::Xor, vec![g1, a]).unwrap();
+        let g3 = c.add_gate(GateKind::Nor, vec![g1, g2]).unwrap();
+        c.add_output(g3, "y");
+        assert!(c.fanin_spans_flat() && c.ids_topological());
+        assert_soa_equiv(&SoaCircuit::new(&c), &SoaCircuit::rebuild(&c));
     }
 
     #[test]

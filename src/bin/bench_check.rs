@@ -14,7 +14,8 @@
 //!   `done`, `failed`, `shed` for the daemon saturation bench;
 //!   `gates`, `faults`, `detected`, `coverage` for the fault-simulation
 //!   bench, plus `fault_classes`, `faults_ctrace`, `faults_dom` for the
-//!   scale bench) differs for that circuit. Decisions must be independent of timing, caching,
+//!   scale bench; `nodes`, `fanin_refs`, `interned_names` plus the
+//!   resynthesis decisions for the arena bench) differs for that circuit. Decisions must be independent of timing, caching,
 //!   and thread count. The schema is detected per row: only the decision
 //!   keys a baseline row actually carries are compared, so one binary
 //!   checks every report the perf harness emits. Or,
@@ -56,6 +57,8 @@ const DECISION_KEYS: &[&str] = &[
     "faults_dom",
     "detected",
     "coverage",
+    "fanin_refs",
+    "interned_names",
 ];
 
 #[derive(Debug, PartialEq)]
@@ -300,6 +303,31 @@ mod tests {
                 ("faults_dom".to_string(), "410000".to_string()),
                 ("detected".to_string(), "208000".to_string()),
                 ("coverage".to_string(), "0.4342".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_arena_json_rows() {
+        let text = r#"{
+  "benchmark": "arena",
+  "circuits": [
+    {"name": "stitch420", "nodes": 106211, "fanin_refs": 197671, "interned_names": 106211, "bytes_per_node": 58.6, "replacements": 12, "gates_after": 104888, "secs_build": 1.2000, "secs_soa_rebuild": 0.0110, "secs_soa_new": 0.0040, "secs_entry_cold": 0.0150, "secs_entry_warm": 0.0000001, "speedup_entry_warm_vs_cold": 150000.0, "secs_1_thread": 3.4000}
+  ]
+}"#;
+        let rows = parse_rows(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        // The regression gate reads the resynthesis-pass time; the arena
+        // shape and resynthesis outcomes are the pinned decisions.
+        assert_eq!(rows[0].secs, 3.4);
+        assert_eq!(
+            rows[0].decisions,
+            vec![
+                ("gates_after".to_string(), "104888".to_string()),
+                ("replacements".to_string(), "12".to_string()),
+                ("nodes".to_string(), "106211".to_string()),
+                ("fanin_refs".to_string(), "197671".to_string()),
+                ("interned_names".to_string(), "106211".to_string()),
             ]
         );
     }

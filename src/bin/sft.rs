@@ -248,6 +248,7 @@ fn run() -> Result<(), String> {
             let files = positionals(rest);
             let c = load(files.first().ok_or("stats needs an input file")?, rest)?;
             println!("{}: {}", c.name(), c.stats());
+            println!("{}: {}", c.name(), c.memory_stats());
             Ok(())
         }
         "resynth" => {
